@@ -1,0 +1,116 @@
+//! Criterion benchmarks of whole-platform simulation speed: how fast the
+//! harness itself turns virtual minutes into wall-clock seconds. One bench
+//! per paper experiment family, at reduced scale — these bound how long the
+//! `figures` binary takes, and catch performance regressions in the event
+//! loops.
+
+use bb_bench::exp_macro::{run_macro, Macro};
+use bb_bench::exp_micro::CPU_MEM_SCALE;
+use bb_bench::Platform;
+use bb_sim::SimDuration;
+use bb_workloads::{AnalyticsRunner, CpuHeavyRunner, IoHeavyRunner};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Figure 5-style run, 10 virtual seconds.
+fn bench_macro_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("macro_10s_sim");
+    g.sample_size(10);
+    for platform in [Platform::Ethereum, Platform::Parity, Platform::Hyperledger] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let stats = run_macro(
+                    platform,
+                    Macro::Ycsb,
+                    4,
+                    4,
+                    50.0,
+                    SimDuration::from_secs(10),
+                );
+                black_box(stats.committed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 11-style single sort per platform.
+fn bench_cpuheavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpuheavy_50k");
+    g.sample_size(10);
+    for platform in [Platform::Ethereum, Platform::Parity, Platform::Hyperledger] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let mut chain = platform.build_micro(CPU_MEM_SCALE);
+                let mut runner = CpuHeavyRunner::new();
+                black_box(runner.run(chain.as_mut(), 50_000).peak_mem)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 12-style write+read sweep per platform.
+fn bench_ioheavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ioheavy_20k_tuples");
+    g.sample_size(10);
+    for platform in [Platform::Ethereum, Platform::Parity, Platform::Hyperledger] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let mut chain = platform.build_micro(10);
+                let mut runner = IoHeavyRunner::new(5_000);
+                black_box(runner.run(chain.as_mut(), 20_000).disk_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 13-style preload + queries.
+fn bench_analytics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytics_500_blocks");
+    g.sample_size(10);
+    for platform in [Platform::Ethereum, Platform::Hyperledger] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let nodes = if platform == Platform::Hyperledger { 4 } else { 1 };
+                let mut chain = platform.build(nodes);
+                let mut runner = AnalyticsRunner::new(256, 500, 3, 7);
+                runner.preload(chain.as_mut());
+                let q1 = runner.q1(chain.as_mut(), 500);
+                let q2 = runner.q2(chain.as_mut(), 3, 500);
+                black_box((q1.answer, q2.answer))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// H-Store baseline (Figure 14).
+fn bench_hstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hstore_30k_txs");
+    g.sample_size(10);
+    g.bench_function("ycsb", |b| {
+        b.iter(|| {
+            black_box(bb_hstore::run_ycsb(bb_hstore::HStoreConfig::default(), 30_000, 100_000, 1).tps)
+        })
+    });
+    g.bench_function("smallbank", |b| {
+        b.iter(|| {
+            black_box(
+                bb_hstore::run_smallbank(bb_hstore::HStoreConfig::default(), 30_000, 100_000, 1)
+                    .tps,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_macro_runs,
+    bench_cpuheavy,
+    bench_ioheavy,
+    bench_analytics,
+    bench_hstore,
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks of the substrates: the real (wall-clock)
+//! performance of the data structures and engines underneath the
+//! simulation — hashing, tries, the LSM store, the SVM interpreter and a
+//! PBFT consensus round.
+
+use bb_crypto::{sha256, Hash256, KeyPair};
+use bb_merkle::{merkle_root, BucketTree, PatriciaTrie};
+use bb_storage::{KvStore, LsmConfig, LsmStore, MemStore};
+use bb_svm::{assemble, MockHost, Vm};
+use bb_types::{Address, Transaction};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_merkle_root(c: &mut Criterion) {
+    let leaves: Vec<Hash256> =
+        (0..512u64).map(|i| Hash256::digest(&i.to_be_bytes())).collect();
+    c.bench_function("merkle_root/512_leaves", |b| {
+        b.iter(|| merkle_root(black_box(&leaves)))
+    });
+}
+
+fn bench_patricia_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patricia_trie");
+    g.bench_function("insert_1k", |b| {
+        b.iter(|| {
+            let mut t = PatriciaTrie::new(MemStore::new());
+            for i in 0..1000u64 {
+                t.insert(&i.to_be_bytes(), b"value").unwrap();
+            }
+            black_box(t.root())
+        })
+    });
+    let mut trie = PatriciaTrie::new(MemStore::new());
+    for i in 0..10_000u64 {
+        trie.insert(&i.to_be_bytes(), b"value").unwrap();
+    }
+    g.bench_function("get_hot_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            black_box(trie.get(&i.to_be_bytes()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_bucket_tree(c: &mut Criterion) {
+    c.bench_function("bucket_tree/put_1k", |b| {
+        b.iter(|| {
+            let mut t = BucketTree::new(MemStore::new(), 1024);
+            for i in 0..1000u64 {
+                t.put(&i.to_be_bytes(), b"value").unwrap();
+            }
+            black_box(t.root())
+        })
+    });
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsm_store");
+    g.bench_function("put_5k_with_flushes", |b| {
+        b.iter(|| {
+            let mut s = LsmStore::new_private(LsmConfig {
+                memtable_flush_bytes: 64 << 10,
+                ..LsmConfig::default()
+            });
+            for i in 0..5000u64 {
+                s.put(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+            }
+            black_box(s.table_count())
+        })
+    });
+    let mut store = LsmStore::new_private(LsmConfig::default());
+    for i in 0..20_000u64 {
+        store.put(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+    }
+    store.flush();
+    g.bench_function("get_from_sstables", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(store.get(&i.to_be_bytes()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svm");
+    let loop_code = assemble(
+        "push 0\nloop:\npush 1\nadd\ndup 0\npush 10000\nlt\njumpi loop\nstop",
+    )
+    .unwrap();
+    g.bench_function("interpret_50k_ops", |b| {
+        let vm = Vm::default();
+        b.iter(|| {
+            let mut host = MockHost::new();
+            black_box(vm.execute(&loop_code, &[], u64::MAX / 2, &mut host))
+        })
+    });
+    let sort = bb_contracts::cpuheavy::bundle();
+    let code = sort.svm.method(bb_contracts::cpuheavy::M_SORT).unwrap().to_vec();
+    g.bench_function("quicksort_10k", |b| {
+        let vm = Vm::default();
+        b.iter(|| {
+            let mut host = MockHost::new();
+            black_box(vm.execute(&code, &10_000i64.to_le_bytes(), u64::MAX / 2, &mut host))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tx_signing(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(1);
+    c.bench_function("transaction/sign_and_id", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let tx =
+                Transaction::signed(&kp, nonce, Address::from_index(1), 5, vec![0u8; 100]);
+            black_box(tx.id())
+        })
+    });
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    use bb_consensus::pbft::{Action, PbftConfig, PbftNode};
+    use bb_sim::SimTime;
+    use bb_types::NodeId;
+    c.bench_function("pbft/commit_round_4_nodes", |b| {
+        b.iter(|| {
+            let config = PbftConfig { n: 4, batch_size: 1, ..PbftConfig::default() };
+            let mut nodes: Vec<PbftNode> =
+                (0..4).map(|i| PbftNode::new(NodeId(i), config.clone())).collect();
+            let now = SimTime::from_secs(1);
+            let mut queue: Vec<(NodeId, NodeId, bb_consensus::pbft::PbftMsg)> = Vec::new();
+            let mut commits = 0usize;
+            let actions = nodes[0].on_request(b"tx".to_vec(), now);
+            let mut absorb = |from: NodeId, actions: Vec<Action>, queue: &mut Vec<_>| {
+                for a in actions {
+                    match a {
+                        Action::Send(to, m) => queue.push((from, to, m)),
+                        Action::Broadcast(m) => {
+                            for to in (0..4).map(NodeId).filter(|&t| t != from) {
+                                queue.push((from, to, m.clone()));
+                            }
+                        }
+                        Action::CommitBatch { .. } => commits += 1,
+                    }
+                }
+            };
+            absorb(NodeId(0), actions, &mut queue);
+            while let Some((from, to, msg)) = queue.pop() {
+                let acts = nodes[to.index()].on_message(from, msg, now);
+                absorb(to, acts, &mut queue);
+            }
+            black_box(commits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle_root,
+    bench_patricia_trie,
+    bench_bucket_tree,
+    bench_lsm,
+    bench_svm,
+    bench_tx_signing,
+    bench_pbft_round,
+);
+criterion_main!(benches);

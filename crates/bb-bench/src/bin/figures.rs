@@ -1,0 +1,103 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [all|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19] [--paper]
+//! ```
+//!
+//! Each figure prints as an aligned table and is also written to
+//! `results/<figure>.csv`. `--paper` stretches windows and sweeps toward the
+//! original dimensions (slower); the default "quick" scale regenerates every
+//! figure in minutes. EXPERIMENTS.md records paper-vs-measured per figure.
+
+use bb_bench::exp_ablation::{ablation_channel, ablation_difficulty, ablation_signing};
+use bb_bench::exp_fault::{fig10, fig9};
+use bb_bench::exp_macro::{fig13c, fig14, fig15, fig16, fig17, fig18, fig5, fig6, Macro};
+use bb_bench::exp_micro::{fig11, fig12, fig13ab};
+use bb_bench::exp_scale::{fig7, fig8};
+use bb_bench::{Scale, Table};
+use std::path::PathBuf;
+
+fn emit(table: &Table, csv_name: &str) {
+    println!("{}", table.render());
+    let path = PathBuf::from("results").join(csv_name);
+    match table.write_csv(&path) {
+        Ok(()) => println!("   [written to {}]\n", path.display()),
+        Err(e) => eprintln!("   [csv write failed: {e}]\n"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let run_all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |name: &str| run_all || wanted.contains(&name);
+
+    println!(
+        "BLOCKBENCH-RS figure harness — scale: {} (duration {}s)\n",
+        if paper { "paper" } else { "quick" },
+        scale.duration.as_secs_f64()
+    );
+
+    if want("fig5") {
+        let (peak, sweep) = fig5(&scale);
+        emit(&peak, "fig5_peak.csv");
+        emit(&sweep, "fig5_sweep.csv");
+    }
+    if want("fig6") {
+        emit(&fig6(&scale), "fig6_queues.csv");
+    }
+    if want("fig7") {
+        emit(&fig7(&scale, Macro::Ycsb), "fig7_scalability_ycsb.csv");
+    }
+    if want("fig8") {
+        emit(&fig8(&scale), "fig8_scalability_8clients.csv");
+    }
+    if want("fig9") {
+        let window = scale.duration.as_micros() / 1_000_000 * 2;
+        emit(&fig9(window.max(60), window.max(60) / 2, scale.base_rate), "fig9_crash.csv");
+    }
+    if want("fig10") {
+        let window = (scale.duration.as_micros() / 1_000_000 * 2).max(100);
+        emit(
+            &fig10(window, window / 4, window / 3, scale.base_rate / 2.0),
+            "fig10_partition.csv",
+        );
+    }
+    if want("fig11") {
+        emit(&fig11(&scale), "fig11_cpuheavy.csv");
+    }
+    if want("fig12") {
+        emit(&fig12(&scale), "fig12_ioheavy.csv");
+    }
+    if want("fig13") {
+        let (q1, q2) = fig13ab(&scale);
+        emit(&q1, "fig13a_q1.csv");
+        emit(&q2, "fig13b_q2.csv");
+        emit(&fig13c(&scale), "fig13c_donothing.csv");
+    }
+    if want("fig14") {
+        emit(&fig14(&scale), "fig14_hstore.csv");
+    }
+    if want("fig15") {
+        emit(&fig15(&scale), "fig15_blocksize.csv");
+    }
+    if want("fig16") {
+        emit(&fig16(&scale), "fig16_utilisation.csv");
+    }
+    if want("fig17") {
+        emit(&fig17(&scale), "fig17_latency_cdf.csv");
+    }
+    if want("fig18") {
+        emit(&fig18(&scale), "fig18_queue_20x20.csv");
+    }
+    if want("fig19") {
+        emit(&fig7(&scale, Macro::Smallbank), "fig19_scalability_smallbank.csv");
+    }
+    if want("ablations") {
+        emit(&ablation_channel(scale.duration), "ablation_channel.csv");
+        emit(&ablation_difficulty(scale.duration.max(bb_sim::SimDuration::from_secs(60))), "ablation_difficulty.csv");
+        emit(&ablation_signing(scale.duration), "ablation_signing.csv");
+    }
+}

@@ -1,0 +1,155 @@
+//! Ablations: turn the paper's *diagnosed bottleneck* off and show the
+//! symptom disappears. The paper attributes each platform's behaviour to a
+//! specific mechanism (Section 5: "such insights are not easy to extract
+//! without a systematic analysis framework") — these experiments demonstrate
+//! the attribution is causal in our models, not coincidental calibration.
+
+use crate::exp_macro::Macro;
+use crate::table::{num, Table};
+use bb_ethereum::{EthConfig, EthereumChain};
+use bb_fabric::{FabricChain, FabricConfig};
+use bb_parity::{ParityChain, ParityConfig};
+use bb_sim::SimDuration;
+use blockbench::driver::{run_workload, DriverConfig};
+
+fn drive(
+    chain: &mut dyn blockbench::BlockchainConnector,
+    clients: u32,
+    rate: f64,
+    duration: SimDuration,
+) -> f64 {
+    let mut wl = Macro::Ycsb.build(clients);
+    let stats = run_workload(
+        chain,
+        wl.as_mut(),
+        &DriverConfig {
+            clients,
+            rate_per_client: rate,
+            duration,
+            poll_interval: SimDuration::from_millis(500),
+            drain: SimDuration::from_secs(10),
+        },
+    );
+    stats.throughput_tps()
+}
+
+/// Ablation A — "the consensus messages are rejected ... on account of the
+/// message channel being full" (Section 4.1.2). Sweep the channel capacity
+/// at the 20×20 collapse point: with an effectively unbounded channel the
+/// cluster merely saturates instead of collapsing.
+pub fn ablation_channel(duration: SimDuration) -> Table {
+    let mut t = Table::new(
+        "Ablation A: Fabric channel capacity at 20 servers x 20 clients",
+        &["channel capacity", "tx/s", "dropped msgs"],
+    );
+    for cap in [250usize, 1_000, 1_000_000] {
+        let mut config = FabricConfig::with_nodes(20);
+        config.channel_capacity = cap;
+        let mut chain = FabricChain::new(config);
+        let tps = drive(&mut chain, 20, 150.0, duration);
+        t.row(vec![format!("{cap}"), num(tps), format!("{}", chain.dropped_messages())]);
+    }
+    t
+}
+
+/// Ablation B — Ethereum's scalability decay comes from the super-linear
+/// difficulty rule the authors applied. With a flat difficulty the decay
+/// (mostly) disappears.
+pub fn ablation_difficulty(duration: SimDuration) -> Table {
+    let mut t = Table::new(
+        "Ablation B: Ethereum difficulty scaling at 32 servers (8 clients)",
+        &["size exponent", "tx/s @ 8 nodes", "tx/s @ 32 nodes"],
+    );
+    for exponent in [0.0f64, 1.35] {
+        let mut row = vec![num(exponent)];
+        for nodes in [8u32, 32] {
+            let mut config = EthConfig::with_nodes(nodes);
+            config.pow.size_exponent = exponent;
+            let mut chain = EthereumChain::new(config);
+            row.push(num(drive(&mut chain, 8, 48.0, duration)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Ablation C — "the bottleneck in Parity is due to transaction signing"
+/// (Section 4.2.3). Cut the producer's per-transaction signing cost and
+/// throughput scales with it; consensus was never the limit.
+pub fn ablation_signing(duration: SimDuration) -> Table {
+    let mut t = Table::new(
+        "Ablation C: Parity producer signing cost (8 servers, 8 clients)",
+        &["sign cost ms/tx", "tx/s"],
+    );
+    for cost_ms in [22u64, 11, 2] {
+        let mut config = ParityConfig::with_nodes(8);
+        config.produce_sign_cost = SimDuration::from_millis(cost_ms);
+        let mut chain = ParityChain::new(config);
+        t.row(vec![format!("{cost_ms}"), num(drive(&mut chain, 8, 256.0, duration))]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounding_the_channel_prevents_the_collapse() {
+        let t = ablation_channel(SimDuration::from_secs(15));
+        let text = t.render();
+        let tps = |cap: &str| -> f64 {
+            text.lines()
+                .find(|l| l.split_whitespace().next() == Some(cap))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let bounded = tps("250");
+        let unbounded = tps("1000000");
+        assert!(
+            unbounded > 1.8 * bounded,
+            "channel bound is not the collapse mechanism: {bounded} vs {unbounded}"
+        );
+    }
+
+    #[test]
+    fn flat_difficulty_removes_ethereum_decay() {
+        let t = ablation_difficulty(SimDuration::from_secs(60));
+        let text = t.render();
+        let row = |exp: &str| -> (f64, f64) {
+            let l = text
+                .lines()
+                .find(|l| l.split_whitespace().next() == Some(exp))
+                .expect("row exists");
+            let mut it = l.split_whitespace().skip(1);
+            (
+                it.next().unwrap().parse().unwrap(),
+                it.next().unwrap().parse().unwrap(),
+            )
+        };
+        let (flat8, flat32) = row("0");
+        let (_steep8, steep32) = row("1.35");
+        // With flat difficulty, 32 nodes keep most of the 8-node rate...
+        assert!(flat32 > 0.55 * flat8, "flat: {flat8} → {flat32}");
+        // ...with the paper's rule, they lose most of it.
+        assert!(steep32 < 0.55 * flat32, "steep 32-node rate {steep32} vs flat {flat32}");
+    }
+
+    #[test]
+    fn cheaper_signing_unlocks_parity() {
+        let t = ablation_signing(SimDuration::from_secs(20));
+        let text = t.render();
+        let tps = |cost: &str| -> f64 {
+            text.lines()
+                .find(|l| l.split_whitespace().next() == Some(cost))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let slow = tps("22");
+        let fast = tps("2");
+        assert!(slow < 60.0, "baseline parity too fast: {slow}");
+        assert!(fast > 3.0 * slow, "signing cost is not the bottleneck: {slow} vs {fast}");
+    }
+}

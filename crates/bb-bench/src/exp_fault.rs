@@ -1,0 +1,201 @@
+//! Fault-tolerance and security experiments: Figures 9 and 10.
+//!
+//! These need mid-run fault injection, so they drive the chains directly
+//! (submit + advance + poll in 1-second steps) instead of through
+//! `run_workload`.
+
+use crate::exp_macro::Macro;
+use crate::platforms::{Platform, ALL_PLATFORMS};
+use crate::table::{num, Table};
+use bb_sim::{SimDuration, SimTime};
+use bb_types::NodeId;
+use blockbench::connector::Fault;
+
+/// Drive `platform` for `total_secs`, injecting `fault_at` via `inject`,
+/// and sample per-second committed transactions plus block counters.
+#[allow(clippy::type_complexity)]
+fn timeline(
+    platform: Platform,
+    nodes: u32,
+    clients: u32,
+    rate_per_client: f64,
+    total_secs: u64,
+    mut inject: impl FnMut(&mut dyn blockbench::BlockchainConnector, u64),
+) -> Vec<(u64, u64, u64, u64)> {
+    // (t, committed_cumulative, blocks_total, blocks_main)
+    let mut chain = platform.build(nodes);
+    let mut wl = Macro::Ycsb.build(clients);
+    wl.setup(chain.as_mut());
+    let interval = SimDuration::from_secs_f64(1.0 / rate_per_client);
+    let t0 = chain.now();
+    let mut next_send: Vec<SimTime> = (0..clients).map(|_| t0).collect();
+    let mut seen_height = 0u64;
+    let mut committed = 0u64;
+    let mut out = Vec::new();
+    let mut nonce_guard = 0u64;
+    for sec in 0..total_secs {
+        inject(chain.as_mut(), sec);
+        let step_end = t0 + SimDuration::from_secs(sec + 1);
+        // Send this second's transactions, client by client.
+        loop {
+            let Some((ci, t)) = next_send
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, t)| t < step_end)
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            chain.advance_to(t);
+            let tx = wl.next_transaction(bb_types::ClientId(ci as u32));
+            if !chain.submit(NodeId(ci as u32 % nodes), tx) {
+                wl.on_rejected(bb_types::ClientId(ci as u32));
+            }
+            next_send[ci] = t + interval;
+            nonce_guard += 1;
+        }
+        chain.advance_to(step_end);
+        for block in chain.confirmed_blocks_since(seen_height) {
+            seen_height = seen_height.max(block.height);
+            committed += block.txs.iter().filter(|&&(_, ok)| ok).count() as u64;
+        }
+        let stats = chain.stats();
+        out.push((sec + 1, committed, stats.blocks_total, stats.blocks_main));
+    }
+    let _ = nonce_guard;
+    out
+}
+
+/// Figure 9: crash 4 servers mid-run at 12 and 16 servers; per-second
+/// committed transactions before/after.
+pub fn fig9(window_secs: u64, fail_at: u64, rate: f64) -> Table {
+    let mut t = Table::new(
+        format!("Figure 9: failing 4 nodes at t={fail_at}s (8 clients)"),
+        &["platform", "servers", "t (s)", "committed (cum)"],
+    );
+    for platform in ALL_PLATFORMS {
+        for servers in [12u32, 16] {
+            let series = timeline(platform, servers, 8, rate, window_secs, |chain, sec| {
+                if sec == fail_at {
+                    // Kill the last four nodes (node 0 is the observer).
+                    for i in servers - 4..servers {
+                        chain.inject(Fault::Crash(NodeId(i)));
+                    }
+                }
+            });
+            for &(sec, committed, _, _) in series.iter().step_by(5) {
+                t.row(vec![
+                    platform.name().into(),
+                    format!("{servers}"),
+                    format!("{sec}"),
+                    format!("{committed}"),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 10: partition the 8-node network in half mid-run; track total
+/// blocks generated vs blocks on the consensus chain (`X-total` vs `X-bc`).
+pub fn fig10(window_secs: u64, partition_at: u64, partition_secs: u64, rate: f64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 10: partition attack at t={partition_at}s for {partition_secs}s (8 servers)"
+        ),
+        &["platform", "t (s)", "blocks total", "blocks main", "fork ratio"],
+    );
+    for platform in ALL_PLATFORMS {
+        let series = timeline(platform, 8, 8, rate, window_secs, |chain, sec| {
+            if sec == partition_at {
+                chain.inject(Fault::PartitionHalf { left: 4 });
+            }
+            if sec == partition_at + partition_secs {
+                chain.inject(Fault::Heal);
+            }
+        });
+        for &(sec, _, total, main) in series.iter().step_by(5) {
+            let ratio = if total == 0 { 1.0 } else { main as f64 / total as f64 };
+            t.row(vec![
+                platform.name().into(),
+                format!("{sec}"),
+                format!("{total}"),
+                format!("{main}"),
+                num(ratio),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn final_committed(table_text: &str, platform: &str, servers: &str) -> u64 {
+        table_text
+            .lines()
+            .filter(|l| {
+                l.contains(platform) && l.split_whitespace().nth(1) == Some(servers)
+            })
+            .last()
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn fig9_hyperledger_12_stalls_16_survives() {
+        let t = fig9(60, 20, 60.0);
+        let text = t.render();
+        // Committed counts at mid-run (pre-fault) vs end.
+        let committed_at = |platform: &str, servers: &str, sec: &str| -> u64 {
+            text.lines()
+                .find(|l| {
+                    l.contains(platform)
+                        && l.split_whitespace().nth(1) == Some(servers)
+                        && l.split_whitespace().nth(2) == Some(sec)
+                })
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        // Hyperledger at 12 servers: commits stop after the crash.
+        let h12_mid = committed_at("hyperledger", "12", "16");
+        let h12_end = final_committed(&text, "hyperledger", "12");
+        assert!(h12_mid > 0, "no commits before the fault");
+        assert!(
+            h12_end <= h12_mid + h12_mid / 10,
+            "12-node fabric kept committing: {h12_mid} → {h12_end}"
+        );
+        // At 16 servers it recovers (quorum 11 ≤ 12 alive).
+        let h16_mid = committed_at("hyperledger", "16", "16");
+        let h16_end = final_committed(&text, "hyperledger", "16");
+        assert!(h16_end > h16_mid + 100, "16-node fabric stalled: {h16_mid} → {h16_end}");
+        // Ethereum barely notices.
+        let e_mid = committed_at("ethereum", "12", "16");
+        let e_end = final_committed(&text, "ethereum", "12");
+        assert!(e_end > e_mid + 50, "ethereum stalled: {e_mid} → {e_end}");
+    }
+
+    #[test]
+    fn fig10_forks_for_pow_poa_but_not_pbft() {
+        let t = fig10(100, 20, 50, 40.0);
+        let text = t.render();
+        let final_ratio = |platform: &str| -> f64 {
+            text.lines()
+                .filter(|l| l.contains(platform))
+                .last()
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let eth = final_ratio("ethereum");
+        let par = final_ratio("parity");
+        let fab = final_ratio("hyperledger");
+        assert!(eth < 0.95, "ethereum fork ratio {eth}");
+        assert!(par < 0.95, "parity fork ratio {par}");
+        assert!((fab - 1.0).abs() < 1e-9, "hyperledger forked: {fab}");
+    }
+}

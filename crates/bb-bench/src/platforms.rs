@@ -1,0 +1,147 @@
+//! Platform construction and experiment scaling.
+
+use bb_ethereum::{EthConfig, EthereumChain};
+use bb_fabric::{FabricChain, FabricConfig};
+use bb_parity::{ParityChain, ParityConfig};
+use bb_sim::SimDuration;
+use blockbench::connector::BlockchainConnector;
+
+/// The three systems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// geth-like PoW chain.
+    Ethereum,
+    /// Parity-like PoA chain.
+    Parity,
+    /// Fabric-like PBFT chain.
+    Hyperledger,
+}
+
+/// All three, in the paper's presentation order.
+pub const ALL_PLATFORMS: [Platform; 3] =
+    [Platform::Ethereum, Platform::Parity, Platform::Hyperledger];
+
+impl Platform {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Ethereum => "ethereum",
+            Platform::Parity => "parity",
+            Platform::Hyperledger => "hyperledger",
+        }
+    }
+
+    /// Build a chain with `nodes` servers at default (macro) settings.
+    pub fn build(self, nodes: u32) -> Box<dyn BlockchainConnector> {
+        match self {
+            Platform::Ethereum => Box::new(EthereumChain::new(EthConfig::with_nodes(nodes))),
+            Platform::Parity => Box::new(ParityChain::new(ParityConfig::with_nodes(nodes))),
+            Platform::Hyperledger => Box::new(FabricChain::new(FabricConfig::with_nodes(nodes))),
+        }
+    }
+
+    /// Build a one-server (4 for PBFT) deployment for the micro benches,
+    /// with memory budgets scaled by `mem_scale` (sizes scale with the
+    /// workloads; see EXPERIMENTS.md).
+    pub fn build_micro(self, mem_scale: u64) -> Box<dyn BlockchainConnector> {
+        match self {
+            Platform::Ethereum => {
+                let mut c = EthConfig::with_nodes(1);
+                c.costs.mem_base /= mem_scale;
+                c.node_mem_bytes = c.costs.mem_base + ((32u64 << 30) / mem_scale);
+                Box::new(EthereumChain::new(c))
+            }
+            Platform::Parity => {
+                let mut c = ParityConfig::with_nodes(1);
+                c.costs.mem_base /= mem_scale;
+                c.node_mem_bytes = c.costs.mem_base + ((32u64 << 30) / mem_scale);
+                Box::new(ParityChain::new(c))
+            }
+            Platform::Hyperledger => {
+                let mut c = FabricConfig::with_nodes(4);
+                c.mem_base /= mem_scale;
+                c.node_mem_bytes = c.mem_base + ((32u64 << 30) / mem_scale);
+                Box::new(FabricChain::new(c))
+            }
+        }
+    }
+}
+
+/// Experiment scale knobs. `quick` keeps every figure regenerable in
+/// minutes; `paper` stretches windows and sweeps toward the original
+/// dimensions (workload sizes stay scaled; see EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Measured window per macro run.
+    pub duration: SimDuration,
+    /// Request-rate sweep, tx/s per client (Figure 5b/c's x-axis).
+    pub rates: Vec<f64>,
+    /// Clients+servers sweep (Figures 7/19).
+    pub nodes_sweep: Vec<u32>,
+    /// Servers sweep with 8 clients (Figure 8).
+    pub servers_sweep: Vec<u32>,
+    /// CPUHeavy input sizes (paper sizes ÷ 100).
+    pub cpu_sizes: Vec<u64>,
+    /// IOHeavy tuple counts (paper sizes ÷ 10).
+    pub io_tuples: Vec<u64>,
+    /// Analytics preloaded blocks (paper's 100k ÷ 10).
+    pub analytics_blocks: u64,
+    /// Analytics scan spans (Figure 13's x-axis).
+    pub analytics_spans: Vec<u64>,
+    /// Per-client rate used in fault/scalability runs.
+    pub base_rate: f64,
+}
+
+impl Scale {
+    /// Fast regeneration (CI-sized).
+    pub fn quick() -> Scale {
+        Scale {
+            duration: SimDuration::from_secs(20),
+            rates: vec![8.0, 64.0, 512.0],
+            nodes_sweep: vec![4, 8, 16, 20],
+            servers_sweep: vec![8, 32],
+            cpu_sizes: vec![10_000, 100_000, 1_000_000],
+            io_tuples: vec![80_000, 160_000, 320_000],
+            analytics_blocks: 2_000,
+            analytics_spans: vec![1, 10, 100, 1_000],
+            base_rate: 100.0,
+        }
+    }
+
+    /// Closer to the paper's sweep (minutes to hours of wall time).
+    pub fn paper() -> Scale {
+        Scale {
+            duration: SimDuration::from_secs(300),
+            rates: vec![8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+            nodes_sweep: vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32],
+            servers_sweep: vec![8, 12, 16, 20, 24, 28, 32],
+            cpu_sizes: vec![10_000, 100_000, 1_000_000],
+            io_tuples: vec![80_000, 160_000, 320_000, 640_000, 1_280_000],
+            analytics_blocks: 10_000,
+            analytics_spans: vec![1, 10, 100, 1_000, 10_000],
+            base_rate: 100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_named_platforms() {
+        for p in ALL_PLATFORMS {
+            let chain = p.build(4);
+            assert_eq!(chain.name(), p.name());
+            assert_eq!(chain.node_count(), 4);
+        }
+    }
+
+    #[test]
+    fn micro_builders_scale_memory() {
+        let chain = Platform::Ethereum.build_micro(100);
+        assert_eq!(chain.node_count(), 1);
+        let fab = Platform::Hyperledger.build_micro(100);
+        assert_eq!(fab.node_count(), 4); // PBFT needs a quorum
+    }
+}

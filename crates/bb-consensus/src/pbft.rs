@@ -1,0 +1,1070 @@
+//! Practical Byzantine Fault Tolerance (Castro–Liskov), as Hyperledger
+//! Fabric v0.6 used it, implemented sans-IO.
+//!
+//! Each [`PbftNode`] is a pure state machine: feed it requests, messages and
+//! ticks; it returns [`Action`]s (sends, broadcasts, committed batches) for
+//! the platform to wire onto the simulated network. The platform layer adds
+//! the *bounded incoming message channel* whose overflow — O(N²) traffic at
+//! high load — drops consensus messages, diverges views and stalls the
+//! cluster beyond 16 nodes, exactly the failure mode the paper diagnosed
+//! from Fabric's logs (Section 4.1.2).
+//!
+//! Protocol shape:
+//! - requests batch at the primary (`batch_size`, the paper's 500, or a
+//!   batch timeout);
+//! - three phases: pre-prepare (primary broadcast, carries the batch),
+//!   prepare and commit (all-to-all); a slot commits at quorum `n − f`,
+//!   `f = ⌊(n−1)/3⌋`, and batches are *delivered strictly in sequence
+//!   order* — so 12 nodes stop dead when 4 crash (quorum 9 > 8 alive,
+//!   Figure 9) while 16 nodes recover via view change;
+//! - view change: nodes time out on outstanding work, vote `ViewChange`,
+//!   and adopt a view once a quorum votes for it; the new primary announces
+//!   `NewView` and laggards catch up through the sync sub-protocol
+//!   (`SyncRequest`/`SyncReply`) — also how partitioned nodes rejoin after
+//!   the Figure 10 attack heals (the ~50 s recovery gap).
+//!
+//! Simplifications vs. the full protocol, documented in DESIGN.md: no
+//! checkpoint garbage collection (runs are minutes long), and view-change
+//! certificates are replaced by re-forwarding uncommitted requests plus
+//! state sync — equivalent liveness/safety behaviour for crash and
+//! partition faults, which are the faults the benchmark injects.
+
+use bb_crypto::Hash256;
+use bb_sim::{SimDuration, SimTime};
+use bb_types::NodeId;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// An opaque client request (an encoded transaction).
+pub type Request = Vec<u8>;
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Replica count.
+    pub n: u32,
+    /// Max requests per batch (Fabric's `batchSize`, default 500).
+    pub batch_size: usize,
+    /// Propose a partial batch after this long with pending requests.
+    pub batch_timeout: SimDuration,
+    /// Outstanding work older than this triggers a view change.
+    pub view_timeout: SimDuration,
+}
+
+impl Default for PbftConfig {
+    fn default() -> Self {
+        PbftConfig {
+            n: 4,
+            batch_size: 500,
+            batch_timeout: SimDuration::from_millis(300),
+            view_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl PbftConfig {
+    /// Maximum tolerated Byzantine replicas.
+    pub fn f(&self) -> u32 {
+        (self.n - 1) / 3
+    }
+
+    /// Votes needed to prepare/commit/view-change: `n − f`.
+    pub fn quorum(&self) -> usize {
+        (self.n - self.f()) as usize
+    }
+
+    /// Primary replica of `view`.
+    pub fn primary_of(&self, view: u64) -> NodeId {
+        NodeId((view % self.n as u64) as u32)
+    }
+}
+
+/// Wire messages between replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbftMsg {
+    /// A backup forwards a client request to the primary.
+    Forward(Request),
+    /// Primary proposes a batch at `(view, seq)`.
+    PrePrepare {
+        /// Proposing view.
+        view: u64,
+        /// Sequence slot.
+        seq: u64,
+        /// Batch digest.
+        digest: Hash256,
+        /// The requests themselves.
+        batch: Vec<Request>,
+    },
+    /// A replica vouches it accepted the pre-prepare.
+    Prepare {
+        /// Slot view.
+        view: u64,
+        /// Slot sequence.
+        seq: u64,
+        /// Batch digest.
+        digest: Hash256,
+    },
+    /// A replica vouches the batch is prepared network-wide.
+    Commit {
+        /// Slot view.
+        view: u64,
+        /// Slot sequence.
+        seq: u64,
+        /// Batch digest.
+        digest: Hash256,
+    },
+    /// Vote to move to `new_view`.
+    ViewChange {
+        /// Proposed view.
+        new_view: u64,
+        /// Voter's last committed sequence.
+        last_committed: u64,
+    },
+    /// The new primary announces the view is live.
+    NewView {
+        /// The view now in force.
+        view: u64,
+        /// Highest sequence committed anywhere the primary knows of.
+        committed_floor: u64,
+    },
+    /// Ask a peer for committed batches above `from_seq`.
+    SyncRequest {
+        /// Fetch batches with seq > this.
+        from_seq: u64,
+    },
+    /// Committed batches for a lagging peer.
+    SyncReply {
+        /// `(seq, batch)` pairs in order.
+        batches: Vec<(u64, Vec<Request>)>,
+    },
+}
+
+impl PbftMsg {
+    /// Approximate wire size in bytes (for the network cost model).
+    pub fn byte_size(&self) -> u64 {
+        const HEADER: u64 = 64; // envelope + signature
+        match self {
+            PbftMsg::Forward(r) => HEADER + r.len() as u64,
+            PbftMsg::PrePrepare { batch, .. } => {
+                HEADER + 48 + batch.iter().map(|r| r.len() as u64 + 4).sum::<u64>()
+            }
+            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => HEADER + 48,
+            PbftMsg::ViewChange { .. } => HEADER + 16,
+            PbftMsg::NewView { .. } => HEADER + 16,
+            PbftMsg::SyncRequest { .. } => HEADER + 8,
+            PbftMsg::SyncReply { batches } => {
+                HEADER
+                    + batches
+                        .iter()
+                        .map(|(_, b)| 8 + b.iter().map(|r| r.len() as u64 + 4).sum::<u64>())
+                        .sum::<u64>()
+            }
+        }
+    }
+}
+
+/// What the platform must do after feeding the node an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send to one replica.
+    Send(NodeId, PbftMsg),
+    /// Send to every *other* replica. The node has already applied its own
+    /// vote internally — do not loop the message back.
+    Broadcast(PbftMsg),
+    /// A batch committed at `seq`: execute it and append a block.
+    CommitBatch {
+        /// Sequence number (consecutive from 1).
+        seq: u64,
+        /// The ordered requests.
+        batch: Vec<Request>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    view: u64,
+    digest: Hash256,
+    batch: Option<Vec<Request>>,
+    prepares: HashSet<NodeId>,
+    commits: HashSet<NodeId>,
+    sent_commit: bool,
+    commit_quorum: bool,
+    delivered: bool,
+}
+
+fn batch_digest(batch: &[Request]) -> Hash256 {
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(batch.len() + 1);
+    parts.push(b"pbft-batch");
+    for r in batch {
+        parts.push(r);
+    }
+    Hash256::digest_parts(&parts)
+}
+
+fn request_digest(r: &Request) -> Hash256 {
+    Hash256::digest_parts(&[b"pbft-req", r])
+}
+
+/// One PBFT replica.
+pub struct PbftNode {
+    id: NodeId,
+    config: PbftConfig,
+    view: u64,
+    /// Next sequence this primary will assign.
+    next_seq: u64,
+    slots: BTreeMap<u64, Slot>,
+    last_committed: u64,
+    committed_log: BTreeMap<u64, Vec<Request>>,
+    /// Requests seen but not yet committed, for re-forwarding on view change.
+    awaiting: HashMap<Hash256, Request>,
+    /// Primary-side queue of requests not yet batched.
+    pending: VecDeque<Request>,
+    pending_digests: HashSet<Hash256>,
+    view_votes: HashMap<u64, HashMap<NodeId, u64>>,
+    batch_deadline: Option<SimTime>,
+    view_deadline: Option<SimTime>,
+    /// Highest view this node has voted for (escalation state).
+    voted_view: u64,
+}
+
+impl PbftNode {
+    /// Fresh replica in view 0.
+    pub fn new(id: NodeId, config: PbftConfig) -> Self {
+        PbftNode {
+            id,
+            config,
+            view: 0,
+            next_seq: 1,
+            slots: BTreeMap::new(),
+            last_committed: 0,
+            committed_log: BTreeMap::new(),
+            awaiting: HashMap::new(),
+            pending: VecDeque::new(),
+            pending_digests: HashSet::new(),
+            view_votes: HashMap::new(),
+            batch_deadline: None,
+            view_deadline: None,
+            voted_view: 0,
+        }
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Is this replica the primary of the current view?
+    pub fn is_primary(&self) -> bool {
+        self.config.primary_of(self.view) == self.id
+    }
+
+    /// Highest contiguously committed sequence.
+    pub fn last_committed(&self) -> u64 {
+        self.last_committed
+    }
+
+    /// Requests seen and not yet committed.
+    pub fn awaiting_count(&self) -> usize {
+        self.awaiting.len()
+    }
+
+    /// Earliest time the platform should call [`PbftNode::on_tick`].
+    pub fn next_wake(&self) -> Option<SimTime> {
+        match (self.batch_deadline, self.view_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// A client request arrived at this replica.
+    pub fn on_request(&mut self, req: Request, now: SimTime) -> Vec<Action> {
+        let digest = request_digest(&req);
+        if self.committed_digest(&digest) {
+            return Vec::new();
+        }
+        self.awaiting.entry(digest).or_insert_with(|| req.clone());
+        self.arm_view_timer(now);
+        if self.is_primary() {
+            self.enqueue_at_primary(req, digest, now)
+        } else {
+            vec![Action::Send(self.config.primary_of(self.view), PbftMsg::Forward(req))]
+        }
+    }
+
+    fn committed_digest(&self, digest: &Hash256) -> bool {
+        // Linear scan is fine at benchmark batch counts; committed requests
+        // are also pruned from `awaiting`, which is the hot set.
+        !self.awaiting.contains_key(digest) && self.pending_digests.contains(digest)
+    }
+
+    fn enqueue_at_primary(&mut self, req: Request, digest: Hash256, now: SimTime) -> Vec<Action> {
+        if self.pending_digests.contains(&digest) {
+            return Vec::new();
+        }
+        self.pending_digests.insert(digest);
+        self.pending.push_back(req);
+        let mut actions = Vec::new();
+        while self.pending.len() >= self.config.batch_size {
+            actions.extend(self.propose_batch(now));
+        }
+        if !self.pending.is_empty() && self.batch_deadline.is_none() {
+            self.batch_deadline = Some(now + self.config.batch_timeout);
+        }
+        actions
+    }
+
+    fn propose_batch(&mut self, now: SimTime) -> Vec<Action> {
+        let take = self.pending.len().min(self.config.batch_size);
+        if take == 0 {
+            return Vec::new();
+        }
+        let batch: Vec<Request> = self.pending.drain(..take).collect();
+        for r in &batch {
+            self.pending_digests.remove(&request_digest(r));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let digest = batch_digest(&batch);
+        let slot = self.slots.entry(seq).or_default();
+        slot.view = self.view;
+        slot.digest = digest;
+        slot.batch = Some(batch.clone());
+        slot.prepares.insert(self.id);
+        self.batch_deadline =
+            if self.pending.is_empty() { None } else { Some(now + self.config.batch_timeout) };
+        self.arm_view_timer(now);
+        vec![Action::Broadcast(PbftMsg::PrePrepare { view: self.view, seq, digest, batch })]
+    }
+
+    /// A protocol message arrived (the platform has already dropped
+    /// corrupted messages — signature verification failure).
+    pub fn on_message(&mut self, from: NodeId, msg: PbftMsg, now: SimTime) -> Vec<Action> {
+        match msg {
+            PbftMsg::Forward(req) => {
+                let digest = request_digest(&req);
+                self.awaiting.entry(digest).or_insert_with(|| req.clone());
+                self.arm_view_timer(now);
+                if self.is_primary() {
+                    self.enqueue_at_primary(req, digest, now)
+                } else {
+                    Vec::new() // not the primary anymore; the sender will retry after a view change
+                }
+            }
+            PbftMsg::PrePrepare { view, seq, digest, batch } => {
+                self.on_preprepare(from, view, seq, digest, batch, now)
+            }
+            PbftMsg::Prepare { view, seq, digest } => self.on_prepare(from, view, seq, digest, now),
+            PbftMsg::Commit { view, seq, digest } => self.on_commit(from, view, seq, digest, now),
+            PbftMsg::ViewChange { new_view, last_committed } => {
+                self.on_view_change(from, new_view, last_committed, now)
+            }
+            PbftMsg::NewView { view, committed_floor } => {
+                self.on_new_view(from, view, committed_floor, now)
+            }
+            PbftMsg::SyncRequest { from_seq } => self.on_sync_request(from, from_seq),
+            PbftMsg::SyncReply { batches } => self.on_sync_reply(batches, now),
+        }
+    }
+
+    fn on_preprepare(
+        &mut self,
+        from: NodeId,
+        view: u64,
+        seq: u64,
+        digest: Hash256,
+        batch: Vec<Request>,
+        now: SimTime,
+    ) -> Vec<Action> {
+        if view != self.view || from != self.config.primary_of(view) {
+            return Vec::new();
+        }
+        if seq <= self.last_committed {
+            return Vec::new();
+        }
+        if batch_digest(&batch) != digest {
+            return Vec::new(); // malformed proposal
+        }
+        let slot = self.slots.entry(seq).or_default();
+        if slot.batch.is_some() && slot.digest != digest {
+            return Vec::new(); // conflicting proposal for an occupied slot
+        }
+        slot.view = view;
+        slot.digest = digest;
+        slot.batch = Some(batch);
+        slot.prepares.insert(from);
+        slot.prepares.insert(self.id);
+        self.arm_view_timer(now);
+        let mut actions = vec![Action::Broadcast(PbftMsg::Prepare { view, seq, digest })];
+        actions.extend(self.check_prepared(seq));
+        actions.extend(self.try_deliver(now));
+        actions
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: NodeId,
+        view: u64,
+        seq: u64,
+        digest: Hash256,
+        now: SimTime,
+    ) -> Vec<Action> {
+        if view != self.view || seq <= self.last_committed {
+            return Vec::new();
+        }
+        let slot = self.slots.entry(seq).or_default();
+        if slot.batch.is_some() && slot.digest != digest {
+            return Vec::new();
+        }
+        slot.view = view;
+        if slot.batch.is_none() {
+            slot.digest = digest;
+        }
+        slot.prepares.insert(from);
+        let mut actions = self.check_prepared(seq);
+        // Our own commit vote may have completed the quorum.
+        actions.extend(self.try_deliver(now));
+        actions
+    }
+
+    fn check_prepared(&mut self, seq: u64) -> Vec<Action> {
+        let quorum = self.config.quorum();
+        let view = self.view;
+        let id = self.id;
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if slot.sent_commit || slot.prepares.len() < quorum {
+            return Vec::new();
+        }
+        slot.sent_commit = true;
+        slot.commits.insert(id);
+        if slot.commits.len() >= quorum {
+            // Our own vote can complete the quorum: with exactly n − f
+            // commit broadcasts in flight, a replica that already heard the
+            // others must not wait for a message that will never come.
+            slot.commit_quorum = true;
+        }
+        let digest = slot.digest;
+        vec![Action::Broadcast(PbftMsg::Commit { view, seq, digest })]
+    }
+
+    fn on_commit(
+        &mut self,
+        from: NodeId,
+        view: u64,
+        seq: u64,
+        digest: Hash256,
+        now: SimTime,
+    ) -> Vec<Action> {
+        if view != self.view || seq <= self.last_committed {
+            return Vec::new();
+        }
+        let quorum = self.config.quorum();
+        let slot = self.slots.entry(seq).or_default();
+        if slot.batch.is_some() && slot.digest != digest {
+            return Vec::new();
+        }
+        slot.view = view;
+        if slot.batch.is_none() {
+            slot.digest = digest;
+        }
+        slot.commits.insert(from);
+        if slot.commits.len() >= quorum {
+            slot.commit_quorum = true;
+        }
+        self.try_deliver(now)
+    }
+
+    /// Deliver committed batches strictly in order.
+    fn try_deliver(&mut self, now: SimTime) -> Vec<Action> {
+        let mut actions = Vec::new();
+        loop {
+            let next = self.last_committed + 1;
+            let ready = self
+                .slots
+                .get(&next)
+                .map(|s| s.commit_quorum && s.batch.is_some() && !s.delivered)
+                .unwrap_or(false);
+            if !ready {
+                break;
+            }
+            let slot = self.slots.get_mut(&next).expect("checked above");
+            slot.delivered = true;
+            let batch = slot.batch.clone().expect("checked above");
+            for r in &batch {
+                self.awaiting.remove(&request_digest(r));
+            }
+            self.committed_log.insert(next, batch.clone());
+            self.last_committed = next;
+            actions.push(Action::CommitBatch { seq: next, batch });
+        }
+        if !actions.is_empty() {
+            // Progress: reset (or clear) the liveness timer.
+            self.view_deadline = if self.has_outstanding_work() {
+                Some(now + self.config.view_timeout)
+            } else {
+                None
+            };
+        }
+        actions
+    }
+
+    fn has_outstanding_work(&self) -> bool {
+        !self.awaiting.is_empty()
+            || self.slots.range(self.last_committed + 1..).any(|(_, s)| !s.delivered && s.batch.is_some())
+    }
+
+    fn arm_view_timer(&mut self, now: SimTime) {
+        if self.view_deadline.is_none() && self.has_outstanding_work() {
+            self.view_deadline = Some(now + self.config.view_timeout);
+        }
+    }
+
+    /// Timer poll: the platform calls this at (or after) `next_wake`.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if let Some(bd) = self.batch_deadline {
+            if now >= bd {
+                self.batch_deadline = None;
+                if self.is_primary() {
+                    actions.extend(self.propose_batch(now));
+                }
+            }
+        }
+        if let Some(vd) = self.view_deadline {
+            if now >= vd && self.has_outstanding_work() {
+                // Spread the outstanding requests: like a PBFT client that
+                // got no reply, broadcast them so every replica arms its
+                // liveness timer and can join the view change.
+                for req in self.awaiting.values() {
+                    actions.push(Action::Broadcast(PbftMsg::Forward(req.clone())));
+                }
+                // Escalate: vote for the next view above anything voted so far.
+                let target = (self.view + 1).max(self.voted_view + 1);
+                self.voted_view = target;
+                self.view_votes
+                    .entry(target)
+                    .or_default()
+                    .insert(self.id, self.last_committed);
+                self.view_deadline = Some(now + self.config.view_timeout * 2);
+                actions.push(Action::Broadcast(PbftMsg::ViewChange {
+                    new_view: target,
+                    last_committed: self.last_committed,
+                }));
+                actions.extend(self.maybe_enter_view(target, now));
+            }
+        }
+        actions
+    }
+
+    fn on_view_change(
+        &mut self,
+        from: NodeId,
+        new_view: u64,
+        last_committed: u64,
+        now: SimTime,
+    ) -> Vec<Action> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        self.view_votes.entry(new_view).or_default().insert(from, last_committed);
+        let mut actions = Vec::new();
+        // Join rule: once f+1 replicas vote for a view, vote with them even
+        // without a local timeout (prevents slow-timer stragglers from
+        // blocking the quorum).
+        let votes = self.view_votes.get(&new_view).map(|v| v.len()).unwrap_or(0);
+        if votes > self.config.f() as usize && self.voted_view < new_view {
+            self.voted_view = new_view;
+            self.view_votes
+                .entry(new_view)
+                .or_default()
+                .insert(self.id, self.last_committed);
+            actions.push(Action::Broadcast(PbftMsg::ViewChange {
+                new_view,
+                last_committed: self.last_committed,
+            }));
+        }
+        actions.extend(self.maybe_enter_view(new_view, now));
+        actions
+    }
+
+    fn maybe_enter_view(&mut self, new_view: u64, now: SimTime) -> Vec<Action> {
+        let quorum = self.config.quorum();
+        let Some(votes) = self.view_votes.get(&new_view) else {
+            return Vec::new();
+        };
+        if votes.len() < quorum || new_view <= self.view {
+            return Vec::new();
+        }
+        let committed_floor = votes.values().copied().max().unwrap_or(0).max(self.last_committed);
+        self.enter_view(new_view, now);
+        let mut actions = Vec::new();
+        if self.is_primary() {
+            self.next_seq = committed_floor + 1;
+            actions.push(Action::Broadcast(PbftMsg::NewView { view: new_view, committed_floor }));
+            if self.last_committed < committed_floor {
+                // The new primary itself lags; pull state from any voter.
+                if let Some(peer) = self.any_peer() {
+                    actions.push(Action::Send(
+                        peer,
+                        PbftMsg::SyncRequest { from_seq: self.last_committed },
+                    ));
+                }
+            }
+            actions.extend(self.repropose_awaiting(now));
+        } else {
+            actions.extend(self.after_view_entry(committed_floor, now));
+        }
+        actions
+    }
+
+    fn on_new_view(&mut self, from: NodeId, view: u64, committed_floor: u64, now: SimTime) -> Vec<Action> {
+        if view < self.view || from != self.config.primary_of(view) {
+            return Vec::new();
+        }
+        if view > self.view {
+            self.enter_view(view, now);
+        }
+        self.after_view_entry(committed_floor, now)
+    }
+
+    fn after_view_entry(&mut self, committed_floor: u64, now: SimTime) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.last_committed < committed_floor {
+            actions.push(Action::Send(
+                self.config.primary_of(self.view),
+                PbftMsg::SyncRequest { from_seq: self.last_committed },
+            ));
+        }
+        // Re-forward everything still outstanding to the new primary.
+        let primary = self.config.primary_of(self.view);
+        if primary != self.id {
+            for req in self.awaiting.values() {
+                actions.push(Action::Send(primary, PbftMsg::Forward(req.clone())));
+            }
+        }
+        self.arm_view_timer(now);
+        actions
+    }
+
+    fn repropose_awaiting(&mut self, now: SimTime) -> Vec<Action> {
+        let reqs: Vec<Request> = self.awaiting.values().cloned().collect();
+        let mut actions = Vec::new();
+        for req in reqs {
+            let digest = request_digest(&req);
+            actions.extend(self.enqueue_at_primary(req, digest, now));
+        }
+        // Flush a partial batch immediately: the view change already cost
+        // seconds; don't wait for the batch timer.
+        actions.extend(self.propose_batch(now));
+        actions
+    }
+
+    fn enter_view(&mut self, view: u64, now: SimTime) {
+        self.view = view;
+        self.voted_view = self.voted_view.max(view);
+        // Uncommitted slots from older views are abandoned; their requests
+        // live on in `awaiting` and get re-proposed.
+        self.slots.retain(|&seq, slot| seq <= self.last_committed || slot.delivered);
+        self.pending.clear();
+        self.pending_digests.clear();
+        self.view_votes.retain(|&v, _| v > view);
+        self.view_deadline =
+            if self.has_outstanding_work() { Some(now + self.config.view_timeout) } else { None };
+        self.batch_deadline = None;
+    }
+
+    fn any_peer(&self) -> Option<NodeId> {
+        (0..self.config.n).map(NodeId).find(|&p| p != self.id)
+    }
+
+    fn on_sync_request(&mut self, from: NodeId, from_seq: u64) -> Vec<Action> {
+        let batches: Vec<(u64, Vec<Request>)> = self
+            .committed_log
+            .range(from_seq + 1..)
+            .map(|(&s, b)| (s, b.clone()))
+            .collect();
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        vec![Action::Send(from, PbftMsg::SyncReply { batches })]
+    }
+
+    fn on_sync_reply(&mut self, batches: Vec<(u64, Vec<Request>)>, now: SimTime) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for (seq, batch) in batches {
+            if seq != self.last_committed + 1 {
+                continue; // only contiguous catch-up
+            }
+            for r in &batch {
+                self.awaiting.remove(&request_digest(r));
+            }
+            self.committed_log.insert(seq, batch.clone());
+            self.last_committed = seq;
+            // Drop any stale slot occupying this sequence.
+            self.slots.remove(&seq);
+            actions.push(Action::CommitBatch { seq, batch });
+        }
+        if !actions.is_empty() {
+            self.view_deadline = if self.has_outstanding_work() {
+                Some(now + self.config.view_timeout)
+            } else {
+                None
+            };
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A zero-latency in-memory harness that delivers every action
+    /// immediately — protocol logic without the network.
+    struct Cluster {
+        nodes: Vec<PbftNode>,
+        committed: Vec<Vec<(u64, Vec<Request>)>>,
+        /// Crashed replicas drop everything.
+        down: Vec<bool>,
+    }
+
+    impl Cluster {
+        fn new(n: u32) -> Cluster {
+            let config = PbftConfig { n, batch_size: 3, ..PbftConfig::default() };
+            Cluster {
+                nodes: (0..n).map(|i| PbftNode::new(NodeId(i), config.clone())).collect(),
+                committed: vec![Vec::new(); n as usize],
+                down: vec![false; n as usize],
+            }
+        }
+
+        fn dispatch(&mut self, from: NodeId, actions: Vec<Action>, now: SimTime) {
+            let mut queue: VecDeque<(NodeId, NodeId, PbftMsg)> = VecDeque::new();
+            let n = self.nodes.len() as u32;
+            let absorb = |committed: &mut Vec<Vec<(u64, Vec<Request>)>>,
+                              queue: &mut VecDeque<(NodeId, NodeId, PbftMsg)>,
+                              src: NodeId,
+                              acts: Vec<Action>| {
+                for a in acts {
+                    match a {
+                        Action::Send(to, msg) => queue.push_back((src, to, msg)),
+                        Action::Broadcast(msg) => {
+                            for to in (0..n).map(NodeId).filter(|&t| t != src) {
+                                queue.push_back((src, to, msg.clone()));
+                            }
+                        }
+                        Action::CommitBatch { seq, batch } => {
+                            committed[src.index()].push((seq, batch));
+                        }
+                    }
+                }
+            };
+            absorb(&mut self.committed, &mut queue, from, actions);
+            while let Some((src, to, msg)) = queue.pop_front() {
+                if self.down[src.index()] || self.down[to.index()] {
+                    continue;
+                }
+                let acts = self.nodes[to.index()].on_message(src, msg, now);
+                absorb(&mut self.committed, &mut queue, to, acts);
+            }
+        }
+
+        fn request(&mut self, at: NodeId, req: &[u8], now: SimTime) {
+            let acts = self.nodes[at.index()].on_request(req.to_vec(), now);
+            self.dispatch(at, acts, now);
+        }
+
+        fn tick_all(&mut self, now: SimTime) {
+            for i in 0..self.nodes.len() {
+                if self.down[i] {
+                    continue;
+                }
+                let acts = self.nodes[i].on_tick(now);
+                self.dispatch(NodeId(i as u32), acts, now);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_math() {
+        for (n, f, q) in [(4u32, 1u32, 3usize), (7, 2, 5), (8, 2, 6), (12, 3, 9), (16, 5, 11), (32, 10, 22)] {
+            let c = PbftConfig { n, ..PbftConfig::default() };
+            assert_eq!(c.f(), f, "n={n}");
+            assert_eq!(c.quorum(), q, "n={n}");
+        }
+    }
+
+    #[test]
+    fn full_batch_commits_on_all_replicas() {
+        let mut c = Cluster::new(4);
+        let now = SimTime::from_secs(1);
+        // batch_size = 3: the third request triggers a proposal.
+        c.request(NodeId(0), b"tx-1", now);
+        c.request(NodeId(0), b"tx-2", now);
+        c.request(NodeId(0), b"tx-3", now);
+        for (i, log) in c.committed.iter().enumerate() {
+            assert_eq!(log.len(), 1, "replica {i}");
+            assert_eq!(log[0].0, 1);
+            assert_eq!(log[0].1, vec![b"tx-1".to_vec(), b"tx-2".to_vec(), b"tx-3".to_vec()]);
+        }
+        assert!(c.nodes.iter().all(|n| n.last_committed() == 1));
+        assert!(c.nodes.iter().all(|n| n.awaiting_count() == 0));
+    }
+
+    #[test]
+    fn backup_requests_are_forwarded_to_primary() {
+        let mut c = Cluster::new(4);
+        let now = SimTime::from_secs(1);
+        c.request(NodeId(2), b"a", now);
+        c.request(NodeId(3), b"b", now);
+        c.request(NodeId(1), b"c", now);
+        assert!(c.committed.iter().all(|log| log.len() == 1));
+        let batch: &Vec<Request> = &c.committed[0][0].1;
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_timer() {
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        c.request(NodeId(0), b"lonely", t0);
+        assert!(c.committed[0].is_empty(), "must wait for the batch timer");
+        let wake = c.nodes[0].next_wake().expect("batch timer armed");
+        assert_eq!(wake, t0 + PbftConfig::default().batch_timeout);
+        c.tick_all(wake);
+        assert!(c.committed.iter().all(|log| log.len() == 1));
+        assert_eq!(c.committed[0][0].1, vec![b"lonely".to_vec()]);
+    }
+
+    #[test]
+    fn sequences_commit_in_order() {
+        let mut c = Cluster::new(4);
+        let now = SimTime::from_secs(1);
+        for i in 0..9 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), now);
+        }
+        for log in &c.committed {
+            let seqs: Vec<u64> = log.iter().map(|(s, _)| *s).collect();
+            assert_eq!(seqs, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_commit_once() {
+        let mut c = Cluster::new(4);
+        let now = SimTime::from_secs(1);
+        c.request(NodeId(0), b"dup", now);
+        c.request(NodeId(0), b"dup", now);
+        c.request(NodeId(0), b"x", now);
+        c.request(NodeId(0), b"y", now);
+        let all: Vec<&[u8]> = c.committed[0]
+            .iter()
+            .flat_map(|(_, b)| b.iter().map(|r| r.as_slice()))
+            .collect();
+        assert_eq!(all.iter().filter(|r| **r == b"dup").count(), 1);
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change_and_recovery() {
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        // Primary (node 0) dies; a request lands at a backup.
+        c.down[0] = true;
+        c.request(NodeId(1), b"orphaned", t0);
+        assert!(c.committed.iter().all(|log| log.is_empty()));
+        // First timeout: node 1 spreads the request and votes; the other
+        // replicas arm their timers. Second timeout: they join, the view
+        // change reaches quorum.
+        let t1 = t0 + PbftConfig::default().view_timeout + SimDuration::from_millis(1);
+        c.tick_all(t1);
+        let t2 = t1 + PbftConfig::default().view_timeout + SimDuration::from_millis(1);
+        c.tick_all(t2);
+        // View changed to 1 (primary = node 1); request re-proposed; it
+        // flushes on the new primary's immediate propose.
+        for i in 1..4 {
+            assert_eq!(c.nodes[i].view(), 1, "replica {i}");
+        }
+        for i in 1..4 {
+            assert_eq!(c.committed[i].len(), 1, "replica {i} committed");
+            assert_eq!(c.committed[i][0].1, vec![b"orphaned".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn too_many_crashes_stall_forever() {
+        // n = 4 tolerates f = 1; crash 2 and nothing can commit.
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        c.down[2] = true;
+        c.down[3] = true;
+        c.request(NodeId(0), b"a", t0);
+        c.request(NodeId(0), b"b", t0);
+        c.request(NodeId(0), b"c", t0);
+        assert!(c.committed.iter().all(|log| log.is_empty()));
+        // Even after repeated view-change attempts.
+        let mut t = t0;
+        for _ in 0..6 {
+            t = t + PbftConfig::default().view_timeout * 3;
+            c.tick_all(t);
+        }
+        assert!(c.committed.iter().all(|log| log.is_empty()));
+    }
+
+    #[test]
+    fn lagging_replica_catches_up_via_sync() {
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        // Node 3 is crashed while two batches commit.
+        c.down[3] = true;
+        for i in 0..6 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), t0);
+        }
+        assert_eq!(c.committed[0].len(), 2);
+        assert!(c.committed[3].is_empty());
+        // Node 3 recovers and asks a peer for state.
+        c.down[3] = false;
+        let acts = vec![Action::Send(NodeId(0), PbftMsg::SyncRequest { from_seq: 0 })];
+        c.dispatch(NodeId(3), acts, t0 + SimDuration::from_secs(1));
+        assert_eq!(c.committed[3].len(), 2);
+        assert_eq!(c.nodes[3].last_committed(), 2);
+        assert_eq!(c.committed[3], c.committed[0]);
+    }
+
+    #[test]
+    fn stale_view_messages_ignored() {
+        let config = PbftConfig { n: 4, ..PbftConfig::default() };
+        let mut node = PbftNode::new(NodeId(1), config);
+        let now = SimTime::from_secs(1);
+        // Jump the node to view 2 via quorum of view-change votes.
+        for from in [0u32, 2, 3] {
+            node.on_message(
+                NodeId(from),
+                PbftMsg::ViewChange { new_view: 2, last_committed: 0 },
+                now,
+            );
+        }
+        assert_eq!(node.view(), 2);
+        // A pre-prepare from the view-0 primary is now stale.
+        let acts = node.on_message(
+            NodeId(0),
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: batch_digest(&[b"x".to_vec()]),
+                batch: vec![b"x".to_vec()],
+            },
+            now,
+        );
+        assert!(acts.is_empty());
+        assert_eq!(node.last_committed(), 0);
+    }
+
+    #[test]
+    fn preprepare_from_non_primary_rejected() {
+        let config = PbftConfig { n: 4, ..PbftConfig::default() };
+        let mut node = PbftNode::new(NodeId(1), config);
+        let acts = node.on_message(
+            NodeId(2), // not the view-0 primary
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: batch_digest(&[b"x".to_vec()]),
+                batch: vec![b"x".to_vec()],
+            },
+            SimTime::from_secs(1),
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn mismatched_digest_rejected() {
+        let config = PbftConfig { n: 4, ..PbftConfig::default() };
+        let mut node = PbftNode::new(NodeId(1), config);
+        let acts = node.on_message(
+            NodeId(0),
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: Hash256::digest(b"lies"),
+                batch: vec![b"x".to_vec()],
+            },
+            SimTime::from_secs(1),
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn message_sizes_scale_with_content() {
+        let small = PbftMsg::Prepare { view: 0, seq: 1, digest: Hash256::ZERO };
+        let big = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: Hash256::ZERO,
+            batch: vec![vec![0u8; 200]; 10],
+        };
+        assert!(big.byte_size() > small.byte_size() + 2000);
+        assert!(small.byte_size() >= 64);
+    }
+
+    #[test]
+    fn commits_survive_adversarial_delivery_order() {
+        use bb_sim::SimRng;
+        // Same cluster, but messages are delivered in a randomly shuffled
+        // order (a stand-in for arbitrary network reordering). Every replica
+        // must still commit the same batches in the same order.
+        for seed in 0..8u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let config = PbftConfig { n: 4, batch_size: 2, ..PbftConfig::default() };
+            let mut nodes: Vec<PbftNode> =
+                (0..4).map(|i| PbftNode::new(NodeId(i), config.clone())).collect();
+            let mut committed: Vec<Vec<(u64, Vec<Request>)>> = vec![Vec::new(); 4];
+            let now = SimTime::from_secs(1);
+            let mut queue: Vec<(NodeId, NodeId, PbftMsg)> = Vec::new();
+            let mut absorb = |committed: &mut Vec<Vec<(u64, Vec<Request>)>>,
+                              queue: &mut Vec<(NodeId, NodeId, PbftMsg)>,
+                              src: NodeId,
+                              acts: Vec<Action>| {
+                for a in acts {
+                    match a {
+                        Action::Send(to, m) => queue.push((src, to, m)),
+                        Action::Broadcast(m) => {
+                            for to in (0..4).map(NodeId).filter(|&t| t != src) {
+                                queue.push((src, to, m.clone()));
+                            }
+                        }
+                        Action::CommitBatch { seq, batch } => {
+                            committed[src.index()].push((seq, batch));
+                        }
+                    }
+                }
+            };
+            for i in 0..6 {
+                let acts = nodes[(i % 4) as usize]
+                    .on_request(format!("tx-{i}").into_bytes(), now);
+                absorb(&mut committed, &mut queue, NodeId(i % 4), acts);
+            }
+            while !queue.is_empty() {
+                let pick = rng.below(queue.len() as u64) as usize;
+                let (src, to, msg) = queue.swap_remove(pick);
+                let acts = nodes[to.index()].on_message(src, msg, now);
+                absorb(&mut committed, &mut queue, to, acts);
+            }
+            // All replicas committed identical sequences.
+            let reference = &committed[0];
+            assert!(!reference.is_empty(), "seed {seed}: nothing committed");
+            for i in 1..4 {
+                assert_eq!(&committed[i], reference, "seed {seed}, replica {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_node_cluster_commits() {
+        let mut c = Cluster::new(16);
+        let now = SimTime::from_secs(1);
+        for i in 0..3 {
+            c.request(NodeId(i % 16), format!("tx-{i}").as_bytes(), now);
+        }
+        assert!(c.committed.iter().all(|log| log.len() == 1));
+    }
+}

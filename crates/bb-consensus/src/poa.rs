@@ -1,0 +1,144 @@
+//! Proof-of-Authority: Parity's Aura-style authority round.
+//!
+//! "A set of authorities are pre-determined and each authority is assigned a
+//! fixed time slot within which it can generate blocks" (Section 3.1.1).
+//! Time is divided into steps of `step_duration` (the paper set
+//! `stepDuration = 1`); step `s` belongs to authority `s mod n`.
+//!
+//! Crash behaviour: the paper observed that "failing 4 nodes means the
+//! remaining nodes are given more time to generate more blocks, therefore
+//! the overall throughput is unaffected" (Section 4.1.3). We model that with
+//! [`PoaSchedule::authority_for_step_live`], which rotates steps over the
+//! currently live authorities — the steady-state behaviour after Aura's
+//! skip-and-takeover settles.
+
+use bb_sim::{SimDuration, SimTime};
+use bb_types::NodeId;
+
+/// The fixed authority rotation for one chain.
+#[derive(Debug, Clone)]
+pub struct PoaSchedule {
+    authorities: Vec<NodeId>,
+    step_duration: SimDuration,
+}
+
+impl PoaSchedule {
+    /// Build a schedule. Panics on an empty authority set or zero step.
+    pub fn new(authorities: Vec<NodeId>, step_duration: SimDuration) -> Self {
+        assert!(!authorities.is_empty(), "need at least one authority");
+        assert!(step_duration > SimDuration::ZERO, "step duration must be positive");
+        PoaSchedule { authorities, step_duration }
+    }
+
+    /// The step active at time `t` (step 0 covers `[0, step)`).
+    pub fn step_at(&self, t: SimTime) -> u64 {
+        t.as_micros() / self.step_duration.as_micros()
+    }
+
+    /// When `step` begins.
+    pub fn step_start(&self, step: u64) -> SimTime {
+        SimTime(step * self.step_duration.as_micros())
+    }
+
+    /// The authority owning `step` under the full rotation.
+    pub fn authority_for_step(&self, step: u64) -> NodeId {
+        self.authorities[(step % self.authorities.len() as u64) as usize]
+    }
+
+    /// The authority owning `step` when only `live` authorities participate
+    /// (crashed slots are covered by the survivors). Returns `None` if no
+    /// authority is live.
+    pub fn authority_for_step_live(&self, step: u64, live: &[bool]) -> Option<NodeId> {
+        let alive: Vec<NodeId> = self
+            .authorities
+            .iter()
+            .copied()
+            .filter(|a| live.get(a.index()).copied().unwrap_or(false))
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        Some(alive[(step % alive.len() as u64) as usize])
+    }
+
+    /// The configured step duration.
+    pub fn step_duration(&self) -> SimDuration {
+        self.step_duration
+    }
+
+    /// The authority set.
+    pub fn authorities(&self) -> &[NodeId] {
+        &self.authorities
+    }
+
+    /// The start of the first step at or after `t`.
+    pub fn next_step_boundary(&self, t: SimTime) -> SimTime {
+        let step_us = self.step_duration.as_micros();
+        let rem = t.as_micros() % step_us;
+        if rem == 0 {
+            t
+        } else {
+            SimTime(t.as_micros() + step_us - rem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(n: u32) -> PoaSchedule {
+        PoaSchedule::new((0..n).map(NodeId).collect(), SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn steps_partition_time() {
+        let s = sched(4);
+        assert_eq!(s.step_at(SimTime::ZERO), 0);
+        assert_eq!(s.step_at(SimTime::from_millis(999)), 0);
+        assert_eq!(s.step_at(SimTime::from_secs(1)), 1);
+        assert_eq!(s.step_at(SimTime::from_millis(7500)), 7);
+        assert_eq!(s.step_start(7), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn rotation_is_round_robin() {
+        let s = sched(3);
+        let owners: Vec<u32> = (0..6).map(|i| s.authority_for_step(i).0).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn live_rotation_skips_dead_authorities() {
+        let s = sched(4);
+        let live = vec![true, false, true, false];
+        let owners: Vec<u32> = (0..4)
+            .map(|i| s.authority_for_step_live(i, &live).unwrap().0)
+            .collect();
+        assert_eq!(owners, vec![0, 2, 0, 2]);
+        // All dead: no producer.
+        assert_eq!(s.authority_for_step_live(0, &[false; 4]), None);
+        // Full liveness matches the plain rotation.
+        for step in 0..8 {
+            assert_eq!(
+                s.authority_for_step_live(step, &[true; 4]),
+                Some(s.authority_for_step(step))
+            );
+        }
+    }
+
+    #[test]
+    fn next_boundary_rounds_up() {
+        let s = sched(2);
+        assert_eq!(s.next_step_boundary(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(s.next_step_boundary(SimTime::from_millis(1)), SimTime::from_secs(1));
+        assert_eq!(s.next_step_boundary(SimTime::from_secs(5)), SimTime::from_secs(5));
+        assert_eq!(s.next_step_boundary(SimTime::from_millis(5999)), SimTime::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one authority")]
+    fn empty_authorities_panics() {
+        PoaSchedule::new(vec![], SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Assembly snippet combinators — a "compiler-lite" for the SVM contract
+//! builds. Each helper returns a source fragment; contracts concatenate
+//! fragments into one program per method and assemble it once at bundle
+//! construction.
+//!
+//! Conventions shared by all contracts:
+//! - calldata holds the method arguments: 8-byte little-endian words for
+//!   integers, 20 raw bytes for addresses;
+//! - storage keys are `\[prefix byte\][8-byte word]` (9 bytes) built with
+//!   [`make_key_from_arg`], mirroring the per-namespace key layout the paper used
+//!   for the Hyperledger ports;
+//! - each snippet documents what it leaves on the stack.
+
+/// Copy the 8-byte argument word at `arg_index` into memory at `mem_off`.
+/// Stack: unchanged.
+pub fn copy_arg_word(arg_index: usize, mem_off: usize) -> String {
+    format!(
+        "push {dst}\npush {src}\npush 8\ncdcopy\n",
+        dst = mem_off,
+        src = arg_index * 8
+    )
+}
+
+/// Copy `len` raw argument bytes from calldata offset `src` to `mem_off`.
+pub fn copy_arg_raw(src: usize, len: usize, mem_off: usize) -> String {
+    format!("push {mem_off}\npush {src}\npush {len}\ncdcopy\n")
+}
+
+/// Push the 8-byte argument word at `arg_index` onto the stack, using
+/// `scratch` as a bounce buffer. Stack: `[... , value]`.
+pub fn push_arg_word(arg_index: usize, scratch: usize) -> String {
+    format!("{}push {scratch}\nmload\n", copy_arg_word(arg_index, scratch))
+}
+
+/// Build a 9-byte storage key `\[prefix\]\[word\]` at `key_off`. The word is
+/// taken from the top of the stack (consumed). Stack: `[...]`.
+pub fn make_key_from_stack(prefix: u8, key_off: usize) -> String {
+    format!(
+        "push {prefix}\npush {key_off}\nmstore\npush {word_off}\nmstore\n",
+        word_off = key_off + 1
+    )
+}
+
+/// Build a 9-byte storage key at `key_off` from argument word `arg_index`.
+pub fn make_key_from_arg(prefix: u8, arg_index: usize, key_off: usize, scratch: usize) -> String {
+    format!("{}{}", push_arg_word(arg_index, scratch), make_key_from_stack(prefix, key_off))
+}
+
+/// Load the 8-byte balance stored under the 9-byte key at `key_off` into
+/// memory word `dst` — missing keys read as zero. `label` must be unique
+/// within the program. Stack: unchanged.
+pub fn load_word_or_zero(key_off: usize, dst: usize, label: &str) -> String {
+    format!(
+        "push {key_off}\npush 9\npush {dst}\nsget\n\
+         push -1\nne\njumpi have_{label}\n\
+         push 0\npush {dst}\nmstore\n\
+         have_{label}:\n"
+    )
+}
+
+/// Store the 8-byte memory word at `val_off` under the 9-byte key at
+/// `key_off`. Stack: unchanged.
+pub fn store_word(key_off: usize, val_off: usize) -> String {
+    format!("push {key_off}\npush 9\npush {val_off}\npush 8\nsput\n")
+}
+
+/// Write the 20-byte caller address to memory at `mem_off`.
+pub fn caller_to(mem_off: usize) -> String {
+    format!("push {mem_off}\ncaller\n")
+}
+
+/// Copy a 20-byte address between memory regions using three overlapping
+/// 8-byte word moves (bytes 0–8, 8–16, 12–20). Stack: unchanged.
+pub fn copy_addr(src: usize, dst: usize) -> String {
+    format!(
+        "push {src}\nmload\npush {dst}\nmstore\n\
+         push {s8}\nmload\npush {d8}\nmstore\n\
+         push {s12}\nmload\npush {d12}\nmstore\n",
+        s8 = src + 8,
+        d8 = dst + 8,
+        s12 = src + 12,
+        d12 = dst + 12,
+    )
+}
+
+/// Compare two 20-byte addresses in memory; leaves 1 (equal) or 0 on the
+/// stack.
+pub fn addr_eq(a: usize, b: usize) -> String {
+    format!(
+        "push {a}\nmload\npush {b}\nmload\neq\n\
+         push {a8}\nmload\npush {b8}\nmload\neq\nand\n\
+         push {a12}\nmload\npush {b12}\nmload\neq\nand\n",
+        a8 = a + 8,
+        b8 = b + 8,
+        a12 = a + 12,
+        b12 = b + 12,
+    )
+}
+
+/// Return the 8-byte memory word at `off`.
+pub fn return_word(off: usize) -> String {
+    format!("push {off}\npush 8\nreturn\n")
+}
+
+/// Revert with no data.
+pub fn revert_empty() -> String {
+    "push 0\npush 0\nrevert\n".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use bb_svm::{assemble, MockHost, Vm};
+
+    /// Run generated assembly and return (outcome, host).
+    fn exec(src: &str, calldata: &[u8]) -> (bb_svm::ExecOutcome, MockHost) {
+        let code = assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}\n{src}"));
+        let mut host = MockHost::new();
+        let out = Vm::default().execute(&code, calldata, 10_000_000, &mut host);
+        (out, host)
+    }
+
+    #[test]
+    fn arg_word_round_trip() {
+        let src = format!("{}{}", super::copy_arg_word(1, 0), super::return_word(0));
+        let mut calldata = 7i64.to_le_bytes().to_vec();
+        calldata.extend_from_slice(&42i64.to_le_bytes());
+        let (out, _) = exec(&src, &calldata);
+        assert!(out.success);
+        assert_eq!(i64::from_le_bytes(out.return_data.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn key_building_and_storage() {
+        // Store arg word 1 under key [0x73]['arg word 0'], read it back.
+        let src = format!(
+            "{}{}{}{}{}",
+            super::make_key_from_arg(0x73, 0, 0, 64), // key at mem[0..9]
+            super::copy_arg_word(1, 16),              // value at mem[16..24]
+            super::store_word(0, 16),
+            super::load_word_or_zero(0, 32, "t"),
+            super::return_word(32),
+        );
+        let mut calldata = 5i64.to_le_bytes().to_vec();
+        calldata.extend_from_slice(&999i64.to_le_bytes());
+        let (out, host) = exec(&src, &calldata);
+        assert!(out.success, "{:?}", out.error);
+        assert_eq!(i64::from_le_bytes(out.return_data.try_into().unwrap()), 999);
+        // The stored key is [0x73] + LE(5).
+        let mut key = vec![0x73u8];
+        key.extend_from_slice(&5i64.to_le_bytes());
+        assert_eq!(host.storage.get(&key), Some(&999i64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn missing_key_reads_zero() {
+        let src = format!(
+            "{}{}{}",
+            super::make_key_from_arg(0x73, 0, 0, 64),
+            super::load_word_or_zero(0, 32, "z"),
+            super::return_word(32),
+        );
+        let (out, _) = exec(&src, &7i64.to_le_bytes());
+        assert!(out.success);
+        assert_eq!(i64::from_le_bytes(out.return_data.try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn revert_snippet_reverts() {
+        let (out, _) = exec(&super::revert_empty(), &[]);
+        assert!(!out.success);
+        assert_eq!(out.error, None);
+    }
+}

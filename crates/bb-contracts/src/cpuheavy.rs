@@ -1,0 +1,268 @@
+//! CPUHeavy — "a smart contract which initializes a large array, and runs
+//! the quick sort algorithm over it" (Section 3.4.2, Figure 11).
+//!
+//! The SVM build really sorts: an iterative Hoare-partition quicksort with
+//! an explicit range stack, written in SVM assembly and interpreted
+//! instruction by instruction — which is precisely why the EVM-like
+//! platforms lose this benchmark by an order of magnitude. The native build
+//! runs the same algorithm in compiled Rust, charging one work unit per
+//! comparison/swap and accounting the array allocation against the node's
+//! RAM (the Figure 11 out-of-memory 'X').
+
+use crate::asm::copy_arg_word;
+use blockbench::contract::{encode_call, Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// Sort method: args `[n u64]`; initialises `arr[i] = n - i` then sorts
+/// ascending; returns `arr[0]` (1 for any n ≥ 1).
+pub const M_SORT: u8 = 0;
+
+// Memory layout of the SVM program.
+const N: usize = 0; // element count
+const I: usize = 16; // loop counter
+const LO: usize = 24;
+const HI: usize = 32;
+const PIV: usize = 40;
+const PI: usize = 48; // partition i
+const PJ: usize = 56; // partition j
+const SP: usize = 80; // range-stack pointer (byte address)
+const SB: usize = 1024; // range-stack base
+const A: usize = 131_072; // array base (64 KiB of range stack below)
+
+fn svm_sort() -> String {
+    let arg = copy_arg_word(0, N);
+    format!(
+        "\
+{arg}\
+; init: arr[i] = n - i, descending
+push 0\npush {I}\nmstore
+init_loop:
+push {I}\nmload\npush {N}\nmload\nge\njumpi init_done
+push {N}\nmload\npush {I}\nmload\nsub
+push {I}\nmload\npush 8\nmul\npush {A}\nadd\nmstore
+push {I}\nmload\npush 1\nadd\npush {I}\nmstore
+jump init_loop
+init_done:
+; trivial sizes skip the sort
+push {N}\nmload\npush 2\nlt\njumpi verify
+; sp = base; push range (0, n-1)
+push {SB}\npush {SP}\nmstore
+push 0\npush {SP}\nmload\nmstore
+push {N}\nmload\npush 1\nsub\npush {SP}\nmload\npush 8\nadd\nmstore
+push {SP}\nmload\npush 16\nadd\npush {SP}\nmstore
+main_loop:
+push {SP}\nmload\npush {SB}\neq\njumpi verify
+push {SP}\nmload\npush 16\nsub\npush {SP}\nmstore
+push {SP}\nmload\nmload\npush {LO}\nmstore
+push {SP}\nmload\npush 8\nadd\nmload\npush {HI}\nmstore
+push {LO}\nmload\npush {HI}\nmload\nge\njumpi main_loop
+; pivot = arr[(lo + hi) / 2]
+push {LO}\nmload\npush {HI}\nmload\nadd\npush 2\ndiv
+push 8\nmul\npush {A}\nadd\nmload\npush {PIV}\nmstore
+; Hoare: i = lo - 1, j = hi + 1
+push {LO}\nmload\npush 1\nsub\npush {PI}\nmstore
+push {HI}\nmload\npush 1\nadd\npush {PJ}\nmstore
+part_loop:
+inc_i:
+push {PI}\nmload\npush 1\nadd\npush {PI}\nmstore
+push {PI}\nmload\npush 8\nmul\npush {A}\nadd\nmload
+push {PIV}\nmload\nlt\njumpi inc_i
+dec_j:
+push {PJ}\nmload\npush 1\nsub\npush {PJ}\nmstore
+push {PJ}\nmload\npush 8\nmul\npush {A}\nadd\nmload
+push {PIV}\nmload\ngt\njumpi dec_j
+push {PI}\nmload\npush {PJ}\nmload\nge\njumpi part_done
+; swap arr[i] <-> arr[j]
+push {PI}\nmload\npush 8\nmul\npush {A}\nadd\nmload
+push {PJ}\nmload\npush 8\nmul\npush {A}\nadd\nmload
+push {PI}\nmload\npush 8\nmul\npush {A}\nadd\nmstore
+push {PJ}\nmload\npush 8\nmul\npush {A}\nadd\nmstore
+jump part_loop
+part_done:
+; push (lo, j) then (j+1, hi); LIFO processes the right half first
+push {LO}\nmload\npush {SP}\nmload\nmstore
+push {PJ}\nmload\npush {SP}\nmload\npush 8\nadd\nmstore
+push {SP}\nmload\npush 16\nadd\npush {SP}\nmstore
+push {PJ}\nmload\npush 1\nadd\npush {SP}\nmload\nmstore
+push {HI}\nmload\npush {SP}\nmload\npush 8\nadd\nmstore
+push {SP}\nmload\npush 16\nadd\npush {SP}\nmstore
+jump main_loop
+verify:
+; assert ascending order, else revert
+push 1\npush {I}\nmstore
+ver_loop:
+push {I}\nmload\npush {N}\nmload\nge\njumpi ver_done
+push {I}\nmload\npush 1\nsub\npush 8\nmul\npush {A}\nadd\nmload
+push {I}\nmload\npush 8\nmul\npush {A}\nadd\nmload
+le\njumpi ver_ok
+push 0\npush 0\nrevert
+ver_ok:
+push {I}\nmload\npush 1\nadd\npush {I}\nmstore
+jump ver_loop
+ver_done:
+push {A}\npush 8\nreturn
+"
+    )
+}
+
+/// The same algorithm, compiled: Hoare quicksort with an explicit stack.
+fn native_quicksort(arr: &mut [i64], work: &mut u64) {
+    if arr.len() < 2 {
+        return;
+    }
+    let mut ranges: Vec<(usize, usize)> = vec![(0, arr.len() - 1)];
+    while let Some((lo, hi)) = ranges.pop() {
+        if lo >= hi {
+            continue;
+        }
+        let pivot = arr[(lo + hi) / 2];
+        let (mut i, mut j) = (lo as i64 - 1, hi as i64 + 1);
+        loop {
+            loop {
+                i += 1;
+                *work += 1;
+                if arr[i as usize] >= pivot {
+                    break;
+                }
+            }
+            loop {
+                j -= 1;
+                *work += 1;
+                if arr[j as usize] <= pivot {
+                    break;
+                }
+            }
+            if i >= j {
+                break;
+            }
+            arr.swap(i as usize, j as usize);
+            *work += 1;
+        }
+        ranges.push((lo, j as usize));
+        ranges.push((j as usize + 1, hi));
+    }
+}
+
+struct CpuHeavyNative;
+
+impl Chaincode for CpuHeavyNative {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        method: u8,
+        args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        if method != M_SORT {
+            return Err(format!("unknown method {method}"));
+        }
+        let n = u64::from_le_bytes(
+            args.get(..8).ok_or("missing n")?.try_into().expect("8 bytes"),
+        ) as usize;
+        ctx.alloc(n as u64 * 8)?;
+        let mut arr: Vec<i64> = (0..n).map(|i| (n - i) as i64).collect();
+        let mut work = n as u64; // initialisation cost
+        native_quicksort(&mut arr, &mut work);
+        ctx.charge(work);
+        if !arr.windows(2).all(|w| w[0] <= w[1]) {
+            ctx.free(n as u64 * 8);
+            return Err("sort verification failed".into());
+        }
+        let first = arr.first().copied().unwrap_or(0);
+        ctx.free(n as u64 * 8);
+        Ok(first.to_le_bytes().to_vec())
+    }
+}
+
+/// Both builds of CPUHeavy.
+pub fn bundle() -> ContractBundle {
+    let code = bb_svm::assemble(&svm_sort()).expect("static program assembles");
+    ContractBundle {
+        name: "CPUHeavy",
+        svm: SvmContract::new().with_method(M_SORT, code),
+        native: || Box::new(CpuHeavyNative),
+    }
+}
+
+/// Payload sorting `n` elements.
+pub fn sort_call(n: u64) -> Vec<u8> {
+    encode_call(M_SORT, &(n as i64).to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DualRunner;
+
+    #[test]
+    fn both_backends_sort_and_agree() {
+        let b = bundle();
+        for n in [0u64, 1, 2, 3, 10, 100, 1000] {
+            let mut r = DualRunner::new(&b);
+            let (svm, native) = r.invoke_both(&sort_call(n)).unwrap();
+            assert_eq!(svm.len(), 8, "n={n}");
+            let expected = if n == 0 { 0 } else { 1 };
+            assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), expected, "n={n}");
+            assert_eq!(i64::from_le_bytes(native.try_into().unwrap()), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn native_quicksort_is_correct_on_adversarial_inputs() {
+        let cases: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![5],
+            vec![2, 1],
+            vec![1, 1, 1, 1],
+            vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5],
+            (0..100).collect(),
+            (0..100).rev().collect(),
+        ];
+        for mut c in cases {
+            let mut expect = c.clone();
+            expect.sort_unstable();
+            let mut work = 0;
+            native_quicksort(&mut c, &mut work);
+            assert_eq!(c, expect);
+        }
+    }
+
+    #[test]
+    fn work_scales_superlinearly_but_subquadratically() {
+        let b = bundle();
+        let mut r1 = DualRunner::new(&b);
+        r1.invoke_native(&sort_call(1000)).unwrap();
+        let w1 = r1.native_ctx_mut().charged;
+        let mut r2 = DualRunner::new(&b);
+        r2.invoke_native(&sort_call(10_000)).unwrap();
+        let w2 = r2.native_ctx_mut().charged;
+        let ratio = w2 as f64 / w1 as f64;
+        assert!(ratio > 9.0, "ratio {ratio}");
+        assert!(ratio < 40.0, "ratio {ratio} suggests O(n^2)");
+    }
+
+    #[test]
+    fn native_allocation_cap_produces_oom() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.native_ctx_mut().alloc_cap = Some(1000);
+        let err = r.invoke_native(&sort_call(1000)).unwrap_err();
+        assert!(err.contains("out of memory"), "{err}");
+    }
+
+    #[test]
+    fn svm_gas_grows_with_n() {
+        use bb_svm::{MockHost, Vm};
+        let b = bundle();
+        let code = b.svm.method(M_SORT).unwrap();
+        let gas_for = |n: u64| {
+            let mut host = MockHost::new();
+            let out = Vm::default().execute(code, &(n as i64).to_le_bytes(), u64::MAX / 2, &mut host);
+            assert!(out.success, "n={n}: {:?}", out.error);
+            out.gas_used
+        };
+        // Compare sizes large enough that the fixed memory-arena charge
+        // (the range-stack region below the array base) stops dominating.
+        let g1k = gas_for(1000);
+        let g10k = gas_for(10_000);
+        assert!(g10k > 5 * g1k, "g1k={g1k} g10k={g10k}");
+    }
+}

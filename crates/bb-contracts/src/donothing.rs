@@ -1,0 +1,64 @@
+//! DoNothing — "accepts transaction as input and simply returns"
+//! (Section 3.4.2). With minimal work at the execution and data layers, its
+//! throughput isolates the consensus layer (Figure 13c).
+
+use blockbench::contract::{Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// The single no-op method.
+pub const M_NOOP: u8 = 0;
+
+struct DoNothing;
+
+impl Chaincode for DoNothing {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        _method: u8,
+        _args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        ctx.charge(1);
+        Ok(Vec::new())
+    }
+}
+
+/// Both builds of DoNothing.
+pub fn bundle() -> ContractBundle {
+    let code = bb_svm::assemble("stop").expect("static program assembles");
+    ContractBundle {
+        name: "DoNothing",
+        svm: SvmContract::new().with_method(M_NOOP, code),
+        native: || Box::new(DoNothing),
+    }
+}
+
+/// Payload for the no-op call.
+pub fn call() -> Vec<u8> {
+    blockbench::contract::encode_call(M_NOOP, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DualRunner;
+
+    #[test]
+    fn both_backends_return_nothing_successfully() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        let (svm, native) = r.invoke_both(&call()).unwrap();
+        assert!(svm.is_empty());
+        assert!(native.is_empty());
+        r.assert_states_match(); // both empty
+    }
+
+    #[test]
+    fn repeated_calls_touch_no_state() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        for _ in 0..50 {
+            r.invoke_both(&call()).unwrap();
+        }
+        assert!(r.svm_storage().is_empty());
+        assert!(r.native_state().is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! EtherId — the domain-name registrar contract (Section 3.4.1). "It
+//! supports creation, modification and ownership transfer of domain names.
+//! A user can request an existing domain by paying a certain amount to the
+//! current domain's owner."
+//!
+//! As in the paper's Hyperledger port, the contract keeps *two* key-value
+//! namespaces: domain records (`b'd'`: owner address + asking price) and
+//! user balances (`b'b'`), funded via `deposit` and moved by `buy`.
+
+use crate::asm::{
+    addr_eq, caller_to, copy_addr, copy_arg_raw, copy_arg_word, load_word_or_zero,
+    make_key_from_arg, make_key_from_stack, push_arg_word, revert_empty, store_word,
+};
+use blockbench::contract::{encode_call, Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// `register(domain, price)`: claim an unowned domain; reverts if taken.
+pub const M_REGISTER: u8 = 0;
+/// `transfer(domain, new_owner[20])`: owner-only ownership change.
+pub const M_TRANSFER: u8 = 1;
+/// `deposit(amount)`: fund the caller's balance.
+pub const M_DEPOSIT: u8 = 2;
+/// `buy(domain)`: pay the asking price from the caller's balance to the
+/// owner's and take the domain.
+pub const M_BUY: u8 = 3;
+/// `query(domain)`: return the 28-byte record (owner + price).
+pub const M_QUERY: u8 = 4;
+
+/// Domain-record namespace.
+pub const NS_DOMAIN: u8 = b'd';
+/// Balance namespace.
+pub const NS_BALANCE: u8 = b'b';
+
+/// 9-byte key of a domain record.
+pub fn domain_key(domain: u64) -> Vec<u8> {
+    let mut k = vec![NS_DOMAIN];
+    k.extend_from_slice(&(domain as i64).to_le_bytes());
+    k
+}
+
+/// 9-byte key of an address's balance (first 8 address bytes).
+pub fn balance_key(owner: &[u8; 20]) -> Vec<u8> {
+    let mut k = vec![NS_BALANCE];
+    k.extend_from_slice(&owner[..8]);
+    k
+}
+
+// Shared SVM memory layout.
+const KD: usize = 0; // domain key
+const REC: usize = 64; // record: owner 64..84, price 84..92
+const PRICE: usize = 84;
+const CAL: usize = 128; // caller address
+const KB: usize = 192; // caller balance key
+const KB2: usize = 256; // owner balance key
+const BB: usize = 320; // caller balance
+const BO: usize = 328; // owner balance
+const SCR: usize = 384;
+
+fn svm_register() -> String {
+    format!(
+        "{key}\
+         push {KD}\npush 9\npush {REC}\nsget\n\
+         push -1\nne\njumpi taken\n\
+         {owner}\
+         {price}\
+         push {KD}\npush 9\npush {REC}\npush 28\nsput\n\
+         stop\n\
+         taken:\n{revert}",
+        key = make_key_from_arg(NS_DOMAIN, 0, KD, SCR),
+        owner = caller_to(REC),
+        price = copy_arg_word(1, PRICE),
+        revert = revert_empty(),
+    )
+}
+
+fn svm_transfer() -> String {
+    format!(
+        "{key}\
+         push {KD}\npush 9\npush {REC}\nsget\n\
+         push -1\neq\njumpi missing\n\
+         {caller}\
+         {is_owner}not\njumpi notowner\n\
+         {new_owner}\
+         push {KD}\npush 9\npush {REC}\npush 28\nsput\n\
+         stop\n\
+         missing:\n{revert1}\
+         notowner:\n{revert2}",
+        key = make_key_from_arg(NS_DOMAIN, 0, KD, SCR),
+        caller = caller_to(CAL),
+        is_owner = addr_eq(REC, CAL),
+        new_owner = copy_arg_raw(8, 20, REC),
+        revert1 = revert_empty(),
+        revert2 = revert_empty(),
+    )
+}
+
+fn svm_deposit() -> String {
+    format!(
+        "{caller}\
+         push {CAL}\nmload\n{bal_key}\
+         {load}\
+         push {BB}\nmload\n{amt}add\npush {BB}\nmstore\n\
+         {store}\
+         stop\n",
+        caller = caller_to(CAL),
+        bal_key = make_key_from_stack(NS_BALANCE, KB),
+        load = load_word_or_zero(KB, BB, "bal"),
+        amt = push_arg_word(0, SCR),
+        store = store_word(KB, BB),
+    )
+}
+
+fn svm_buy() -> String {
+    format!(
+        "{key}\
+         push {KD}\npush 9\npush {REC}\nsget\n\
+         push -1\neq\njumpi missing\n\
+         {caller}\
+         push {CAL}\nmload\n{buyer_key}\
+         {load_buyer}\
+         push {BB}\nmload\npush {PRICE}\nmload\nlt\njumpi poor\n\
+         push {BB}\nmload\npush {PRICE}\nmload\nsub\npush {BB}\nmstore\n\
+         {store_buyer}\
+         push {REC}\nmload\n{owner_key}\
+         {load_owner}\
+         push {BO}\nmload\npush {PRICE}\nmload\nadd\npush {BO}\nmstore\n\
+         {store_owner}\
+         {take_ownership}\
+         push {KD}\npush 9\npush {REC}\npush 28\nsput\n\
+         stop\n\
+         missing:\n{revert1}\
+         poor:\n{revert2}",
+        key = make_key_from_arg(NS_DOMAIN, 0, KD, SCR),
+        caller = caller_to(CAL),
+        buyer_key = make_key_from_stack(NS_BALANCE, KB),
+        load_buyer = load_word_or_zero(KB, BB, "buyer"),
+        store_buyer = store_word(KB, BB),
+        owner_key = make_key_from_stack(NS_BALANCE, KB2),
+        load_owner = load_word_or_zero(KB2, BO, "owner"),
+        store_owner = store_word(KB2, BO),
+        take_ownership = copy_addr(CAL, REC),
+        revert1 = revert_empty(),
+        revert2 = revert_empty(),
+    )
+}
+
+fn svm_query() -> String {
+    format!(
+        "{key}\
+         push {KD}\npush 9\npush {REC}\nsget\n\
+         push -1\neq\njumpi missing\n\
+         push {REC}\npush 28\nreturn\n\
+         missing:\n{revert}",
+        key = make_key_from_arg(NS_DOMAIN, 0, KD, SCR),
+        revert = revert_empty(),
+    )
+}
+
+struct EtherIdNative;
+
+impl EtherIdNative {
+    fn balance(ctx: &mut dyn ChaincodeContext, owner: &[u8; 20]) -> i64 {
+        ctx.get_state(&balance_key(owner))
+            .map(|v| i64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+            .unwrap_or(0)
+    }
+
+    fn set_balance(ctx: &mut dyn ChaincodeContext, owner: &[u8; 20], v: i64) {
+        ctx.put_state(&balance_key(owner), &v.to_le_bytes());
+    }
+
+    fn record(ctx: &mut dyn ChaincodeContext, domain: u64) -> Option<([u8; 20], i64)> {
+        let rec = ctx.get_state(&domain_key(domain))?;
+        if rec.len() != 28 {
+            return None;
+        }
+        let owner: [u8; 20] = rec[..20].try_into().expect("20 bytes");
+        let price = i64::from_le_bytes(rec[20..28].try_into().expect("8 bytes"));
+        Some((owner, price))
+    }
+
+    fn put_record(ctx: &mut dyn ChaincodeContext, domain: u64, owner: &[u8; 20], price: i64) {
+        let mut rec = owner.to_vec();
+        rec.extend_from_slice(&price.to_le_bytes());
+        ctx.put_state(&domain_key(domain), &rec);
+    }
+}
+
+fn arg_word(args: &[u8], i: usize) -> Result<i64, String> {
+    args.get(i * 8..i * 8 + 8)
+        .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or_else(|| format!("missing argument {i}"))
+}
+
+impl Chaincode for EtherIdNative {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        method: u8,
+        args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        ctx.charge(4);
+        match method {
+            M_REGISTER => {
+                let domain = arg_word(args, 0)? as u64;
+                let price = arg_word(args, 1)?;
+                if Self::record(ctx, domain).is_some() {
+                    return Err("domain taken".into());
+                }
+                let caller = ctx.caller();
+                Self::put_record(ctx, domain, &caller, price);
+                Ok(Vec::new())
+            }
+            M_TRANSFER => {
+                let domain = arg_word(args, 0)? as u64;
+                let new_owner: [u8; 20] = args
+                    .get(8..28)
+                    .ok_or("missing new owner")?
+                    .try_into()
+                    .expect("20 bytes");
+                let (owner, price) = Self::record(ctx, domain).ok_or("no such domain")?;
+                if owner != ctx.caller() {
+                    return Err("not the owner".into());
+                }
+                Self::put_record(ctx, domain, &new_owner, price);
+                Ok(Vec::new())
+            }
+            M_DEPOSIT => {
+                let amount = arg_word(args, 0)?;
+                let caller = ctx.caller();
+                let bal = Self::balance(ctx, &caller);
+                Self::set_balance(ctx, &caller, bal + amount);
+                Ok(Vec::new())
+            }
+            M_BUY => {
+                let domain = arg_word(args, 0)? as u64;
+                let (owner, price) = Self::record(ctx, domain).ok_or("no such domain")?;
+                let caller = ctx.caller();
+                let buyer_bal = Self::balance(ctx, &caller);
+                if buyer_bal < price {
+                    return Err("insufficient balance".into());
+                }
+                // Sequential semantics match the SVM build even when the
+                // buyer already owns the domain.
+                Self::set_balance(ctx, &caller, buyer_bal - price);
+                let owner_bal = Self::balance(ctx, &owner);
+                Self::set_balance(ctx, &owner, owner_bal + price);
+                Self::put_record(ctx, domain, &caller, price);
+                Ok(Vec::new())
+            }
+            M_QUERY => {
+                let domain = arg_word(args, 0)? as u64;
+                let (owner, price) = Self::record(ctx, domain).ok_or("no such domain")?;
+                let mut out = owner.to_vec();
+                out.extend_from_slice(&price.to_le_bytes());
+                Ok(out)
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+/// Both builds of EtherId.
+pub fn bundle() -> ContractBundle {
+    let asm_of = |src: String| bb_svm::assemble(&src).expect("static program assembles");
+    ContractBundle {
+        name: "EtherId",
+        svm: SvmContract::new()
+            .with_method(M_REGISTER, asm_of(svm_register()))
+            .with_method(M_TRANSFER, asm_of(svm_transfer()))
+            .with_method(M_DEPOSIT, asm_of(svm_deposit()))
+            .with_method(M_BUY, asm_of(svm_buy()))
+            .with_method(M_QUERY, asm_of(svm_query())),
+        native: || Box::new(EtherIdNative),
+    }
+}
+
+/// `register` payload.
+pub fn register_call(domain: u64, price: i64) -> Vec<u8> {
+    let mut args = (domain as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(&price.to_le_bytes());
+    encode_call(M_REGISTER, &args)
+}
+
+/// `transfer` payload.
+pub fn transfer_call(domain: u64, new_owner: &[u8; 20]) -> Vec<u8> {
+    let mut args = (domain as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(new_owner);
+    encode_call(M_TRANSFER, &args)
+}
+
+/// `deposit` payload.
+pub fn deposit_call(amount: i64) -> Vec<u8> {
+    encode_call(M_DEPOSIT, &amount.to_le_bytes())
+}
+
+/// `buy` payload.
+pub fn buy_call(domain: u64) -> Vec<u8> {
+    encode_call(M_BUY, &(domain as i64).to_le_bytes())
+}
+
+/// `query` payload.
+pub fn query_call(domain: u64) -> Vec<u8> {
+    encode_call(M_QUERY, &(domain as i64).to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DualRunner;
+
+    const ALICE: [u8; 20] = [0xaa; 20];
+    const BOB: [u8; 20] = [0xbb; 20];
+
+    #[test]
+    fn register_and_query() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(7, 100)).unwrap();
+        let (svm, native) = r.invoke_both(&query_call(7)).unwrap();
+        assert_eq!(svm, native);
+        assert_eq!(&svm[..20], &ALICE);
+        assert_eq!(i64::from_le_bytes(svm[20..28].try_into().unwrap()), 100);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(1, 10)).unwrap();
+        r.set_caller(BOB);
+        assert!(r.invoke_both(&register_call(1, 99)).is_err());
+        // Still Alice's, at the original price.
+        let (svm, _) = r.invoke_both(&query_call(1)).unwrap();
+        assert_eq!(&svm[..20], &ALICE);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn transfer_requires_ownership() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(2, 5)).unwrap();
+        r.set_caller(BOB);
+        assert!(r.invoke_both(&transfer_call(2, &BOB)).is_err());
+        r.set_caller(ALICE);
+        r.invoke_both(&transfer_call(2, &BOB)).unwrap();
+        let (svm, _) = r.invoke_both(&query_call(2)).unwrap();
+        assert_eq!(&svm[..20], &BOB);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn buy_moves_balance_and_ownership() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(3, 40)).unwrap();
+        r.set_caller(BOB);
+        r.invoke_both(&deposit_call(100)).unwrap();
+        r.invoke_both(&buy_call(3)).unwrap();
+        let (svm, _) = r.invoke_both(&query_call(3)).unwrap();
+        assert_eq!(&svm[..20], &BOB);
+        r.assert_states_match();
+        // Balances: Bob 60, Alice 40.
+        let bob = r.native_state().get(&balance_key(&BOB)).cloned().unwrap();
+        let alice = r.native_state().get(&balance_key(&ALICE)).cloned().unwrap();
+        assert_eq!(i64::from_le_bytes(bob.try_into().unwrap()), 60);
+        assert_eq!(i64::from_le_bytes(alice.try_into().unwrap()), 40);
+    }
+
+    #[test]
+    fn buy_without_funds_rejected() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(4, 40)).unwrap();
+        r.set_caller(BOB);
+        r.invoke_both(&deposit_call(10)).unwrap();
+        assert!(r.invoke_both(&buy_call(4)).is_err());
+        let (svm, _) = r.invoke_both(&query_call(4)).unwrap();
+        assert_eq!(&svm[..20], &ALICE);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn buying_own_domain_is_neutral() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(ALICE);
+        r.invoke_both(&register_call(5, 30)).unwrap();
+        r.invoke_both(&deposit_call(50)).unwrap();
+        r.invoke_both(&buy_call(5)).unwrap();
+        let alice = r.native_state().get(&balance_key(&ALICE)).cloned().unwrap();
+        assert_eq!(i64::from_le_bytes(alice.try_into().unwrap()), 50);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn query_missing_domain_rejected() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        assert!(r.invoke_both(&query_call(404)).is_err());
+        assert!(r.invoke_both(&buy_call(404)).is_err());
+        assert!(r.invoke_both(&transfer_call(404, &BOB)).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! IOHeavy — the storage stress contract (Section 3.4.2, Figure 12).
+//! "This workload is designed to evaluate the IO performance by invoking a
+//! contract that performs a large number of random writes and random reads
+//! to the contract's states." The paper used 20-byte keys and 100-byte
+//! values; so do we: key `i` is `sha256(i)[..20]`, its value is
+//! `sha256(key)` zero-padded to 100 bytes.
+
+use crate::asm::copy_arg_word;
+use bb_crypto::sha256;
+use blockbench::contract::{encode_call, Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// `write_batch(start, count)`: write tuples `start..start+count`.
+pub const M_WRITE: u8 = 0;
+/// `read_batch(start, count)`: read the same tuples back; returns the
+/// number found as an 8-byte word.
+pub const M_READ: u8 = 1;
+
+/// The 20-byte key of tuple `i`.
+pub fn tuple_key(i: u64) -> Vec<u8> {
+    sha256(&(i as i64).to_le_bytes())[..20].to_vec()
+}
+
+/// The 100-byte value of tuple `i`.
+pub fn tuple_value(i: u64) -> Vec<u8> {
+    let mut v = sha256(&tuple_key(i)).to_vec();
+    v.resize(100, 0);
+    v
+}
+
+// SVM memory layout.
+const I: usize = 0; // current index (also the hash input)
+const END: usize = 8;
+const K: usize = 64; // 32-byte key hash (first 20 used)
+const V: usize = 128; // 100-byte value region
+const FOUND: usize = 256;
+
+fn svm_write() -> String {
+    format!(
+        "{start}\
+         {count}\
+         push {END}\nmload\npush {I}\nmload\nadd\npush {END}\nmstore\n\
+         loop:\n\
+         push {I}\nmload\npush {END}\nmload\nge\njumpi done\n\
+         push {I}\npush 8\npush {K}\nhash\n\
+         push {K}\npush 20\npush {V}\nhash\n\
+         push {K}\npush 20\npush {V}\npush 100\nsput\n\
+         push {I}\nmload\npush 1\nadd\npush {I}\nmstore\n\
+         jump loop\n\
+         done:\nstop\n",
+        start = copy_arg_word(0, I),
+        count = copy_arg_word(1, END),
+    )
+}
+
+fn svm_read() -> String {
+    format!(
+        "{start}\
+         {count}\
+         push {END}\nmload\npush {I}\nmload\nadd\npush {END}\nmstore\n\
+         push 0\npush {FOUND}\nmstore\n\
+         loop:\n\
+         push {I}\nmload\npush {END}\nmload\nge\njumpi done\n\
+         push {I}\npush 8\npush {K}\nhash\n\
+         push {K}\npush 20\npush {V}\nsget\n\
+         push -1\neq\njumpi next\n\
+         push {FOUND}\nmload\npush 1\nadd\npush {FOUND}\nmstore\n\
+         next:\n\
+         push {I}\nmload\npush 1\nadd\npush {I}\nmstore\n\
+         jump loop\n\
+         done:\n\
+         push {FOUND}\npush 8\nreturn\n",
+        start = copy_arg_word(0, I),
+        count = copy_arg_word(1, END),
+    )
+}
+
+struct IoHeavyNative;
+
+fn arg_word(args: &[u8], i: usize) -> Result<u64, String> {
+    args.get(i * 8..i * 8 + 8)
+        .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")) as u64)
+        .ok_or_else(|| format!("missing argument {i}"))
+}
+
+impl Chaincode for IoHeavyNative {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        method: u8,
+        args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        let start = arg_word(args, 0)?;
+        let count = arg_word(args, 1)?;
+        ctx.charge(2 * count);
+        match method {
+            M_WRITE => {
+                for i in start..start + count {
+                    ctx.put_state(&tuple_key(i), &tuple_value(i));
+                }
+                Ok(Vec::new())
+            }
+            M_READ => {
+                let mut found = 0i64;
+                for i in start..start + count {
+                    if ctx.get_state(&tuple_key(i)).is_some() {
+                        found += 1;
+                    }
+                }
+                Ok(found.to_le_bytes().to_vec())
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+/// Both builds of IOHeavy.
+pub fn bundle() -> ContractBundle {
+    let asm_of = |src: String| bb_svm::assemble(&src).expect("static program assembles");
+    ContractBundle {
+        name: "IOHeavy",
+        svm: SvmContract::new()
+            .with_method(M_WRITE, asm_of(svm_write()))
+            .with_method(M_READ, asm_of(svm_read())),
+        native: || Box::new(IoHeavyNative),
+    }
+}
+
+/// `write_batch` payload.
+pub fn write_call(start: u64, count: u64) -> Vec<u8> {
+    let mut args = (start as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(&(count as i64).to_le_bytes());
+    encode_call(M_WRITE, &args)
+}
+
+/// `read_batch` payload.
+pub fn read_call(start: u64, count: u64) -> Vec<u8> {
+    let mut args = (start as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(&(count as i64).to_le_bytes());
+    encode_call(M_READ, &args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DualRunner;
+
+    #[test]
+    fn write_then_read_back_full_hit() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.invoke_both(&write_call(0, 50)).unwrap();
+        let (svm, native) = r.invoke_both(&read_call(0, 50)).unwrap();
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 50);
+        assert_eq!(i64::from_le_bytes(native.try_into().unwrap()), 50);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn unwritten_range_misses() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.invoke_both(&write_call(0, 10)).unwrap();
+        let (svm, _) = r.invoke_both(&read_call(100, 10)).unwrap();
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 0);
+        let (svm, _) = r.invoke_both(&read_call(5, 10)).unwrap();
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn values_are_100_bytes_with_20_byte_keys() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.invoke_both(&write_call(3, 1)).unwrap();
+        let (k, v) = r.svm_storage().iter().next().unwrap();
+        assert_eq!(k.len(), 20);
+        assert_eq!(v.len(), 100);
+        assert_eq!(k, &tuple_key(3));
+        assert_eq!(v, &tuple_value(3));
+    }
+
+    #[test]
+    fn overlapping_writes_are_idempotent() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.invoke_both(&write_call(0, 20)).unwrap();
+        r.invoke_both(&write_call(10, 20)).unwrap();
+        assert_eq!(r.svm_storage().len(), 30);
+        r.assert_states_match();
+    }
+}

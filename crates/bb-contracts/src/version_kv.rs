@@ -1,0 +1,287 @@
+//! VersionKVStore — the Hyperledger-only analytics chaincode of Figure 20
+//! (Appendix C). "To support historical data lookup, we append a counter to
+//! the key of each account... To answer \[a\] query that fetches a list of
+//! balance\[s\] of a given account within a given block range, the method
+//! scans all versions of this account and returns the balance values that
+//! are committed within the given block range."
+//!
+//! Key layout, flattened into the chaincode namespace exactly as the paper
+//! describes:
+//! - `[b'l']\[acct\]` → latest version number,
+//! - `[b'v']\[acct\]\[version\]` → `\[balance\]\[commit_block\]`,
+//! - `[b't']\[height\]` → concatenated `(from, to, value)` triples of that
+//!   block (`Query_BlockTransactionList`).
+//!
+//! There is no SVM build — on Ethereum/Parity the same queries go through
+//! JSON-RPC (`Query::AccountAtBlock`); the single selector registered on
+//! the SVM side simply reverts, mirroring "Hyperledger only" in Table 1.
+
+use blockbench::contract::{encode_call, Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// `send_value(from, to, value)`: versioned transfer (Figure 20's
+/// `Invoke_SendValue` + commit bookkeeping in one step).
+pub const M_SEND_VALUE: u8 = 0;
+/// `block_tx_list(height)` → the block's `(from, to, value)` triples.
+pub const M_BLOCK_TXS: u8 = 1;
+/// `account_block_range(acct, start, end)` → `\[balance\]\[commit\]` pairs for
+/// versions committed in `[start, end)`, newest first (Figure 20's
+/// `Query_AccountBlockRange`).
+pub const M_ACCOUNT_RANGE: u8 = 2;
+
+fn latest_key(acct: u64) -> Vec<u8> {
+    let mut k = vec![b'l'];
+    k.extend_from_slice(&acct.to_le_bytes());
+    k
+}
+
+fn version_key(acct: u64, version: u64) -> Vec<u8> {
+    let mut k = vec![b'v'];
+    k.extend_from_slice(&acct.to_le_bytes());
+    k.extend_from_slice(&version.to_le_bytes());
+    k
+}
+
+fn block_key(height: u64) -> Vec<u8> {
+    let mut k = vec![b't'];
+    k.extend_from_slice(&height.to_le_bytes());
+    k
+}
+
+struct VersionKvNative;
+
+fn word(args: &[u8], i: usize) -> Result<u64, String> {
+    args.get(i * 8..i * 8 + 8)
+        .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")) as u64)
+        .ok_or_else(|| format!("missing argument {i}"))
+}
+
+impl VersionKvNative {
+    fn latest_version(ctx: &mut dyn ChaincodeContext, acct: u64) -> Option<u64> {
+        ctx.get_state(&latest_key(acct))
+            .map(|v| u64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+    }
+
+    fn version_record(ctx: &mut dyn ChaincodeContext, acct: u64, ver: u64) -> Option<(i64, u64)> {
+        let rec = ctx.get_state(&version_key(acct, ver))?;
+        if rec.len() != 16 {
+            return None;
+        }
+        Some((
+            i64::from_le_bytes(rec[..8].try_into().expect("8")),
+            u64::from_le_bytes(rec[8..16].try_into().expect("8")),
+        ))
+    }
+
+    /// Append a fresh version of `acct` with the new balance.
+    fn push_version(ctx: &mut dyn ChaincodeContext, acct: u64, balance: i64) {
+        let next = Self::latest_version(ctx, acct).map_or(0, |v| v + 1);
+        let mut rec = balance.to_le_bytes().to_vec();
+        rec.extend_from_slice(&ctx.block_height().to_le_bytes());
+        ctx.put_state(&version_key(acct, next), &rec);
+        ctx.put_state(&latest_key(acct), &next.to_le_bytes());
+    }
+
+    fn current_balance(ctx: &mut dyn ChaincodeContext, acct: u64) -> i64 {
+        Self::latest_version(ctx, acct)
+            .and_then(|v| Self::version_record(ctx, acct, v))
+            .map(|(bal, _)| bal)
+            .unwrap_or(0)
+    }
+}
+
+impl Chaincode for VersionKvNative {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        method: u8,
+        args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        match method {
+            M_SEND_VALUE => {
+                ctx.charge(8);
+                let (from, to) = (word(args, 0)?, word(args, 1)?);
+                let value = word(args, 2)? as i64;
+                let from_bal = Self::current_balance(ctx, from);
+                Self::push_version(ctx, from, from_bal - value);
+                let to_bal = Self::current_balance(ctx, to);
+                Self::push_version(ctx, to, to_bal + value);
+                // Record the transfer in the block's transaction list.
+                let height = ctx.block_height();
+                let mut list = ctx.get_state(&block_key(height)).unwrap_or_default();
+                list.extend_from_slice(&from.to_le_bytes());
+                list.extend_from_slice(&to.to_le_bytes());
+                list.extend_from_slice(&value.to_le_bytes());
+                ctx.put_state(&block_key(height), &list);
+                Ok(Vec::new())
+            }
+            M_BLOCK_TXS => {
+                ctx.charge(2);
+                let height = word(args, 0)?;
+                Ok(ctx.get_state(&block_key(height)).unwrap_or_default())
+            }
+            M_ACCOUNT_RANGE => {
+                let acct = word(args, 0)?;
+                let start = word(args, 1)?;
+                let end = word(args, 2)?;
+                let mut out = Vec::new();
+                // Figure 20: scan versions newest-first; stop once a version
+                // committed before the range proves older versions are too.
+                let Some(mut ver) = Self::latest_version(ctx, acct) else {
+                    return Ok(out);
+                };
+                loop {
+                    ctx.charge(1);
+                    let Some((bal, commit)) = Self::version_record(ctx, acct, ver) else {
+                        break;
+                    };
+                    if commit >= start && commit < end {
+                        out.extend_from_slice(&bal.to_le_bytes());
+                        out.extend_from_slice(&commit.to_le_bytes());
+                    } else if commit < start {
+                        break;
+                    }
+                    if ver == 0 {
+                        break;
+                    }
+                    ver -= 1;
+                }
+                Ok(out)
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+/// The VersionKVStore bundle (native build only, per Table 1).
+pub fn bundle() -> ContractBundle {
+    // Registered SVM selector reverts: this chaincode is Hyperledger-only.
+    let revert = bb_svm::assemble("push 0\npush 0\nrevert").expect("static program assembles");
+    ContractBundle {
+        name: "VersionKVStore",
+        svm: SvmContract::new().with_method(M_SEND_VALUE, revert),
+        native: || Box::new(VersionKvNative),
+    }
+}
+
+/// `send_value` payload.
+pub fn send_value_call(from: u64, to: u64, value: i64) -> Vec<u8> {
+    let mut args = from.to_le_bytes().to_vec();
+    args.extend_from_slice(&to.to_le_bytes());
+    args.extend_from_slice(&value.to_le_bytes());
+    encode_call(M_SEND_VALUE, &args)
+}
+
+/// `block_tx_list` payload.
+pub fn block_txs_call(height: u64) -> Vec<u8> {
+    encode_call(M_BLOCK_TXS, &height.to_le_bytes())
+}
+
+/// `account_block_range` payload.
+pub fn account_range_call(acct: u64, start: u64, end: u64) -> Vec<u8> {
+    let mut args = acct.to_le_bytes().to_vec();
+    args.extend_from_slice(&start.to_le_bytes());
+    args.extend_from_slice(&end.to_le_bytes());
+    encode_call(M_ACCOUNT_RANGE, &args)
+}
+
+/// Decode an `account_block_range` reply into `(balance, commit_block)`
+/// pairs.
+pub fn decode_account_range(data: &[u8]) -> Vec<(i64, u64)> {
+    data.chunks_exact(16)
+        .map(|c| {
+            (
+                i64::from_le_bytes(c[..8].try_into().expect("8")),
+                u64::from_le_bytes(c[8..16].try_into().expect("8")),
+            )
+        })
+        .collect()
+}
+
+/// Decode a `block_tx_list` reply into `(from, to, value)` triples.
+pub fn decode_block_txs(data: &[u8]) -> Vec<(u64, u64, i64)> {
+    data.chunks_exact(24)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[..8].try_into().expect("8")),
+                u64::from_le_bytes(c[8..16].try_into().expect("8")),
+                i64::from_le_bytes(c[16..24].try_into().expect("8")),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::NativeCtx;
+    use blockbench::contract::decode_call;
+
+    fn invoke(ctx: &mut NativeCtx, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let (method, args) = decode_call(payload).unwrap();
+        VersionKvNative.invoke(ctx, method, args)
+    }
+
+    #[test]
+    fn transfers_create_versions() {
+        let mut ctx = NativeCtx { height: 5, ..Default::default() };
+        invoke(&mut ctx, &send_value_call(1, 2, 100)).unwrap();
+        ctx.height = 6;
+        invoke(&mut ctx, &send_value_call(2, 3, 40)).unwrap();
+        // Account 2: v0 = +100 @5, v1 = +60 @6.
+        let out = invoke(&mut ctx, &account_range_call(2, 0, 100)).unwrap();
+        assert_eq!(decode_account_range(&out), vec![(60, 6), (100, 5)]);
+    }
+
+    #[test]
+    fn range_filters_by_commit_block() {
+        let mut ctx = NativeCtx::default();
+        for h in 1..=10u64 {
+            ctx.height = h;
+            invoke(&mut ctx, &send_value_call(7, 8, 1)).unwrap();
+        }
+        let out = invoke(&mut ctx, &account_range_call(8, 4, 7)).unwrap();
+        let pairs = decode_account_range(&out);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|&(_, c)| (4..7).contains(&c)));
+        // Newest first.
+        assert_eq!(pairs[0].1, 6);
+        assert_eq!(pairs[0].0, 6); // balance after 6 credits of 1
+    }
+
+    #[test]
+    fn block_tx_list_accumulates() {
+        let mut ctx = NativeCtx { height: 3, ..Default::default() };
+        invoke(&mut ctx, &send_value_call(1, 2, 10)).unwrap();
+        invoke(&mut ctx, &send_value_call(3, 4, 20)).unwrap();
+        let out = invoke(&mut ctx, &block_txs_call(3)).unwrap();
+        assert_eq!(decode_block_txs(&out), vec![(1, 2, 10), (3, 4, 20)]);
+        assert!(invoke(&mut ctx, &block_txs_call(99)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_account_returns_empty() {
+        let mut ctx = NativeCtx::default();
+        let out = invoke(&mut ctx, &account_range_call(42, 0, 100)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn svm_build_reverts() {
+        let b = bundle();
+        let mut r = crate::testing::DualRunner::new(&b);
+        assert!(r.invoke_svm(&send_value_call(1, 2, 3)).is_err());
+    }
+
+    #[test]
+    fn scan_early_terminates_below_range() {
+        // Versions committed entirely above the range: scan walks down and
+        // stops on the first commit below `start`.
+        let mut ctx = NativeCtx::default();
+        for h in [10u64, 20, 30] {
+            ctx.height = h;
+            invoke(&mut ctx, &send_value_call(1, 9, 5)).unwrap();
+        }
+        let out = invoke(&mut ctx, &account_range_call(9, 15, 25)).unwrap();
+        assert_eq!(decode_account_range(&out), vec![(10, 20)]);
+    }
+}

@@ -1,0 +1,293 @@
+//! WavesPresale — the crowd-sale contract (Section 3.4.1). "It maintains
+//! two states: the total number of tokens sold so far, and the list of
+//! previous sale transactions. It supports operations to add a new sale, to
+//! transfer ownership of a previous sale, and to query a specific sale
+//! record."
+//!
+//! Sale records are composite structures; "in Hyperledger, we have to
+//! translate this structure into key-value semantics by using separate
+//! key-value namespaces" — here: `b'g'` for the running total, `b'w'` for
+//! the flattened `(owner, tokens)` records.
+
+use crate::asm::{
+    addr_eq, caller_to, copy_arg_raw, copy_arg_word, load_word_or_zero, make_key_from_arg,
+    make_key_from_stack, push_arg_word, return_word, revert_empty, store_word,
+};
+use blockbench::contract::{encode_call, Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+
+/// `add_sale(id, tokens)`: record a new sale owned by the caller.
+pub const M_ADD_SALE: u8 = 0;
+/// `transfer_sale(id, new_owner[20])`: owner-only.
+pub const M_TRANSFER_SALE: u8 = 1;
+/// `query_sale(id)`: return the 28-byte record.
+pub const M_QUERY_SALE: u8 = 2;
+/// `total()`: tokens sold so far, 8 bytes.
+pub const M_TOTAL: u8 = 3;
+
+/// Globals namespace (slot 0 = total tokens sold).
+pub const NS_GLOBAL: u8 = b'g';
+/// Sale-record namespace.
+pub const NS_SALE: u8 = b'w';
+
+/// Key of the running total.
+pub fn total_key() -> Vec<u8> {
+    let mut k = vec![NS_GLOBAL];
+    k.extend_from_slice(&0i64.to_le_bytes());
+    k
+}
+
+/// Key of sale record `id`.
+pub fn sale_key(id: u64) -> Vec<u8> {
+    let mut k = vec![NS_SALE];
+    k.extend_from_slice(&(id as i64).to_le_bytes());
+    k
+}
+
+// SVM memory layout.
+const KS: usize = 0; // sale key
+const KT: usize = 64; // total key
+const REC: usize = 128; // record: owner 128..148, tokens 148..156
+const TOKENS: usize = 148;
+const TOT: usize = 192; // total word
+const CAL: usize = 256;
+const SCR: usize = 320;
+
+fn svm_add_sale() -> String {
+    format!(
+        "{sale_key}\
+         push {KS}\npush 9\npush {REC}\nsget\n\
+         push -1\nne\njumpi exists\n\
+         {owner}\
+         {tokens}\
+         push {KS}\npush 9\npush {REC}\npush 28\nsput\n\
+         push 0\n{total_key}\
+         {load_total}\
+         push {TOT}\nmload\n{amt}add\npush {TOT}\nmstore\n\
+         {store_total}\
+         stop\n\
+         exists:\n{revert}",
+        sale_key = make_key_from_arg(NS_SALE, 0, KS, SCR),
+        owner = caller_to(REC),
+        tokens = copy_arg_word(1, TOKENS),
+        total_key = make_key_from_stack(NS_GLOBAL, KT),
+        load_total = load_word_or_zero(KT, TOT, "tot"),
+        amt = push_arg_word(1, SCR),
+        store_total = store_word(KT, TOT),
+        revert = revert_empty(),
+    )
+}
+
+fn svm_transfer_sale() -> String {
+    format!(
+        "{sale_key}\
+         push {KS}\npush 9\npush {REC}\nsget\n\
+         push -1\neq\njumpi missing\n\
+         {caller}\
+         {is_owner}not\njumpi notowner\n\
+         {new_owner}\
+         push {KS}\npush 9\npush {REC}\npush 28\nsput\n\
+         stop\n\
+         missing:\n{revert1}\
+         notowner:\n{revert2}",
+        sale_key = make_key_from_arg(NS_SALE, 0, KS, SCR),
+        caller = caller_to(CAL),
+        is_owner = addr_eq(REC, CAL),
+        new_owner = copy_arg_raw(8, 20, REC),
+        revert1 = revert_empty(),
+        revert2 = revert_empty(),
+    )
+}
+
+fn svm_query_sale() -> String {
+    format!(
+        "{sale_key}\
+         push {KS}\npush 9\npush {REC}\nsget\n\
+         push -1\neq\njumpi missing\n\
+         push {REC}\npush 28\nreturn\n\
+         missing:\n{revert}",
+        sale_key = make_key_from_arg(NS_SALE, 0, KS, SCR),
+        revert = revert_empty(),
+    )
+}
+
+fn svm_total() -> String {
+    format!(
+        "push 0\n{total_key}\
+         {load_total}\
+         {ret}",
+        total_key = make_key_from_stack(NS_GLOBAL, KT),
+        load_total = load_word_or_zero(KT, TOT, "tot"),
+        ret = return_word(TOT),
+    )
+}
+
+struct WavesNative;
+
+fn arg_word(args: &[u8], i: usize) -> Result<i64, String> {
+    args.get(i * 8..i * 8 + 8)
+        .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or_else(|| format!("missing argument {i}"))
+}
+
+impl Chaincode for WavesNative {
+    fn invoke(
+        &mut self,
+        ctx: &mut dyn ChaincodeContext,
+        method: u8,
+        args: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        ctx.charge(3);
+        match method {
+            M_ADD_SALE => {
+                let id = arg_word(args, 0)? as u64;
+                let tokens = arg_word(args, 1)?;
+                if ctx.get_state(&sale_key(id)).is_some() {
+                    return Err("sale exists".into());
+                }
+                let mut rec = ctx.caller().to_vec();
+                rec.extend_from_slice(&tokens.to_le_bytes());
+                ctx.put_state(&sale_key(id), &rec);
+                let total = ctx
+                    .get_state(&total_key())
+                    .map(|v| i64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+                    .unwrap_or(0);
+                ctx.put_state(&total_key(), &(total + tokens).to_le_bytes());
+                Ok(Vec::new())
+            }
+            M_TRANSFER_SALE => {
+                let id = arg_word(args, 0)? as u64;
+                let new_owner = args.get(8..28).ok_or("missing new owner")?;
+                let rec = ctx.get_state(&sale_key(id)).ok_or("no such sale")?;
+                if rec[..20] != ctx.caller()[..] {
+                    return Err("not the owner".into());
+                }
+                let mut updated = new_owner.to_vec();
+                updated.extend_from_slice(&rec[20..28]);
+                ctx.put_state(&sale_key(id), &updated);
+                Ok(Vec::new())
+            }
+            M_QUERY_SALE => {
+                let id = arg_word(args, 0)? as u64;
+                ctx.get_state(&sale_key(id)).ok_or_else(|| "no such sale".to_string())
+            }
+            M_TOTAL => {
+                let total = ctx.get_state(&total_key()).unwrap_or_else(|| 0i64.to_le_bytes().to_vec());
+                Ok(total)
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+/// Both builds of WavesPresale.
+pub fn bundle() -> ContractBundle {
+    let asm_of = |src: String| bb_svm::assemble(&src).expect("static program assembles");
+    ContractBundle {
+        name: "WavesPresale",
+        svm: SvmContract::new()
+            .with_method(M_ADD_SALE, asm_of(svm_add_sale()))
+            .with_method(M_TRANSFER_SALE, asm_of(svm_transfer_sale()))
+            .with_method(M_QUERY_SALE, asm_of(svm_query_sale()))
+            .with_method(M_TOTAL, asm_of(svm_total())),
+        native: || Box::new(WavesNative),
+    }
+}
+
+/// `add_sale` payload.
+pub fn add_sale_call(id: u64, tokens: i64) -> Vec<u8> {
+    let mut args = (id as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(&tokens.to_le_bytes());
+    encode_call(M_ADD_SALE, &args)
+}
+
+/// `transfer_sale` payload.
+pub fn transfer_sale_call(id: u64, new_owner: &[u8; 20]) -> Vec<u8> {
+    let mut args = (id as i64).to_le_bytes().to_vec();
+    args.extend_from_slice(new_owner);
+    encode_call(M_TRANSFER_SALE, &args)
+}
+
+/// `query_sale` payload.
+pub fn query_sale_call(id: u64) -> Vec<u8> {
+    encode_call(M_QUERY_SALE, &(id as i64).to_le_bytes())
+}
+
+/// `total` payload.
+pub fn total_call() -> Vec<u8> {
+    encode_call(M_TOTAL, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DualRunner;
+
+    const SELLER: [u8; 20] = [0x51; 20];
+    const BUYER: [u8; 20] = [0x52; 20];
+
+    #[test]
+    fn add_and_query_sale() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(SELLER);
+        r.invoke_both(&add_sale_call(1, 500)).unwrap();
+        let (svm, native) = r.invoke_both(&query_sale_call(1)).unwrap();
+        assert_eq!(svm, native);
+        assert_eq!(&svm[..20], &SELLER);
+        assert_eq!(i64::from_le_bytes(svm[20..28].try_into().unwrap()), 500);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn total_accumulates() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(SELLER);
+        r.invoke_both(&add_sale_call(1, 500)).unwrap();
+        r.invoke_both(&add_sale_call(2, 250)).unwrap();
+        let (svm, native) = r.invoke_both(&total_call()).unwrap();
+        assert_eq!(svm, native);
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 750);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn duplicate_sale_rejected_and_total_unchanged() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(SELLER);
+        r.invoke_both(&add_sale_call(1, 100)).unwrap();
+        assert!(r.invoke_both(&add_sale_call(1, 999)).is_err());
+        let (svm, _) = r.invoke_both(&total_call()).unwrap();
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 100);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn transfer_sale_ownership_enforced() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        r.set_caller(SELLER);
+        r.invoke_both(&add_sale_call(7, 10)).unwrap();
+        r.set_caller(BUYER);
+        assert!(r.invoke_both(&transfer_sale_call(7, &BUYER)).is_err());
+        r.set_caller(SELLER);
+        r.invoke_both(&transfer_sale_call(7, &BUYER)).unwrap();
+        let (svm, _) = r.invoke_both(&query_sale_call(7)).unwrap();
+        assert_eq!(&svm[..20], &BUYER);
+        // Token count preserved through the transfer.
+        assert_eq!(i64::from_le_bytes(svm[20..28].try_into().unwrap()), 10);
+        r.assert_states_match();
+    }
+
+    #[test]
+    fn query_missing_sale_rejected() {
+        let b = bundle();
+        let mut r = DualRunner::new(&b);
+        assert!(r.invoke_both(&query_sale_call(9)).is_err());
+        // Total of an untouched contract is zero.
+        let (svm, native) = r.invoke_both(&total_call()).unwrap();
+        assert_eq!(svm, native);
+        assert_eq!(i64::from_le_bytes(svm.try_into().unwrap()), 0);
+    }
+}

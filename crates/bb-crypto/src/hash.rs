@@ -1,0 +1,131 @@
+//! The 32-byte digest newtype used throughout the workspace for block ids,
+//! transaction ids, Merkle roots and state keys.
+
+use crate::sha256::{sha256, Sha256};
+use std::fmt;
+
+/// A 256-bit hash value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash, used as the parent of genesis blocks and as a
+    /// "no value" sentinel in tries.
+    pub const ZERO: Hash256 = Hash256([0; 32]);
+
+    /// Hash arbitrary bytes.
+    pub fn digest(data: &[u8]) -> Hash256 {
+        Hash256(sha256(data))
+    }
+
+    /// Hash the concatenation of several byte strings without allocating.
+    pub fn digest_parts(parts: &[&[u8]]) -> Hash256 {
+        let mut h = Sha256::new();
+        for p in parts {
+            h.update(p);
+        }
+        Hash256(h.finalize())
+    }
+
+    /// Combine two hashes (Merkle interior node).
+    pub fn combine(left: &Hash256, right: &Hash256) -> Hash256 {
+        Hash256::digest_parts(&[&left.0, &right.0])
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Is this the zero sentinel?
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 32]
+    }
+
+    /// Lowercase hex encoding.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Short prefix for log lines, e.g. `a1b2c3d4`.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// First 8 bytes as a u64 (big-endian) — handy for deterministic
+    /// derived randomness such as bucket assignment.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_sha256() {
+        assert_eq!(Hash256::digest(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn digest_parts_equals_concat() {
+        let whole = Hash256::digest(b"hello world");
+        let parts = Hash256::digest_parts(&[b"hello", b" ", b"world"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Hash256::digest(b"a");
+        let b = Hash256::digest(b"b");
+        assert_ne!(Hash256::combine(&a, &b), Hash256::combine(&b, &a));
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Hash256::ZERO.is_zero());
+        assert!(!Hash256::digest(b"x").is_zero());
+    }
+
+    #[test]
+    fn hex_round_trip_length() {
+        let h = Hash256::digest(b"hex");
+        assert_eq!(h.to_hex().len(), 64);
+        assert_eq!(h.short().len(), 8);
+        assert!(h.to_hex().starts_with(&h.short()));
+    }
+
+    #[test]
+    fn to_u64_uses_prefix() {
+        let mut bytes = [0u8; 32];
+        bytes[7] = 1;
+        assert_eq!(Hash256(bytes).to_u64(), 1);
+        bytes[0] = 1;
+        assert_eq!(Hash256(bytes).to_u64(), (1 << 56) + 1);
+    }
+}

@@ -1,0 +1,1029 @@
+//! The Ethereum-like network world and its `BlockchainConnector`.
+//!
+//! Every server node runs the full stack: a transaction pool fed by client
+//! RPC and probabilistic gossip, an exponential-race miner, full block
+//! validation by re-execution, heaviest-chain fork choice with reorgs (the
+//! tx pool re-adopts transactions from abandoned branches), and a
+//! Merkle-Patricia state trie over a private LSM store. Node 0 doubles as
+//! the driver's RPC endpoint: it serves `getLatestBlock(h)` from its view of
+//! the confirmed chain (head minus `confirm_depth`), block/state queries,
+//! and the read-only contract path.
+
+use crate::config::EthConfig;
+use crate::state::{AccountState, TxInvalid};
+use bb_consensus::pow::{BlockTree, InsertOutcome};
+use bb_crypto::Hash256;
+use bb_merkle::merkle_root;
+use bb_net::{Delivery, Network};
+use bb_sim::{CpuMeter, Scheduler, SimDuration, SimRng, SimTime, World};
+use bb_storage::{KvStore, LsmConfig, LsmStore};
+use bb_svm::{Vm, VmConfig};
+use bb_types::{
+    Address, Block, BlockHeader, BlockSummary, Encoder, NodeId, Transaction, TxId,
+};
+use blockbench::connector::{
+    BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
+};
+use blockbench::contract::ContractBundle;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// Events of the Ethereum world.
+#[derive(Debug, Clone)]
+pub enum EthEvent {
+    /// A miner's exponential race fired.
+    Mine {
+        /// The lucky miner.
+        miner: NodeId,
+        /// Race generation; stale races are ignored.
+        generation: u64,
+    },
+    /// A transaction reached a node (client RPC or peer gossip).
+    TxArrive {
+        /// Receiving node.
+        to: NodeId,
+        /// The transaction.
+        tx: Rc<Transaction>,
+        /// Came from a peer (don't re-gossip) or from a client.
+        gossiped: bool,
+    },
+    /// A block reached a node.
+    BlockArrive {
+        /// Receiving node.
+        to: NodeId,
+        /// The block body.
+        block: Rc<Block>,
+        /// Peer that sent it (for parent fetches).
+        from: NodeId,
+    },
+    /// A node asks a peer for a missing ancestor block.
+    BlockRequest {
+        /// Peer being asked.
+        to: NodeId,
+        /// Wanted block id.
+        wanted: Hash256,
+        /// Asking node.
+        from: NodeId,
+    },
+}
+
+struct EthNode {
+    state: AccountState<LsmStore>,
+    tree: BlockTree,
+    /// Block bodies by id (genesis included).
+    bodies: HashMap<Hash256, Rc<Block>>,
+    /// Post-state root per block id.
+    roots: HashMap<Hash256, Hash256>,
+    /// Receipts (tx id, success) per block id.
+    receipts: HashMap<Hash256, Vec<(TxId, bool)>>,
+    /// Pending transactions in arrival order.
+    pool: VecDeque<Rc<Transaction>>,
+    pool_ids: HashSet<TxId>,
+    /// Everything ever seen (suppresses gossip loops).
+    seen: HashSet<TxId>,
+    cpu: CpuMeter,
+    mine_generation: u64,
+    crashed: bool,
+}
+
+impl EthNode {
+    fn enqueue(&mut self, tx: Rc<Transaction>) -> bool {
+        if !self.seen.insert(tx.id()) {
+            return false;
+        }
+        self.pool_ids.insert(tx.id());
+        self.pool.push_back(tx);
+        true
+    }
+
+}
+
+/// The Ethereum-like platform: world + scheduler + observer state.
+pub struct EthereumChain {
+    config: EthConfig,
+    vm: Vm,
+    nodes: Vec<EthNode>,
+    network: Network,
+    rng: SimRng,
+    sched: Scheduler<EthEvent>,
+    /// Network-wide count of blocks ever mined (forks included).
+    blocks_mined: u64,
+    /// Observer (node 0) confirmation log.
+    confirmed: Vec<BlockSummary>,
+    confirmed_height: u64,
+    started: bool,
+    mem_peak: u64,
+}
+
+// The World impl operates on a view that excludes the scheduler itself.
+struct EthWorldView<'a> {
+    config: &'a EthConfig,
+    vm: &'a Vm,
+    nodes: &'a mut Vec<EthNode>,
+    network: &'a mut Network,
+    rng: &'a mut SimRng,
+    blocks_mined: &'a mut u64,
+    confirmed: &'a mut Vec<BlockSummary>,
+    confirmed_height: &'a mut u64,
+}
+
+impl EthereumChain {
+    /// Build a network per `config`: funded client accounts, genesis block,
+    /// mining not yet started (starts on the first `advance_to`/`submit`).
+    pub fn new(config: EthConfig) -> EthereumChain {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let genesis_header = BlockHeader {
+            parent: Hash256::ZERO,
+            height: 0,
+            timestamp_us: 0,
+            tx_root: Hash256::ZERO,
+            state_root: Hash256::ZERO,
+            proposer: NodeId(0),
+            difficulty: 0,
+            round: 0,
+        };
+        let genesis_block = Rc::new(Block { header: genesis_header, txs: Vec::new() });
+        let genesis = genesis_block.id();
+        // (genesis id flows into every node's BlockTree below)
+        let vm = Vm::new(
+            VmConfig {
+                max_memory: ((config.node_mem_bytes.saturating_sub(config.costs.mem_base)) as f64
+                    / config.costs.mem_overhead) as usize,
+                ..VmConfig::default()
+            },
+            Default::default(),
+        );
+        let nodes = (0..config.nodes)
+            .map(|_i| {
+                let mut state = AccountState::new(LsmStore::new_private(LsmConfig {
+                    // Chain workloads write heavily and never delete:
+                    // flush less often and let more tables accumulate
+                    // before the (full) compaction rewrites the store.
+                    memtable_flush_bytes: 4 << 20,
+                    max_tables: 48,
+                    ..LsmConfig::default()
+                }));
+                // Fund the benchmark client accounts at genesis.
+                for seed in 0..1024 {
+                    let kp = bb_crypto::KeyPair::from_seed(seed);
+                    state
+                        .credit(&Address::from_public_key(&kp.public()), i64::MAX / 4)
+                        .expect("fresh store");
+                }
+                let mut node = EthNode {
+                    state,
+                    tree: BlockTree::new(genesis),
+                    bodies: HashMap::new(),
+                    roots: HashMap::new(),
+                    receipts: HashMap::new(),
+                    pool: VecDeque::new(),
+                    pool_ids: HashSet::new(),
+                    seen: HashSet::new(),
+                    cpu: CpuMeter::new(config.cores),
+                    mine_generation: 0,
+                    crashed: false,
+                };
+                node.bodies.insert(genesis, Rc::clone(&genesis_block));
+                node.roots.insert(genesis, node.state.root());
+                node.receipts.insert(genesis, Vec::new());
+                node
+            })
+            .collect();
+        let network = Network::new(config.nodes, config.link.clone(), rng.fork());
+        EthereumChain {
+            config,
+            vm,
+            nodes,
+            network,
+            rng,
+            sched: Scheduler::new(),
+            blocks_mined: 0,
+            confirmed: Vec::new(),
+            confirmed_height: 0,
+            started: false,
+            mem_peak: 0,
+        }
+    }
+
+    /// Access the shared VM (micro-benchmark harnesses).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    fn start_mining(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let now = self.sched.now();
+        for i in 0..self.nodes.len() {
+            let node = &mut self.nodes[i];
+            node.mine_generation += 1;
+            let generation = node.mine_generation;
+            let mean = self.config.pow.miner_interval(self.config.nodes);
+            let delay = self.rng.exp_duration(mean);
+            self.sched.schedule(now + delay, EthEvent::Mine { miner: NodeId(i as u32), generation });
+        }
+    }
+
+}
+
+impl World for EthWorldView<'_> {
+    type Event = EthEvent;
+
+    fn handle(&mut self, now: SimTime, event: EthEvent, sched: &mut Scheduler<EthEvent>) {
+        match event {
+            EthEvent::Mine { miner, generation } => self.on_mine(now, miner, generation, sched),
+            EthEvent::TxArrive { to, tx, gossiped } => self.on_tx(now, to, tx, gossiped, sched),
+            EthEvent::BlockArrive { to, block, from } => {
+                self.on_block(now, to, block, from, sched)
+            }
+            EthEvent::BlockRequest { to, wanted, from } => {
+                self.on_block_request(now, to, wanted, from, sched)
+            }
+        }
+    }
+}
+
+impl EthWorldView<'_> {
+    fn reschedule_mine(&mut self, now: SimTime, miner: NodeId, sched: &mut Scheduler<EthEvent>) {
+        let node = &mut self.nodes[miner.index()];
+        if node.crashed {
+            return;
+        }
+        node.mine_generation += 1;
+        let generation = node.mine_generation;
+        let mean = self.config.pow.miner_interval(self.config.nodes);
+        let delay = self.rng.exp_duration(mean);
+        sched.schedule(now + delay, EthEvent::Mine { miner, generation });
+    }
+
+    fn on_mine(
+        &mut self,
+        now: SimTime,
+        miner: NodeId,
+        generation: u64,
+        sched: &mut Scheduler<EthEvent>,
+    ) {
+        // PoW saturates the reserved cores whether or not a block is found.
+        let interval = self.config.pow.miner_interval(self.config.nodes);
+        {
+            let node = &mut self.nodes[miner.index()];
+            if node.crashed || node.mine_generation != generation {
+                return;
+            }
+            let from = SimTime(now.as_micros().saturating_sub(interval.as_micros().min(now.as_micros())));
+            node.cpu.saturate(from, now);
+        }
+        let block = self.build_block(now, miner);
+        *self.blocks_mined += 1;
+        let id = block.id();
+        let block = Rc::new(block);
+        // Adopt locally.
+        self.adopt_block(now, miner, Rc::clone(&block), None);
+        // Broadcast to every peer.
+        for peer in (0..self.network.node_count()).map(NodeId) {
+            if peer == miner {
+                continue;
+            }
+            if let Delivery::Deliver { at, corrupted } =
+                self.network.send(now, miner, peer, block.byte_size())
+            {
+                if !corrupted {
+                    sched.schedule(at, EthEvent::BlockArrive { to: peer, block: Rc::clone(&block), from: miner });
+                }
+            }
+        }
+        let _ = id;
+        self.reschedule_mine(now, miner, sched);
+        self.refresh_confirmed(now);
+    }
+
+    /// Assemble and execute a block on the miner's current head.
+    fn build_block(&mut self, now: SimTime, miner: NodeId) -> Block {
+        let difficulty = 1000; // uniform difficulty: heaviest == longest
+        let node = &mut self.nodes[miner.index()];
+        let parent = node.tree.head();
+        let parent_root = node.roots[&parent];
+        let height = node.tree.height_of(&parent).expect("head known") + 1;
+        node.state.set_root(parent_root);
+
+        let mut included: Vec<Transaction> = Vec::new();
+        let mut receipts: Vec<(TxId, bool)> = Vec::new();
+        let mut gas_total = 0u64;
+        let mut exec_time = SimDuration::ZERO;
+        let mut leftovers: Vec<Rc<Transaction>> = Vec::new();
+        while included.len() < self.config.max_txs_per_block {
+            let Some(tx) = node.pool.pop_front() else {
+                break;
+            };
+            if !node.pool_ids.contains(&tx.id()) {
+                continue; // pruned
+            }
+            match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit) {
+                Ok(res) => {
+                    gas_total += res.gas_used.max(1000);
+                    exec_time += self.config.costs.exec_time(res.gas_used.max(1000))
+                        + self.config.costs.sig_verify;
+                    node.pool_ids.remove(&tx.id());
+                    receipts.push((tx.id(), res.success));
+                    included.push((*tx).clone());
+                    if gas_total >= self.config.block_gas_limit {
+                        break;
+                    }
+                }
+                Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
+                    // Future nonce: keep for a later block.
+                    leftovers.push(tx);
+                }
+                Err(_) => {
+                    // Stale or broken: drop.
+                    node.pool_ids.remove(&tx.id());
+                }
+            }
+        }
+        for tx in leftovers {
+            node.pool.push_front(tx);
+        }
+        node.cpu.charge(now, exec_time);
+
+        let header = BlockHeader {
+            parent,
+            height,
+            timestamp_us: now.as_micros(),
+            tx_root: merkle_root(&included.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+            state_root: node.state.root(),
+            proposer: miner,
+            difficulty,
+            round: 0,
+        };
+        let block = Block { header, txs: included };
+        let id = block.id();
+        node.roots.insert(id, node.state.root());
+        node.receipts.insert(id, receipts);
+        block
+    }
+
+    /// Validate (re-execute) and adopt a block into a node's tree.
+    fn adopt_block(
+        &mut self,
+        now: SimTime,
+        at: NodeId,
+        block: Rc<Block>,
+        sched_from: Option<(NodeId, &mut Scheduler<EthEvent>)>,
+    ) {
+        let id = block.id();
+        let node = &mut self.nodes[at.index()];
+        if node.bodies.contains_key(&id) {
+            return;
+        }
+        let parent = block.header.parent;
+        if let Some(&parent_root) = node.roots.get(&parent) {
+            // Full validation: re-execute on the parent state.
+            if !node.roots.contains_key(&id) {
+                node.state.set_root(parent_root);
+                let mut receipts = Vec::with_capacity(block.txs.len());
+                let mut exec_time = SimDuration::ZERO;
+                for tx in &block.txs {
+                    match node.state.apply_transaction(
+                        tx,
+                        block.header.height,
+                        self.vm,
+                        self.config.tx_gas_limit,
+                    ) {
+                        Ok(res) => {
+                            exec_time += self.config.costs.exec_time(res.gas_used.max(1000));
+                            receipts.push((tx.id(), res.success));
+                        }
+                        Err(_) => receipts.push((tx.id(), false)),
+                    }
+                    node.pool_ids.remove(&tx.id());
+                    node.seen.insert(tx.id());
+                }
+                node.cpu.charge(now, exec_time);
+                node.roots.insert(id, node.state.root());
+                node.receipts.insert(id, receipts);
+            }
+            node.bodies.insert(id, Rc::clone(&block));
+            let old_head = node.tree.head();
+            let outcome = node.tree.insert(id, parent, block.header.difficulty);
+            if let InsertOutcome::NewHead { reorged } = outcome {
+                if reorged {
+                    self.readopt_abandoned(at, old_head);
+                }
+            }
+        } else {
+            // Orphan: stash in the tree and fetch the ancestor chain.
+            node.tree.insert(id, parent, block.header.difficulty);
+            node.bodies.insert(id, Rc::clone(&block));
+            if let Some((from, sched)) = sched_from {
+                if let Delivery::Deliver { at: t, corrupted } =
+                    self.network.send(now, at, from, 64)
+                {
+                    if !corrupted {
+                        sched.schedule(t, EthEvent::BlockRequest { to: from, wanted: parent, from: at });
+                    }
+                }
+            }
+            return;
+        }
+        // Connecting this block may have connected stored orphan children;
+        // execute any now-connected bodies we have roots missing for.
+        self.execute_connected_descendants(now, at, id);
+    }
+
+    /// After a block connects, orphan children stored in `bodies` may now be
+    /// on the tree without executed state; execute them in height order.
+    fn execute_connected_descendants(&mut self, now: SimTime, at: NodeId, from_id: Hash256) {
+        let node = &mut self.nodes[at.index()];
+        let mut frontier = vec![from_id];
+        while let Some(parent_id) = frontier.pop() {
+            let Some(&parent_root) = node.roots.get(&parent_id) else {
+                continue;
+            };
+            let children: Vec<Rc<Block>> = node
+                .bodies
+                .values()
+                .filter(|b| b.header.parent == parent_id && !node.roots.contains_key(&b.id()))
+                .cloned()
+                .collect();
+            for child in children {
+                node.state.set_root(parent_root);
+                let mut receipts = Vec::with_capacity(child.txs.len());
+                let mut exec_time = SimDuration::ZERO;
+                for tx in &child.txs {
+                    match node.state.apply_transaction(
+                        tx,
+                        child.header.height,
+                        self.vm,
+                        self.config.tx_gas_limit,
+                    ) {
+                        Ok(res) => {
+                            exec_time += self.config.costs.exec_time(res.gas_used.max(1000));
+                            receipts.push((tx.id(), res.success));
+                        }
+                        Err(_) => receipts.push((tx.id(), false)),
+                    }
+                    node.pool_ids.remove(&tx.id());
+                    node.seen.insert(tx.id());
+                }
+                node.cpu.charge(now, exec_time);
+                let cid = child.id();
+                node.roots.insert(cid, node.state.root());
+                node.receipts.insert(cid, receipts);
+                frontier.push(cid);
+            }
+        }
+    }
+
+    /// A reorg abandoned part of the old chain: re-adopt its transactions.
+    fn readopt_abandoned(&mut self, at: NodeId, old_head: Hash256) {
+        let node = &mut self.nodes[at.index()];
+        let mut cursor = old_head;
+        // Walk the old branch until we hit a block still on the main chain.
+        while !node.tree.on_main_chain(&cursor) {
+            let Some(body) = node.bodies.get(&cursor) else {
+                break;
+            };
+            let parent = body.header.parent;
+            let txs: Vec<Rc<Transaction>> =
+                body.txs.iter().map(|t| Rc::new(t.clone())).collect();
+            for tx in txs {
+                if node.pool_ids.insert(tx.id()) {
+                    node.pool.push_back(tx);
+                }
+            }
+            cursor = parent;
+        }
+    }
+
+    fn on_tx(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        tx: Rc<Transaction>,
+        gossiped: bool,
+        sched: &mut Scheduler<EthEvent>,
+    ) {
+        let node = &mut self.nodes[to.index()];
+        if node.crashed {
+            return;
+        }
+        node.cpu.charge(now, self.config.costs.sig_verify);
+        if !node.enqueue(Rc::clone(&tx)) {
+            return;
+        }
+        if !gossiped {
+            let size = tx.byte_size();
+            for peer in (0..self.network.node_count()).map(NodeId) {
+                if peer == to || !self.rng.chance(self.config.tx_gossip_prob) {
+                    continue;
+                }
+                if let Delivery::Deliver { at, corrupted } = self.network.send(now, to, peer, size)
+                {
+                    if !corrupted {
+                        sched.schedule(
+                            at,
+                            EthEvent::TxArrive { to: peer, tx: Rc::clone(&tx), gossiped: true },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_block(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        block: Rc<Block>,
+        from: NodeId,
+        sched: &mut Scheduler<EthEvent>,
+    ) {
+        if self.nodes[to.index()].crashed {
+            return;
+        }
+        let had_head = self.nodes[to.index()].tree.head();
+        self.adopt_block(now, to, block, Some((from, sched)));
+        let node = &mut self.nodes[to.index()];
+        if node.tree.head() != had_head {
+            // Head moved: restart the mining race on the new head.
+            self.reschedule_mine(now, to, sched);
+        }
+        self.refresh_confirmed(now);
+    }
+
+    fn on_block_request(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        wanted: Hash256,
+        from: NodeId,
+        sched: &mut Scheduler<EthEvent>,
+    ) {
+        let node = &self.nodes[to.index()];
+        if node.crashed {
+            return;
+        }
+        if let Some(body) = node.bodies.get(&wanted) {
+            let body = Rc::clone(body);
+            if let Delivery::Deliver { at, corrupted } =
+                self.network.send(now, to, from, body.byte_size())
+            {
+                if !corrupted {
+                    sched.schedule(at, EthEvent::BlockArrive { to: from, block: body, from: to });
+                }
+            }
+        }
+    }
+
+    /// Advance the observer's (node 0) confirmation log.
+    fn refresh_confirmed(&mut self, now: SimTime) {
+        let depth = self.config.pow.confirm_depth;
+        let node = &self.nodes[0];
+        let upto = node.tree.confirmed_height(depth);
+        while *self.confirmed_height < upto {
+            let h = *self.confirmed_height + 1;
+            let Some(id) = node.tree.main_chain_at(h) else {
+                break;
+            };
+            // Only blocks whose bodies and receipts node 0 holds.
+            let (Some(_body), Some(receipts)) = (node.bodies.get(&id), node.receipts.get(&id))
+            else {
+                break;
+            };
+            self.confirmed.push(BlockSummary {
+                id,
+                height: h,
+                proposer: node.bodies[&id].header.proposer,
+                confirmed_at_us: now.as_micros(),
+                txs: receipts.clone(),
+            });
+            *self.confirmed_height = h;
+        }
+    }
+}
+
+impl BlockchainConnector for EthereumChain {
+    fn name(&self) -> &'static str {
+        "ethereum"
+    }
+
+    fn node_count(&self) -> u32 {
+        self.config.nodes
+    }
+
+    fn deploy(&mut self, bundle: &ContractBundle) -> Address {
+        assert!(!self.started, "deploy contracts before the run starts");
+        let addr = Address::contract(&Address::ZERO, self.nodes[0].seen.len() as u64);
+        for node in &mut self.nodes {
+            let head = node.tree.head();
+            let root = node.roots[&head];
+            node.state.set_root(root);
+            node.state.install_contract(&addr, &bundle.svm).expect("setup store healthy");
+            node.roots.insert(head, node.state.root());
+        }
+        addr
+    }
+
+    fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
+        self.start_mining();
+        let now = self.sched.now();
+        let at = now + self.config.rpc_delay;
+        self.sched
+            .schedule(at, EthEvent::TxArrive { to: server, tx: Rc::new(tx), gossiped: false });
+        true
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.start_mining();
+        let (mut view, sched) = {
+            // Split borrows manually: Scheduler is a sibling field.
+            let EthereumChain {
+                config,
+                vm,
+                nodes,
+                network,
+                rng,
+                sched,
+                blocks_mined,
+                confirmed,
+                confirmed_height,
+                ..
+            } = self;
+            (
+                EthWorldView {
+                    config,
+                    vm,
+                    nodes,
+                    network,
+                    rng,
+                    blocks_mined,
+                    confirmed,
+                    confirmed_height,
+                },
+                sched,
+            )
+        };
+        sched.run_until(&mut view, t);
+    }
+
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary> {
+        self.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryResult, QueryError> {
+        let node = &mut self.nodes[0];
+        match q {
+            Query::BlockTxs { height } => {
+                let id = node.tree.main_chain_at(*height).ok_or(QueryError::NotFound)?;
+                let body = node.bodies.get(&id).ok_or(QueryError::NotFound)?;
+                let mut enc = Encoder::with_capacity(body.txs.len() * 48 + 4);
+                enc.put_u32(body.txs.len() as u32);
+                for tx in &body.txs {
+                    enc.put_raw(tx.from.as_bytes()).put_raw(tx.to.as_bytes()).put_u64(tx.value);
+                }
+                let cost = SimDuration::from_micros(20 + 4 * body.txs.len() as u64);
+                Ok(QueryResult { data: enc.finish(), server_cost: cost })
+            }
+            Query::AccountAtBlock { account, height } => {
+                let id = node.tree.main_chain_at(*height).ok_or(QueryError::NotFound)?;
+                let root = *node.roots.get(&id).ok_or(QueryError::NotFound)?;
+                let acct = node
+                    .state
+                    .account_at(root, account)
+                    .map_err(|e| QueryError::Contract(e.to_string()))?;
+                Ok(QueryResult {
+                    data: acct.balance.to_le_bytes().to_vec(),
+                    server_cost: SimDuration::from_micros(60),
+                })
+            }
+            Query::Contract { address, payload } => {
+                // Read-only execution on the current confirmed state.
+                let head = node.tree.head();
+                let root = node.roots[&head];
+                node.state.set_root(root);
+                let kp = bb_crypto::KeyPair::from_seed(0);
+                let acct = node
+                    .state
+                    .account(&Address::from_public_key(&kp.public()))
+                    .map_err(|e| QueryError::Contract(e.to_string()))?;
+                let tx = Transaction::signed(&kp, acct.nonce, *address, 0, payload.clone());
+                let height = node.tree.head_height();
+                let res = node
+                    .state
+                    .apply_transaction(&tx, height, &self.vm, self.config.tx_gas_limit)
+                    .map_err(|e| QueryError::Contract(e.to_string()))?;
+                // Roll the state change back: queries are not transactions.
+                node.state.set_root(root);
+                if !res.success {
+                    return Err(QueryError::Contract(
+                        res.error.unwrap_or_else(|| "reverted".into()),
+                    ));
+                }
+                Ok(QueryResult {
+                    data: res.output,
+                    server_cost: self.config.costs.exec_time(res.gas_used),
+                })
+            }
+        }
+    }
+
+    fn inject(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(node) => {
+                self.network.crash(node);
+                self.nodes[node.index()].crashed = true;
+                self.nodes[node.index()].mine_generation += 1; // cancel races
+            }
+            Fault::Recover(node) => {
+                self.network.recover(node);
+                self.nodes[node.index()].crashed = false;
+                self.started = false;
+                self.start_mining();
+            }
+            Fault::Delay(node, d) => self.network.set_extra_delay(node, d),
+            Fault::Corrupt(node, p) => self.network.set_corrupt_prob(node, p),
+            Fault::PartitionHalf { left } => self.network.partition_in_half(left),
+            Fault::Heal => self.network.heal(),
+        }
+    }
+
+    fn stats(&self) -> PlatformStats {
+        let n = self.nodes.len();
+        let mut disk = 0u64;
+        for node in &self.nodes {
+            disk += node.state.store().stats().disk_bytes;
+        }
+        // Average per-second CPU and network series over nodes.
+        let mut cpu: Vec<f64> = Vec::new();
+        let mut net: Vec<f64> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let series = node.cpu.utilisation_series();
+            if series.len() > cpu.len() {
+                cpu.resize(series.len(), 0.0);
+            }
+            for (j, v) in series.iter().enumerate() {
+                cpu[j] += v / n as f64;
+            }
+            let tx = self.network.tx_mbps_series(NodeId(i as u32));
+            if tx.len() > net.len() {
+                net.resize(tx.len(), 0.0);
+            }
+            for (j, v) in tx.iter().enumerate() {
+                net[j] += v / n as f64;
+            }
+        }
+        PlatformStats {
+            blocks_total: self.blocks_mined,
+            blocks_main: self.nodes[0].tree.main_chain_len(),
+            txs_committed: self.confirmed.iter().map(|b| b.txs.len() as u64).sum(),
+            disk_bytes: disk,
+            mem_peak_bytes: self.mem_peak.max(self.config.costs.mem_base),
+            cpu_utilisation: cpu,
+            net_mbps: net,
+            net_bytes: self.network.stats().bytes,
+        }
+    }
+
+    fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
+        assert!(!self.started, "preload before the run starts");
+        for txs in blocks {
+            let now = self.sched.now();
+            for i in 0..self.nodes.len() {
+                let node = &mut self.nodes[i];
+                let parent = node.tree.head();
+                let parent_root = node.roots[&parent];
+                let height = node.tree.head_height() + 1;
+                node.state.set_root(parent_root);
+                let mut receipts = Vec::with_capacity(txs.len());
+                for tx in &txs {
+                    let ok = node
+                        .state
+                        .apply_transaction(tx, height, &self.vm, self.config.tx_gas_limit)
+                        .map(|r| r.success)
+                        .unwrap_or(false);
+                    receipts.push((tx.id(), ok));
+                }
+                let header = BlockHeader {
+                    parent,
+                    height,
+                    timestamp_us: now.as_micros(),
+                    tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+                    state_root: node.state.root(),
+                    proposer: NodeId(0),
+                    difficulty: 1000,
+                    round: 0,
+                };
+                let block = Rc::new(Block { header, txs: txs.clone() });
+                let id = block.id();
+                node.roots.insert(id, node.state.root());
+                node.receipts.insert(id, receipts.clone());
+                node.bodies.insert(id, Rc::clone(&block));
+                node.tree.insert(id, parent, 1000);
+                if i == 0 {
+                    self.blocks_mined += 1;
+                    self.confirmed.push(BlockSummary {
+                        id,
+                        height,
+                        proposer: NodeId(0),
+                        confirmed_at_us: now.as_micros(),
+                        txs: receipts,
+                    });
+                    self.confirmed_height = height;
+                }
+            }
+        }
+    }
+
+    fn execute_direct(&mut self, tx: Transaction) -> DirectExec {
+        let node = &mut self.nodes[0];
+        let head = node.tree.head();
+        let root = node.roots[&head];
+        node.state.set_root(root);
+        let height = node.tree.head_height();
+        match node.state.apply_transaction(&tx, height, &self.vm, u64::MAX / 2) {
+            Ok(res) => {
+                let modeled = self.config.costs.modeled_mem(res.vm_peak_mem);
+                self.mem_peak = self.mem_peak.max(modeled);
+                // Commit the direct execution as the new head state.
+                node.roots.insert(head, node.state.root());
+                DirectExec {
+                    success: res.success,
+                    duration: self.config.costs.sig_verify
+                        + self.config.costs.exec_time(res.gas_used),
+                    gas_used: res.gas_used,
+                    modeled_mem: modeled,
+                    output: res.output,
+                    error: res.error,
+                }
+            }
+            Err(e) => DirectExec {
+                success: false,
+                duration: self.config.costs.sig_verify,
+                gas_used: 0,
+                modeled_mem: 0,
+                output: Vec::new(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_contracts::{donothing, ycsb};
+    use bb_crypto::KeyPair;
+
+    fn small_chain(nodes: u32) -> EthereumChain {
+        let mut config = EthConfig::with_nodes(nodes);
+        config.pow.base_interval = SimDuration::from_millis(500); // fast tests
+        EthereumChain::new(config)
+    }
+
+    fn client_tx(seed: u64, nonce: u64, to: Address, payload: Vec<u8>) -> Transaction {
+        Transaction::signed(&KeyPair::from_seed(seed), nonce, to, 0, payload)
+    }
+
+    #[test]
+    fn transactions_get_mined_and_confirmed() {
+        let mut chain = small_chain(4);
+        let contract = chain.deploy(&ycsb::bundle());
+        for nonce in 0..20 {
+            let tx = client_tx(1, nonce, contract, ycsb::write_call(nonce, b"v"));
+            chain.submit(NodeId((nonce % 4) as u32), tx);
+        }
+        chain.advance_to(SimTime::from_secs(30));
+        let blocks = chain.confirmed_blocks_since(0);
+        assert!(!blocks.is_empty(), "no confirmed blocks");
+        let committed: usize = blocks.iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 20, "all transactions confirmed exactly once");
+        assert!(blocks.iter().all(|b| b.txs.iter().all(|&(_, ok)| ok)));
+    }
+
+    #[test]
+    fn nodes_converge_on_one_chain() {
+        let mut chain = small_chain(4);
+        let contract = chain.deploy(&donothing::bundle());
+        for nonce in 0..10 {
+            chain.submit(NodeId(0), client_tx(1, nonce, contract, donothing::call()));
+        }
+        chain.advance_to(SimTime::from_secs(40));
+        // All nodes should agree on the confirmed prefix.
+        let h0 = chain.nodes[0].tree.confirmed_height(2);
+        for i in 1..4 {
+            let hi = chain.nodes[i].tree.confirmed_height(2);
+            let common = h0.min(hi);
+            assert!(
+                common > 0,
+                "node {i} has no confirmed chain (h0={h0}, hi={hi})"
+            );
+            for h in 1..=common {
+                assert_eq!(
+                    chain.nodes[0].tree.main_chain_at(h),
+                    chain.nodes[i].tree.main_chain_at(h),
+                    "divergence at height {h} on node {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forks_happen_but_resolve() {
+        let mut chain = small_chain(8);
+        chain.advance_to(SimTime::from_secs(120));
+        let stats = chain.stats();
+        assert!(stats.blocks_total >= stats.blocks_main);
+        // The main chain grows at roughly the configured rate.
+        assert!(stats.blocks_main > 100, "main chain too short: {}", stats.blocks_main);
+    }
+
+    #[test]
+    fn partition_creates_forks_then_heals() {
+        let mut chain = small_chain(8);
+        chain.advance_to(SimTime::from_secs(20));
+        chain.inject(Fault::PartitionHalf { left: 4 });
+        chain.advance_to(SimTime::from_secs(60));
+        chain.inject(Fault::Heal);
+        chain.advance_to(SimTime::from_secs(120));
+        let stats = chain.stats();
+        let forked = stats.blocks_total - stats.blocks_main;
+        assert!(forked > 5, "partition produced only {forked} fork blocks");
+        // After healing, all nodes agree on the head within confirmation depth.
+        let heads: Vec<_> = chain.nodes.iter().map(|n| n.tree.head_height()).collect();
+        let max = *heads.iter().max().unwrap();
+        let min = *heads.iter().min().unwrap();
+        assert!(max - min <= 3, "heads diverged after heal: {heads:?}");
+    }
+
+    #[test]
+    fn crash_does_not_stop_the_chain() {
+        let mut chain = small_chain(8);
+        chain.advance_to(SimTime::from_secs(15));
+        let before = chain.stats().blocks_main;
+        // Keep node 0 alive: it is the driver's RPC endpoint/observer.
+        for i in 4..8 {
+            chain.inject(Fault::Crash(NodeId(i)));
+        }
+        chain.advance_to(SimTime::from_secs(60));
+        let after = chain.stats().blocks_main;
+        assert!(after > before + 10, "chain stalled after crashes: {before} → {after}");
+    }
+
+    #[test]
+    fn historical_balance_query() {
+        let mut chain = small_chain(2);
+        let alice = KeyPair::from_seed(1);
+        let alice_addr = Address::from_public_key(&alice.public());
+        // Preload two blocks transferring value.
+        let bob = Address::from_index(999);
+        chain.preload_blocks(vec![
+            vec![Transaction::signed(&alice, 0, bob, 100, vec![])],
+            vec![Transaction::signed(&alice, 1, bob, 50, vec![])],
+        ]);
+        let q1 = chain
+            .query(&Query::AccountAtBlock { account: alice_addr, height: 1 })
+            .unwrap();
+        let q2 = chain
+            .query(&Query::AccountAtBlock { account: alice_addr, height: 2 })
+            .unwrap();
+        let b1 = i64::from_le_bytes(q1.data.try_into().unwrap());
+        let b2 = i64::from_le_bytes(q2.data.try_into().unwrap());
+        assert_eq!(b1 - b2, 50, "second transfer visible between heights");
+        // Block tx query decodes the transfers.
+        let q = chain.query(&Query::BlockTxs { height: 1 }).unwrap();
+        let mut d = bb_types::Decoder::new(&q.data);
+        assert_eq!(d.u32().unwrap(), 1);
+    }
+
+    #[test]
+    fn direct_execution_reports_gas_and_memory() {
+        let mut chain = small_chain(1);
+        let contract = chain.deploy(&bb_contracts::cpuheavy::bundle());
+        let tx = client_tx(1, 0, contract, bb_contracts::cpuheavy::sort_call(2000));
+        let res = chain.execute_direct(tx);
+        assert!(res.success, "{:?}", res.error);
+        assert!(res.gas_used > 100_000);
+        assert!(res.modeled_mem > chain.config.costs.mem_base);
+        assert!(res.duration > SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn duplicate_submissions_commit_once() {
+        let mut chain = small_chain(4);
+        let contract = chain.deploy(&donothing::bundle());
+        let tx = client_tx(1, 0, contract, donothing::call());
+        chain.submit(NodeId(0), tx.clone());
+        chain.submit(NodeId(1), tx.clone());
+        chain.submit(NodeId(2), tx);
+        chain.advance_to(SimTime::from_secs(30));
+        let committed: usize =
+            chain.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! The account-model state machine shared by the EVM-like platforms.
+//!
+//! "An account in Ethereum has a balance as its state, and is updated upon
+//! receiving a transaction. A special type of account, called smart
+//! contract, contains executable code and private states." (Section 3.1.2)
+//!
+//! Accounts, contract code and contract storage all live in one
+//! Merkle-Patricia trie keyed by:
+//! - `addr` → encoded [`Account`],
+//! - `addr ++ "#code"` → serialized [`SvmContract`],
+//! - `addr ++ "#s" ++ key` → contract storage.
+//!
+//! Transaction application uses a *buffered* VM host: contract writes and
+//! outbound transfers accumulate in an overlay and flush only on success,
+//! giving the revert/out-of-gas rollback the paper describes for the EVM
+//! (Section 3.1.3).
+
+use bb_merkle::PatriciaTrie;
+use bb_storage::{KvError, KvStore};
+use bb_svm::{Host, Vm};
+use bb_types::{Address, Transaction};
+use blockbench::contract::{decode_call, SvmContract};
+use std::collections::BTreeMap;
+
+/// A non-contract or contract account.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Account {
+    /// Native currency balance.
+    pub balance: i64,
+    /// Next expected transaction nonce.
+    pub nonce: u64,
+    /// Does this account carry contract code?
+    pub is_contract: bool,
+}
+
+impl Account {
+    /// Canonical trie encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17);
+        out.extend_from_slice(&self.balance.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.push(u8::from(self.is_contract));
+        out
+    }
+
+    /// Decode; malformed bytes yield a default account (trie corruption is
+    /// caught earlier by hashes).
+    pub fn decode(bytes: &[u8]) -> Account {
+        if bytes.len() != 17 {
+            return Account::default();
+        }
+        Account {
+            balance: i64::from_le_bytes(bytes[..8].try_into().expect("8")),
+            nonce: u64::from_le_bytes(bytes[8..16].try_into().expect("8")),
+            is_contract: bytes[16] != 0,
+        }
+    }
+}
+
+fn code_key(addr: &Address) -> Vec<u8> {
+    let mut k = addr.0.to_vec();
+    k.extend_from_slice(b"#code");
+    k
+}
+
+fn storage_key(addr: &Address, key: &[u8]) -> Vec<u8> {
+    let mut k = addr.0.to_vec();
+    k.extend_from_slice(b"#s");
+    k.extend_from_slice(key);
+    k
+}
+
+/// Why a transaction could not even be included in a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxInvalid {
+    /// Nonce does not match the sender's account.
+    BadNonce {
+        /// Nonce the account expects.
+        expected: u64,
+        /// Nonce the transaction carried.
+        got: u64,
+    },
+    /// Storage backend failure (Parity's in-memory cap, for instance).
+    Storage(String),
+}
+
+impl std::fmt::Display for TxInvalid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxInvalid::BadNonce { expected, got } => {
+                write!(f, "bad nonce: expected {expected}, got {got}")
+            }
+            TxInvalid::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+/// Outcome of applying an *included* transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Did the transfer + contract call succeed?
+    pub success: bool,
+    /// Gas consumed (0 for pure transfers with no contract call).
+    pub gas_used: u64,
+    /// Contract return data.
+    pub output: Vec<u8>,
+    /// Peak VM memory in bytes (CPUHeavy's memory model input).
+    pub vm_peak_mem: u64,
+    /// Human-readable failure cause, if any.
+    pub error: Option<String>,
+}
+
+/// The account state machine over a trie backend.
+pub struct AccountState<S: KvStore> {
+    trie: PatriciaTrie<S>,
+}
+
+impl<S: KvStore> AccountState<S> {
+    /// Empty state over `store`.
+    pub fn new(store: S) -> Self {
+        AccountState { trie: PatriciaTrie::new(store) }
+    }
+
+    /// Current state root (committed into block headers).
+    pub fn root(&self) -> bb_crypto::Hash256 {
+        self.trie.root()
+    }
+
+    /// Move the state view to a (historical) root.
+    pub fn set_root(&mut self, root: bb_crypto::Hash256) {
+        self.trie.set_root(root);
+    }
+
+    /// Read an account (default if absent).
+    pub fn account(&mut self, addr: &Address) -> Result<Account, KvError> {
+        Ok(self.trie.get(&addr.0)?.map(|b| Account::decode(&b)).unwrap_or_default())
+    }
+
+    /// Read an account at a historical root — Ethereum/Parity's
+    /// `getBalance(account, block)` JSON-RPC (the Q2 analytics path).
+    pub fn account_at(
+        &mut self,
+        root: bb_crypto::Hash256,
+        addr: &Address,
+    ) -> Result<Account, KvError> {
+        Ok(self
+            .trie
+            .get_at(root, &addr.0)?
+            .map(|b| Account::decode(&b))
+            .unwrap_or_default())
+    }
+
+    /// Write an account.
+    pub fn put_account(&mut self, addr: &Address, acct: &Account) -> Result<(), KvError> {
+        self.trie.insert(&addr.0, &acct.encode())
+    }
+
+    /// Credit an account (genesis funding, PoA/PoW rewards, preloads).
+    pub fn credit(&mut self, addr: &Address, amount: i64) -> Result<(), KvError> {
+        let mut acct = self.account(addr)?;
+        acct.balance += amount;
+        self.put_account(addr, &acct)
+    }
+
+    /// Install contract code at `addr` (deployment fast-path shared by all
+    /// nodes at setup time).
+    pub fn install_contract(&mut self, addr: &Address, code: &SvmContract) -> Result<(), KvError> {
+        let mut acct = self.account(addr)?;
+        acct.is_contract = true;
+        self.put_account(addr, &acct)?;
+        self.trie.insert(&code_key(addr), &code.encode())
+    }
+
+    /// Fetch contract code.
+    pub fn contract_code(&mut self, addr: &Address) -> Result<Option<SvmContract>, KvError> {
+        Ok(self.trie.get(&code_key(addr))?.and_then(|b| SvmContract::decode(&b)))
+    }
+
+    /// Read a raw contract-storage slot (tests / analytics).
+    pub fn contract_storage(
+        &mut self,
+        addr: &Address,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, KvError> {
+        self.trie.get(&storage_key(addr, key))
+    }
+
+    /// Borrow the backing store (stats).
+    pub fn store(&self) -> &S {
+        self.trie.store()
+    }
+
+    /// Validate a transaction against current state without applying it:
+    /// the pool's admission check.
+    pub fn validate(&mut self, tx: &Transaction) -> Result<(), TxInvalid> {
+        let acct = self.account(&tx.from).map_err(|e| TxInvalid::Storage(e.to_string()))?;
+        if acct.nonce != tx.nonce {
+            return Err(TxInvalid::BadNonce { expected: acct.nonce, got: tx.nonce });
+        }
+        Ok(())
+    }
+
+    /// Apply one transaction on the current root. Returns `Err` when the
+    /// transaction cannot be included at all (bad nonce / storage failure);
+    /// `Ok(result)` otherwise, with `result.success == false` for included-
+    /// but-failed executions (revert, out of gas, insufficient funds).
+    pub fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+        vm: &Vm,
+        tx_gas_limit: u64,
+    ) -> Result<ExecResult, TxInvalid> {
+        let storage = |e: KvError| TxInvalid::Storage(e.to_string());
+        let mut sender = self.account(&tx.from).map_err(storage)?;
+        if sender.nonce != tx.nonce {
+            return Err(TxInvalid::BadNonce { expected: sender.nonce, got: tx.nonce });
+        }
+        let pre_root = self.trie.root();
+        sender.nonce += 1;
+        // The nonce bump survives failure; everything else rolls back.
+        self.put_account(&tx.from, &sender).map_err(storage)?;
+        let nonce_only_root = self.trie.root();
+
+        let fail = |state: &mut Self, err: String, gas: u64, peak: u64| {
+            state.set_root(nonce_only_root);
+            Ok(ExecResult { success: false, gas_used: gas, output: Vec::new(), vm_peak_mem: peak, error: Some(err) })
+        };
+
+        // Value transfer.
+        if tx.value > 0 {
+            if sender.balance < tx.value as i64 {
+                return fail(self, "insufficient funds".into(), 0, 0);
+            }
+            sender.balance -= tx.value as i64;
+            self.put_account(&tx.from, &sender).map_err(storage)?;
+            let mut to = self.account(&tx.to).map_err(storage)?;
+            to.balance += tx.value as i64;
+            self.put_account(&tx.to, &to).map_err(storage)?;
+        }
+
+        // Contract deployment.
+        if tx.is_deploy() {
+            let addr = Address::contract(&tx.from, tx.nonce);
+            match SvmContract::decode(&tx.payload) {
+                Some(code) => {
+                    self.install_contract(&addr, &code).map_err(storage)?;
+                    return Ok(ExecResult {
+                        success: true,
+                        gas_used: 1000 + tx.payload.len() as u64,
+                        output: addr.0.to_vec(),
+                        vm_peak_mem: 0,
+                        error: None,
+                    });
+                }
+                None => return fail(self, "malformed contract".into(), 1000, 0),
+            }
+        }
+
+        // Contract invocation.
+        let callee = self.account(&tx.to).map_err(storage)?;
+        if !callee.is_contract || tx.payload.is_empty() {
+            // Plain transfer (the analytics preload path).
+            let _ = pre_root;
+            return Ok(ExecResult { success: true, gas_used: 0, output: Vec::new(), vm_peak_mem: 0, error: None });
+        }
+        let Some(code) = self.contract_code(&tx.to).map_err(storage)? else {
+            return fail(self, "missing contract code".into(), 0, 0);
+        };
+        let Some((method, args)) = decode_call(&tx.payload) else {
+            return fail(self, "empty call payload".into(), 0, 0);
+        };
+        let Some(program) = code.method(method) else {
+            return fail(self, format!("unknown method {method}"), 0, 0);
+        };
+
+        let mut host = BufferedHost {
+            state: self,
+            contract: tx.to,
+            writes: BTreeMap::new(),
+            transfers: Vec::new(),
+            contract_balance: callee.balance + tx.value as i64,
+            caller: tx.from,
+            value: tx.value as i64,
+            height,
+            storage_error: None,
+        };
+        let out = vm.execute(program, args, tx_gas_limit, &mut host);
+        let writes = std::mem::take(&mut host.writes);
+        let transfers = std::mem::take(&mut host.transfers);
+        if let Some(e) = host.storage_error.take() {
+            return Err(TxInvalid::Storage(e));
+        }
+        if !out.success {
+            let err = out
+                .error
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "reverted".to_string());
+            return fail(self, err, out.gas_used, out.peak_memory);
+        }
+        // Flush buffered effects.
+        for (key, value) in writes {
+            let skey = storage_key(&tx.to, &key);
+            match value {
+                Some(v) => self.trie.insert(&skey, &v).map_err(storage)?,
+                None => self.trie.remove(&skey).map_err(storage)?,
+            }
+        }
+        let mut paid = 0i64;
+        for (to_bytes, amount) in &transfers {
+            let to = Address(*to_bytes);
+            let mut acct = self.account(&to).map_err(storage)?;
+            acct.balance += amount;
+            self.put_account(&to, &acct).map_err(storage)?;
+            paid += amount;
+        }
+        if paid > 0 {
+            let mut contract_acct = self.account(&tx.to).map_err(storage)?;
+            contract_acct.balance -= paid;
+            self.put_account(&tx.to, &contract_acct).map_err(storage)?;
+        }
+        Ok(ExecResult {
+            success: true,
+            gas_used: out.gas_used,
+            output: out.return_data,
+            vm_peak_mem: out.peak_memory,
+            error: None,
+        })
+    }
+}
+
+/// VM host buffering all effects until the execution is known to succeed.
+struct BufferedHost<'a, S: KvStore> {
+    state: &'a mut AccountState<S>,
+    contract: Address,
+    writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    transfers: Vec<([u8; 20], i64)>,
+    contract_balance: i64,
+    caller: Address,
+    value: i64,
+    height: u64,
+    storage_error: Option<String>,
+}
+
+impl<S: KvStore> Host for BufferedHost<'_, S> {
+    fn storage_get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(buffered) = self.writes.get(key) {
+            return buffered.clone();
+        }
+        match self.state.contract_storage(&self.contract, key) {
+            Ok(v) => v,
+            Err(e) => {
+                self.storage_error = Some(e.to_string());
+                None
+            }
+        }
+    }
+
+    fn storage_put(&mut self, key: &[u8], value: &[u8]) {
+        self.writes.insert(key.to_vec(), Some(value.to_vec()));
+    }
+
+    fn storage_delete(&mut self, key: &[u8]) {
+        self.writes.insert(key.to_vec(), None);
+    }
+
+    fn transfer(&mut self, to: &[u8], amount: i64) -> bool {
+        if amount < 0 || to.len() != 20 || self.contract_balance < amount {
+            return false;
+        }
+        self.contract_balance -= amount;
+        self.transfers.push((to.try_into().expect("20 bytes"), amount));
+        true
+    }
+
+    fn emit(&mut self, _topic: i64, _data: &[u8]) {}
+
+    fn caller(&self) -> [u8; 20] {
+        self.caller.0
+    }
+
+    fn call_value(&self) -> i64 {
+        self.value
+    }
+
+    fn block_height(&self) -> u64 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_crypto::KeyPair;
+    use bb_storage::MemStore;
+    use bb_contracts::{smallbank, ycsb};
+
+    fn state() -> AccountState<MemStore> {
+        AccountState::new(MemStore::new())
+    }
+
+    fn signed(seed: u64, nonce: u64, to: Address, value: u64, payload: Vec<u8>) -> Transaction {
+        Transaction::signed(&KeyPair::from_seed(seed), nonce, to, value, payload)
+    }
+
+    fn deploy_ycsb(s: &mut AccountState<MemStore>) -> Address {
+        let addr = Address::from_index(1000);
+        s.install_contract(&addr, &ycsb::bundle().svm).unwrap();
+        addr
+    }
+
+    #[test]
+    fn account_encoding_round_trips() {
+        let a = Account { balance: -5, nonce: 9, is_contract: true };
+        assert_eq!(Account::decode(&a.encode()), a);
+        assert_eq!(Account::decode(b"junk"), Account::default());
+    }
+
+    #[test]
+    fn value_transfer_moves_balance_and_bumps_nonce() {
+        let mut s = state();
+        let kp = KeyPair::from_seed(1);
+        let from = Address::from_public_key(&kp.public());
+        let to = Address::from_index(2);
+        s.credit(&from, 100).unwrap();
+        let tx = signed(1, 0, to, 30, vec![]);
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 1_000_000).unwrap();
+        assert!(r.success);
+        assert_eq!(s.account(&from).unwrap().balance, 70);
+        assert_eq!(s.account(&from).unwrap().nonce, 1);
+        assert_eq!(s.account(&to).unwrap().balance, 30);
+    }
+
+    #[test]
+    fn insufficient_funds_fails_but_bumps_nonce() {
+        let mut s = state();
+        let kp = KeyPair::from_seed(1);
+        let from = Address::from_public_key(&kp.public());
+        let tx = signed(1, 0, Address::from_index(2), 30, vec![]);
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 1_000_000).unwrap();
+        assert!(!r.success);
+        assert_eq!(s.account(&from).unwrap().nonce, 1);
+        assert_eq!(s.account(&Address::from_index(2)).unwrap().balance, 0);
+    }
+
+    #[test]
+    fn bad_nonce_rejected_without_state_change() {
+        let mut s = state();
+        let root = s.root();
+        let tx = signed(1, 5, Address::from_index(2), 0, vec![]);
+        let err = s.apply_transaction(&tx, 1, &Vm::default(), 1_000_000).unwrap_err();
+        assert_eq!(err, TxInvalid::BadNonce { expected: 0, got: 5 });
+        assert_eq!(s.root(), root);
+        assert!(s.validate(&tx).is_err());
+        let good = signed(1, 0, Address::from_index(2), 0, vec![]);
+        assert!(s.validate(&good).is_ok());
+    }
+
+    #[test]
+    fn contract_invocation_updates_contract_storage() {
+        let mut s = state();
+        let contract = deploy_ycsb(&mut s);
+        let tx = signed(1, 0, contract, 0, ycsb::write_call(7, b"hello"));
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 10_000_000).unwrap();
+        assert!(r.success, "{:?}", r.error);
+        assert!(r.gas_used > 0);
+        let read = signed(1, 1, contract, 0, ycsb::read_call(7));
+        let r = s.apply_transaction(&read, 1, &Vm::default(), 10_000_000).unwrap();
+        assert_eq!(r.output, b"hello");
+        // The slot is visible under the contract's storage namespace.
+        assert_eq!(
+            s.contract_storage(&contract, &ycsb::record_key(7)).unwrap(),
+            Some(b"hello".to_vec())
+        );
+    }
+
+    #[test]
+    fn reverted_execution_leaves_no_contract_writes() {
+        let mut s = state();
+        let contract = Address::from_index(1001);
+        s.install_contract(&contract, &smallbank::bundle().svm).unwrap();
+        // send_payment without funds reverts inside the VM.
+        let tx = signed(1, 0, contract, 0, smallbank::send_payment_call(1, 2, 50));
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 10_000_000).unwrap();
+        assert!(!r.success);
+        assert_eq!(
+            s.contract_storage(&contract, &smallbank::balance_key(smallbank::NS_CHECKING, 2))
+                .unwrap(),
+            None
+        );
+        // Nonce still bumped: the failed tx occupied its slot.
+        let kp = KeyPair::from_seed(1);
+        assert_eq!(s.account(&Address::from_public_key(&kp.public())).unwrap().nonce, 1);
+    }
+
+    #[test]
+    fn out_of_gas_rolls_back() {
+        let mut s = state();
+        let contract = deploy_ycsb(&mut s);
+        let tx = signed(1, 0, contract, 0, ycsb::write_call(7, &[9u8; 100]));
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 100).unwrap();
+        assert!(!r.success);
+        assert!(r.error.as_deref().unwrap_or("").contains("gas"));
+        assert_eq!(s.contract_storage(&contract, &ycsb::record_key(7)).unwrap(), None);
+    }
+
+    #[test]
+    fn deployment_via_transaction() {
+        let mut s = state();
+        let bundle = ycsb::bundle();
+        let tx = signed(1, 0, Address::ZERO, 0, bundle.svm.encode());
+        let r = s.apply_transaction(&tx, 1, &Vm::default(), 10_000_000).unwrap();
+        assert!(r.success);
+        let addr = Address(r.output.clone().try_into().expect("20 bytes"));
+        assert!(s.account(&addr).unwrap().is_contract);
+        let call = signed(1, 1, addr, 0, ycsb::write_call(1, b"x"));
+        assert!(s.apply_transaction(&call, 1, &Vm::default(), 10_000_000).unwrap().success);
+    }
+
+    #[test]
+    fn historical_roots_answer_getbalance_at_block() {
+        let mut s = state();
+        let kp = KeyPair::from_seed(1);
+        let from = Address::from_public_key(&kp.public());
+        s.credit(&from, 1000).unwrap();
+        let root_before = s.root();
+        let tx = signed(1, 0, Address::from_index(9), 400, vec![]);
+        s.apply_transaction(&tx, 1, &Vm::default(), 1_000_000).unwrap();
+        assert_eq!(s.account(&from).unwrap().balance, 600);
+        assert_eq!(s.account_at(root_before, &from).unwrap().balance, 1000);
+    }
+
+    #[test]
+    fn doubler_transfers_pay_from_contract_balance() {
+        let mut s = state();
+        let contract = Address::from_index(1002);
+        s.install_contract(&contract, &bb_contracts::doubler::bundle().svm).unwrap();
+        // Fund the contract pot so payouts can clear.
+        s.credit(&contract, 1000).unwrap();
+        let alice = KeyPair::from_seed(1);
+        let alice_addr = Address::from_public_key(&alice.public());
+        let bob = KeyPair::from_seed(2);
+        let t1 = Transaction::signed(&alice, 0, contract, 0, bb_contracts::doubler::enter_call(100));
+        assert!(s.apply_transaction(&t1, 1, &Vm::default(), 10_000_000).unwrap().success);
+        let t2 = Transaction::signed(&bob, 0, contract, 0, bb_contracts::doubler::enter_call(100));
+        assert!(s.apply_transaction(&t2, 1, &Vm::default(), 10_000_000).unwrap().success);
+        // Alice was paid 200 out of the contract's balance.
+        assert_eq!(s.account(&alice_addr).unwrap().balance, 200);
+        assert_eq!(s.account(&contract).unwrap().balance, 800);
+    }
+}

@@ -1,0 +1,758 @@
+//! The Fabric-like network world: PBFT over the simulated network with a
+//! bounded, CPU-metered message channel per peer.
+//!
+//! Every client request and every consensus message lands in a node's
+//! bounded inbox and is drained serially at `msg_process_cost` per message.
+//! When the inbox is full, arrivals are *dropped* — requests and prepares
+//! alike — which is the exact mechanism behind the paper's ≥16-node
+//! collapse: "the consensus messages are rejected by other peers on account
+//! of the message channel being full. As messages are dropped, the views
+//! start to diverge and lead to unreachable consensus" (Section 4.1.2).
+
+use crate::config::FabricConfig;
+use crate::state::FabricState;
+use bb_consensus::pbft::{Action, PbftConfig, PbftMsg, PbftNode};
+use bb_crypto::Hash256;
+use bb_merkle::merkle_root;
+use bb_net::{Delivery, Network};
+use bb_sim::{CpuMeter, Scheduler, SimDuration, SimRng, SimTime, World};
+use bb_types::{Address, Block, BlockHeader, BlockSummary, Encoder, NodeId, Transaction, TxId};
+use blockbench::connector::{
+    BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
+};
+use blockbench::contract::ContractBundle;
+use std::collections::{HashSet, VecDeque};
+
+/// Events of the Fabric world.
+#[derive(Debug, Clone)]
+pub enum FabEvent {
+    /// A client request cleared a peer's paced RPC ingress thread.
+    Ingress {
+        /// Receiving peer.
+        to: NodeId,
+        /// Encoded transaction.
+        req: Vec<u8>,
+    },
+    /// A consensus message arrived at a peer's channel.
+    Consensus {
+        /// Receiving peer.
+        to: NodeId,
+        /// Sending peer.
+        from: NodeId,
+        /// The message.
+        msg: PbftMsg,
+    },
+    /// The peer's serial message processor finished one item.
+    Drain {
+        /// The peer.
+        node: NodeId,
+        /// Pipeline generation (stale drains are ignored).
+        generation: u64,
+    },
+    /// PBFT timer poll.
+    Wake {
+        /// The peer.
+        node: NodeId,
+    },
+}
+
+enum InboxItem {
+    Message(NodeId, PbftMsg),
+}
+
+struct FabNode {
+    pbft: PbftNode,
+    state: FabricState,
+    inbox: VecDeque<InboxItem>,
+    draining: bool,
+    drain_generation: u64,
+    /// Executed transaction ids (dedupe across re-proposals).
+    executed: HashSet<TxId>,
+    /// Committed chain.
+    blocks: Vec<Block>,
+    receipts: Vec<Vec<(TxId, bool)>>,
+    cpu: CpuMeter,
+    dropped_msgs: u64,
+    crashed: bool,
+    wake_scheduled: Option<SimTime>,
+    /// RPC ingress pacing (gRPC flow control).
+    ingress_busy_until: SimTime,
+    /// Execution time owed by the pipeline before the next drain.
+    pipeline_penalty: SimDuration,
+}
+
+/// The Fabric-like platform.
+pub struct FabricChain {
+    config: FabricConfig,
+    nodes: Vec<FabNode>,
+    network: Network,
+    sched: Scheduler<FabEvent>,
+    confirmed: Vec<BlockSummary>,
+    contracts: Vec<(Address, blockbench::contract::ChaincodeFactory)>,
+    mem_peak: u64,
+}
+
+struct FabView<'a> {
+    config: &'a FabricConfig,
+    nodes: &'a mut Vec<FabNode>,
+    network: &'a mut Network,
+    confirmed: &'a mut Vec<BlockSummary>,
+}
+
+impl FabricChain {
+    /// Build a PBFT network per `config`.
+    pub fn new(config: FabricConfig) -> FabricChain {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let pbft_config = PbftConfig {
+            n: config.nodes,
+            batch_size: config.batch_size,
+            batch_timeout: config.batch_timeout,
+            view_timeout: config.view_timeout,
+        };
+        let nodes = (0..config.nodes)
+            .map(|i| FabNode {
+                pbft: PbftNode::new(NodeId(i), pbft_config.clone()),
+                state: FabricState::new(
+                    config.state_buckets,
+                    config.node_mem_bytes.saturating_sub(config.mem_base),
+                ),
+                inbox: VecDeque::new(),
+                draining: false,
+                drain_generation: 0,
+                executed: HashSet::new(),
+                blocks: Vec::new(),
+                receipts: Vec::new(),
+                cpu: CpuMeter::new(config.cores),
+                dropped_msgs: 0,
+                crashed: false,
+                wake_scheduled: None,
+                ingress_busy_until: SimTime::ZERO,
+                pipeline_penalty: SimDuration::ZERO,
+            })
+            .collect();
+        let network = Network::new(config.nodes, config.link.clone(), rng.fork());
+        FabricChain {
+            config,
+            nodes,
+            network,
+            sched: Scheduler::new(),
+            confirmed: Vec::new(),
+            contracts: Vec::new(),
+            mem_peak: 0,
+        }
+    }
+
+    /// Consensus-message drops so far (diagnostics for the collapse).
+    pub fn dropped_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped_msgs).sum()
+    }
+
+    fn run(&mut self, t: SimTime) {
+        let FabricChain { config, nodes, network, sched, confirmed, .. } = self;
+        let mut view = FabView { config, nodes, network, confirmed };
+        sched.run_until(&mut view, t);
+    }
+}
+
+impl World for FabView<'_> {
+    type Event = FabEvent;
+
+    fn handle(&mut self, now: SimTime, event: FabEvent, sched: &mut Scheduler<FabEvent>) {
+        match event {
+            FabEvent::Ingress { to, req } => self.on_ingress(now, to, req, sched),
+            FabEvent::Consensus { to, from, msg } => {
+                self.enqueue(now, to, InboxItem::Message(from, msg), sched)
+            }
+            FabEvent::Drain { node, generation } => self.on_drain(now, node, generation, sched),
+            FabEvent::Wake { node } => self.on_wake(now, node, sched),
+        }
+    }
+}
+
+impl FabView<'_> {
+    /// A client request cleared the paced ingress thread: hand it to PBFT
+    /// (which forwards to the primary) and relay it to the other peers so
+    /// they can watch for liveness. Relays travel through the *bounded*
+    /// consensus channel.
+    fn on_ingress(&mut self, now: SimTime, to: NodeId, req: Vec<u8>, sched: &mut Scheduler<FabEvent>) {
+        let node = &mut self.nodes[to.index()];
+        if node.crashed {
+            return;
+        }
+        // Ingress-side signature verification.
+        node.cpu.charge(now, SimDuration::from_micros(500));
+        let actions = node.pbft.on_request(req.clone(), now);
+        let primary_gets_forward = actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(_, PbftMsg::Forward(_))));
+        self.dispatch(now, to, actions, sched);
+        // Relay to everyone who has not seen it (skip the primary if the
+        // PBFT layer already forwarded there).
+        let primary = {
+            let node = &self.nodes[to.index()];
+            // Reconstruct the primary of the node's current view.
+            let view = node.pbft.view();
+            NodeId((view % self.config.nodes as u64) as u32)
+        };
+        for peer in (0..self.network.node_count()).map(NodeId) {
+            if peer == to || (primary_gets_forward && peer == primary) {
+                continue;
+            }
+            self.send(now, to, peer, PbftMsg::Forward(req.clone()), sched);
+        }
+        self.schedule_wake(now, to, sched);
+    }
+
+    /// Deliver into the bounded channel; full channel drops the item.
+    fn enqueue(&mut self, now: SimTime, to: NodeId, item: InboxItem, sched: &mut Scheduler<FabEvent>) {
+        let cap = self.config.channel_capacity;
+        let cost = self.config.msg_process_cost;
+        let node = &mut self.nodes[to.index()];
+        if node.crashed {
+            return;
+        }
+        if node.inbox.len() >= cap {
+            node.dropped_msgs += 1;
+            return;
+        }
+        node.inbox.push_back(item);
+        if !node.draining {
+            node.draining = true;
+            node.drain_generation += 1;
+            let generation = node.drain_generation;
+            let penalty = std::mem::take(&mut node.pipeline_penalty);
+            sched.schedule(now + cost + penalty, FabEvent::Drain { node: to, generation });
+        }
+    }
+
+    fn on_drain(&mut self, now: SimTime, id: NodeId, generation: u64, sched: &mut Scheduler<FabEvent>) {
+        let cost = self.config.msg_process_cost;
+        let actions = {
+            let node = &mut self.nodes[id.index()];
+            if node.crashed || node.drain_generation != generation {
+                return;
+            }
+            node.cpu.charge(now, cost);
+            let Some(item) = node.inbox.pop_front() else {
+                node.draining = false;
+                return;
+            };
+            let InboxItem::Message(from, msg) = item;
+            let actions = node.pbft.on_message(from, msg, now);
+            if node.inbox.is_empty() {
+                node.draining = false;
+            } else {
+                node.drain_generation += 1;
+                let generation = node.drain_generation;
+                let penalty = std::mem::take(&mut node.pipeline_penalty);
+                sched.schedule(now + cost + penalty, FabEvent::Drain { node: id, generation });
+            }
+            actions
+        };
+        self.dispatch(now, id, actions, sched);
+        self.schedule_wake(now, id, sched);
+    }
+
+    fn on_wake(&mut self, now: SimTime, id: NodeId, sched: &mut Scheduler<FabEvent>) {
+        let actions = {
+            let node = &mut self.nodes[id.index()];
+            node.wake_scheduled = None;
+            if node.crashed {
+                return;
+            }
+            node.pbft.on_tick(now)
+        };
+        self.dispatch(now, id, actions, sched);
+        self.schedule_wake(now, id, sched);
+    }
+
+    fn schedule_wake(&mut self, now: SimTime, id: NodeId, sched: &mut Scheduler<FabEvent>) {
+        let node = &mut self.nodes[id.index()];
+        if node.crashed {
+            return;
+        }
+        let Some(wake) = node.pbft.next_wake() else {
+            return;
+        };
+        let wake = wake.max(now + SimDuration::from_micros(1));
+        if node.wake_scheduled.is_none_or(|t| wake < t) {
+            node.wake_scheduled = Some(wake);
+            sched.schedule(wake, FabEvent::Wake { node: id });
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, from: NodeId, actions: Vec<Action>, sched: &mut Scheduler<FabEvent>) {
+        for action in actions {
+            match action {
+                Action::Send(to, msg) => self.send(now, from, to, msg, sched),
+                Action::Broadcast(msg) => {
+                    for to in (0..self.network.node_count()).map(NodeId) {
+                        if to != from {
+                            self.send(now, from, to, msg.clone(), sched);
+                        }
+                    }
+                }
+                Action::CommitBatch { seq, batch } => self.commit_batch(now, from, seq, batch),
+            }
+        }
+    }
+
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: PbftMsg, sched: &mut Scheduler<FabEvent>) {
+        if let Delivery::Deliver { at, corrupted } =
+            self.network.send(now, from, to, msg.byte_size())
+        {
+            // Corrupted messages fail signature verification at the
+            // receiver and are discarded (the paper's "random response"
+            // fault, Section 3.3).
+            if !corrupted {
+                sched.schedule(at, FabEvent::Consensus { to, from, msg });
+            }
+        }
+    }
+
+    /// Execute a committed batch and append the block.
+    fn commit_batch(&mut self, now: SimTime, at: NodeId, seq: u64, batch: Vec<Vec<u8>>) {
+        let node = &mut self.nodes[at.index()];
+        let height = node.blocks.len() as u64 + 1;
+        let mut txs = Vec::with_capacity(batch.len());
+        let mut receipts = Vec::with_capacity(batch.len());
+        let mut exec_time = SimDuration::ZERO;
+        for raw in &batch {
+            let Ok(tx) = Transaction::decode(raw) else {
+                continue;
+            };
+            let id = tx.id();
+            if !node.executed.insert(id) {
+                continue; // re-proposed duplicate
+            }
+            let res = node.state.invoke(&tx, height, true);
+            exec_time += self.config.invoke_time(res.units, res.state_ops);
+            receipts.push((id, res.success));
+            txs.push(tx);
+        }
+        node.cpu.charge(now, exec_time);
+        // Execution occupies the same event loop as message processing:
+        // the next drain waits for it.
+        node.pipeline_penalty += exec_time;
+        let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
+        // Headers must be byte-identical across replicas: the timestamp is
+        // the deterministic sequence number, not local delivery time.
+        let header = BlockHeader {
+            parent,
+            height,
+            timestamp_us: seq,
+            tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+            state_root: node.state.root(),
+            proposer: NodeId((seq % self.config.nodes as u64) as u32),
+            difficulty: 0,
+            round: seq,
+        };
+        let block = Block { header, txs };
+        if at.index() == 0 {
+            // PBFT confirms immediately: "Hyperledger confirms a block as
+            // soon as it appears on the blockchain" (Section 3.2).
+            self.confirmed.push(BlockSummary {
+                id: block.id(),
+                height,
+                proposer: block.header.proposer,
+                confirmed_at_us: now.as_micros(),
+                txs: receipts.clone(),
+            });
+        }
+        node.receipts.push(receipts);
+        node.blocks.push(block);
+    }
+}
+
+impl BlockchainConnector for FabricChain {
+    fn name(&self) -> &'static str {
+        "hyperledger"
+    }
+
+    fn node_count(&self) -> u32 {
+        self.config.nodes
+    }
+
+    fn deploy(&mut self, bundle: &ContractBundle) -> Address {
+        let addr = Address::contract(&Address::ZERO, self.contracts.len() as u64);
+        for node in &mut self.nodes {
+            node.state.install(addr, bundle.native);
+        }
+        self.contracts.push((addr, bundle.native));
+        addr
+    }
+
+    fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
+        let now = self.sched.now();
+        let node = &mut self.nodes[server.index()];
+        // The RPC ingress thread admits requests at a fixed pace; excess
+        // queues here (client-visible latency), never inside consensus.
+        let at = node
+            .ingress_busy_until
+            .max(now + self.config.rpc_delay)
+            + self.config.ingress_interval;
+        node.ingress_busy_until = at;
+        self.sched.schedule(at, FabEvent::Ingress { to: server, req: tx.encode() });
+        true
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.run(t);
+    }
+
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary> {
+        self.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryResult, QueryError> {
+        match q {
+            Query::BlockTxs { height } => {
+                let node = &self.nodes[0];
+                let block = node
+                    .blocks
+                    .get((*height as usize).checked_sub(1).ok_or(QueryError::NotFound)?)
+                    .ok_or(QueryError::NotFound)?;
+                let mut enc = Encoder::with_capacity(block.txs.len() * 48 + 4);
+                enc.put_u32(block.txs.len() as u32);
+                for tx in &block.txs {
+                    enc.put_raw(tx.from.as_bytes()).put_raw(tx.to.as_bytes()).put_u64(tx.value);
+                }
+                let cost = SimDuration::from_micros(20 + 4 * block.txs.len() as u64);
+                Ok(QueryResult { data: enc.finish(), server_cost: cost })
+            }
+            Query::AccountAtBlock { .. } => {
+                // "the system does not have APIs to query historical
+                // states" (Section 3.4.2) — use the VersionKVStore
+                // chaincode instead.
+                Err(QueryError::Unsupported)
+            }
+            Query::Contract { address, payload } => {
+                let node = &mut self.nodes[0];
+                let kp = bb_crypto::KeyPair::from_seed(0);
+                let tx = Transaction::signed(&kp, 0, *address, 0, payload.clone());
+                let height = node.blocks.len() as u64;
+                let res = node.state.invoke(&tx, height, false);
+                if !res.success {
+                    return Err(QueryError::Contract(
+                        res.error.unwrap_or_else(|| "chaincode error".into()),
+                    ));
+                }
+                Ok(QueryResult {
+                    data: res.output,
+                    server_cost: self.config.invoke_time(res.units, res.state_ops),
+                })
+            }
+        }
+    }
+
+    fn inject(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(node) => {
+                self.network.crash(node);
+                self.nodes[node.index()].crashed = true;
+            }
+            Fault::Recover(node) => {
+                self.network.recover(node);
+                self.nodes[node.index()].crashed = false;
+            }
+            Fault::Delay(node, d) => self.network.set_extra_delay(node, d),
+            Fault::Corrupt(node, p) => self.network.set_corrupt_prob(node, p),
+            Fault::PartitionHalf { left } => self.network.partition_in_half(left),
+            Fault::Heal => self.network.heal(),
+        }
+    }
+
+    fn stats(&self) -> PlatformStats {
+        let n = self.nodes.len();
+        let mut disk = 0u64;
+        let mut mem_peak = self.mem_peak.max(self.config.mem_base);
+        let mut cpu: Vec<f64> = Vec::new();
+        let mut net: Vec<f64> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            disk += node.state.store_stats().disk_bytes;
+            mem_peak = mem_peak.max(self.config.mem_base + node.state.mem_peak());
+            let series = node.cpu.utilisation_series();
+            if series.len() > cpu.len() {
+                cpu.resize(series.len(), 0.0);
+            }
+            for (j, v) in series.iter().enumerate() {
+                cpu[j] += v / n as f64;
+            }
+            let tx = self.network.tx_mbps_series(NodeId(i as u32));
+            if tx.len() > net.len() {
+                net.resize(tx.len(), 0.0);
+            }
+            for (j, v) in tx.iter().enumerate() {
+                net[j] += v / n as f64;
+            }
+        }
+        PlatformStats {
+            // PBFT never forks: every committed block is on the chain.
+            blocks_total: self.nodes[0].blocks.len() as u64,
+            blocks_main: self.nodes[0].blocks.len() as u64,
+            txs_committed: self.confirmed.iter().map(|b| b.txs.len() as u64).sum(),
+            disk_bytes: disk,
+            mem_peak_bytes: mem_peak,
+            cpu_utilisation: cpu,
+            net_mbps: net,
+            net_bytes: self.network.stats().bytes,
+        }
+    }
+
+    fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
+        for txs in blocks {
+            let now = self.sched.now();
+            for i in 0..self.nodes.len() {
+                let node = &mut self.nodes[i];
+                let height = node.blocks.len() as u64 + 1;
+                let mut receipts = Vec::with_capacity(txs.len());
+                for tx in &txs {
+                    node.executed.insert(tx.id());
+                    let res = node.state.invoke(tx, height, true);
+                    receipts.push((tx.id(), res.success));
+                }
+                let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
+                let header = BlockHeader {
+                    parent,
+                    height,
+                    timestamp_us: now.as_micros(),
+                    tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+                    state_root: node.state.root(),
+                    proposer: NodeId(0),
+                    difficulty: 0,
+                    round: height,
+                };
+                let block = Block { header, txs: txs.clone() };
+                if i == 0 {
+                    self.confirmed.push(BlockSummary {
+                        id: block.id(),
+                        height,
+                        proposer: NodeId(0),
+                        confirmed_at_us: now.as_micros(),
+                        txs: receipts.clone(),
+                    });
+                }
+                node.receipts.push(receipts);
+                node.blocks.push(block);
+            }
+        }
+    }
+
+    fn execute_direct(&mut self, tx: Transaction) -> DirectExec {
+        let node = &mut self.nodes[0];
+        let height = node.blocks.len() as u64;
+        let res = node.state.invoke(&tx, height, true);
+        let modeled = self.config.mem_base + res.peak_alloc;
+        self.mem_peak = self.mem_peak.max(modeled);
+        DirectExec {
+            success: res.success,
+            duration: self.config.msg_process_cost
+                + self.config.invoke_time(res.units, res.state_ops),
+            gas_used: res.units,
+            modeled_mem: modeled,
+            output: res.output,
+            error: res.error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_contracts::{donothing, ycsb};
+    use bb_crypto::KeyPair;
+
+    fn chain(nodes: u32) -> FabricChain {
+        FabricChain::new(FabricConfig::with_nodes(nodes))
+    }
+
+    fn client_tx(seed: u64, nonce: u64, to: Address, payload: Vec<u8>) -> Transaction {
+        Transaction::signed(&KeyPair::from_seed(seed), nonce, to, 0, payload)
+    }
+
+    #[test]
+    fn transactions_commit_within_a_batch_timeout() {
+        let mut c = chain(4);
+        let addr = c.deploy(&ycsb::bundle());
+        for nonce in 0..10 {
+            c.submit(NodeId((nonce % 4) as u32), client_tx(1, nonce, addr, ycsb::write_call(nonce, b"v")));
+        }
+        c.advance_to(SimTime::from_secs(3));
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 10);
+        // Committed fast: within ~batch timeout + a few network hops.
+        let first = &c.confirmed_blocks_since(0)[0];
+        assert!(first.confirmed_at_us < 1_500_000, "took {}µs", first.confirmed_at_us);
+    }
+
+    #[test]
+    fn all_peers_hold_identical_chains() {
+        let mut c = chain(4);
+        let addr = c.deploy(&ycsb::bundle());
+        for nonce in 0..50 {
+            c.submit(NodeId((nonce % 4) as u32), client_tx(2, nonce, addr, ycsb::write_call(nonce, b"x")));
+        }
+        c.advance_to(SimTime::from_secs(5));
+        let reference: Vec<Hash256> = c.nodes[0].blocks.iter().map(|b| b.id()).collect();
+        assert!(!reference.is_empty());
+        for i in 1..4 {
+            let other: Vec<Hash256> = c.nodes[i].blocks.iter().map(|b| b.id()).collect();
+            assert_eq!(other, reference, "node {i} diverged");
+        }
+        // State roots agree too.
+        let root = c.nodes[0].state.root();
+        assert!(c.nodes.iter().all(|n| n.state.root() == root));
+    }
+
+    #[test]
+    fn four_of_twelve_crashes_stall_the_network() {
+        let mut c = chain(12);
+        let addr = c.deploy(&donothing::bundle());
+        for i in 8..12 {
+            c.inject(Fault::Crash(NodeId(i)));
+        }
+        for nonce in 0..20 {
+            c.submit(NodeId(nonce as u32 % 8), client_tx(1, nonce, addr, donothing::call()));
+        }
+        c.advance_to(SimTime::from_secs(60));
+        // Quorum is n - f = 9 > 8 alive: nothing can commit (Figure 9).
+        assert!(c.confirmed_blocks_since(0).is_empty());
+    }
+
+    #[test]
+    fn four_of_sixteen_crashes_recover_via_view_change() {
+        let mut c = chain(16);
+        let addr = c.deploy(&donothing::bundle());
+        // Crash the primary (node 0 is view-0 primary? no: keep node 0 as
+        // observer; crash 1..5 including nothing special) — crash 4 backups.
+        for i in 12..16 {
+            c.inject(Fault::Crash(NodeId(i)));
+        }
+        for nonce in 0..20 {
+            c.submit(NodeId(nonce as u32 % 8), client_tx(1, nonce, addr, donothing::call()));
+        }
+        c.advance_to(SimTime::from_secs(60));
+        // Quorum 11 ≤ 12 alive: commits happen.
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 20);
+    }
+
+    #[test]
+    fn primary_crash_recovers_after_view_change() {
+        let mut c = chain(4);
+        let addr = c.deploy(&donothing::bundle());
+        c.inject(Fault::Crash(NodeId(0)));
+        for nonce in 0..5 {
+            c.submit(NodeId(1 + nonce as u32 % 3), client_tx(1, nonce, addr, donothing::call()));
+        }
+        c.advance_to(SimTime::from_secs(60));
+        // Node 0 is the observer AND the crashed primary, so look at node 1.
+        let committed: usize = c.nodes[1].receipts.iter().map(Vec::len).sum();
+        assert_eq!(committed, 5, "view change did not recover the cluster");
+        assert!(c.nodes[1].pbft.view() > 0);
+    }
+
+    #[test]
+    fn even_partition_halts_without_forks() {
+        let mut c = chain(8);
+        let addr = c.deploy(&donothing::bundle());
+        c.advance_to(SimTime::from_secs(1));
+        c.inject(Fault::PartitionHalf { left: 4 });
+        for nonce in 0..20 {
+            c.submit(NodeId(nonce as u32 % 8), client_tx(1, nonce, addr, donothing::call()));
+        }
+        c.advance_to(SimTime::from_secs(30));
+        // Neither half reaches quorum 6: no commits, no forks.
+        assert!(c.confirmed_blocks_since(0).is_empty());
+        let s = c.stats();
+        assert_eq!(s.blocks_total, s.blocks_main);
+        // Heal: the cluster recovers and commits everything.
+        c.inject(Fault::Heal);
+        c.advance_to(SimTime::from_secs(120));
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 20, "requests lost across the partition");
+    }
+
+    #[test]
+    fn channel_overflow_collapses_a_large_loaded_cluster() {
+        // 20 servers all admitting at full ingress rate: the relay traffic
+        // every node must process exceeds its pipeline, the bounded channel
+        // fills, and consensus messages start dropping — the paper's >16
+        // node failure mode.
+        let mut c = chain(20);
+        let addr = c.deploy(&ycsb::bundle());
+        let mut nonce = vec![0u64; 20];
+        for tick in 0..120u64 {
+            c.advance_to(SimTime::from_millis(tick * 50));
+            for seed in 0..20u64 {
+                for _ in 0..10 {
+                    let n = nonce[seed as usize];
+                    nonce[seed as usize] += 1;
+                    c.submit(NodeId(seed as u32), client_tx(seed, n, addr, ycsb::write_call(n, b"v")));
+                }
+            }
+        }
+        c.advance_to(SimTime::from_secs(10));
+        assert!(c.dropped_messages() > 0, "bounded channel never overflowed");
+        // Committed throughput is far below the admitted ~3200 tx/s.
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        let rate = committed as f64 / 10.0;
+        assert!(rate < 2000.0, "no collapse: rate {rate}");
+    }
+
+    #[test]
+    fn throughput_is_pipeline_bound() {
+        let mut c = chain(8);
+        let addr = c.deploy(&donothing::bundle());
+        // Offer ~3200 tx/s over 8 servers, paced like the driver.
+        let mut nonce = vec![0u64; 8];
+        for tick in 0..400u64 {
+            c.advance_to(SimTime::from_millis(tick * 25));
+            for seed in 0..8u64 {
+                for _ in 0..10 {
+                    let n = nonce[seed as usize];
+                    nonce[seed as usize] += 1;
+                    c.submit(NodeId(seed as u32), client_tx(seed, n, addr, donothing::call()));
+                }
+            }
+        }
+        c.advance_to(SimTime::from_secs(14));
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        let rate = committed as f64 / 14.0;
+        // Near the paper's ~1273 tx/s peak: 8 servers × 160 tx/s admission.
+        assert!(rate > 900.0 && rate < 1500.0, "rate {rate}");
+    }
+
+    #[test]
+    fn query_paths() {
+        let mut c = chain(4);
+        let kv = c.deploy(&bb_contracts::version_kv::bundle());
+        let alice = KeyPair::from_seed(3);
+        c.preload_blocks(vec![
+            vec![Transaction::signed(&alice, 0, kv, 0, bb_contracts::version_kv::send_value_call(1, 2, 10))],
+            vec![Transaction::signed(&alice, 1, kv, 0, bb_contracts::version_kv::send_value_call(2, 3, 5))],
+        ]);
+        // Historical account query is unsupported natively...
+        let err = c
+            .query(&Query::AccountAtBlock { account: Address::from_index(1), height: 1 })
+            .unwrap_err();
+        assert_eq!(err, QueryError::Unsupported);
+        // ...but the VersionKVStore chaincode answers it in one round trip.
+        let r = c
+            .query(&Query::Contract {
+                address: kv,
+                payload: bb_contracts::version_kv::account_range_call(2, 0, 100),
+            })
+            .unwrap();
+        let pairs = bb_contracts::version_kv::decode_account_range(&r.data);
+        assert_eq!(pairs.len(), 2);
+        // Block transaction lists work like on the other platforms.
+        let r = c.query(&Query::BlockTxs { height: 1 }).unwrap();
+        let mut d = bb_types::Decoder::new(&r.data);
+        assert_eq!(d.u32().unwrap(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! The Hyperledger Fabric v0.6-like platform.
+//!
+//! Stack (Sections 3.1 and 4 of the paper):
+//! - **consensus**: PBFT with request batching (`batchSize = 500`), view
+//!   changes, and — crucially — a *bounded per-node message channel*: every
+//!   incoming request and consensus message costs CPU to process, and
+//!   arrivals beyond the channel capacity are dropped. Under combined
+//!   client + O(N²) consensus load this is what makes the platform "fail
+//!   to scale beyond 16 nodes": dropped prepares/view-changes diverge the
+//!   views exactly as the paper diagnosed from Fabric's logs;
+//! - **data model**: a flat key-value namespace per chaincode,
+//!   authenticated by a Bucket-Merkle tree over a RocksDB-like LSM store —
+//!   an order of magnitude cheaper on disk than the trie platforms
+//!   (Figure 12c), but with no historical-state API (Q2 needs the
+//!   VersionKVStore chaincode);
+//! - **execution**: native [`blockbench::Chaincode`] implementations
+//!   running at compiled speed (the Docker stand-in), with transient
+//!   allocations accounted against node RAM.
+
+pub mod chain;
+pub mod config;
+pub mod state;
+
+pub use chain::FabricChain;
+pub use config::FabricConfig;

@@ -1,0 +1,356 @@
+//! The chaincode runtime: Fabric's execution + data layer.
+//!
+//! Chaincodes are native Rust (the Docker-image stand-in, Section 3.1.3),
+//! each confined to its own key namespace inside one Bucket-Merkle tree
+//! over an LSM store (the RocksDB stand-in). Writes buffer during an
+//! invocation and flush only on success, so a failed chaincode leaves no
+//! trace.
+
+use bb_merkle::BucketTree;
+use bb_sim::MemMeter;
+use bb_storage::{KvStore, LsmConfig, LsmStore};
+use bb_types::{Address, Transaction};
+use blockbench::contract::{decode_call, Chaincode, ChaincodeContext, ChaincodeFactory};
+use std::collections::{BTreeMap, HashMap};
+
+/// Outcome of a chaincode invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeResult {
+    /// Did it succeed?
+    pub success: bool,
+    /// Native work units charged.
+    pub units: u64,
+    /// State operations performed (get/put/delete).
+    pub state_ops: u64,
+    /// Peak transient allocation during the call.
+    pub peak_alloc: u64,
+    /// Return data.
+    pub output: Vec<u8>,
+    /// Failure cause.
+    pub error: Option<String>,
+}
+
+/// One peer's world state plus its installed chaincodes.
+pub struct FabricState {
+    tree: BucketTree<LsmStore>,
+    chaincodes: HashMap<Address, Box<dyn Chaincode>>,
+    mem: MemMeter,
+}
+
+fn namespaced(addr: &Address, key: &[u8]) -> Vec<u8> {
+    let mut k = addr.0.to_vec();
+    k.push(b':');
+    k.extend_from_slice(key);
+    k
+}
+
+impl FabricState {
+    /// Fresh state over a private LSM store.
+    pub fn new(buckets: usize, mem_cap: u64) -> FabricState {
+        FabricState {
+            tree: BucketTree::new(LsmStore::new_private(LsmConfig {
+                    // Chain workloads write heavily and never delete:
+                    // flush less often and let more tables accumulate
+                    // before the (full) compaction rewrites the store.
+                    memtable_flush_bytes: 4 << 20,
+                    max_tables: 48,
+                    ..LsmConfig::default()
+                }), buckets),
+            chaincodes: HashMap::new(),
+            mem: MemMeter::new(mem_cap),
+        }
+    }
+
+    /// Install (deploy) a chaincode at `addr`.
+    pub fn install(&mut self, addr: Address, factory: ChaincodeFactory) {
+        self.chaincodes.insert(addr, factory());
+    }
+
+    /// Is a chaincode installed at `addr`?
+    pub fn has_chaincode(&self, addr: &Address) -> bool {
+        self.chaincodes.contains_key(addr)
+    }
+
+    /// State-tree root (goes into block headers).
+    pub fn root(&self) -> bb_crypto::Hash256 {
+        self.tree.root()
+    }
+
+    /// Storage stats of the backing LSM store.
+    pub fn store_stats(&self) -> bb_storage::StorageStats {
+        self.tree.store().stats()
+    }
+
+    /// Peak chaincode allocation observed.
+    pub fn mem_peak(&self) -> u64 {
+        self.mem.peak()
+    }
+
+    /// Read a raw namespaced state value (tests, analytics).
+    pub fn get_state(
+        &mut self,
+        addr: &Address,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, bb_storage::KvError> {
+        self.tree.get(&namespaced(addr, key))
+    }
+
+    /// Execute a transaction's chaincode invocation. `commit` controls
+    /// whether buffered writes flush (false = read-only query path).
+    pub fn invoke(&mut self, tx: &Transaction, height: u64, commit: bool) -> InvokeResult {
+        let Some((method, args)) = decode_call(&tx.payload) else {
+            return InvokeResult {
+                success: false,
+                units: 1,
+                state_ops: 0,
+                peak_alloc: 0,
+                output: Vec::new(),
+                error: Some("empty payload".into()),
+            };
+        };
+        let Some(chaincode) = self.chaincodes.get_mut(&tx.to) else {
+            return InvokeResult {
+                success: false,
+                units: 1,
+                state_ops: 0,
+                peak_alloc: 0,
+                output: Vec::new(),
+                error: Some("no chaincode at target".into()),
+            };
+        };
+        let mut ctx = FabricContext {
+            tree: &mut self.tree,
+            mem: &mut self.mem,
+            addr: tx.to,
+            writes: BTreeMap::new(),
+            caller: tx.from.0,
+            height,
+            units: 2, // unmarshal + dispatch
+            state_ops: 0,
+            alloc_live: 0,
+            peak_alloc: 0,
+            storage_error: None,
+        };
+        let result = chaincode.invoke(&mut ctx, method, args);
+        let units = ctx.units;
+        let state_ops = ctx.state_ops;
+        let peak_alloc = ctx.peak_alloc;
+        let writes = std::mem::take(&mut ctx.writes);
+        // Free anything the chaincode leaked.
+        let leaked = ctx.alloc_live;
+        let storage_error = ctx.storage_error.take();
+        drop(ctx);
+        self.mem.free(leaked);
+        if let Some(e) = storage_error {
+            return InvokeResult {
+                success: false,
+                units,
+                state_ops,
+                peak_alloc,
+                output: Vec::new(),
+                error: Some(e),
+            };
+        }
+        match result {
+            Ok(output) => {
+                if commit {
+                    for (key, value) in writes {
+                        let r = match value {
+                            Some(v) => self.tree.put(&key, &v),
+                            None => self.tree.delete(&key),
+                        };
+                        if let Err(e) = r {
+                            return InvokeResult {
+                                success: false,
+                                units,
+                                state_ops,
+                                peak_alloc,
+                                output: Vec::new(),
+                                error: Some(e.to_string()),
+                            };
+                        }
+                    }
+                }
+                InvokeResult { success: true, units, state_ops, peak_alloc, output, error: None }
+            }
+            Err(e) => InvokeResult {
+                success: false,
+                units,
+                state_ops,
+                peak_alloc,
+                output: Vec::new(),
+                error: Some(e),
+            },
+        }
+    }
+}
+
+/// Per-invocation context: buffered writes over the shared bucket tree.
+struct FabricContext<'a> {
+    tree: &'a mut BucketTree<LsmStore>,
+    mem: &'a mut MemMeter,
+    addr: Address,
+    writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    caller: [u8; 20],
+    height: u64,
+    units: u64,
+    state_ops: u64,
+    alloc_live: u64,
+    peak_alloc: u64,
+    storage_error: Option<String>,
+}
+
+impl ChaincodeContext for FabricContext<'_> {
+    fn get_state(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.units += 1;
+        self.state_ops += 1;
+        let nkey = namespaced(&self.addr, key);
+        if let Some(buffered) = self.writes.get(&nkey) {
+            return buffered.clone();
+        }
+        match self.tree.get(&nkey) {
+            Ok(v) => v,
+            Err(e) => {
+                self.storage_error = Some(e.to_string());
+                None
+            }
+        }
+    }
+
+    fn put_state(&mut self, key: &[u8], value: &[u8]) {
+        self.units += 2;
+        self.state_ops += 1;
+        self.writes.insert(namespaced(&self.addr, key), Some(value.to_vec()));
+    }
+
+    fn delete_state(&mut self, key: &[u8]) {
+        self.units += 2;
+        self.state_ops += 1;
+        self.writes.insert(namespaced(&self.addr, key), None);
+    }
+
+    fn caller(&self) -> [u8; 20] {
+        self.caller
+    }
+
+    fn block_height(&self) -> u64 {
+        self.height
+    }
+
+    fn charge(&mut self, units: u64) {
+        self.units += units;
+    }
+
+    fn alloc(&mut self, bytes: u64) -> Result<(), String> {
+        self.mem.alloc(bytes).map_err(|e| e.to_string())?;
+        self.alloc_live += bytes;
+        self.peak_alloc = self.peak_alloc.max(self.alloc_live);
+        Ok(())
+    }
+
+    fn free(&mut self, bytes: u64) {
+        let freed = bytes.min(self.alloc_live);
+        self.mem.free(freed);
+        self.alloc_live -= freed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_contracts::{cpuheavy, smallbank, ycsb};
+    use bb_crypto::KeyPair;
+
+    fn tx(seed: u64, nonce: u64, to: Address, payload: Vec<u8>) -> Transaction {
+        Transaction::signed(&KeyPair::from_seed(seed), nonce, to, 0, payload)
+    }
+
+    fn state_with_ycsb() -> (FabricState, Address) {
+        let mut s = FabricState::new(64, 1 << 30);
+        let addr = Address::from_index(500);
+        s.install(addr, ycsb::bundle().native);
+        (s, addr)
+    }
+
+    #[test]
+    fn invoke_writes_and_reads_namespaced_state() {
+        let (mut s, addr) = state_with_ycsb();
+        let r = s.invoke(&tx(1, 0, addr, ycsb::write_call(9, b"val")), 1, true);
+        assert!(r.success, "{:?}", r.error);
+        assert!(r.units > 0);
+        let r = s.invoke(&tx(1, 1, addr, ycsb::read_call(9)), 1, true);
+        assert_eq!(r.output, b"val");
+        assert_eq!(s.get_state(&addr, &ycsb::record_key(9)).unwrap(), Some(b"val".to_vec()));
+    }
+
+    #[test]
+    fn chaincodes_are_isolated_by_namespace() {
+        let mut s = FabricState::new(64, 1 << 30);
+        let a = Address::from_index(1);
+        let b = Address::from_index(2);
+        s.install(a, ycsb::bundle().native);
+        s.install(b, ycsb::bundle().native);
+        s.invoke(&tx(1, 0, a, ycsb::write_call(1, b"from-a")), 1, true);
+        let r = s.invoke(&tx(1, 1, b, ycsb::read_call(1)), 1, true);
+        assert!(r.output.is_empty(), "chaincode b must not see a's state");
+    }
+
+    #[test]
+    fn failed_invocation_rolls_back() {
+        let mut s = FabricState::new(64, 1 << 30);
+        let addr = Address::from_index(3);
+        s.install(addr, smallbank::bundle().native);
+        let root = s.root();
+        let r = s.invoke(&tx(1, 0, addr, smallbank::send_payment_call(1, 2, 100)), 1, true);
+        assert!(!r.success);
+        assert_eq!(s.root(), root, "failed chaincode must not move the state root");
+    }
+
+    #[test]
+    fn query_path_does_not_commit() {
+        let (mut s, addr) = state_with_ycsb();
+        let root = s.root();
+        let r = s.invoke(&tx(1, 0, addr, ycsb::write_call(5, b"x")), 1, false);
+        assert!(r.success);
+        assert_eq!(s.root(), root);
+        assert_eq!(s.get_state(&addr, &ycsb::record_key(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_chaincode_and_malformed_payload_fail() {
+        let (mut s, addr) = state_with_ycsb();
+        let r = s.invoke(&tx(1, 0, Address::from_index(999), ycsb::read_call(1)), 1, true);
+        assert!(!r.success);
+        let mut bad = tx(1, 0, addr, vec![]);
+        bad.payload.clear();
+        let r = s.invoke(&bad, 1, true);
+        assert!(!r.success);
+    }
+
+    #[test]
+    fn allocation_cap_models_node_ram() {
+        let mut s = FabricState::new(64, 1 << 20); // 1 MiB cap
+        let addr = Address::from_index(4);
+        s.install(addr, cpuheavy::bundle().native);
+        let r = s.invoke(&tx(1, 0, addr, cpuheavy::sort_call(1_000_000)), 1, true);
+        assert!(!r.success);
+        assert!(r.error.unwrap().contains("out of memory"));
+        // A small sort fits and records its peak.
+        let r = s.invoke(&tx(1, 1, addr, cpuheavy::sort_call(1000)), 1, true);
+        assert!(r.success);
+        assert_eq!(r.peak_alloc, 8000);
+        assert!(s.mem_peak() >= 8000);
+    }
+
+    #[test]
+    fn disk_usage_is_flat_key_value() {
+        let (mut s, addr) = state_with_ycsb();
+        for i in 0..200u64 {
+            s.invoke(&tx(1, i, addr, ycsb::write_call(i, &[7u8; 100])), 1, true);
+        }
+        let stats = s.store_stats();
+        // One write per put plus WAL: no trie-style amplification.
+        assert!(stats.writes <= 220, "writes {}", stats.writes);
+        assert!(stats.disk_bytes > 100 * 200);
+    }
+}

@@ -1,0 +1,333 @@
+//! An H-Store-like in-memory partitioned database — the paper's database
+//! baseline (Figure 14, Appendix B).
+//!
+//! H-Store's execution model: data is hash-partitioned across nodes, each
+//! partition executes transactions *serially* on a single site thread
+//! (no locks, no latches), and cross-partition transactions run blocking
+//! two-phase commit — which is why "Smallbank achieves 6.6× lower
+//! throughput and 4× higher latency than YCSB" on H-Store while the
+//! blockchains, being fully replicated, barely notice the difference.
+//!
+//! The store is real (every operation reads/writes partitioned BTreeMaps);
+//! time is simulated with the same virtual-clock conventions as the rest of
+//! the workspace: each partition accumulates busy-time, coordinators of
+//! distributed transactions stall for prepare/commit round trips.
+
+use bb_sim::{SimDuration, SimRng};
+use std::collections::BTreeMap;
+
+/// Cost constants for the execution model.
+#[derive(Debug, Clone)]
+pub struct HStoreConfig {
+    /// Partition (site) count.
+    pub partitions: u32,
+    /// Serial execution cost of a single-partition transaction.
+    pub single_tx_cost: SimDuration,
+    /// Extra per-operation cost beyond the first.
+    pub per_op_cost: SimDuration,
+    /// One 2PC network round trip (prepare or commit phase).
+    pub tpc_round_trip: SimDuration,
+}
+
+impl Default for HStoreConfig {
+    fn default() -> Self {
+        HStoreConfig {
+            partitions: 8,
+            // ≈56 µs/tx per site → 8 sites ≈ 142k tx/s (Figure 14).
+            single_tx_cost: SimDuration::from_micros(52),
+            per_op_cost: SimDuration::from_micros(4),
+            tpc_round_trip: SimDuration::from_micros(130),
+        }
+    }
+}
+
+/// One operation inside a transaction.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Read a key.
+    Get(Vec<u8>),
+    /// Write a key.
+    Put(Vec<u8>, Vec<u8>),
+}
+
+impl Op {
+    fn key(&self) -> &[u8] {
+        match self {
+            Op::Get(k) => k,
+            Op::Put(k, _) => k,
+        }
+    }
+}
+
+/// Result of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxResult {
+    /// Values returned by `Get`s, in order (`None` per missing key).
+    pub reads: Vec<Option<Vec<u8>>>,
+    /// Simulated latency of this transaction.
+    pub latency: SimDuration,
+    /// Did it span partitions (2PC)?
+    pub distributed: bool,
+}
+
+/// The partitioned store.
+pub struct HStore {
+    config: HStoreConfig,
+    partitions: Vec<BTreeMap<Vec<u8>, Vec<u8>>>,
+    /// Serial busy-time accumulated per site.
+    busy: Vec<SimDuration>,
+    txs: u64,
+    distributed_txs: u64,
+}
+
+fn fnv(key: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl HStore {
+    /// Empty store.
+    pub fn new(config: HStoreConfig) -> HStore {
+        let n = config.partitions as usize;
+        HStore {
+            config,
+            partitions: vec![BTreeMap::new(); n],
+            busy: vec![SimDuration::ZERO; n],
+            txs: 0,
+            distributed_txs: 0,
+        }
+    }
+
+    /// Which partition owns a key.
+    pub fn partition_of(&self, key: &[u8]) -> usize {
+        (fnv(key) % self.config.partitions as u64) as usize
+    }
+
+    /// Execute one transaction (a batch of operations, atomically).
+    pub fn execute(&mut self, ops: &[Op]) -> TxResult {
+        assert!(!ops.is_empty(), "empty transaction");
+        self.txs += 1;
+        let mut parts: Vec<usize> = ops.iter().map(|op| self.partition_of(op.key())).collect();
+        parts.sort_unstable();
+        parts.dedup();
+        let coordinator = parts[0];
+        let distributed = parts.len() > 1;
+
+        // Site work: base cost + per-op, charged to every touched site.
+        let work = self.config.single_tx_cost
+            + self.config.per_op_cost.saturating_mul(ops.len().saturating_sub(1) as u64);
+        // Blocking 2PC: the coordinator stalls two round trips; participants
+        // are held for the duration too (H-Store's blocking distributed txn).
+        let stall = if distributed {
+            self.config.tpc_round_trip.saturating_mul(2)
+        } else {
+            SimDuration::ZERO
+        };
+        let mut latency = SimDuration::ZERO;
+        for &p in &parts {
+            self.busy[p] += work + stall;
+            latency = latency.max(work + stall);
+        }
+        if distributed {
+            self.distributed_txs += 1;
+        }
+        let _ = coordinator;
+
+        // Apply for real.
+        let mut reads = Vec::new();
+        for op in ops {
+            let p = self.partition_of(op.key());
+            match op {
+                Op::Get(k) => reads.push(self.partitions[p].get(k).cloned()),
+                Op::Put(k, v) => {
+                    self.partitions[p].insert(k.clone(), v.clone());
+                }
+            }
+        }
+        TxResult { reads, latency, distributed }
+    }
+
+    /// Simulated wall-clock so far: the busiest site (sites run in
+    /// parallel; the slowest one bounds completion).
+    pub fn elapsed(&self) -> SimDuration {
+        self.busy.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Throughput over everything executed so far.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.txs as f64 / secs
+    }
+
+    /// Transactions executed.
+    pub fn tx_count(&self) -> u64 {
+        self.txs
+    }
+
+    /// Cross-partition transactions executed.
+    pub fn distributed_count(&self) -> u64 {
+        self.distributed_txs
+    }
+}
+
+/// Measured outcome of one baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Transactions per (simulated) second.
+    pub tps: f64,
+    /// Mean latency in seconds.
+    pub mean_latency: f64,
+    /// Fraction of distributed transactions.
+    pub distributed_fraction: f64,
+}
+
+/// Run a YCSB-style single-key workload (Figure 14's left bars).
+pub fn run_ycsb(config: HStoreConfig, txs: u64, keys: u64, seed: u64) -> BaselineResult {
+    let mut store = HStore::new(config);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut lat = 0.0;
+    for _ in 0..txs {
+        let key = format!("user{}", rng.below(keys)).into_bytes();
+        let op = if rng.chance(0.5) {
+            Op::Get(key)
+        } else {
+            Op::Put(key, vec![0u8; 100])
+        };
+        lat += store.execute(&[op]).latency.as_secs_f64();
+    }
+    BaselineResult {
+        tps: store.throughput_tps(),
+        mean_latency: lat / txs as f64,
+        distributed_fraction: store.distributed_count() as f64 / txs as f64,
+    }
+}
+
+/// Run a Smallbank-style workload: SendPayment moves funds between two
+/// accounts, usually on different partitions (Figure 14's right bars).
+pub fn run_smallbank(config: HStoreConfig, txs: u64, accounts: u64, seed: u64) -> BaselineResult {
+    let mut store = HStore::new(config);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut lat = 0.0;
+    for _ in 0..txs {
+        let a = format!("acct{}", rng.below(accounts)).into_bytes();
+        let b = format!("acct{}", rng.below(accounts)).into_bytes();
+        let ops = match rng.below(100) {
+            // SendPayment: read + write two accounts.
+            0..=44 => vec![
+                Op::Get(a.clone()),
+                Op::Get(b.clone()),
+                Op::Put(a, b"bal".to_vec()),
+                Op::Put(b, b"bal".to_vec()),
+            ],
+            // Deposit / WriteCheck / TransactSavings: single account.
+            45..=89 => vec![Op::Get(a.clone()), Op::Put(a, b"bal".to_vec())],
+            // Amalgamate: two accounts.
+            _ => vec![Op::Get(a.clone()), Op::Get(b.clone()), Op::Put(b, b"bal".to_vec())],
+        };
+        lat += store.execute(&ops).latency.as_secs_f64();
+    }
+    BaselineResult {
+        tps: store.throughput_tps(),
+        mean_latency: lat / txs as f64,
+        distributed_fraction: store.distributed_count() as f64 / txs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_semantics_are_correct() {
+        let mut s = HStore::new(HStoreConfig::default());
+        s.execute(&[Op::Put(b"k1".to_vec(), b"v1".to_vec())]);
+        let r = s.execute(&[Op::Get(b"k1".to_vec()), Op::Get(b"nope".to_vec())]);
+        assert_eq!(r.reads, vec![Some(b"v1".to_vec()), None]);
+    }
+
+    #[test]
+    fn single_partition_txs_are_fast() {
+        let mut s = HStore::new(HStoreConfig::default());
+        let r = s.execute(&[Op::Put(b"a".to_vec(), b"1".to_vec())]);
+        assert!(!r.distributed);
+        assert!(r.latency < SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn cross_partition_txs_pay_2pc() {
+        let mut s = HStore::new(HStoreConfig::default());
+        // Find two keys on different partitions.
+        let k1 = b"alpha".to_vec();
+        let mut k2 = Vec::new();
+        for i in 0..100u32 {
+            let cand = format!("key{i}").into_bytes();
+            if s.partition_of(&cand) != s.partition_of(&k1) {
+                k2 = cand;
+                break;
+            }
+        }
+        let r = s.execute(&[Op::Put(k1, b"1".to_vec()), Op::Put(k2, b"2".to_vec())]);
+        assert!(r.distributed);
+        assert!(r.latency > SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn ycsb_hits_paper_scale_throughput() {
+        let r = run_ycsb(HStoreConfig::default(), 50_000, 100_000, 1);
+        // Paper: 142,702 tx/s with sub-millisecond latency.
+        assert!((100_000.0..200_000.0).contains(&r.tps), "tps {}", r.tps);
+        assert!(r.mean_latency < 0.001, "latency {}", r.mean_latency);
+        assert_eq!(r.distributed_fraction, 0.0);
+    }
+
+    #[test]
+    fn smallbank_pays_the_distributed_tax() {
+        let y = run_ycsb(HStoreConfig::default(), 30_000, 100_000, 1);
+        let s = run_smallbank(HStoreConfig::default(), 30_000, 100_000, 1);
+        // Paper: 6.6× lower throughput, ~4× higher latency than YCSB.
+        let ratio = y.tps / s.tps;
+        assert!((3.0..12.0).contains(&ratio), "tps ratio {ratio}");
+        assert!(s.mean_latency > 3.0 * y.mean_latency);
+        assert!(s.distributed_fraction > 0.3);
+        // Still an order of magnitude beyond any blockchain's ~1273 tx/s.
+        assert!(s.tps > 10_000.0, "smallbank tps {}", s.tps);
+    }
+
+    #[test]
+    fn throughput_scales_with_partitions() {
+        let small = run_ycsb(
+            HStoreConfig { partitions: 2, ..HStoreConfig::default() },
+            20_000,
+            100_000,
+            3,
+        );
+        let big = run_ycsb(
+            HStoreConfig { partitions: 8, ..HStoreConfig::default() },
+            20_000,
+            100_000,
+            3,
+        );
+        assert!(big.tps > 2.5 * small.tps, "2p {} vs 8p {}", small.tps, big.tps);
+    }
+
+    #[test]
+    fn empty_store_reports_zero() {
+        let s = HStore::new(HStoreConfig::default());
+        assert_eq!(s.throughput_tps(), 0.0);
+        assert_eq!(s.tx_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transaction")]
+    fn empty_tx_rejected() {
+        let mut s = HStore::new(HStoreConfig::default());
+        s.execute(&[]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The classic binary Merkle tree used for transaction roots.
+//!
+//! Odd levels duplicate the last node (the Bitcoin convention). Proofs are
+//! audit paths of sibling hashes plus left/right direction bits.
+
+use bb_crypto::Hash256;
+
+/// A fully materialised Merkle tree over a list of leaf hashes.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves, last level = `[root]`.
+    levels: Vec<Vec<Hash256>>,
+}
+
+/// An inclusion proof: the leaf index and the sibling hashes bottom-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hash at each level, bottom-up.
+    pub siblings: Vec<Hash256>,
+}
+
+impl MerkleTree {
+    /// Build a tree over `leaves`. An empty list yields the zero root
+    /// (blocks with no transactions carry [`Hash256::ZERO`]).
+    pub fn build(leaves: &[Hash256]) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![]] };
+        }
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left); // duplicate odd tail
+                next.push(Hash256::combine(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash ([`Hash256::ZERO`] for an empty tree).
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().and_then(|l| l.first()).copied().unwrap_or(Hash256::ZERO)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// Inclusion proof for leaf `index`; `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i.is_multiple_of(2) {
+                *level.get(i + 1).unwrap_or(&level[i]) // duplicated odd tail
+            } else {
+                level[i - 1]
+            };
+            siblings.push(sibling);
+            i /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+}
+
+/// Verify that `leaf` is included under `root` via `proof`.
+pub fn verify_proof(root: &Hash256, leaf: &Hash256, proof: &MerkleProof) -> bool {
+    let mut acc = *leaf;
+    let mut i = proof.index;
+    for sibling in &proof.siblings {
+        acc = if i.is_multiple_of(2) {
+            Hash256::combine(&acc, sibling)
+        } else {
+            Hash256::combine(sibling, &acc)
+        };
+        i /= 2;
+    }
+    acc == *root
+}
+
+/// Compute just the root without materialising levels — the hot path when
+/// building blocks.
+pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
+    if leaves.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut layer = leaves.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            let left = &pair[0];
+            let right = pair.get(1).unwrap_or(left);
+            next.push(Hash256::combine(left, right));
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| Hash256::digest(format!("tx{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        assert_eq!(MerkleTree::build(&[]).root(), Hash256::ZERO);
+        assert_eq!(merkle_root(&[]), Hash256::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        assert_eq!(MerkleTree::build(&l).root(), l[0]);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn fast_root_matches_tree_root() {
+        for n in [1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100] {
+            let l = leaves(n);
+            assert_eq!(merkle_root(&l), MerkleTree::build(&l).root(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn root_is_content_and_order_sensitive() {
+        let l = leaves(8);
+        let mut reordered = l.clone();
+        reordered.swap(0, 7);
+        assert_ne!(merkle_root(&l), merkle_root(&reordered));
+        let mut altered = l.clone();
+        altered[3] = Hash256::digest(b"tampered");
+        assert_ne!(merkle_root(&l), merkle_root(&altered));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf() {
+        for n in [1, 2, 3, 5, 8, 13, 21] {
+            let l = leaves(n);
+            let t = MerkleTree::build(&l);
+            for (i, leaf) in l.iter().enumerate() {
+                let p = t.prove(i).unwrap();
+                assert!(verify_proof(&t.root(), leaf, &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_index_fails_verification() {
+        let l = leaves(9);
+        let t = MerkleTree::build(&l);
+        let p = t.prove(4).unwrap();
+        assert!(!verify_proof(&t.root(), &l[5], &p));
+        let mut wrong_index = p.clone();
+        wrong_index.index = 5;
+        assert!(!verify_proof(&t.root(), &l[4], &wrong_index));
+        let mut bad_sibling = p;
+        bad_sibling.siblings[0] = Hash256::digest(b"evil");
+        assert!(!verify_proof(&t.root(), &l[4], &bad_sibling));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let t = MerkleTree::build(&leaves(4));
+        assert!(t.prove(4).is_none());
+        assert!(MerkleTree::build(&[]).prove(0).is_none());
+        assert_eq!(t.leaf_count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn every_proof_verifies(n in 1usize..64, pick in 0usize..64) {
+            let leaves: Vec<Hash256> =
+                (0..n).map(|i| Hash256::digest(&(i as u64).to_be_bytes())).collect();
+            let pick = pick % n;
+            let t = MerkleTree::build(&leaves);
+            let p = t.prove(pick).unwrap();
+            prop_assert!(verify_proof(&t.root(), &leaves[pick], &p));
+        }
+
+        #[test]
+        fn distinct_leaf_sets_distinct_roots(n in 1usize..32, flip in 0usize..32) {
+            let a: Vec<Hash256> =
+                (0..n).map(|i| Hash256::digest(&(i as u64).to_be_bytes())).collect();
+            let mut b = a.clone();
+            let flip = flip % n;
+            b[flip] = Hash256::digest(b"flip");
+            prop_assert_ne!(merkle_root(&a), merkle_root(&b));
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! A persistent Merkle-Patricia trie over pluggable key-value storage —
+//! the state tree of the Ethereum-like and Parity-like platforms.
+//!
+//! Nodes are immutable and content-addressed: every update writes fresh
+//! leaf/extension/branch nodes along the key's path into the backing store
+//! (keyed by node hash) and returns a new root. Old nodes are never garbage
+//! collected, exactly like geth v1.4 — this is the mechanism behind the
+//! order-of-magnitude disk-usage gap the paper measures in Figure 12(c).
+//!
+//! The root hash is a binding commitment to the full key→value map: any two
+//! insertion orders producing the same map produce the same root (verified
+//! by property test).
+
+use bb_crypto::Hash256;
+use bb_storage::{KvError, KvStore};
+
+/// Merkle-Patricia trie handle owning its backing store.
+pub struct PatriciaTrie<S: KvStore> {
+    store: S,
+    root: Hash256,
+    /// Nodes written since construction (write-amplification metric).
+    nodes_written: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    /// Terminal node holding a value at the end of `path` nibbles.
+    Leaf { path: Vec<u8>, value: Vec<u8> },
+    /// Path compression: `path` nibbles leading to a single child.
+    Ext { path: Vec<u8>, child: Hash256 },
+    /// 16-way fan-out with an optional value terminating exactly here.
+    Branch { children: [Hash256; 16], value: Option<Vec<u8>> },
+}
+
+const TAG_LEAF: u8 = 0;
+const TAG_EXT: u8 = 1;
+const TAG_BRANCH: u8 = 2;
+
+fn to_nibbles(key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 2);
+    for &b in key {
+        out.push(b >> 4);
+        out.push(b & 0x0f);
+    }
+    out
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Node::Leaf { path, value } => {
+                out.push(TAG_LEAF);
+                out.extend_from_slice(&(path.len() as u32).to_be_bytes());
+                out.extend_from_slice(path);
+                out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                out.extend_from_slice(value);
+            }
+            Node::Ext { path, child } => {
+                out.push(TAG_EXT);
+                out.extend_from_slice(&(path.len() as u32).to_be_bytes());
+                out.extend_from_slice(path);
+                out.extend_from_slice(&child.0);
+            }
+            Node::Branch { children, value } => {
+                out.push(TAG_BRANCH);
+                let mut bitmap = 0u16;
+                for (i, c) in children.iter().enumerate() {
+                    if !c.is_zero() {
+                        bitmap |= 1 << i;
+                    }
+                }
+                out.extend_from_slice(&bitmap.to_be_bytes());
+                for c in children.iter().filter(|c| !c.is_zero()) {
+                    out.extend_from_slice(&c.0);
+                }
+                match value {
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                        out.extend_from_slice(v);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Node, KvError> {
+        let corrupt = || KvError::Corrupt("malformed trie node".into());
+        let tag = *bytes.first().ok_or_else(corrupt)?;
+        let rest = &bytes[1..];
+        match tag {
+            TAG_LEAF => {
+                let plen = u32::from_be_bytes(rest.get(0..4).ok_or_else(corrupt)?.try_into().expect("4")) as usize;
+                let path = rest.get(4..4 + plen).ok_or_else(corrupt)?.to_vec();
+                let at = 4 + plen;
+                let vlen = u32::from_be_bytes(rest.get(at..at + 4).ok_or_else(corrupt)?.try_into().expect("4")) as usize;
+                let value = rest.get(at + 4..at + 4 + vlen).ok_or_else(corrupt)?.to_vec();
+                Ok(Node::Leaf { path, value })
+            }
+            TAG_EXT => {
+                let plen = u32::from_be_bytes(rest.get(0..4).ok_or_else(corrupt)?.try_into().expect("4")) as usize;
+                let path = rest.get(4..4 + plen).ok_or_else(corrupt)?.to_vec();
+                let at = 4 + plen;
+                let child = Hash256(rest.get(at..at + 32).ok_or_else(corrupt)?.try_into().expect("32"));
+                Ok(Node::Ext { path, child })
+            }
+            TAG_BRANCH => {
+                let bitmap = u16::from_be_bytes(rest.get(0..2).ok_or_else(corrupt)?.try_into().expect("2"));
+                let mut children = [Hash256::ZERO; 16];
+                let mut at = 2;
+                for (i, slot) in children.iter_mut().enumerate() {
+                    if bitmap & (1 << i) != 0 {
+                        *slot = Hash256(rest.get(at..at + 32).ok_or_else(corrupt)?.try_into().expect("32"));
+                        at += 32;
+                    }
+                }
+                let has_value = *rest.get(at).ok_or_else(corrupt)?;
+                at += 1;
+                let value = match has_value {
+                    0 => None,
+                    1 => {
+                        let vlen = u32::from_be_bytes(rest.get(at..at + 4).ok_or_else(corrupt)?.try_into().expect("4")) as usize;
+                        Some(rest.get(at + 4..at + 4 + vlen).ok_or_else(corrupt)?.to_vec())
+                    }
+                    _ => return Err(corrupt()),
+                };
+                Ok(Node::Branch { children, value })
+            }
+            _ => Err(corrupt()),
+        }
+    }
+}
+
+impl<S: KvStore> PatriciaTrie<S> {
+    /// Empty trie over `store`.
+    pub fn new(store: S) -> Self {
+        PatriciaTrie { store, root: Hash256::ZERO, nodes_written: 0 }
+    }
+
+    /// Current root commitment ([`Hash256::ZERO`] when empty).
+    pub fn root(&self) -> Hash256 {
+        self.root
+    }
+
+    /// Rewind/forward the trie to a historical root (every version's nodes
+    /// stay in the store — the basis of `getBalance(account, block)`).
+    pub fn set_root(&mut self, root: Hash256) {
+        self.root = root;
+    }
+
+    /// Borrow the backing store (stats inspection).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutably borrow the backing store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Trie nodes written since construction.
+    pub fn nodes_written(&self) -> u64 {
+        self.nodes_written
+    }
+
+    fn load(&mut self, hash: &Hash256) -> Result<Node, KvError> {
+        let bytes = self
+            .store
+            .get(&hash.0)?
+            .ok_or_else(|| KvError::Corrupt(format!("missing trie node {hash:?}")))?;
+        Node::decode(&bytes)
+    }
+
+    fn put_node(&mut self, node: &Node) -> Result<Hash256, KvError> {
+        let bytes = node.encode();
+        let hash = Hash256::digest(&bytes);
+        self.store.put(&hash.0, &bytes)?;
+        self.nodes_written += 1;
+        Ok(hash)
+    }
+
+    /// Fetch the value stored under `key` at the current root.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.get_at(self.root, key)
+    }
+
+    /// Fetch the value stored under `key` at a historical `root`.
+    pub fn get_at(&mut self, root: Hash256, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        if root.is_zero() {
+            return Ok(None);
+        }
+        let mut path = to_nibbles(key);
+        let mut at = root;
+        loop {
+            match self.load(&at)? {
+                Node::Leaf { path: p, value } => {
+                    return Ok(if p == path { Some(value) } else { None });
+                }
+                Node::Ext { path: p, child } => {
+                    if path.starts_with(&p) {
+                        path = path[p.len()..].to_vec();
+                        at = child;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+                Node::Branch { children, value } => {
+                    if path.is_empty() {
+                        return Ok(value);
+                    }
+                    let next = children[path[0] as usize];
+                    if next.is_zero() {
+                        return Ok(None);
+                    }
+                    path = path[1..].to_vec();
+                    at = next;
+                }
+            }
+        }
+    }
+
+    /// Insert or overwrite `key`, producing a new root.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let path = to_nibbles(key);
+        let new_root = self.insert_at(self.root, &path, value)?;
+        self.root = new_root;
+        Ok(())
+    }
+
+    fn insert_at(&mut self, at: Hash256, path: &[u8], value: &[u8]) -> Result<Hash256, KvError> {
+        if at.is_zero() {
+            return self.put_node(&Node::Leaf { path: path.to_vec(), value: value.to_vec() });
+        }
+        let node = self.load(&at)?;
+        let new_node = match node {
+            Node::Leaf { path: p, value: old } => {
+                if p == path {
+                    Node::Leaf { path: p, value: value.to_vec() }
+                } else {
+                    let cp = common_prefix_len(&p, path);
+                    let branch = self.split_into_branch(&p[cp..], old, &path[cp..], value)?;
+                    if cp > 0 {
+                        let child = self.put_node(&branch)?;
+                        Node::Ext { path: path[..cp].to_vec(), child }
+                    } else {
+                        branch
+                    }
+                }
+            }
+            Node::Ext { path: p, child } => {
+                let cp = common_prefix_len(&p, path);
+                if cp == p.len() {
+                    let new_child = self.insert_at(child, &path[cp..], value)?;
+                    Node::Ext { path: p, child: new_child }
+                } else {
+                    // Split the extension at the divergence point.
+                    let mut children = [Hash256::ZERO; 16];
+                    let mut bvalue = None;
+                    // Old side: remainder of the extension path.
+                    let p_rest = &p[cp..];
+                    let old_side = if p_rest.len() == 1 {
+                        child
+                    } else {
+                        self.put_node(&Node::Ext { path: p_rest[1..].to_vec(), child })?
+                    };
+                    children[p_rest[0] as usize] = old_side;
+                    // New side: remainder of the inserted path.
+                    let q_rest = &path[cp..];
+                    if q_rest.is_empty() {
+                        bvalue = Some(value.to_vec());
+                    } else {
+                        let leaf = self.put_node(&Node::Leaf {
+                            path: q_rest[1..].to_vec(),
+                            value: value.to_vec(),
+                        })?;
+                        children[q_rest[0] as usize] = leaf;
+                    }
+                    let branch = Node::Branch { children, value: bvalue };
+                    if cp > 0 {
+                        let bh = self.put_node(&branch)?;
+                        Node::Ext { path: path[..cp].to_vec(), child: bh }
+                    } else {
+                        branch
+                    }
+                }
+            }
+            Node::Branch { mut children, value: bvalue } => {
+                if path.is_empty() {
+                    Node::Branch { children, value: Some(value.to_vec()) }
+                } else {
+                    let idx = path[0] as usize;
+                    let new_child = self.insert_at(children[idx], &path[1..], value)?;
+                    children[idx] = new_child;
+                    Node::Branch { children, value: bvalue }
+                }
+            }
+        };
+        self.put_node(&new_node)
+    }
+
+    /// Build a branch separating two diverging suffixes (either may be
+    /// empty, landing its value on the branch itself).
+    fn split_into_branch(
+        &mut self,
+        old_rest: &[u8],
+        old_value: Vec<u8>,
+        new_rest: &[u8],
+        new_value: &[u8],
+    ) -> Result<Node, KvError> {
+        debug_assert!(old_rest.first() != new_rest.first() || old_rest.is_empty() || new_rest.is_empty());
+        let mut children = [Hash256::ZERO; 16];
+        let mut bvalue = None;
+        if old_rest.is_empty() {
+            bvalue = Some(old_value);
+        } else {
+            let h = self.put_node(&Node::Leaf { path: old_rest[1..].to_vec(), value: old_value })?;
+            children[old_rest[0] as usize] = h;
+        }
+        if new_rest.is_empty() {
+            bvalue = Some(new_value.to_vec());
+        } else {
+            let h = self.put_node(&Node::Leaf {
+                path: new_rest[1..].to_vec(),
+                value: new_value.to_vec(),
+            })?;
+            children[new_rest[0] as usize] = h;
+        }
+        Ok(Node::Branch { children, value: bvalue })
+    }
+
+    /// Remove `key` if present, producing a new root. Removing an absent
+    /// key leaves the root unchanged.
+    pub fn remove(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let path = to_nibbles(key);
+        let root = self.root;
+        if root.is_zero() {
+            return Ok(());
+        }
+        match self.remove_at(root, &path)? {
+            RemoveResult::Unchanged => {}
+            RemoveResult::Gone => self.root = Hash256::ZERO,
+            RemoveResult::Replaced(node) => {
+                self.root = self.put_node(&node)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_at(&mut self, at: Hash256, path: &[u8]) -> Result<RemoveResult, KvError> {
+        let node = self.load(&at)?;
+        match node {
+            Node::Leaf { path: p, .. } => {
+                if p == path {
+                    Ok(RemoveResult::Gone)
+                } else {
+                    Ok(RemoveResult::Unchanged)
+                }
+            }
+            Node::Ext { path: p, child } => {
+                if !path.starts_with(&p) {
+                    return Ok(RemoveResult::Unchanged);
+                }
+                match self.remove_at(child, &path[p.len()..])? {
+                    RemoveResult::Unchanged => Ok(RemoveResult::Unchanged),
+                    RemoveResult::Gone => Ok(RemoveResult::Gone),
+                    RemoveResult::Replaced(child_node) => {
+                        Ok(RemoveResult::Replaced(self.graft_ext(p, child_node)?))
+                    }
+                }
+            }
+            Node::Branch { mut children, value } => {
+                if path.is_empty() {
+                    if value.is_none() {
+                        return Ok(RemoveResult::Unchanged);
+                    }
+                    return self.normalise_branch(children, None);
+                }
+                let idx = path[0] as usize;
+                if children[idx].is_zero() {
+                    return Ok(RemoveResult::Unchanged);
+                }
+                match self.remove_at(children[idx], &path[1..])? {
+                    RemoveResult::Unchanged => Ok(RemoveResult::Unchanged),
+                    RemoveResult::Gone => {
+                        children[idx] = Hash256::ZERO;
+                        self.normalise_branch(children, value)
+                    }
+                    RemoveResult::Replaced(child_node) => {
+                        children[idx] = self.put_node(&child_node)?;
+                        Ok(RemoveResult::Replaced(Node::Branch { children, value }))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge an extension's path onto its (possibly restructured) child.
+    fn graft_ext(&mut self, prefix: Vec<u8>, child: Node) -> Result<Node, KvError> {
+        Ok(match child {
+            Node::Leaf { path, value } => {
+                let mut p = prefix;
+                p.extend_from_slice(&path);
+                Node::Leaf { path: p, value }
+            }
+            Node::Ext { path, child } => {
+                let mut p = prefix;
+                p.extend_from_slice(&path);
+                Node::Ext { path: p, child }
+            }
+            branch @ Node::Branch { .. } => {
+                let h = self.put_node(&branch)?;
+                Node::Ext { path: prefix, child: h }
+            }
+        })
+    }
+
+    /// After a removal, collapse a branch that no longer justifies fan-out.
+    fn normalise_branch(
+        &mut self,
+        children: [Hash256; 16],
+        value: Option<Vec<u8>>,
+    ) -> Result<RemoveResult, KvError> {
+        let present: Vec<usize> = (0..16).filter(|&i| !children[i].is_zero()).collect();
+        match (present.len(), &value) {
+            (0, None) => Ok(RemoveResult::Gone),
+            (0, Some(_)) => Ok(RemoveResult::Replaced(Node::Leaf {
+                path: Vec::new(),
+                value: value.expect("matched Some"),
+            })),
+            (1, None) => {
+                let idx = present[0];
+                let child = self.load(&children[idx])?;
+                Ok(RemoveResult::Replaced(self.graft_ext(vec![idx as u8], child)?))
+            }
+            _ => Ok(RemoveResult::Replaced(Node::Branch { children, value })),
+        }
+    }
+
+    /// All `(key, value)` pairs reachable from the current root, in key
+    /// order (test/diagnostic path; keys must have come from whole bytes).
+    pub fn collect_all(&mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        let mut out = Vec::new();
+        let root = self.root;
+        if !root.is_zero() {
+            self.collect(root, Vec::new(), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn collect(
+        &mut self,
+        at: Hash256,
+        prefix: Vec<u8>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), KvError> {
+        fn from_nibbles(nibbles: &[u8]) -> Vec<u8> {
+            nibbles.chunks(2).map(|c| (c[0] << 4) | c.get(1).copied().unwrap_or(0)).collect()
+        }
+        match self.load(&at)? {
+            Node::Leaf { path, value } => {
+                let mut full = prefix;
+                full.extend_from_slice(&path);
+                out.push((from_nibbles(&full), value));
+            }
+            Node::Ext { path, child } => {
+                let mut full = prefix;
+                full.extend_from_slice(&path);
+                self.collect(child, full, out)?;
+            }
+            Node::Branch { children, value } => {
+                if let Some(v) = value {
+                    out.push((from_nibbles(&prefix), v));
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if !c.is_zero() {
+                        let mut full = prefix.clone();
+                        full.push(i as u8);
+                        self.collect(*c, full, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+enum RemoveResult {
+    /// Key absent; nothing changed.
+    Unchanged,
+    /// The subtree vanished entirely.
+    Gone,
+    /// The subtree was rebuilt as this node (not yet stored).
+    Replaced(Node),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_storage::MemStore;
+
+    fn trie() -> PatriciaTrie<MemStore> {
+        PatriciaTrie::new(MemStore::new())
+    }
+
+    #[test]
+    fn empty_trie() {
+        let mut t = trie();
+        assert_eq!(t.root(), Hash256::ZERO);
+        assert_eq!(t.get(b"anything").unwrap(), None);
+        t.remove(b"anything").unwrap();
+        assert_eq!(t.root(), Hash256::ZERO);
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = trie();
+        t.insert(b"alice", b"100").unwrap();
+        assert_eq!(t.get(b"alice").unwrap(), Some(b"100".to_vec()));
+        let r1 = t.root();
+        t.insert(b"alice", b"200").unwrap();
+        assert_eq!(t.get(b"alice").unwrap(), Some(b"200".to_vec()));
+        assert_ne!(t.root(), r1);
+    }
+
+    #[test]
+    fn sibling_keys_with_shared_prefixes() {
+        let mut t = trie();
+        let keys: &[&[u8]] = &[b"do", b"dog", b"doge", b"horse", b"d", b"", b"dove"];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, format!("v{i}").as_bytes()).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k).unwrap(), Some(format!("v{i}").into_bytes()), "key {k:?}");
+        }
+        assert_eq!(t.get(b"dogs").unwrap(), None);
+        assert_eq!(t.get(b"hors").unwrap(), None);
+    }
+
+    #[test]
+    fn root_is_insertion_order_independent() {
+        let kvs: Vec<(Vec<u8>, Vec<u8>)> = (0..50u32)
+            .map(|i| (format!("key{i}").into_bytes(), format!("val{i}").into_bytes()))
+            .collect();
+        let mut t1 = trie();
+        for (k, v) in &kvs {
+            t1.insert(k, v).unwrap();
+        }
+        let mut t2 = trie();
+        for (k, v) in kvs.iter().rev() {
+            t2.insert(k, v).unwrap();
+        }
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn remove_restores_previous_root() {
+        let mut t = trie();
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"ab", b"2").unwrap();
+        let with_two = t.root();
+        t.insert(b"abc", b"3").unwrap();
+        t.remove(b"abc").unwrap();
+        assert_eq!(t.root(), with_two, "removal must restore the structural root");
+        assert_eq!(t.get(b"abc").unwrap(), None);
+        assert_eq!(t.get(b"ab").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn remove_all_returns_to_empty_root() {
+        let mut t = trie();
+        let keys: Vec<Vec<u8>> = (0..20u32).map(|i| format!("k{i}").into_bytes()).collect();
+        for k in &keys {
+            t.insert(k, b"v").unwrap();
+        }
+        for k in &keys {
+            t.remove(k).unwrap();
+        }
+        assert_eq!(t.root(), Hash256::ZERO);
+    }
+
+    #[test]
+    fn remove_absent_key_is_noop() {
+        let mut t = trie();
+        t.insert(b"exists", b"v").unwrap();
+        let r = t.root();
+        t.remove(b"absent").unwrap();
+        t.remove(b"exist").unwrap(); // proper prefix of a present key
+        t.remove(b"existsx").unwrap(); // extension of a present key
+        assert_eq!(t.root(), r);
+    }
+
+    #[test]
+    fn historical_roots_stay_readable() {
+        let mut t = trie();
+        t.insert(b"acct", b"10").unwrap();
+        let old_root = t.root();
+        t.insert(b"acct", b"20").unwrap();
+        assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
+        assert_eq!(t.get_at(old_root, b"acct").unwrap(), Some(b"10".to_vec()));
+        // set_root rewinds the whole view.
+        let new_root = t.root();
+        t.set_root(old_root);
+        assert_eq!(t.get(b"acct").unwrap(), Some(b"10".to_vec()));
+        t.set_root(new_root);
+        assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
+    }
+
+    #[test]
+    fn collect_all_returns_sorted_pairs() {
+        let mut t = trie();
+        for k in ["banana", "apple", "cherry"] {
+            t.insert(k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        let all = t.collect_all().unwrap();
+        let keys: Vec<_> = all.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+        assert_eq!(keys, vec!["apple", "banana", "cherry"]);
+    }
+
+    #[test]
+    fn node_writes_amplify_updates() {
+        let mut t = trie();
+        for i in 0..100u32 {
+            t.insert(format!("key{i:04}").as_bytes(), b"x").unwrap();
+        }
+        // Far more nodes written than keys inserted: the paper's Figure 12
+        // disk blow-up in miniature.
+        assert!(t.nodes_written() > 200, "nodes written: {}", t.nodes_written());
+    }
+
+    #[test]
+    fn node_decode_rejects_garbage() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[99]).is_err());
+        assert!(Node::decode(&[TAG_LEAF, 0, 0]).is_err());
+        let good = Node::Leaf { path: vec![1, 2], value: b"v".to_vec() }.encode();
+        assert!(Node::decode(&good).is_ok());
+        assert!(Node::decode(&good[..good.len() - 1]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bb_storage::MemStore;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>, Vec<u8>),
+        Remove(Vec<u8>),
+    }
+
+    fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+        // Small alphabet + short keys force deep structural sharing.
+        proptest::collection::vec(0u8..4, 0..6)
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (key_strategy(), proptest::collection::vec(any::<u8>(), 0..8))
+                .prop_map(|(k, v)| Op::Insert(k, v)),
+            key_strategy().prop_map(Op::Remove),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The trie must agree with a BTreeMap model and its root must be a
+        /// pure function of the final map contents.
+        #[test]
+        fn agrees_with_model_and_root_is_canonical(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            let mut t = PatriciaTrie::new(MemStore::new());
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        model.insert(k.clone(), v.clone());
+                        t.insert(k, v).unwrap();
+                    }
+                    Op::Remove(k) => {
+                        model.remove(k);
+                        t.remove(k).unwrap();
+                    }
+                }
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(t.get(k).unwrap(), Some(v.clone()));
+            }
+            // Rebuild from scratch in sorted order: roots must match.
+            let mut fresh = PatriciaTrie::new(MemStore::new());
+            for (k, v) in &model {
+                fresh.insert(k, v).unwrap();
+            }
+            prop_assert_eq!(t.root(), fresh.root());
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The simulated cluster network.
+//!
+//! The paper ran on 48 commodity machines behind a 1 Gbps switch; we model
+//! that fabric as point-to-point links with a base propagation delay,
+//! uniform jitter, and a serialization delay proportional to message size.
+//! On top sit the benchmark's failure modes (Section 3.3):
+//!
+//! - **crash failure**: a node "simply stops" — traffic to and from it is
+//!   dropped (Figure 9);
+//! - **network delay**: arbitrary extra latency injected per node;
+//! - **random response**: messages corrupted in flight (receivers see a
+//!   `corrupted` flag; honest protocol layers discard such messages as
+//!   signature failures);
+//! - **partition attack**: the network is split into groups for a duration,
+//!   dropping all cross-group traffic — the double-spend window experiment
+//!   of Figure 10.
+//!
+//! Every byte handed to [`Network::send`] is metered per node per virtual
+//! second, which is where Figure 16's network-utilisation curves come from.
+
+use bb_sim::{ByteMeter, SimDuration, SimRng, SimTime};
+use bb_types::NodeId;
+
+/// Point-to-point link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkParams {
+    /// Propagation delay added to every message.
+    pub base_delay: SimDuration,
+    /// Uniform jitter in `[0, jitter)` added on top.
+    pub jitter: SimDuration,
+    /// Serialization bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // LAN-grade: 0.5 ms propagation, 0.3 ms jitter, 1 Gbps links.
+        LinkParams {
+            base_delay: SimDuration::from_micros(500),
+            jitter: SimDuration::from_micros(300),
+            bandwidth_bps: 125_000_000,
+        }
+    }
+}
+
+/// What happened to a message handed to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Will arrive at the destination at `at`. `corrupted` is true when the
+    /// fault injector mangled it in flight.
+    Deliver {
+        /// Arrival time.
+        at: SimTime,
+        /// Mangled in flight?
+        corrupted: bool,
+    },
+    /// Silently dropped.
+    Dropped(DropReason),
+}
+
+/// Why a message was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The sender has crashed.
+    SenderCrashed,
+    /// The receiver has crashed.
+    ReceiverCrashed,
+    /// Sender and receiver are in different partition groups.
+    Partitioned,
+}
+
+/// Cumulative network counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted for delivery.
+    pub delivered: u64,
+    /// Messages dropped by faults.
+    pub dropped: u64,
+    /// Messages corrupted in flight (still delivered).
+    pub corrupted: u64,
+    /// Total payload bytes accepted.
+    pub bytes: u64,
+}
+
+/// The simulated network fabric for one experiment.
+pub struct Network {
+    n: u32,
+    link: LinkParams,
+    rng: SimRng,
+    crashed: Vec<bool>,
+    extra_delay: Vec<SimDuration>,
+    corrupt_prob: Vec<f64>,
+    /// Partition group per node; `None` = fully connected.
+    groups: Option<Vec<u8>>,
+    tx_meters: Vec<ByteMeter>,
+    rx_meters: Vec<ByteMeter>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Fully connected fabric over `n` nodes.
+    pub fn new(n: u32, link: LinkParams, rng: SimRng) -> Self {
+        Network {
+            n,
+            link,
+            rng,
+            crashed: vec![false; n as usize],
+            extra_delay: vec![SimDuration::ZERO; n as usize],
+            corrupt_prob: vec![0.0; n as usize],
+            groups: None,
+            tx_meters: (0..n).map(|_| ByteMeter::new()).collect(),
+            rx_meters: (0..n).map(|_| ByteMeter::new()).collect(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Offer a `bytes`-sized message from `from` to `to` at time `now`.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> Delivery {
+        assert!(from.0 < self.n && to.0 < self.n, "node out of range");
+        if self.crashed[from.index()] {
+            self.stats.dropped += 1;
+            return Delivery::Dropped(DropReason::SenderCrashed);
+        }
+        if self.crashed[to.index()] {
+            self.stats.dropped += 1;
+            return Delivery::Dropped(DropReason::ReceiverCrashed);
+        }
+        if let Some(groups) = &self.groups {
+            if groups[from.index()] != groups[to.index()] {
+                self.stats.dropped += 1;
+                return Delivery::Dropped(DropReason::Partitioned);
+            }
+        }
+        let serialization =
+            SimDuration::from_micros(bytes.saturating_mul(1_000_000) / self.link.bandwidth_bps.max(1));
+        let jitter = self.rng.jitter(SimDuration::ZERO, self.link.jitter.max(SimDuration::from_micros(1)));
+        let delay = self.link.base_delay
+            + jitter
+            + serialization
+            + self.extra_delay[from.index()]
+            + self.extra_delay[to.index()];
+        let corrupted = {
+            let p = self.corrupt_prob[from.index()].max(self.corrupt_prob[to.index()]);
+            p > 0.0 && self.rng.chance(p)
+        };
+        self.tx_meters[from.index()].record(now, bytes);
+        let at = now + delay;
+        self.rx_meters[to.index()].record(at, bytes);
+        self.stats.delivered += 1;
+        self.stats.bytes += bytes;
+        if corrupted {
+            self.stats.corrupted += 1;
+        }
+        Delivery::Deliver { at, corrupted }
+    }
+
+    /// Crash a node: it stops sending and receiving (Figure 9).
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node.index()] = true;
+    }
+
+    /// Bring a crashed node back (it has missed everything in between).
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed[node.index()] = false;
+    }
+
+    /// Is the node currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Nodes currently alive.
+    pub fn alive_count(&self) -> u32 {
+        self.crashed.iter().filter(|&&c| !c).count() as u32
+    }
+
+    /// Inject fixed extra latency on all of a node's links.
+    pub fn set_extra_delay(&mut self, node: NodeId, d: SimDuration) {
+        self.extra_delay[node.index()] = d;
+    }
+
+    /// Corrupt messages touching `node` with probability `p`.
+    pub fn set_corrupt_prob(&mut self, node: NodeId, p: f64) {
+        self.corrupt_prob[node.index()] = p.clamp(0.0, 1.0);
+    }
+
+    /// Split the fabric: `groups[i]` is node i's side. Cross-group traffic
+    /// drops until [`Network::heal`].
+    pub fn partition(&mut self, groups: Vec<u8>) {
+        assert_eq!(groups.len(), self.n as usize, "one group per node");
+        self.groups = Some(groups);
+    }
+
+    /// Split the first `left` nodes from the rest (the paper's
+    /// half-and-half attack).
+    pub fn partition_in_half(&mut self, left: u32) {
+        let groups = (0..self.n).map(|i| u8::from(i >= left)).collect();
+        self.partition(groups);
+    }
+
+    /// Remove the partition.
+    pub fn heal(&mut self) {
+        self.groups = None;
+    }
+
+    /// Is a partition active?
+    pub fn is_partitioned(&self) -> bool {
+        self.groups.is_some()
+    }
+
+    /// Can `a` currently talk to `b`?
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.crashed[a.index()]
+            && !self.crashed[b.index()]
+            && self
+                .groups
+                .as_ref()
+                .is_none_or(|g| g[a.index()] == g[b.index()])
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Per-second outbound Mbps for `node` (Figure 16).
+    pub fn tx_mbps_series(&self, node: NodeId) -> Vec<f64> {
+        self.tx_meters[node.index()].mbps_series()
+    }
+
+    /// Per-second inbound Mbps for `node`.
+    pub fn rx_mbps_series(&self, node: NodeId) -> Vec<f64> {
+        self.rx_meters[node.index()].mbps_series()
+    }
+
+    /// Total bytes sent by `node`.
+    pub fn tx_bytes(&self, node: NodeId) -> u64 {
+        self.tx_meters[node.index()].total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: u32) -> Network {
+        Network::new(n, LinkParams::default(), SimRng::seed_from_u64(7))
+    }
+
+    fn assert_delivers(d: Delivery) -> SimTime {
+        match d {
+            Delivery::Deliver { at, corrupted } => {
+                assert!(!corrupted);
+                at
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_includes_propagation_and_serialization() {
+        let mut n = net(2);
+        let now = SimTime::from_secs(1);
+        let at = assert_delivers(n.send(now, NodeId(0), NodeId(1), 125_000_000)); // 1 second of bytes
+        let delay = at - now;
+        assert!(delay >= SimDuration::from_secs(1), "serialization missing: {delay:?}");
+        assert!(delay < SimDuration::from_millis(1100), "delay too large: {delay:?}");
+    }
+
+    #[test]
+    fn small_messages_arrive_fast() {
+        let mut n = net(2);
+        let at = assert_delivers(n.send(SimTime::ZERO, NodeId(0), NodeId(1), 100));
+        assert!(at.since(SimTime::ZERO) < SimDuration::from_millis(2));
+        assert!(at.since(SimTime::ZERO) >= SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn crash_drops_both_directions() {
+        let mut n = net(3);
+        n.crash(NodeId(1));
+        assert_eq!(
+            n.send(SimTime::ZERO, NodeId(1), NodeId(0), 10),
+            Delivery::Dropped(DropReason::SenderCrashed)
+        );
+        assert_eq!(
+            n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10),
+            Delivery::Dropped(DropReason::ReceiverCrashed)
+        );
+        assert!(n.is_crashed(NodeId(1)));
+        assert_eq!(n.alive_count(), 2);
+        // Unrelated pairs still work.
+        assert_delivers(n.send(SimTime::ZERO, NodeId(0), NodeId(2), 10));
+        n.recover(NodeId(1));
+        assert_delivers(n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10));
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_only() {
+        let mut n = net(4);
+        n.partition_in_half(2);
+        assert!(n.is_partitioned());
+        assert_eq!(
+            n.send(SimTime::ZERO, NodeId(0), NodeId(2), 10),
+            Delivery::Dropped(DropReason::Partitioned)
+        );
+        assert_delivers(n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10));
+        assert_delivers(n.send(SimTime::ZERO, NodeId(2), NodeId(3), 10));
+        assert!(!n.connected(NodeId(1), NodeId(2)));
+        assert!(n.connected(NodeId(2), NodeId(3)));
+        n.heal();
+        assert_delivers(n.send(SimTime::ZERO, NodeId(0), NodeId(2), 10));
+        assert!(n.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn extra_delay_adds_up() {
+        let mut fast = net(2);
+        let base = assert_delivers(fast.send(SimTime::ZERO, NodeId(0), NodeId(1), 10));
+        let mut slow = net(2);
+        slow.set_extra_delay(NodeId(1), SimDuration::from_millis(50));
+        let delayed = assert_delivers(slow.send(SimTime::ZERO, NodeId(0), NodeId(1), 10));
+        assert!(
+            delayed.since(SimTime::ZERO) >= base.since(SimTime::ZERO) + SimDuration::from_millis(49)
+        );
+    }
+
+    #[test]
+    fn corruption_probability_applies() {
+        let mut n = net(2);
+        n.set_corrupt_prob(NodeId(1), 1.0);
+        match n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10) {
+            Delivery::Deliver { corrupted, .. } => assert!(corrupted),
+            other => panic!("{other:?}"),
+        }
+        n.set_corrupt_prob(NodeId(1), 0.0);
+        match n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10) {
+            Delivery::Deliver { corrupted, .. } => assert!(!corrupted),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn partial_corruption_rate_is_probabilistic() {
+        let mut n = net(2);
+        n.set_corrupt_prob(NodeId(0), 0.3);
+        let mut corrupted = 0;
+        for _ in 0..2000 {
+            if let Delivery::Deliver { corrupted: c, .. } =
+                n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1)
+            {
+                corrupted += u32::from(c);
+            }
+        }
+        let rate = corrupted as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn metering_tracks_bytes_per_second() {
+        let mut n = net(2);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.send(SimTime::from_secs(2), NodeId(0), NodeId(1), 500_000);
+        assert_eq!(n.tx_bytes(NodeId(0)), 1_500_000);
+        let series = n.tx_mbps_series(NodeId(0));
+        assert!((series[0] - 8.0).abs() < 1e-9);
+        assert!((series[2] - 4.0).abs() < 1e-9);
+        assert_eq!(n.stats().delivered, 2);
+        assert_eq!(n.stats().bytes, 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_node_panics() {
+        let mut n = net(2);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(5), 1);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = || {
+            let mut n = Network::new(4, LinkParams::default(), SimRng::seed_from_u64(99));
+            (0..50)
+                .map(|i| n.send(SimTime::ZERO, NodeId(i % 4), NodeId((i + 1) % 4), 100 + i as u64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

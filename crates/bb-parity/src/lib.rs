@@ -1,0 +1,24 @@
+//! The Parity-like platform (Parity v1.6.0 stand-in).
+//!
+//! Same account/trie data model and bytecode contracts as the Ethereum-like
+//! platform (it reuses `bb_ethereum::state`), but:
+//!
+//! - **consensus** is Proof-of-Authority (Aura): pre-assigned 1-second
+//!   steps, one authority per step, no mining — blocks arrive like
+//!   clockwork and fork only under partitions (Section 3.1.1);
+//! - **state lives in memory**: "Parity holds all the state information in
+//!   memory, so it has better I/O performance but fails to handle large
+//!   data" (Section 4.2.2) — the trie's backing store is a capped
+//!   [`bb_storage::MemStore`], and IOHeavy runs that blow the cap abort
+//!   with out-of-space (Figure 12's 'X');
+//! - **the bottleneck is transaction signing**, not consensus: admission
+//!   verifies signatures at ≈80 tx/s per server (excess submissions are
+//!   throttled at the RPC — Figure 6's flat queue), and the block producer
+//!   pays a per-transaction signing cost that caps chain throughput near
+//!   45 tx/s regardless of offered load (Figures 5 and 13c).
+
+pub mod chain;
+pub mod config;
+
+pub use chain::ParityChain;
+pub use config::ParityConfig;

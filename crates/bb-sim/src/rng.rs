@@ -1,0 +1,259 @@
+//! Seeded randomness with the distributions the simulated protocols need.
+//!
+//! A single [`SimRng`] seed determines an entire experiment: mining races are
+//! exponential draws, YCSB keys are Zipfian draws, network jitter is uniform.
+//! We wrap `rand`'s `StdRng` rather than hand-rolling a generator, and
+//! implement the two non-uniform samplers ourselves (inverse-CDF exponential;
+//! the Gray–Jain rejection-inversion-free YCSB Zipfian) so the crate does not
+//! pull in `rand_distr`.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random source for a simulation.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed. The same seed always yields the
+    /// same experiment.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Fork an independent stream, e.g. one per node, so adding events to one
+    /// actor does not perturb another's draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.next_u64())
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fill a byte slice with random data.
+    pub fn fill_bytes(&mut self, dst: &mut [u8]) {
+        self.inner.fill_bytes(dst);
+    }
+
+    /// Exponential draw with the given mean, via inverse CDF. This is the
+    /// standard analytical model of proof-of-work block discovery: a miner
+    /// with expected block interval `mean` finds its next block after
+    /// `Exp(1/mean)` time.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        // u in (0, 1]; -ln(u) has mean 1.
+        let u = 1.0 - self.unit();
+        let draw = -(u.ln()) * mean.as_secs_f64();
+        SimDuration::from_secs_f64(draw)
+    }
+
+    /// Uniform duration in `[lo, hi)`.
+    pub fn jitter(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if hi.as_micros() <= lo.as_micros() {
+            return lo;
+        }
+        SimDuration::from_micros(self.range(lo.as_micros(), hi.as_micros()))
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Zipfian generator over `[0, n)` with parameter `theta`, following the
+/// Gray et al. formulation used by YCSB. `theta = 0.99` is YCSB's default
+/// "zipfian" request distribution.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Build a generator over `n` items. Cost is O(n) once, to compute the
+    /// harmonic normaliser.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian over empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw the next item rank; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (v as u64).min(self.n - 1)
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Unused normaliser accessor retained for diagnostics.
+    pub fn zeta2theta(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut child1 = parent1.fork();
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut child2 = parent2.fork();
+        // Consuming the parents differently must not change the children.
+        let _ = parent1.next_u64();
+        for _ in 0..10 {
+            let _ = parent2.next_u64();
+        }
+        for _ in 0..32 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mean = SimDuration::from_secs(2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exp_duration(mean).as_micros()).sum();
+        let avg = total as f64 / n as f64 / 1e6;
+        assert!((avg - 2.0).abs() < 0.1, "measured mean {avg}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let z = Zipfian::new(1000, 0.99);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..50_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Rank 0 must be far hotter than the median rank.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // But the tail must still be hit.
+        assert!(counts[500..].iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_near_uniform() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let z = Zipfian::new(10, 0.0);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.3, "counts {counts:?}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let lo = SimDuration::from_millis(1);
+        let hi = SimDuration::from_millis(5);
+        for _ in 0..200 {
+            let d = rng.jitter(lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+        assert_eq!(rng.jitter(hi, lo), hi);
+    }
+}

@@ -1,0 +1,255 @@
+//! The generic event loop.
+//!
+//! A platform (Ethereum-like, Parity-like, Fabric-like) defines an event enum
+//! `E` and a [`World`] that mutates itself in response to events, scheduling
+//! follow-ups through the [`Scheduler`]. The loop pops events in `(time,
+//! sequence)` order, so simultaneous events fire in the order they were
+//! scheduled — a fixed tie-break that keeps runs deterministic.
+//!
+//! Cancellation is by *generation token*: protocols like PoW restart their
+//! mining race whenever the chain head moves; instead of removing entries from
+//! the heap, the world stamps events with a generation and ignores stale ones
+//! on delivery (the classic lazy-deletion timer pattern).
+
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// A world advanced by events of type `E`.
+pub trait World {
+    /// The event type this world consumes.
+    type Event;
+
+    /// Handle one event at virtual time `now`, scheduling any follow-up
+    /// events on `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events on the virtual clock.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Empty scheduler at t = 0.
+    pub fn new() -> Self {
+        Scheduler { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// Current virtual time: the timestamp of the last event popped.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// bug in the caller and panics, except for `at == now`, which delivers
+    /// after all other events already queued for `now`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        self.heap.push(Entry { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.at;
+        self.processed += 1;
+        Some((e.at, e.event))
+    }
+
+    /// Run `world` until the queue is exhausted or `deadline` is passed.
+    /// Events timestamped exactly at `deadline` are delivered. Returns the
+    /// number of events delivered by this call.
+    pub fn run_until<W>(&mut self, world: &mut W, deadline: SimTime) -> u64
+    where
+        W: World<Event = E> + ?Sized,
+    {
+        let mut delivered = 0;
+        while let Some(at) = self.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (now, event) = self.pop().expect("peeked entry vanished");
+            world.handle(now, event, self);
+            delivered += 1;
+        }
+        // Advance the clock to the deadline even if the queue ran dry so that
+        // callers can interleave quiet periods. (Not for the MAX sentinel
+        // used by run_to_completion.)
+        if deadline != SimTime::MAX && self.now < deadline {
+            self.now = deadline;
+        }
+        delivered
+    }
+
+    /// Run until the queue is empty (useful in tests; real experiments use
+    /// [`Scheduler::run_until`]).
+    pub fn run_to_completion<W>(&mut self, world: &mut W) -> u64
+    where
+        W: World<Event = E> + ?Sized,
+    {
+        self.run_until(world, SimTime::MAX)
+    }
+}
+
+/// Monotonically increasing token used for lazy cancellation of timers.
+///
+/// A world keeps one `Generation` per logical timer; bumping it invalidates
+/// all previously scheduled firings, which are dropped when they arrive with
+/// a stale stamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+pub struct Generation(pub u64);
+
+impl Generation {
+    /// Invalidate all outstanding timers stamped with the current value and
+    /// return the new stamp for the next one.
+    pub fn bump(&mut self) -> Generation {
+        self.0 += 1;
+        *self
+    }
+
+    /// Does `stamp` match the live generation?
+    pub fn is_current(&self, stamp: Generation) -> bool {
+        *self == stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        chain: bool,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if self.chain && ev < 5 {
+                sched.schedule(now + SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), 3);
+        s.schedule(SimTime::from_secs(1), 1);
+        s.schedule(SimTime::from_secs(2), 2);
+        let mut w = Recorder::default();
+        s.run_to_completion(&mut w);
+        assert_eq!(w.seen.iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            s.schedule(t, i);
+        }
+        let mut w = Recorder::default();
+        s.run_to_completion(&mut w);
+        assert_eq!(w.seen.iter().map(|&(_, e)| e).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::ZERO, 0);
+        let mut w = Recorder { chain: true, ..Default::default() };
+        let n = s.run_to_completion(&mut w);
+        assert_eq!(n, 6);
+        assert_eq!(w.seen.last().unwrap(), &(SimTime::from_secs(5), 5));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut s = Scheduler::new();
+        for i in 1..=5 {
+            s.schedule(SimTime::from_secs(i), i as u32);
+        }
+        let mut w = Recorder::default();
+        let n = s.run_until(&mut w, SimTime::from_secs(3));
+        assert_eq!(n, 3);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+        assert_eq!(s.pending(), 2);
+        let n = s.run_until(&mut w, SimTime::from_secs(10));
+        assert_eq!(n, 2);
+        // Clock advances to the deadline even with an empty queue.
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), 1);
+        let mut w = Recorder::default();
+        s.run_to_completion(&mut w);
+        s.schedule(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn generation_cancellation() {
+        let mut live = Generation::default();
+        let old = live;
+        let new = live.bump();
+        assert!(!live.is_current(old));
+        assert!(live.is_current(new));
+    }
+}

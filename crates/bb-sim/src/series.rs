@@ -1,0 +1,241 @@
+//! Timestamped sample series used by the stats collector and the figure
+//! harness (queue lengths over time, committed transactions over time,
+//! per-second throughput...).
+
+use crate::time::SimTime;
+
+/// An append-only series of `(time, value)` samples. Timestamps must be
+/// non-decreasing, matching how simulation actors emit them.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Panics if time goes backwards, which would indicate
+    /// an actor recording outside the event loop's clock.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be monotone: {at:?} < {last:?}");
+        }
+        self.points.push((at, value));
+    }
+
+    /// All samples in order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is the series empty?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last sample value, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Value at or before `t` (step interpolation); `None` before the first
+    /// sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => {
+                // Several samples may share the timestamp; take the last.
+                let mut i = i;
+                while i + 1 < self.points.len() && self.points[i + 1].0 == t {
+                    i += 1;
+                }
+                Some(self.points[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Bucket samples into per-`bucket_secs` sums — e.g. committed-tx events
+    /// with value 1.0 become a throughput curve. Returns one sum per bucket
+    /// from t=0 to the last sample.
+    pub fn bucket_sum(&self, bucket_secs: u64) -> Vec<f64> {
+        assert!(bucket_secs > 0);
+        let Some(&(last, _)) = self.points.last() else {
+            return Vec::new();
+        };
+        let span = bucket_secs * 1_000_000;
+        let nbuckets = (last.as_micros() / span + 1) as usize;
+        let mut out = vec![0.0; nbuckets];
+        for &(t, v) in &self.points {
+            out[(t.as_micros() / span) as usize] += v;
+        }
+        out
+    }
+
+    /// Mean of all sample values; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+}
+
+/// Summary statistics over a set of scalar observations (latencies, sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Build from raw observations.
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        Summary { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Quantile in `[0, 1]` by nearest-rank; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).floor() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Empirical CDF sampled at `n` evenly spaced probability points,
+    /// returned as `(value, probability)` pairs — the paper's Figure 17.
+    pub fn cdf(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (1..=n)
+            .map(|i| {
+                let p = i as f64 / n as f64;
+                (self.quantile(p).unwrap(), p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(1), 10.0);
+        s.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(s.value_at(SimTime::ZERO), None);
+        assert_eq!(s.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(s.value_at(SimTime::from_secs(2)), Some(10.0));
+        assert_eq!(s.value_at(SimTime::from_secs(3)), Some(30.0));
+        assert_eq!(s.value_at(SimTime::from_secs(99)), Some(30.0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_take_latest() {
+        let mut s = TimeSeries::new();
+        let t = SimTime::from_secs(2);
+        s.push(t, 1.0);
+        s.push(t, 2.0);
+        s.push(t, 3.0);
+        assert_eq!(s.value_at(t), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(2), 1.0);
+        s.push(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn bucket_sum_builds_throughput_curve() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(SimTime::from_millis(i * 300), 1.0);
+        }
+        // Samples at 0,0.3,...,2.7s: buckets of 1s hold 4, 3, 3 events.
+        assert_eq!(s.bucket_sum(1), vec![4.0, 3.0, 3.0]);
+        assert!(TimeSeries::new().bucket_sum(1).is_empty());
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let s = Summary::from_values((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.99), Some(99.0));
+        assert!((s.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::from_values(vec![]);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let s = Summary::from_values(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        let cdf = s.cdf(5);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn series_mean() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.mean(), None);
+        s.push(SimTime::ZERO, 2.0);
+        s.push(SimTime::from_secs(1), 4.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.last(), Some((SimTime::from_secs(1), 4.0)));
+    }
+}

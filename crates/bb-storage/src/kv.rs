@@ -1,0 +1,61 @@
+//! The key-value interface every engine implements.
+//!
+//! Hyperledger's chaincode environment exposes exactly `putState` /
+//! `getState` (Section 3.1.3); Ethereum's trie sits on the same interface
+//! one level down. Keys and values are arbitrary byte strings.
+
+use crate::stats::StorageStats;
+
+/// Errors surfaced by storage engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Engine-internal corruption (a failed checksum, a malformed SSTable).
+    Corrupt(String),
+    /// The engine's backing resource is exhausted (in-memory engines with a
+    /// byte cap use this to model Parity's OOM in IOHeavy).
+    OutOfSpace { used: u64, cap: u64 },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Corrupt(what) => write!(f, "storage corrupt: {what}"),
+            KvError::OutOfSpace { used, cap } => {
+                write!(f, "storage out of space: {used} of {cap} bytes used")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// An ordered key-value store.
+pub trait KvStore {
+    /// Fetch the value for `key`, if present.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError>;
+
+    /// Insert or overwrite `key`.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError>;
+
+    /// Remove `key`; removing an absent key is a no-op.
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError>;
+
+    /// All live `(key, value)` pairs whose key starts with `prefix`, in key
+    /// order. Used by analytics scans and the bucket tree rebuild.
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError>;
+
+    /// Engine statistics snapshot.
+    fn stats(&self) -> StorageStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(KvError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+        let e = KvError::OutOfSpace { used: 10, cap: 8 };
+        assert!(e.to_string().contains("10 of 8"));
+    }
+}

@@ -1,0 +1,149 @@
+//! The mutable in-memory tier of the LSM tree. Deletions are tombstones
+//! (`None` values) so they shadow older SSTable versions until compaction
+//! drops them.
+
+use std::collections::BTreeMap;
+
+/// Sorted in-memory write buffer.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    approx_bytes: u64,
+}
+
+/// Fixed per-entry overhead charged to the memtable budget.
+const NODE_OVERHEAD: u64 = 48;
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cost(key: &[u8], value: &Option<Vec<u8>>) -> u64 {
+        key.len() as u64 + value.as_ref().map_or(0, |v| v.len() as u64) + NODE_OVERHEAD
+    }
+
+    /// Insert a live value.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.insert(key.to_vec(), Some(value.to_vec()));
+    }
+
+    /// Insert a tombstone.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.insert(key.to_vec(), None);
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let add = Self::cost(&key, &value);
+        if let Some(old) = self.entries.insert(key.clone(), value) {
+            self.approx_bytes -= Self::cost(&key, &old);
+        }
+        self.approx_bytes += add;
+    }
+
+    /// Look up a key. `Some(None)` means "deleted here" — the caller must
+    /// not fall through to older tiers.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Entries (including tombstones) with the given prefix, in key order.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        self.entries
+            .range(prefix.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Drain all entries in key order for an SSTable flush.
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Approximate resident bytes (flush trigger input).
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
+    /// Number of entries, tombstones included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Nothing buffered?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        assert_eq!(m.get(b"k"), None);
+        m.put(b"k", b"v1");
+        assert_eq!(m.get(b"k"), Some(Some(b"v1".as_slice())));
+        m.put(b"k", b"v2");
+        assert_eq!(m.get(b"k"), Some(Some(b"v2".as_slice())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_visible() {
+        let mut m = MemTable::new();
+        m.put(b"k", b"v");
+        m.delete(b"k");
+        assert_eq!(m.get(b"k"), Some(None));
+        assert_eq!(m.len(), 1); // tombstone occupies an entry
+    }
+
+    #[test]
+    fn byte_accounting_tracks_overwrites() {
+        let mut m = MemTable::new();
+        m.put(b"key", &[0; 100]);
+        let after_first = m.approx_bytes();
+        m.put(b"key", &[0; 10]);
+        assert!(m.approx_bytes() < after_first);
+        m.delete(b"key");
+        assert_eq!(m.approx_bytes(), 3 + 48);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut m = MemTable::new();
+        m.put(b"b", b"2");
+        m.put(b"a", b"1");
+        m.delete(b"c");
+        let drained = m.drain_sorted();
+        assert_eq!(
+            drained,
+            vec![
+                (b"a".to_vec(), Some(b"1".to_vec())),
+                (b"b".to_vec(), Some(b"2".to_vec())),
+                (b"c".to_vec(), None),
+            ]
+        );
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn scan_prefix_includes_tombstones() {
+        let mut m = MemTable::new();
+        m.put(b"a:1", b"x");
+        m.delete(b"a:2");
+        m.put(b"b:1", b"y");
+        let hits: Vec<_> = m.scan_prefix(b"a:").collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (b"a:1".as_slice(), Some(b"x".as_slice())));
+        assert_eq!(hits[1], (b"a:2".as_slice(), None));
+    }
+}

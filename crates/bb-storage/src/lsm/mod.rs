@@ -1,0 +1,16 @@
+//! A log-structured merge-tree storage engine — the workspace's LevelDB /
+//! RocksDB stand-in (the paper's Ethereum and Fabric both persist state in
+//! such engines, Section 3.1.2).
+//!
+//! Writes land in a write-ahead [`wal`] and an in-memory [`memtable`]; when
+//! the memtable exceeds its budget it flushes to an immutable sorted
+//! [`sstable`] with a bloom filter and sparse index; reads consult the
+//! memtable then SSTables newest-first; when enough tables accumulate the
+//! [`store`] merges them (size-tiered full compaction), dropping shadowed
+//! versions and tombstones.
+
+pub mod bloom;
+pub mod memtable;
+pub mod sstable;
+pub mod store;
+pub mod wal;

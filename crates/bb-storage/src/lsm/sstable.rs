@@ -1,0 +1,317 @@
+//! Immutable sorted string tables.
+//!
+//! Layout of an SSTable file:
+//!
+//! ```text
+//! [entry]*           entries in key order
+//! [bloom]            encoded bloom filter
+//! [index]            sparse index: every Nth entry's (key, offset)
+//! [footer]           bloom_off u64 | index_off u64 | entry_count u64 | magic u32
+//! ```
+//!
+//! An entry is `klen u32 | key | tombstone u8 | vlen u32 | value`. Point
+//! reads check the bloom filter, binary-search the sparse index, then scan
+//! at most one index interval — the LevelDB recipe at laptop scale.
+
+use super::bloom::Bloom;
+use crate::kv::KvError;
+use crate::vfs::Vfs;
+
+const MAGIC: u32 = 0x5354_424c; // "STBL"
+
+/// Handle to one on-"disk" table, with its bloom filter and sparse index
+/// resident in memory.
+#[derive(Debug)]
+pub struct SsTable {
+    file: String,
+    bloom: Bloom,
+    /// `(first key of interval, byte offset)` in key order.
+    index: Vec<(Vec<u8>, u64)>,
+    entry_count: u64,
+    data_end: u64,
+}
+
+impl SsTable {
+    /// Write `entries` (sorted by key, tombstones as `None`) to `file` and
+    /// return a handle. Panics if entries are not strictly sorted — the
+    /// flush and compaction paths guarantee that.
+    pub fn build(
+        vfs: &mut Vfs,
+        file: &str,
+        entries: &[(Vec<u8>, Option<Vec<u8>>)],
+        bits_per_key: u32,
+        index_interval: usize,
+    ) -> SsTable {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "SSTable entries must be strictly sorted"
+        );
+        let mut body = Vec::new();
+        let mut bloom = Bloom::new(entries.len(), bits_per_key);
+        let mut index = Vec::new();
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if i % index_interval.max(1) == 0 {
+                index.push((key.clone(), body.len() as u64));
+            }
+            bloom.insert(key);
+            body.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            body.extend_from_slice(key);
+            match value {
+                Some(v) => {
+                    body.push(0);
+                    body.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                    body.extend_from_slice(v);
+                }
+                None => {
+                    body.push(1);
+                    body.extend_from_slice(&0u32.to_be_bytes());
+                }
+            }
+        }
+        let data_end = body.len() as u64;
+        let bloom_off = body.len() as u64;
+        body.extend_from_slice(&bloom.encode());
+        let index_off = body.len() as u64;
+        for (key, off) in &index {
+            body.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            body.extend_from_slice(key);
+            body.extend_from_slice(&off.to_be_bytes());
+        }
+        body.extend_from_slice(&bloom_off.to_be_bytes());
+        body.extend_from_slice(&index_off.to_be_bytes());
+        body.extend_from_slice(&(entries.len() as u64).to_be_bytes());
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        vfs.write(file, &body);
+        SsTable { file: file.to_string(), bloom, index, entry_count: entries.len() as u64, data_end }
+    }
+
+    /// Re-open a table written earlier (store restart path).
+    pub fn open(vfs: &mut Vfs, file: &str) -> Result<SsTable, KvError> {
+        let data = vfs.read(file).map_err(|e| KvError::Corrupt(e.to_string()))?;
+        if data.len() < 28 {
+            return Err(KvError::Corrupt(format!("{file}: too short")));
+        }
+        let foot = data.len() - 28;
+        let magic = u32::from_be_bytes(data[foot + 24..].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(KvError::Corrupt(format!("{file}: bad magic")));
+        }
+        let bloom_off = u64::from_be_bytes(data[foot..foot + 8].try_into().expect("8")) as usize;
+        let index_off = u64::from_be_bytes(data[foot + 8..foot + 16].try_into().expect("8")) as usize;
+        let entry_count = u64::from_be_bytes(data[foot + 16..foot + 24].try_into().expect("8"));
+        if bloom_off > index_off || index_off > foot {
+            return Err(KvError::Corrupt(format!("{file}: bad offsets")));
+        }
+        let bloom = Bloom::decode(&data[bloom_off..index_off])
+            .ok_or_else(|| KvError::Corrupt(format!("{file}: bad bloom")))?;
+        let mut index = Vec::new();
+        let mut pos = index_off;
+        while pos < foot {
+            if pos + 4 > foot {
+                return Err(KvError::Corrupt(format!("{file}: bad index")));
+            }
+            let klen = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            if pos + klen + 8 > foot {
+                return Err(KvError::Corrupt(format!("{file}: bad index entry")));
+            }
+            let key = data[pos..pos + klen].to_vec();
+            pos += klen;
+            let off = u64::from_be_bytes(data[pos..pos + 8].try_into().expect("8"));
+            pos += 8;
+            index.push((key, off));
+        }
+        Ok(SsTable { file: file.to_string(), bloom, index, entry_count, data_end: bloom_off as u64 })
+    }
+
+    /// Point lookup. `Ok(Some(None))` means a tombstone: the key is deleted
+    /// at this tier and older tables must not be consulted.
+    #[allow(clippy::type_complexity)]
+    pub fn get(&self, vfs: &mut Vfs, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, KvError> {
+        if !self.bloom.maybe_contains(key) {
+            return Ok(None);
+        }
+        // Find the last index entry with key <= target.
+        let slot = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return Ok(None), // smaller than the table's first key
+            Err(i) => i - 1,
+        };
+        let start = self.index[slot].1;
+        let end = self.index.get(slot + 1).map(|(_, o)| *o).unwrap_or(self.data_end);
+        let chunk = vfs
+            .read_at(&self.file, start as usize, (end - start) as usize)
+            .map_err(|e| KvError::Corrupt(e.to_string()))?;
+        for (k, v) in EntryIter::new(&chunk) {
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Some(v.map(|v| v.to_vec()))),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// All entries (including tombstones) in key order — compaction and
+    /// prefix scans read whole tables.
+    #[allow(clippy::type_complexity)]
+    pub fn all_entries(&self, vfs: &mut Vfs) -> Result<Vec<(Vec<u8>, Option<Vec<u8>>)>, KvError> {
+        let data = vfs
+            .read_at(&self.file, 0, self.data_end as usize)
+            .map_err(|e| KvError::Corrupt(e.to_string()))?;
+        Ok(EntryIter::new(&data).map(|(k, v)| (k.to_vec(), v.map(|v| v.to_vec()))).collect())
+    }
+
+    /// Entry count written at build time.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Zero entries?
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Backing file name.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// File size on the VFS.
+    pub fn file_size(&self, vfs: &Vfs) -> u64 {
+        vfs.file_size(&self.file).unwrap_or(0)
+    }
+}
+
+/// Streaming parser over the entry region of an SSTable.
+struct EntryIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> EntryIter<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        EntryIter { data, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for EntryIter<'a> {
+    type Item = (&'a [u8], Option<&'a [u8]>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let d = self.data;
+        if self.pos + 4 > d.len() {
+            return None;
+        }
+        let klen = u32::from_be_bytes(d[self.pos..self.pos + 4].try_into().ok()?) as usize;
+        self.pos += 4;
+        if self.pos + klen + 5 > d.len() {
+            return None;
+        }
+        let key = &d[self.pos..self.pos + klen];
+        self.pos += klen;
+        let tombstone = d[self.pos] == 1;
+        self.pos += 1;
+        let vlen = u32::from_be_bytes(d[self.pos..self.pos + 4].try_into().ok()?) as usize;
+        self.pos += 4;
+        if self.pos + vlen > d.len() {
+            return None;
+        }
+        let value = &d[self.pos..self.pos + vlen];
+        self.pos += vlen;
+        Some((key, if tombstone { None } else { Some(value) }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u32) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("key{i:06}").into_bytes();
+                if i % 7 == 3 {
+                    (key, None)
+                } else {
+                    (key, Some(format!("value-{i}").into_bytes()))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_point_read() {
+        let mut vfs = Vfs::new();
+        let es = entries(500);
+        let t = SsTable::build(&mut vfs, "sst/1", &es, 10, 16);
+        assert_eq!(t.len(), 500);
+        for (k, v) in &es {
+            assert_eq!(t.get(&mut vfs, k).unwrap(), Some(v.clone()), "key {k:?}");
+        }
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let mut vfs = Vfs::new();
+        let t = SsTable::build(&mut vfs, "sst/1", &entries(100), 10, 16);
+        assert_eq!(t.get(&mut vfs, b"absent").unwrap(), None);
+        assert_eq!(t.get(&mut vfs, b"key999999").unwrap(), None);
+        assert_eq!(t.get(&mut vfs, b"aaa").unwrap(), None); // before first key
+    }
+
+    #[test]
+    fn reopen_round_trips() {
+        let mut vfs = Vfs::new();
+        let es = entries(200);
+        SsTable::build(&mut vfs, "sst/1", &es, 10, 8);
+        let t = SsTable::open(&mut vfs, "sst/1").unwrap();
+        assert_eq!(t.len(), 200);
+        for (k, v) in &es {
+            assert_eq!(t.get(&mut vfs, k).unwrap(), Some(v.clone()));
+        }
+        assert_eq!(t.all_entries(&mut vfs).unwrap(), es);
+    }
+
+    #[test]
+    fn open_rejects_corruption() {
+        let mut vfs = Vfs::new();
+        SsTable::build(&mut vfs, "sst/1", &entries(10), 10, 4);
+        let mut data = vfs.read("sst/1").unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff; // clobber magic
+        vfs.write("sst/1", &data);
+        assert!(matches!(SsTable::open(&mut vfs, "sst/1"), Err(KvError::Corrupt(_))));
+        assert!(SsTable::open(&mut vfs, "missing").is_err());
+        vfs.write("tiny", b"abc");
+        assert!(SsTable::open(&mut vfs, "tiny").is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let mut vfs = Vfs::new();
+        let t = SsTable::build(&mut vfs, "sst/e", &[], 10, 16);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&mut vfs, b"x").unwrap(), None);
+        let reopened = SsTable::open(&mut vfs, "sst/e").unwrap();
+        assert!(reopened.all_entries(&mut vfs).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tombstones_read_back_as_some_none() {
+        let mut vfs = Vfs::new();
+        let es = vec![(b"dead".to_vec(), None), (b"live".to_vec(), Some(b"v".to_vec()))];
+        let t = SsTable::build(&mut vfs, "sst/1", &es, 10, 16);
+        assert_eq!(t.get(&mut vfs, b"dead").unwrap(), Some(None));
+        assert_eq!(t.get(&mut vfs, b"live").unwrap(), Some(Some(b"v".to_vec())));
+    }
+
+    #[test]
+    fn file_size_reported() {
+        let mut vfs = Vfs::new();
+        let t = SsTable::build(&mut vfs, "sst/1", &entries(50), 10, 16);
+        assert_eq!(t.file_size(&vfs), vfs.file_size("sst/1").unwrap());
+        assert!(t.file_size(&vfs) > 0);
+        assert_eq!(t.file(), "sst/1");
+    }
+}

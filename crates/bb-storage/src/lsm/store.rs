@@ -1,0 +1,454 @@
+//! The LSM store proper: WAL + memtable + SSTable stack + compaction.
+
+use super::memtable::MemTable;
+use super::sstable::SsTable;
+use super::wal::{Wal, WalRecord};
+use crate::kv::{KvError, KvStore};
+use crate::stats::StorageStats;
+use crate::vfs::Vfs;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Tuning knobs for [`LsmStore`].
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable to an SSTable once it holds this many bytes.
+    pub memtable_flush_bytes: u64,
+    /// Bloom filter budget.
+    pub bloom_bits_per_key: u32,
+    /// Sparse index interval (entries per index slot).
+    pub index_interval: usize,
+    /// Merge all tables into one once more than this many exist.
+    pub max_tables: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_flush_bytes: 1 << 20, // 1 MiB
+            bloom_bits_per_key: 10,
+            index_interval: 16,
+            max_tables: 8,
+        }
+    }
+}
+
+/// A log-structured merge-tree key-value store over a (shared) [`Vfs`].
+pub struct LsmStore {
+    vfs: Rc<RefCell<Vfs>>,
+    prefix: String,
+    config: LsmConfig,
+    wal: Wal,
+    memtable: MemTable,
+    /// Newest last; reads walk it in reverse.
+    tables: Vec<SsTable>,
+    next_table_id: u64,
+    stats: StorageStats,
+}
+
+impl LsmStore {
+    /// Open a store rooted at `prefix` on `vfs`, replaying any WAL tail and
+    /// re-attaching existing SSTables (restart path).
+    pub fn open(vfs: Rc<RefCell<Vfs>>, prefix: &str, config: LsmConfig) -> Result<LsmStore, KvError> {
+        let wal_file = format!("{prefix}/wal");
+        let (wal, table_files) = {
+            let mut v = vfs.borrow_mut();
+            let wal = Wal::open(&mut v, &wal_file);
+            (wal, v.list(&format!("{prefix}/sst/")))
+        };
+        let mut tables = Vec::new();
+        let mut next_table_id = 0;
+        for file in &table_files {
+            let t = SsTable::open(&mut vfs.borrow_mut(), file)?;
+            if let Some(id) = file.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
+                next_table_id = next_table_id.max(id + 1);
+            }
+            tables.push(t);
+        }
+        let mut store = LsmStore {
+            vfs,
+            prefix: prefix.to_string(),
+            config,
+            wal,
+            memtable: MemTable::new(),
+            tables,
+            next_table_id,
+            stats: StorageStats::default(),
+        };
+        // Recover the un-flushed tail.
+        let records = store.wal.replay(&mut store.vfs.borrow_mut());
+        for rec in records {
+            match rec {
+                WalRecord::Put(k, v) => store.memtable.put(&k, &v),
+                WalRecord::Delete(k) => store.memtable.delete(&k),
+            }
+        }
+        Ok(store)
+    }
+
+    /// Convenience constructor owning a private VFS.
+    pub fn new_private(config: LsmConfig) -> LsmStore {
+        LsmStore::open(Rc::new(RefCell::new(Vfs::new())), "lsm", config)
+            .expect("fresh VFS cannot be corrupt")
+    }
+
+    fn flush_memtable(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries = self.memtable.drain_sorted();
+        let file = format!("{}/sst/{:012}", self.prefix, self.next_table_id);
+        self.next_table_id += 1;
+        let table = {
+            let mut v = self.vfs.borrow_mut();
+            let t = SsTable::build(
+                &mut v,
+                &file,
+                &entries,
+                self.config.bloom_bits_per_key,
+                self.config.index_interval,
+            );
+            self.wal.reset(&mut v);
+            t
+        };
+        self.tables.push(table);
+        self.stats.flushes += 1;
+        if self.tables.len() > self.config.max_tables {
+            self.compact();
+        }
+    }
+
+    /// Merge every table (and nothing from the memtable) into one, dropping
+    /// shadowed versions and tombstones. Full compaction keeps the model
+    /// simple; size-tiered levels would change constants, not shape.
+    fn compact(&mut self) {
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Oldest first so newer tables overwrite.
+        for t in &self.tables {
+            let entries = t.all_entries(&mut self.vfs.borrow_mut()).expect("own table readable");
+            for (k, v) in entries {
+                merged.insert(k, v);
+            }
+        }
+        let live: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
+        let file = format!("{}/sst/{:012}", self.prefix, self.next_table_id);
+        self.next_table_id += 1;
+        let new_table = {
+            let mut v = self.vfs.borrow_mut();
+            let t = SsTable::build(
+                &mut v,
+                &file,
+                &live,
+                self.config.bloom_bits_per_key,
+                self.config.index_interval,
+            );
+            for old in &self.tables {
+                v.delete(old.file());
+            }
+            t
+        };
+        self.tables = vec![new_table];
+        self.stats.compactions += 1;
+    }
+
+    /// Force a flush (platforms call this at block boundaries in tests).
+    pub fn flush(&mut self) {
+        self.flush_memtable();
+    }
+
+    /// Number of SSTables currently live.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Shared VFS handle.
+    pub fn vfs(&self) -> Rc<RefCell<Vfs>> {
+        Rc::clone(&self.vfs)
+    }
+
+}
+
+impl KvStore for LsmStore {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.stats.reads += 1;
+        if let Some(hit) = self.memtable.get(key) {
+            return Ok(hit.map(|v| v.to_vec()));
+        }
+        for t in self.tables.iter().rev() {
+            if let Some(hit) = t.get(&mut self.vfs.borrow_mut(), key)? {
+                return Ok(hit);
+            }
+        }
+        Ok(None)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        self.stats.writes += 1;
+        self.wal.log_put(&mut self.vfs.borrow_mut(), key, value);
+        self.memtable.put(key, value);
+        if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            self.flush_memtable();
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        self.stats.writes += 1;
+        self.wal.log_delete(&mut self.vfs.borrow_mut(), key);
+        self.memtable.delete(key);
+        if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            self.flush_memtable();
+        }
+        Ok(())
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        // Merge newest-wins: start from the oldest table, overlay newer
+        // tables, finish with the memtable.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for t in &self.tables {
+            let entries = t.all_entries(&mut self.vfs.borrow_mut())?;
+            for (k, v) in entries {
+                if k.starts_with(prefix) {
+                    merged.insert(k, v);
+                }
+            }
+        }
+        for (k, v) in self.memtable.scan_prefix(prefix) {
+            merged.insert(k.to_vec(), v.map(|v| v.to_vec()));
+        }
+        let out: Vec<(Vec<u8>, Vec<u8>)> =
+            merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+        self.stats.reads += out.len() as u64;
+        Ok(out)
+    }
+
+    fn stats(&self) -> StorageStats {
+        let mut s = self.stats;
+        let v = self.vfs.borrow();
+        s.disk_bytes = v.disk_usage();
+        s.bytes_written = v.bytes_written();
+        s.bytes_read = v.bytes_read();
+        s.mem_bytes = self.memtable.approx_bytes();
+        s
+    }
+}
+
+impl std::fmt::Debug for LsmStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmStore")
+            .field("prefix", &self.prefix)
+            .field("tables", &self.tables.len())
+            .field("memtable_entries", &self.memtable.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LsmConfig {
+        LsmConfig { memtable_flush_bytes: 2048, max_tables: 3, ..LsmConfig::default() }
+    }
+
+    #[test]
+    fn put_get_delete_across_flushes() {
+        let mut s = LsmStore::new_private(small_config());
+        for i in 0..500u32 {
+            s.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        assert!(s.table_count() >= 1, "flushes should have happened");
+        for i in 0..500u32 {
+            assert_eq!(
+                s.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+        s.delete(b"k00042").unwrap();
+        assert_eq!(s.get(b"k00042").unwrap(), None);
+        assert_eq!(s.get(b"k00043").unwrap(), Some(b"v43".to_vec()));
+    }
+
+    #[test]
+    fn overwrites_resolve_newest_wins_across_tables() {
+        let mut s = LsmStore::new_private(small_config());
+        for round in 0..5u32 {
+            for i in 0..100u32 {
+                s.put(format!("k{i:03}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            }
+            s.flush();
+        }
+        for i in 0..100u32 {
+            assert_eq!(s.get(format!("k{i:03}").as_bytes()).unwrap(), Some(b"r4".to_vec()));
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_table_count_and_drops_garbage() {
+        let mut s = LsmStore::new_private(LsmConfig {
+            memtable_flush_bytes: 512,
+            max_tables: 2,
+            ..LsmConfig::default()
+        });
+        for round in 0..20u32 {
+            for i in 0..20u32 {
+                s.put(format!("k{i:02}").as_bytes(), format!("round{round}data").as_bytes())
+                    .unwrap();
+            }
+        }
+        s.flush();
+        assert!(s.table_count() <= 3);
+        assert!(s.stats().compactions > 0);
+        for i in 0..20u32 {
+            assert_eq!(s.get(format!("k{i:02}").as_bytes()).unwrap(), Some(b"round19data".to_vec()));
+        }
+    }
+
+    #[test]
+    fn tombstones_survive_compaction_semantics() {
+        let mut s = LsmStore::new_private(LsmConfig {
+            memtable_flush_bytes: 256,
+            max_tables: 2,
+            ..LsmConfig::default()
+        });
+        s.put(b"doomed", b"v").unwrap();
+        s.flush();
+        s.delete(b"doomed").unwrap();
+        s.flush();
+        // Force compactions with filler.
+        for i in 0..200u32 {
+            s.put(format!("fill{i:04}").as_bytes(), b"x").unwrap();
+        }
+        s.flush();
+        assert_eq!(s.get(b"doomed").unwrap(), None);
+    }
+
+    #[test]
+    fn restart_recovers_wal_and_tables() {
+        let vfs = Rc::new(RefCell::new(Vfs::new()));
+        {
+            let mut s = LsmStore::open(Rc::clone(&vfs), "db", small_config()).unwrap();
+            for i in 0..300u32 {
+                s.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            // Some entries flushed to SSTables, the tail only in the WAL.
+            s.put(b"tail", b"unflushed").unwrap();
+            // Store dropped without a final flush: simulated crash.
+        }
+        let mut s = LsmStore::open(vfs, "db", small_config()).unwrap();
+        assert_eq!(s.get(b"tail").unwrap(), Some(b"unflushed".to_vec()));
+        for i in 0..300u32 {
+            assert_eq!(
+                s.get(format!("k{i:04}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i} lost on restart"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_prefix_merges_all_tiers() {
+        let mut s = LsmStore::new_private(small_config());
+        s.put(b"acct:1", b"old").unwrap();
+        s.put(b"acct:2", b"two").unwrap();
+        s.flush();
+        s.put(b"acct:1", b"new").unwrap(); // shadow in memtable
+        s.put(b"acct:3", b"three").unwrap();
+        s.delete(b"acct:2").unwrap(); // tombstone in memtable
+        s.put(b"other:9", b"no").unwrap();
+        let hits = s.scan_prefix(b"acct:").unwrap();
+        assert_eq!(
+            hits,
+            vec![
+                (b"acct:1".to_vec(), b"new".to_vec()),
+                (b"acct:3".to_vec(), b"three".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_reflect_disk_and_memory() {
+        let mut s = LsmStore::new_private(small_config());
+        for i in 0..100u32 {
+            s.put(format!("key{i:08}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.writes, 100);
+        assert!(st.disk_bytes > 0);
+        assert!(st.bytes_written >= st.disk_bytes);
+        assert!(st.flushes > 0);
+    }
+
+    #[test]
+    fn empty_store_reads() {
+        let mut s = LsmStore::new_private(LsmConfig::default());
+        assert_eq!(s.get(b"nothing").unwrap(), None);
+        assert!(s.scan_prefix(b"x").unwrap().is_empty());
+        s.flush(); // flushing an empty memtable is a no-op
+        assert_eq!(s.table_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u8, Vec<u8>),
+        Delete(u8),
+        Flush,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+                .prop_map(|(k, v)| Op::Put(k, v)),
+            any::<u8>().prop_map(Op::Delete),
+            Just(Op::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The LSM store must behave exactly like a BTreeMap under any
+        /// sequence of puts, deletes and flushes.
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+            let mut store = LsmStore::new_private(LsmConfig {
+                memtable_flush_bytes: 512,
+                max_tables: 2,
+                ..LsmConfig::default()
+            });
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        let key = vec![b'k', *k];
+                        model.insert(key.clone(), v.clone());
+                        store.put(&key, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        let key = vec![b'k', *k];
+                        model.remove(&key);
+                        store.delete(&key).unwrap();
+                    }
+                    Op::Flush => store.flush(),
+                }
+            }
+            for k in 0..=255u8 {
+                let key = vec![b'k', k];
+                prop_assert_eq!(store.get(&key).unwrap(), model.get(&key).cloned());
+            }
+            let scanned = store.scan_prefix(b"k").unwrap();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

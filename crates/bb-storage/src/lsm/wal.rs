@@ -1,0 +1,188 @@
+//! Write-ahead log: every mutation is appended (checksummed) before it
+//! touches the memtable, so a reopened store recovers exactly the
+//! un-flushed tail.
+
+use crate::vfs::Vfs;
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// One recovered WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A put of `key` to `value`.
+    Put(Vec<u8>, Vec<u8>),
+    /// A deletion of `key`.
+    Delete(Vec<u8>),
+}
+
+fn checksum(parts: &[&[u8]]) -> u32 {
+    // FNV-1a folded to 32 bits: cheap, catches truncation and bit flips.
+    let mut h = 0xcbf29ce484222325u64;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Append-only log over one VFS file.
+#[derive(Debug)]
+pub struct Wal {
+    file: String,
+}
+
+impl Wal {
+    /// Open (or create) the log at `file`.
+    pub fn open(vfs: &mut Vfs, file: &str) -> Wal {
+        if !vfs.exists(file) {
+            vfs.create(file);
+        }
+        Wal { file: file.to_string() }
+    }
+
+    fn append_record(&self, vfs: &mut Vfs, tag: u8, key: &[u8], value: &[u8]) {
+        let mut rec = Vec::with_capacity(13 + key.len() + value.len());
+        rec.push(tag);
+        rec.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        rec.extend_from_slice(value);
+        let sum = checksum(&[&[tag], key, value]);
+        rec.extend_from_slice(&sum.to_be_bytes());
+        vfs.append(&self.file, &rec);
+    }
+
+    /// Log a put.
+    pub fn log_put(&self, vfs: &mut Vfs, key: &[u8], value: &[u8]) {
+        self.append_record(vfs, TAG_PUT, key, value);
+    }
+
+    /// Log a delete.
+    pub fn log_delete(&self, vfs: &mut Vfs, key: &[u8]) {
+        self.append_record(vfs, TAG_DELETE, key, &[]);
+    }
+
+    /// Truncate after a successful memtable flush.
+    pub fn reset(&self, vfs: &mut Vfs) {
+        vfs.create(&self.file);
+    }
+
+    /// Replay all intact records. A torn or corrupt tail (crash mid-append)
+    /// ends replay at the last good record, like production WALs.
+    pub fn replay(&self, vfs: &mut Vfs) -> Vec<WalRecord> {
+        let Ok(data) = vfs.read(&self.file) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while let Some((record, consumed)) = Self::parse_one(&data[pos..]) {
+            out.push(record);
+            pos += consumed;
+        }
+        out
+    }
+
+    fn parse_one(data: &[u8]) -> Option<(WalRecord, usize)> {
+        if data.len() < 9 {
+            return None;
+        }
+        let tag = data[0];
+        let klen = u32::from_be_bytes(data[1..5].try_into().ok()?) as usize;
+        if data.len() < 5 + klen + 4 {
+            return None;
+        }
+        let key = &data[5..5 + klen];
+        let vstart = 5 + klen;
+        let vlen = u32::from_be_bytes(data[vstart..vstart + 4].try_into().ok()?) as usize;
+        let vend = vstart + 4 + vlen;
+        if data.len() < vend + 4 {
+            return None;
+        }
+        let value = &data[vstart + 4..vend];
+        let stored = u32::from_be_bytes(data[vend..vend + 4].try_into().ok()?);
+        if stored != checksum(&[&[tag], key, value]) {
+            return None;
+        }
+        let record = match tag {
+            TAG_PUT => WalRecord::Put(key.to_vec(), value.to_vec()),
+            TAG_DELETE => WalRecord::Delete(key.to_vec()),
+            _ => return None,
+        };
+        Some((record, vend + 4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_round_trips() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"a", b"1");
+        wal.log_delete(&mut vfs, b"b");
+        wal.log_put(&mut vfs, b"c", b"3");
+        assert_eq!(
+            wal.replay(&mut vfs),
+            vec![
+                WalRecord::Put(b"a".to_vec(), b"1".to_vec()),
+                WalRecord::Delete(b"b".to_vec()),
+                WalRecord::Put(b"c".to_vec(), b"3".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_clears_log() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"a", b"1");
+        wal.reset(&mut vfs);
+        assert!(wal.replay(&mut vfs).is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"good", b"record");
+        // Simulate a crash mid-append: write a partial record by hand.
+        vfs.append("wal", &[TAG_PUT, 0, 0, 0, 10, b'x']);
+        let recs = wal.replay(&mut vfs);
+        assert_eq!(recs, vec![WalRecord::Put(b"good".to_vec(), b"record".to_vec())]);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"a", b"1");
+        wal.log_put(&mut vfs, b"b", b"2");
+        let mut data = vfs.read("wal").unwrap();
+        // Flip a bit in the second record's value region.
+        let n = data.len();
+        data[n - 6] ^= 0xff;
+        vfs.write("wal", &data);
+        let recs = wal.replay(&mut vfs);
+        assert_eq!(recs, vec![WalRecord::Put(b"a".to_vec(), b"1".to_vec())]);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let mut vfs = Vfs::new();
+        let wal = Wal { file: "ghost".into() };
+        assert!(wal.replay(&mut vfs).is_empty());
+    }
+
+    #[test]
+    fn empty_values_allowed() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"empty", b"");
+        assert_eq!(wal.replay(&mut vfs), vec![WalRecord::Put(b"empty".to_vec(), vec![])]);
+    }
+}

@@ -1,0 +1,165 @@
+//! A plain ordered in-memory store — Parity's data-management model.
+//!
+//! "Parity holds all the state information in memory, so it has better I/O
+//! performance but fails to handle large data" (Section 4.2.2). The optional
+//! byte cap reproduces that failure: IOHeavy runs that exceed it get
+//! [`KvError::OutOfSpace`], our analogue of the paper's 'X' (out-of-memory)
+//! data points.
+
+use crate::kv::{KvError, KvStore};
+use crate::stats::StorageStats;
+use std::collections::BTreeMap;
+
+/// Fixed per-entry bookkeeping overhead, on top of key and value bytes.
+/// Models allocator + index overhead of an in-memory state cache.
+pub const ENTRY_OVERHEAD: u64 = 64;
+
+/// Ordered in-memory key-value store with an optional capacity cap.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    mem_bytes: u64,
+    cap: Option<u64>,
+    stats: StorageStats,
+}
+
+impl MemStore {
+    /// Unbounded store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store that errors once resident bytes exceed `cap`.
+    pub fn with_capacity_cap(cap: u64) -> Self {
+        MemStore { cap: Some(cap), ..Self::default() }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn entry_bytes(key: &[u8], value: &[u8]) -> u64 {
+        key.len() as u64 + value.len() as u64 + ENTRY_OVERHEAD
+    }
+}
+
+impl KvStore for MemStore {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.stats.reads += 1;
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let new_bytes = Self::entry_bytes(key, value);
+        let old_bytes = self.map.get(key).map(|v| Self::entry_bytes(key, v)).unwrap_or(0);
+        let projected = self.mem_bytes - old_bytes + new_bytes;
+        if let Some(cap) = self.cap {
+            if projected > cap {
+                return Err(KvError::OutOfSpace { used: projected, cap });
+            }
+        }
+        self.stats.writes += 1;
+        self.map.insert(key.to_vec(), value.to_vec());
+        self.mem_bytes = projected;
+        self.stats.mem_bytes = self.mem_bytes;
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        self.stats.writes += 1;
+        if let Some(old) = self.map.remove(key) {
+            self.mem_bytes -= Self::entry_bytes(key, &old);
+            self.stats.mem_bytes = self.mem_bytes;
+        }
+        Ok(())
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        let out: Vec<_> = self
+            .map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.stats.reads += out.len() as u64;
+        Ok(out)
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let mut s = MemStore::new();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        s.put(b"k", b"v1").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Some(b"v1".to_vec()));
+        s.put(b"k", b"v2").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        s.delete(b"k").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scan_prefix_in_order() {
+        let mut s = MemStore::new();
+        for k in ["a:2", "a:1", "b:1", "a:3"] {
+            s.put(k.as_bytes(), b"x").unwrap();
+        }
+        let hits = s.scan_prefix(b"a:").unwrap();
+        let keys: Vec<_> = hits.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+        assert_eq!(keys, vec!["a:1", "a:2", "a:3"]);
+    }
+
+    #[test]
+    fn capacity_cap_models_parity_oom() {
+        // Each entry costs key + value + 64 overhead = 70 bytes here.
+        let mut s = MemStore::with_capacity_cap(200);
+        s.put(b"k1", b"vvvv", ).unwrap();
+        s.put(b"k2", b"vvvv").unwrap();
+        let err = s.put(b"k3", b"vvvv").unwrap_err();
+        assert!(matches!(err, KvError::OutOfSpace { .. }));
+        // Failed put leaves the store intact.
+        assert_eq!(s.len(), 2);
+        // Overwriting an existing key must not double-count.
+        s.put(b"k1", b"wwww").unwrap();
+        assert_eq!(s.get(b"k1").unwrap(), Some(b"wwww".to_vec()));
+    }
+
+    #[test]
+    fn delete_releases_capacity() {
+        let mut s = MemStore::with_capacity_cap(200);
+        s.put(b"k1", b"vvvv").unwrap();
+        s.put(b"k2", b"vvvv").unwrap();
+        s.delete(b"k1").unwrap();
+        s.put(b"k3", b"vvvv").unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut s = MemStore::new();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        let _ = s.get(b"a").unwrap();
+        let _ = s.scan_prefix(b"").unwrap();
+        let st = s.stats();
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.reads, 1 + 2);
+        assert!(st.mem_bytes > 0);
+        assert_eq!(st.disk_bytes, 0);
+    }
+}

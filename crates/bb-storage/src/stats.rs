@@ -1,0 +1,47 @@
+//! Counters shared by all storage engines. The IOHeavy micro-benchmark
+//! (Figure 12) reads these to report operation throughput and disk usage.
+
+/// Cumulative storage-engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Point reads served.
+    pub reads: u64,
+    /// Writes (puts and deletes) accepted.
+    pub writes: u64,
+    /// Bytes currently occupying "disk".
+    pub disk_bytes: u64,
+    /// Cumulative bytes written to disk (write amplification numerator).
+    pub bytes_written: u64,
+    /// Cumulative bytes read from disk.
+    pub bytes_read: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Bytes resident in memory (memtable / the whole store for MemStore).
+    pub mem_bytes: u64,
+}
+
+impl StorageStats {
+    /// Write amplification: disk bytes written per logical byte accepted.
+    /// Returns `None` until at least one write has happened.
+    pub fn write_amplification(&self, logical_bytes: u64) -> Option<f64> {
+        if logical_bytes == 0 {
+            None
+        } else {
+            Some(self.bytes_written as f64 / logical_bytes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_guards_zero() {
+        let s = StorageStats { bytes_written: 300, ..Default::default() };
+        assert_eq!(s.write_amplification(0), None);
+        assert_eq!(s.write_amplification(100), Some(3.0));
+    }
+}

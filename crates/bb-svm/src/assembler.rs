@@ -1,0 +1,231 @@
+//! Two-pass assembler for SVM bytecode.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comment
+//! label:                 ; define a jump target
+//!     push 42            ; decimal (optionally negative) immediate
+//!     push 'K'           ; single-character immediate
+//!     dup 1              ; stack depth operand
+//!     jumpi label        ; jump targets are labels
+//! ```
+//!
+//! Pass one records label offsets; pass two emits bytes with resolved
+//! targets. All Table 1 contracts (`bb-contracts`) are written in this
+//! language.
+
+use crate::opcode::Op;
+
+/// Assembly errors, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic.
+    UnknownOp { line: usize, word: String },
+    /// Operand missing or malformed.
+    BadOperand { line: usize, detail: String },
+    /// `jump`/`jumpi` referenced a label that was never defined.
+    UndefinedLabel { line: usize, label: String },
+    /// The same label was defined twice.
+    DuplicateLabel { line: usize, label: String },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnknownOp { line, word } => write!(f, "line {line}: unknown op `{word}`"),
+            AsmError::BadOperand { line, detail } => write!(f, "line {line}: {detail}"),
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Operand<'a> {
+    None,
+    Imm(i64),
+    Depth(u8),
+    Label(&'a str),
+}
+
+struct Line<'a> {
+    number: usize,
+    op: Op,
+    operand: Operand<'a>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_imm(word: &str, line: usize) -> Result<i64, AsmError> {
+    // Character literal: 'K'
+    if let Some(inner) = word.strip_prefix('\'').and_then(|w| w.strip_suffix('\'')) {
+        let mut chars = inner.chars();
+        if let (Some(c), None) = (chars.next(), chars.next()) {
+            return Ok(c as i64);
+        }
+        return Err(AsmError::BadOperand { line, detail: format!("bad char literal {word}") });
+    }
+    word.parse::<i64>()
+        .map_err(|_| AsmError::BadOperand { line, detail: format!("bad immediate `{word}`") })
+}
+
+/// Assemble `src` into bytecode.
+pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
+    let mut labels: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let mut lines: Vec<Line<'_>> = Vec::new();
+    let mut offset: u32 = 0;
+
+    // Pass one: tokenize, size instructions, record label offsets.
+    for (i, raw) in src.lines().enumerate() {
+        let number = i + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label, offset).is_some() {
+                return Err(AsmError::DuplicateLabel { line: number, label: label.into() });
+            }
+            continue;
+        }
+        let mut words = text.split_whitespace();
+        let mnemonic = words.next().expect("nonempty line");
+        let op = Op::from_mnemonic(mnemonic)
+            .ok_or_else(|| AsmError::UnknownOp { line: number, word: mnemonic.into() })?;
+        let operand = match op {
+            Op::Push => {
+                let w = words.next().ok_or_else(|| AsmError::BadOperand {
+                    line: number,
+                    detail: "push needs an immediate".into(),
+                })?;
+                Operand::Imm(parse_imm(w, number)?)
+            }
+            Op::Dup | Op::Swap => {
+                let w = words.next().ok_or_else(|| AsmError::BadOperand {
+                    line: number,
+                    detail: format!("{mnemonic} needs a depth"),
+                })?;
+                let d = w.parse::<u8>().map_err(|_| AsmError::BadOperand {
+                    line: number,
+                    detail: format!("bad depth `{w}`"),
+                })?;
+                Operand::Depth(d)
+            }
+            Op::Jump | Op::JumpI => {
+                let w = words.next().ok_or_else(|| AsmError::BadOperand {
+                    line: number,
+                    detail: format!("{mnemonic} needs a label"),
+                })?;
+                Operand::Label(w)
+            }
+            _ => Operand::None,
+        };
+        if words.next().is_some() {
+            return Err(AsmError::BadOperand { line: number, detail: "trailing tokens".into() });
+        }
+        offset += 1 + op.immediate_len() as u32;
+        lines.push(Line { number, op, operand });
+    }
+
+    // Pass two: emit.
+    let mut code = Vec::with_capacity(offset as usize);
+    for line in &lines {
+        code.push(line.op as u8);
+        match (&line.operand, line.op) {
+            (Operand::Imm(v), _) => code.extend_from_slice(&v.to_be_bytes()),
+            (Operand::Depth(d), _) => code.push(*d),
+            (Operand::Label(l), _) => {
+                let target = labels.get(l).ok_or_else(|| AsmError::UndefinedLabel {
+                    line: line.number,
+                    label: (*l).into(),
+                })?;
+                code.extend_from_slice(&target.to_be_bytes());
+            }
+            (Operand::None, _) => {}
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_program() {
+        let code = assemble("push 1\npush 2\nadd\nstop").unwrap();
+        assert_eq!(code.len(), 9 + 9 + 1 + 1);
+        assert_eq!(code[0], Op::Push as u8);
+        assert_eq!(&code[1..9], &1i64.to_be_bytes());
+        assert_eq!(code[18], Op::Add as u8);
+        assert_eq!(code[19], Op::Stop as u8);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let code = assemble(
+            "start:\npush 1\njumpi end\njump start\nend:\nstop",
+        )
+        .unwrap();
+        // Layout: push(9) jumpi(5) jump(5) stop(1).
+        let jumpi_target = u32::from_be_bytes(code[10..14].try_into().unwrap());
+        let jump_target = u32::from_be_bytes(code[15..19].try_into().unwrap());
+        assert_eq!(jumpi_target, 19); // `end` after push+jumpi+jump
+        assert_eq!(jump_target, 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let a = assemble("push 1 ; a comment\n\n; full line comment\nstop").unwrap();
+        let b = assemble("push 1\nstop").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn char_literals_and_negatives() {
+        let code = assemble("push 'A'\npush -3").unwrap();
+        assert_eq!(&code[1..9], &65i64.to_be_bytes());
+        assert_eq!(&code[10..18], &(-3i64).to_be_bytes());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        match assemble("push 1\nfrobnicate") {
+            Err(AsmError::UnknownOp { line, word }) => {
+                assert_eq!(line, 2);
+                assert_eq!(word, "frobnicate");
+            }
+            other => panic!("expected UnknownOp, got {other:?}"),
+        }
+        assert!(matches!(assemble("push"), Err(AsmError::BadOperand { line: 1, .. })));
+        assert!(matches!(assemble("push zebra"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(assemble("dup 300"), Err(AsmError::BadOperand { .. })));
+        assert!(matches!(
+            assemble("jump nowhere"),
+            Err(AsmError::UndefinedLabel { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("a:\na:\nstop"),
+            Err(AsmError::DuplicateLabel { line: 2, .. })
+        ));
+        assert!(matches!(assemble("add extra"), Err(AsmError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn error_messages_display() {
+        let e = assemble("jump gone").unwrap_err();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The gas schedule: per-instruction and per-resource charges.
+//!
+//! Calibrated qualitatively after the EVM: storage writes dominate, storage
+//! reads are expensive, memory growth is linear, arithmetic is cheap. The
+//! platforms convert consumed gas into simulated CPU time with their own
+//! ns/gas constants (Parity's optimised interpreter runs the same bytecode
+//! ~3.5× cheaper — Figure 11).
+
+use crate::opcode::Op;
+
+/// Gas prices for one platform's execution engine.
+#[derive(Debug, Clone)]
+pub struct GasSchedule {
+    /// Base cost of simple stack/arithmetic/control ops.
+    pub base: u64,
+    /// Cost of a memory load/store word op.
+    pub memory_op: u64,
+    /// Cost per byte of memory growth.
+    pub memory_growth_per_byte: u64,
+    /// Cost of a storage read, plus per returned byte.
+    pub storage_read: u64,
+    /// Cost of a storage write, plus per written byte.
+    pub storage_write: u64,
+    /// Cost per byte on storage read/write payloads.
+    pub storage_per_byte: u64,
+    /// Cost of a transfer.
+    pub transfer: u64,
+    /// Cost of hashing, plus per input byte.
+    pub hash: u64,
+    /// Cost per hashed byte.
+    pub hash_per_byte: u64,
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule {
+            base: 1,
+            memory_op: 3,
+            memory_growth_per_byte: 1,
+            storage_read: 200,
+            storage_write: 5000,
+            storage_per_byte: 8,
+            transfer: 9000,
+            hash: 30,
+            hash_per_byte: 6,
+        }
+    }
+}
+
+impl GasSchedule {
+    /// Static cost of executing `op` once (dynamic parts — memory growth,
+    /// storage byte counts — are charged separately by the VM).
+    pub fn op_cost(&self, op: Op) -> u64 {
+        match op {
+            Op::MLoad | Op::MStore => self.memory_op,
+            Op::SGet => self.storage_read,
+            Op::SPut => self.storage_write,
+            Op::SDel => self.storage_write / 2,
+            Op::Transfer => self.transfer,
+            Op::Hash => self.hash,
+            Op::CallDataCopy => self.memory_op,
+            _ => self.base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_dominates_arithmetic() {
+        let g = GasSchedule::default();
+        assert!(g.op_cost(Op::SPut) > 100 * g.op_cost(Op::Add));
+        assert!(g.op_cost(Op::SGet) > 10 * g.op_cost(Op::Add));
+        assert!(g.op_cost(Op::SPut) > g.op_cost(Op::SGet));
+        assert!(g.op_cost(Op::SDel) > g.op_cost(Op::MLoad));
+    }
+
+    #[test]
+    fn every_op_has_positive_cost() {
+        let g = GasSchedule::default();
+        for &op in crate::opcode::ALL_OPS {
+            assert!(g.op_cost(op) > 0, "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The host interface: what the chain offers an executing contract.
+//!
+//! Platforms implement [`Host`] over their state tree (Patricia trie for the
+//! EVM-like chains) with write buffering, so a reverted or out-of-gas
+//! execution leaves no trace — the paper's "the code must keep track of
+//! intermediate states and reverse them if the execution runs out of gas"
+//! (Section 3.1.3).
+
+/// Chain services visible to a running contract.
+pub trait Host {
+    /// Read contract storage.
+    fn storage_get(&mut self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Write contract storage.
+    fn storage_put(&mut self, key: &[u8], value: &[u8]);
+
+    /// Delete a storage key.
+    fn storage_delete(&mut self, key: &[u8]);
+
+    /// Move `amount` of native currency from the contract to `to`
+    /// (a 20-byte address). Returns false if the contract lacks funds.
+    fn transfer(&mut self, to: &[u8], amount: i64) -> bool;
+
+    /// Emit an event (indexed by `topic`).
+    fn emit(&mut self, topic: i64, data: &[u8]);
+
+    /// The 20-byte address of the transaction sender (`msg.sender`).
+    fn caller(&self) -> [u8; 20];
+
+    /// Native currency attached to the call (`msg.value`).
+    fn call_value(&self) -> i64;
+
+    /// Height of the block being executed.
+    fn block_height(&self) -> u64;
+}
+
+/// An in-memory host for unit tests and the CPUHeavy micro-benchmark.
+#[derive(Debug, Default)]
+pub struct MockHost {
+    /// Backing storage map.
+    pub storage: std::collections::BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Events emitted, in order.
+    pub events: Vec<(i64, Vec<u8>)>,
+    /// Transfers performed, in order.
+    pub transfers: Vec<([u8; 20], i64)>,
+    /// Contract balance backing `transfer`.
+    pub balance: i64,
+    /// Reported caller.
+    pub caller: [u8; 20],
+    /// Reported `msg.value`.
+    pub call_value: i64,
+    /// Reported block height.
+    pub height: u64,
+}
+
+impl MockHost {
+    /// Fresh host with a large balance.
+    pub fn new() -> Self {
+        MockHost { balance: i64::MAX / 2, ..Default::default() }
+    }
+}
+
+impl Host for MockHost {
+    fn storage_get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.storage.get(key).cloned()
+    }
+
+    fn storage_put(&mut self, key: &[u8], value: &[u8]) {
+        self.storage.insert(key.to_vec(), value.to_vec());
+    }
+
+    fn storage_delete(&mut self, key: &[u8]) {
+        self.storage.remove(key);
+    }
+
+    fn transfer(&mut self, to: &[u8], amount: i64) -> bool {
+        if amount < 0 || amount > self.balance || to.len() != 20 {
+            return false;
+        }
+        self.balance -= amount;
+        self.transfers.push((to.try_into().expect("20 bytes"), amount));
+        true
+    }
+
+    fn emit(&mut self, topic: i64, data: &[u8]) {
+        self.events.push((topic, data.to_vec()));
+    }
+
+    fn caller(&self) -> [u8; 20] {
+        self.caller
+    }
+
+    fn call_value(&self) -> i64 {
+        self.call_value
+    }
+
+    fn block_height(&self) -> u64 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_host_storage() {
+        let mut h = MockHost::new();
+        assert_eq!(h.storage_get(b"k"), None);
+        h.storage_put(b"k", b"v");
+        assert_eq!(h.storage_get(b"k"), Some(b"v".to_vec()));
+        h.storage_delete(b"k");
+        assert_eq!(h.storage_get(b"k"), None);
+    }
+
+    #[test]
+    fn mock_host_transfer_guards() {
+        let mut h = MockHost { balance: 100, ..MockHost::default() };
+        assert!(h.transfer(&[1; 20], 60));
+        assert!(!h.transfer(&[1; 20], 60)); // insufficient now
+        assert!(!h.transfer(&[1; 20], -5));
+        assert!(!h.transfer(&[1; 19], 1)); // malformed address
+        assert_eq!(h.balance, 40);
+        assert_eq!(h.transfers.len(), 1);
+    }
+
+    #[test]
+    fn mock_host_events() {
+        let mut h = MockHost::new();
+        h.emit(7, b"payload");
+        assert_eq!(h.events, vec![(7, b"payload".to_vec())]);
+    }
+}

@@ -1,0 +1,32 @@
+//! The Simulated Virtual Machine (SVM): BLOCKBENCH-RS's EVM stand-in.
+//!
+//! Section 3.1.3 of the paper: Ethereum (and Parity) execute contracts in a
+//! gas-metered bytecode VM where "every code instruction executed ... costs
+//! a certain amount of gas, and the total cost must be properly tracked and
+//! charged", with out-of-gas execution reverted. The SVM reproduces that
+//! regime:
+//!
+//! - a stack machine over 64-bit words with byte-addressable memory
+//!   ([`vm`]), ~35 opcodes ([`opcode`]), per-instruction gas and memory
+//!   expansion charges ([`gas`]);
+//! - a [`host`] interface giving contracts storage, transfers, caller
+//!   identity and calldata — the platforms implement it over their state
+//!   trees, buffering writes so failed executions roll back;
+//! - a two-pass label [`assembler`] in which every Table 1 contract is
+//!   written (the Solidity stand-in).
+//!
+//! The contracts really run: CPUHeavy's quicksort is ~n·log n interpreted
+//! instructions, which is exactly why the EVM-like platforms lose Figure 11
+//! by an order of magnitude against native chaincode.
+
+pub mod assembler;
+pub mod gas;
+pub mod host;
+pub mod opcode;
+pub mod vm;
+
+pub use assembler::{assemble, AsmError};
+pub use gas::GasSchedule;
+pub use host::{Host, MockHost};
+pub use opcode::Op;
+pub use vm::{ExecOutcome, Vm, VmConfig, VmError};

@@ -1,0 +1,276 @@
+//! The SVM instruction set.
+//!
+//! Fixed-width immediates keep decoding trivial: `PUSH` carries an 8-byte
+//! big-endian i64, `DUP`/`SWAP` a 1-byte depth, `JUMP`/`JUMPI` a 4-byte
+//! byte-offset target.
+
+/// One opcode. Discriminants are the wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Halt successfully with empty return data.
+    Stop = 0x00,
+    /// Push the 8-byte immediate.
+    Push = 0x01,
+    /// Discard the top of stack.
+    Pop = 0x02,
+    /// Duplicate the value `n` below the top (0 = top).
+    Dup = 0x03,
+    /// Swap the top with the value `n+1` below it.
+    Swap = 0x04,
+
+    /// `[a, b] → [a + b]` (wrapping).
+    Add = 0x10,
+    /// `[a, b] → [a - b]` (wrapping).
+    Sub = 0x11,
+    /// `[a, b] → [a * b]` (wrapping).
+    Mul = 0x12,
+    /// `[a, b] → [a / b]`; division by zero is a VM fault.
+    Div = 0x13,
+    /// `[a, b] → [a % b]`; modulo by zero is a VM fault.
+    Mod = 0x14,
+
+    /// `[a, b] → [a < b]` as 0/1.
+    Lt = 0x20,
+    /// `[a, b] → [a > b]`.
+    Gt = 0x21,
+    /// `[a, b] → [a <= b]`.
+    Le = 0x22,
+    /// `[a, b] → [a >= b]`.
+    Ge = 0x23,
+    /// `[a, b] → [a == b]`.
+    Eq = 0x24,
+    /// `[a, b] → [a != b]`.
+    Ne = 0x25,
+    /// Logical and of two 0/1-ish values.
+    And = 0x26,
+    /// Logical or.
+    Or = 0x27,
+    /// Logical not (`0 → 1`, nonzero `→ 0`).
+    Not = 0x28,
+
+    /// Unconditional jump to the 4-byte immediate offset.
+    Jump = 0x30,
+    /// Pop a condition; jump when nonzero.
+    JumpI = 0x31,
+
+    /// Pop a byte address; push the 8-byte word at it.
+    MLoad = 0x40,
+    /// Pop address then value (`[value, addr]`); store the word.
+    MStore = 0x41,
+    /// Push the current memory size in bytes.
+    MSize = 0x42,
+
+    /// `[key_off, key_len, dst_off]` → push value length, or -1 if absent;
+    /// value bytes copied into memory at `dst_off`.
+    SGet = 0x50,
+    /// `[key_off, key_len, val_off, val_len]` → write state.
+    SPut = 0x51,
+    /// `[key_off, key_len]` → delete state.
+    SDel = 0x52,
+
+    /// Push the calldata length.
+    CallDataSize = 0x60,
+    /// `[dst_off, src_off, len]` → copy calldata into memory.
+    CallDataCopy = 0x61,
+    /// Pop a destination offset; write the 20-byte caller address there.
+    Caller = 0x62,
+    /// Push the transaction's attached value.
+    Value = 0x63,
+    /// Push the executing block height.
+    Height = 0x64,
+
+    /// `[addr_off, amount]` → transfer native currency to the 20-byte
+    /// address in memory; pushes 1 on success, 0 on failure.
+    Transfer = 0x70,
+    /// `[topic, data_off, data_len]` → emit an event.
+    Emit = 0x71,
+    /// `[src_off, len, dst_off]` → SHA-256 the region into 32 bytes at dst.
+    Hash = 0x72,
+
+    /// `[off, len]` → halt successfully returning that memory region.
+    Return = 0x80,
+    /// `[off, len]` → halt *unsuccessfully*; the platform rolls state back.
+    Revert = 0x81,
+}
+
+impl Op {
+    /// Decode a byte into an opcode.
+    pub fn from_byte(b: u8) -> Option<Op> {
+        use Op::*;
+        Some(match b {
+            0x00 => Stop,
+            0x01 => Push,
+            0x02 => Pop,
+            0x03 => Dup,
+            0x04 => Swap,
+            0x10 => Add,
+            0x11 => Sub,
+            0x12 => Mul,
+            0x13 => Div,
+            0x14 => Mod,
+            0x20 => Lt,
+            0x21 => Gt,
+            0x22 => Le,
+            0x23 => Ge,
+            0x24 => Eq,
+            0x25 => Ne,
+            0x26 => And,
+            0x27 => Or,
+            0x28 => Not,
+            0x30 => Jump,
+            0x31 => JumpI,
+            0x40 => MLoad,
+            0x41 => MStore,
+            0x42 => MSize,
+            0x50 => SGet,
+            0x51 => SPut,
+            0x52 => SDel,
+            0x60 => CallDataSize,
+            0x61 => CallDataCopy,
+            0x62 => Caller,
+            0x63 => Value,
+            0x64 => Height,
+            0x70 => Transfer,
+            0x71 => Emit,
+            0x72 => Hash,
+            0x80 => Return,
+            0x81 => Revert,
+            _ => return None,
+        })
+    }
+
+    /// Immediate operand width in bytes following the opcode.
+    pub fn immediate_len(self) -> usize {
+        match self {
+            Op::Push => 8,
+            Op::Dup | Op::Swap => 1,
+            Op::Jump | Op::JumpI => 4,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Stop => "stop",
+            Push => "push",
+            Pop => "pop",
+            Dup => "dup",
+            Swap => "swap",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Mod => "mod",
+            Lt => "lt",
+            Gt => "gt",
+            Le => "le",
+            Ge => "ge",
+            Eq => "eq",
+            Ne => "ne",
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Jump => "jump",
+            JumpI => "jumpi",
+            MLoad => "mload",
+            MStore => "mstore",
+            MSize => "msize",
+            SGet => "sget",
+            SPut => "sput",
+            SDel => "sdel",
+            CallDataSize => "cdsize",
+            CallDataCopy => "cdcopy",
+            Caller => "caller",
+            Value => "value",
+            Height => "height",
+            Transfer => "transfer",
+            Emit => "emit",
+            Hash => "hash",
+            Return => "return",
+            Revert => "revert",
+        }
+    }
+
+    /// Look a mnemonic up (assembler direction).
+    pub fn from_mnemonic(s: &str) -> Option<Op> {
+        ALL_OPS.iter().copied().find(|op| op.mnemonic() == s)
+    }
+}
+
+/// Every opcode, for table-driven lookups and exhaustive tests.
+pub const ALL_OPS: &[Op] = &[
+    Op::Stop,
+    Op::Push,
+    Op::Pop,
+    Op::Dup,
+    Op::Swap,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Mod,
+    Op::Lt,
+    Op::Gt,
+    Op::Le,
+    Op::Ge,
+    Op::Eq,
+    Op::Ne,
+    Op::And,
+    Op::Or,
+    Op::Not,
+    Op::Jump,
+    Op::JumpI,
+    Op::MLoad,
+    Op::MStore,
+    Op::MSize,
+    Op::SGet,
+    Op::SPut,
+    Op::SDel,
+    Op::CallDataSize,
+    Op::CallDataCopy,
+    Op::Caller,
+    Op::Value,
+    Op::Height,
+    Op::Transfer,
+    Op::Emit,
+    Op::Hash,
+    Op::Return,
+    Op::Revert,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip_all_ops() {
+        for &op in ALL_OPS {
+            assert_eq!(Op::from_byte(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip_all_ops() {
+        for &op in ALL_OPS {
+            assert_eq!(Op::from_mnemonic(op.mnemonic()), Some(op), "{op:?}");
+        }
+        assert_eq!(Op::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn unknown_bytes_rejected() {
+        assert_eq!(Op::from_byte(0xff), None);
+        assert_eq!(Op::from_byte(0x05), None);
+    }
+
+    #[test]
+    fn immediate_widths() {
+        assert_eq!(Op::Push.immediate_len(), 8);
+        assert_eq!(Op::Dup.immediate_len(), 1);
+        assert_eq!(Op::Jump.immediate_len(), 4);
+        assert_eq!(Op::Add.immediate_len(), 0);
+    }
+}

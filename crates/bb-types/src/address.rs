@@ -1,0 +1,101 @@
+//! 20-byte account / contract addresses (the Ethereum convention, which the
+//! paper's three platforms all follow for their account-based data models).
+
+use bb_crypto::{Hash256, PublicKey};
+use std::fmt;
+
+/// A 20-byte address identifying an account or a deployed contract.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address (used for contract-creation transactions).
+    pub const ZERO: Address = Address([0; 20]);
+
+    /// Address of the account controlled by `pk`.
+    pub fn from_public_key(pk: &PublicKey) -> Address {
+        Address(pk.address_bytes())
+    }
+
+    /// Deterministic address for a test/workload account index.
+    pub fn from_index(i: u64) -> Address {
+        let h = Hash256::digest_parts(&[b"bb-acct-v1", &i.to_be_bytes()]);
+        Address(h.0[12..32].try_into().expect("20 bytes"))
+    }
+
+    /// Contract address derived from deployer + nonce (CREATE semantics).
+    pub fn contract(deployer: &Address, nonce: u64) -> Address {
+        let h = Hash256::digest_parts(&[b"bb-contract-v1", &deployer.0, &nonce.to_be_bytes()]);
+        Address(h.0[12..32].try_into().expect("20 bytes"))
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Is this the zero address?
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 20]
+    }
+
+    /// Lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let short: String = self.0[..4].iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "Address(0x{short}…)")
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_crypto::KeyPair;
+
+    #[test]
+    fn from_index_is_stable_and_distinct() {
+        assert_eq!(Address::from_index(3), Address::from_index(3));
+        assert_ne!(Address::from_index(3), Address::from_index(4));
+    }
+
+    #[test]
+    fn from_public_key_matches_key_derivation() {
+        let kp = KeyPair::from_seed(1);
+        let a = Address::from_public_key(&kp.public());
+        assert_eq!(a.0, kp.public().address_bytes());
+    }
+
+    #[test]
+    fn contract_addresses_depend_on_deployer_and_nonce() {
+        let d1 = Address::from_index(1);
+        let d2 = Address::from_index(2);
+        assert_ne!(Address::contract(&d1, 0), Address::contract(&d1, 1));
+        assert_ne!(Address::contract(&d1, 0), Address::contract(&d2, 0));
+        assert_eq!(Address::contract(&d1, 0), Address::contract(&d1, 0));
+    }
+
+    #[test]
+    fn zero_and_hex() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_index(1).is_zero());
+        assert_eq!(Address::ZERO.to_hex(), "0".repeat(40));
+        assert_eq!(format!("{}", Address::ZERO), format!("0x{}", "0".repeat(40)));
+    }
+}

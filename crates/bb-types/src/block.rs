@@ -1,0 +1,166 @@
+//! Blocks and block headers.
+//!
+//! Every platform in the paper stores an ordered chain of blocks, each
+//! identified by the hash of its header and linked to its predecessor
+//! (Figure 1). The header carries the roots of the transaction and state
+//! trees plus consensus-specific fields: PoW difficulty (Ethereum-like),
+//! authority step (Parity-like) or PBFT view (Fabric-like) — we fold the
+//! latter two into `round` since at most one is meaningful per platform.
+
+use crate::codec::Encoder;
+use crate::ids::NodeId;
+use crate::tx::Transaction;
+use bb_crypto::Hash256;
+
+/// Fixed header fields hashed into the block identity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockHeader {
+    /// Identity of the parent block; [`Hash256::ZERO`] for genesis.
+    pub parent: Hash256,
+    /// Distance from genesis (genesis = 0).
+    pub height: u64,
+    /// Virtual time the proposer built this block, in microseconds.
+    pub timestamp_us: u64,
+    /// Merkle root over the transaction list.
+    pub tx_root: Hash256,
+    /// Root of the state tree after applying this block.
+    pub state_root: Hash256,
+    /// Node that proposed/mined/signed the block.
+    pub proposer: NodeId,
+    /// PoW difficulty of this block; 0 on BFT/PoA chains.
+    pub difficulty: u64,
+    /// Consensus round: PoA step or PBFT view; nonce domain for PoW.
+    pub round: u64,
+}
+
+impl BlockHeader {
+    /// Canonical encoding (what gets hashed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(160);
+        e.put_raw(&self.parent.0)
+            .put_u64(self.height)
+            .put_u64(self.timestamp_us)
+            .put_raw(&self.tx_root.0)
+            .put_raw(&self.state_root.0)
+            .put_u32(self.proposer.0)
+            .put_u64(self.difficulty)
+            .put_u64(self.round);
+        e.finish()
+    }
+
+    /// The block identity.
+    pub fn id(&self) -> Hash256 {
+        Hash256::digest(&self.encode())
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+/// A full block: header plus ordered transaction list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Hashed header.
+    pub header: BlockHeader,
+    /// Transactions in execution order.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// The block identity (hash of the header).
+    pub fn id(&self) -> Hash256 {
+        self.header.id()
+    }
+
+    /// Wire size: header plus every transaction (network cost model input).
+    pub fn byte_size(&self) -> u64 {
+        self.header.byte_size() + self.txs.iter().map(Transaction::byte_size).sum::<u64>()
+    }
+
+    /// Number of transactions.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+/// Compact description of a confirmed block handed to the driver by
+/// `get_latest_block(h)` (Section 3.2): enough to match outstanding
+/// transaction ids without shipping whole blocks into the stats path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockSummary {
+    /// Block identity.
+    pub id: Hash256,
+    /// Height on the main chain.
+    pub height: u64,
+    /// Proposer node.
+    pub proposer: NodeId,
+    /// Virtual time the block was *confirmed* (per platform's rule).
+    pub confirmed_at_us: u64,
+    /// Ids of transactions the block committed, with success flags.
+    pub txs: Vec<(crate::tx::TxId, bool)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use bb_crypto::KeyPair;
+
+    fn header(height: u64) -> BlockHeader {
+        BlockHeader {
+            parent: Hash256::digest(b"parent"),
+            height,
+            timestamp_us: 123,
+            tx_root: Hash256::ZERO,
+            state_root: Hash256::digest(b"state"),
+            proposer: NodeId(1),
+            difficulty: 1000,
+            round: 2,
+        }
+    }
+
+    #[test]
+    fn id_changes_with_any_field() {
+        let base = header(5);
+        let variations = [
+            BlockHeader { parent: Hash256::digest(b"other"), ..base.clone() },
+            BlockHeader { height: 6, ..base.clone() },
+            BlockHeader { timestamp_us: 124, ..base.clone() },
+            BlockHeader { tx_root: Hash256::digest(b"t"), ..base.clone() },
+            BlockHeader { state_root: Hash256::digest(b"s"), ..base.clone() },
+            BlockHeader { proposer: NodeId(2), ..base.clone() },
+            BlockHeader { difficulty: 1001, ..base.clone() },
+            BlockHeader { round: 3, ..base.clone() },
+        ];
+        for (i, v) in variations.iter().enumerate() {
+            assert_ne!(v.id(), base.id(), "field {i} not hashed");
+        }
+        assert_eq!(header(5).id(), base.id());
+    }
+
+    #[test]
+    fn block_size_sums_txs() {
+        let kp = KeyPair::from_seed(1);
+        let tx = Transaction::signed(&kp, 0, Address::from_index(1), 1, vec![0; 64]);
+        let txs = vec![tx.clone(), tx.clone(), tx];
+        let block = Block { header: header(1), txs };
+        assert_eq!(
+            block.byte_size(),
+            block.header.byte_size() + 3 * block.txs[0].byte_size()
+        );
+        assert_eq!(block.tx_count(), 3);
+    }
+
+    #[test]
+    fn chain_linkage_detects_forks() {
+        // Two children of the same parent with different contents have
+        // different ids — the raw material of the Figure 10 fork metric.
+        let parent = header(1).id();
+        let a = BlockHeader { parent, proposer: NodeId(1), ..header(2) };
+        let b = BlockHeader { parent, proposer: NodeId(2), ..header(2) };
+        assert_eq!(a.parent, b.parent);
+        assert_ne!(a.id(), b.id());
+    }
+}

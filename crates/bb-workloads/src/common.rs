@@ -1,0 +1,127 @@
+//! Client bookkeeping shared by all workload connectors: per-client
+//! keypairs (funded at genesis by every platform), nonce counters with
+//! rollback on RPC rejection, and the setup-time preloader.
+
+use bb_crypto::KeyPair;
+use bb_types::{Address, ClientId, Transaction};
+use blockbench::connector::BlockchainConnector;
+
+/// Seed base for preload (non-client) keypairs; platforms fund seeds
+/// 0..1024 at genesis, clients use 0..#clients, preloaders use 900+.
+pub const PRELOAD_SEED: u64 = 900;
+
+/// Per-client signing state.
+pub struct ClientBank {
+    keypairs: Vec<KeyPair>,
+    nonces: Vec<u64>,
+}
+
+impl ClientBank {
+    /// Bank for up to `clients` clients (keyed by seed = client id).
+    pub fn new(clients: u32) -> ClientBank {
+        ClientBank {
+            keypairs: (0..clients as u64).map(KeyPair::from_seed).collect(),
+            nonces: vec![0; clients as usize],
+        }
+    }
+
+    /// Sign the next transaction for `client`.
+    pub fn sign(&mut self, client: ClientId, to: Address, value: u64, payload: Vec<u8>) -> Transaction {
+        let nonce = self.nonces[client.index()];
+        self.nonces[client.index()] += 1;
+        Transaction::signed(&self.keypairs[client.index()], nonce, to, value, payload)
+    }
+
+    /// Roll back the latest nonce after an RPC rejection.
+    pub fn rollback(&mut self, client: ClientId) {
+        self.nonces[client.index()] = self.nonces[client.index()].saturating_sub(1);
+    }
+
+    /// The client's account address.
+    pub fn address(&self, client: ClientId) -> Address {
+        Address::from_public_key(&self.keypairs[client.index()].public())
+    }
+}
+
+/// Preload state by pushing transactions in blocks of `per_block` through
+/// the platform's setup fast path. Transactions are signed by the dedicated
+/// preload key (`PRELOAD_SEED + lane`).
+pub struct Preloader {
+    keypair: KeyPair,
+    nonce: u64,
+}
+
+impl Preloader {
+    /// Preloader on lane `lane` (use distinct lanes per workload).
+    pub fn new(lane: u64) -> Preloader {
+        Preloader { keypair: KeyPair::from_seed(PRELOAD_SEED + lane), nonce: 0 }
+    }
+
+    /// Sign one preload transaction.
+    pub fn sign(&mut self, to: Address, value: u64, payload: Vec<u8>) -> Transaction {
+        let tx = Transaction::signed(&self.keypair, self.nonce, to, value, payload);
+        self.nonce += 1;
+        tx
+    }
+
+    /// Push `payloads` as contract calls in blocks of `per_block`.
+    pub fn preload_calls(
+        &mut self,
+        chain: &mut dyn BlockchainConnector,
+        contract: Address,
+        payloads: Vec<Vec<u8>>,
+        per_block: usize,
+    ) {
+        let mut blocks = Vec::new();
+        let mut block = Vec::new();
+        for p in payloads {
+            block.push(self.sign(contract, 0, p));
+            if block.len() >= per_block {
+                blocks.push(std::mem::take(&mut block));
+            }
+        }
+        if !block.is_empty() {
+            blocks.push(block);
+        }
+        if !blocks.is_empty() {
+            chain.preload_blocks(blocks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonces_advance_and_roll_back() {
+        let mut bank = ClientBank::new(2);
+        let to = Address::from_index(1);
+        let t0 = bank.sign(ClientId(0), to, 0, vec![]);
+        let t1 = bank.sign(ClientId(0), to, 0, vec![]);
+        assert_eq!(t0.nonce, 0);
+        assert_eq!(t1.nonce, 1);
+        bank.rollback(ClientId(0));
+        let t2 = bank.sign(ClientId(0), to, 0, vec![]);
+        assert_eq!(t2.nonce, 1, "rolled-back nonce is reused");
+        // Other clients unaffected.
+        assert_eq!(bank.sign(ClientId(1), to, 0, vec![]).nonce, 0);
+    }
+
+    #[test]
+    fn preloader_nonces_are_sequential() {
+        let mut p = Preloader::new(0);
+        let a = p.sign(Address::from_index(1), 0, vec![]);
+        let b = p.sign(Address::from_index(1), 0, vec![]);
+        assert_eq!(a.nonce, 0);
+        assert_eq!(b.nonce, 1);
+        assert_eq!(a.from, b.from);
+    }
+
+    #[test]
+    fn distinct_lanes_use_distinct_accounts() {
+        let a = Preloader::new(0).sign(Address::from_index(1), 0, vec![]);
+        let b = Preloader::new(1).sign(Address::from_index(1), 0, vec![]);
+        assert_ne!(a.from, b.from);
+    }
+}

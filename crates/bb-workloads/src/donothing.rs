@@ -1,0 +1,77 @@
+//! The DoNothing workload (Section 3.4.2): consensus-layer isolation. The
+//! difference between this and YCSB/Smallbank throughput is "indicative of
+//! the cost of \[the\] consensus protocol versus the rest of the software
+//! stack" (Figure 13c).
+
+use crate::common::ClientBank;
+use bb_contracts::donothing;
+use bb_types::{Address, ClientId, Transaction};
+use blockbench::connector::BlockchainConnector;
+use blockbench::driver::WorkloadConnector;
+
+/// The DoNothing workload connector.
+pub struct DoNothingWorkload {
+    bank: ClientBank,
+    contract: Option<Address>,
+}
+
+impl DoNothingWorkload {
+    /// Provision for up to `clients` clients.
+    pub fn new(clients: u32) -> DoNothingWorkload {
+        DoNothingWorkload { bank: ClientBank::new(clients), contract: None }
+    }
+}
+
+impl Default for DoNothingWorkload {
+    fn default() -> Self {
+        DoNothingWorkload::new(32)
+    }
+}
+
+impl WorkloadConnector for DoNothingWorkload {
+    fn name(&self) -> &'static str {
+        "donothing"
+    }
+
+    fn setup(&mut self, chain: &mut dyn BlockchainConnector) {
+        self.contract = Some(chain.deploy(&donothing::bundle()));
+    }
+
+    fn next_transaction(&mut self, client: ClientId) -> Transaction {
+        let contract = self.contract.expect("setup ran");
+        self.bank.sign(client, contract, 0, donothing::call())
+    }
+
+    fn on_rejected(&mut self, client: ClientId) {
+        self.bank.rollback(client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_parity::{ParityChain, ParityConfig};
+    use bb_sim::SimDuration;
+    use blockbench::driver::{run_workload, DriverConfig};
+
+    #[test]
+    fn parity_is_signing_bound_not_consensus_bound() {
+        // The paper's Figure 13c: DoNothing ≈ YCSB ≈ Smallbank on Parity,
+        // because the bottleneck is transaction signing.
+        let mut chain = ParityChain::new(ParityConfig::with_nodes(8));
+        let mut w = DoNothingWorkload::new(8);
+        let stats = run_workload(
+            &mut chain,
+            &mut w,
+            &DriverConfig {
+                clients: 8,
+                rate_per_client: 64.0,
+                duration: SimDuration::from_secs(30),
+                poll_interval: SimDuration::from_millis(500),
+                drain: SimDuration::from_secs(10),
+            },
+        );
+        let tps = stats.throughput_tps();
+        assert!((30.0..60.0).contains(&tps), "parity DoNothing tps {tps}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload connectors and micro-benchmark runners (Section 3.4).
+//!
+//! **Macro workloads** (application layer, Figures 5–10 and 13c), all
+//! implementing [`blockbench::WorkloadConnector`]:
+//! - [`ycsb`]: the YCSB key-value workload — Zipfian/uniform key choice,
+//!   configurable read/write mix, 100-byte values;
+//! - [`smallbank`]: the OLTP banking mix (SendPayment, DepositChecking,
+//!   TransactSavings, WriteCheck, Amalgamate);
+//! - [`realistic`]: the three real Ethereum contracts — EtherId, Doubler
+//!   and WavesPresale;
+//! - [`donothing`]: consensus-only no-ops.
+//!
+//! **Micro runners** (per-layer, Figures 11–13):
+//! - [`cpuheavy`]: execution layer — quicksort timing + peak memory;
+//! - [`ioheavy`]: data layer — bulk random writes/reads + disk usage;
+//! - [`analytics`]: OLAP over chain history — Q1 (total value in a block
+//!   range) and Q2 (largest balance change of an account), including the
+//!   platform-specific plumbing (JSON-RPC style per-block queries vs. the
+//!   VersionKVStore chaincode).
+
+pub mod analytics;
+pub mod common;
+pub mod cpuheavy;
+pub mod donothing;
+pub mod ioheavy;
+pub mod realistic;
+pub mod smallbank;
+pub mod ycsb;
+
+pub use analytics::AnalyticsRunner;
+pub use cpuheavy::CpuHeavyRunner;
+pub use donothing::DoNothingWorkload;
+pub use ioheavy::IoHeavyRunner;
+pub use realistic::{DoublerWorkload, EtherIdWorkload, WavesWorkload};
+pub use smallbank::SmallbankWorkload;
+pub use ycsb::YcsbWorkload;

@@ -1,0 +1,211 @@
+//! The `IBlockchainConnector` interface (Section 3.2) and platform stats.
+//!
+//! "The interface contains operations for deploying application, invoking it
+//! by sending a transaction, and for querying the blockchain's states."
+//! Platforms run entirely on virtual time: `advance_to` drives their
+//! internal event worlds, and the driver interleaves submissions and polls
+//! against that clock.
+
+use crate::contract::ContractBundle;
+use bb_sim::{SimDuration, SimTime};
+use bb_types::{Address, BlockSummary, NodeId, Transaction};
+
+/// Snapshot of platform-level counters the benchmark reports on.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformStats {
+    /// Every block generated, main chain *and* forks (Figure 10's `X-total`).
+    pub blocks_total: u64,
+    /// Blocks on the consensus main chain (`X-bc`).
+    pub blocks_main: u64,
+    /// Transactions committed on the main chain.
+    pub txs_committed: u64,
+    /// Bytes on "disk" across all nodes (LSM stores).
+    pub disk_bytes: u64,
+    /// Peak resident memory across nodes (state caches, VM arenas).
+    pub mem_peak_bytes: u64,
+    /// Mean CPU utilisation per virtual second, averaged over nodes
+    /// (Figure 16 left).
+    pub cpu_utilisation: Vec<f64>,
+    /// Mean outbound Mbps per virtual second, averaged over nodes
+    /// (Figure 16 right).
+    pub net_mbps: Vec<f64>,
+    /// Total network bytes offered.
+    pub net_bytes: u64,
+}
+
+/// Read-only queries exposed over the platforms' RPC interfaces
+/// (Section 3.1.2: "current systems support a minimum set of queries...").
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Transactions of main-chain block `height`: Q1's per-block scan.
+    BlockTxs {
+        /// Main-chain height to read.
+        height: u64,
+    },
+    /// An account's balance as of main-chain block `height` — Ethereum and
+    /// Parity's `getBalance(account, block)`; unsupported on Fabric v0.6
+    /// ("the system does not have APIs to query historical states").
+    AccountAtBlock {
+        /// Account to read.
+        account: Address,
+        /// Historical block height.
+        height: u64,
+    },
+    /// Read-only contract invocation (Fabric chaincode query): payload is
+    /// `[method, args...]`.
+    Contract {
+        /// Deployed contract address.
+        address: Address,
+        /// Method selector + encoded arguments.
+        payload: Vec<u8>,
+    },
+}
+
+/// Query failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The platform cannot answer this query class (Fabric's missing
+    /// historical-state API).
+    Unsupported,
+    /// No such block/account/contract.
+    NotFound,
+    /// The contract rejected the invocation.
+    Contract(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unsupported => write!(f, "query unsupported on this platform"),
+            QueryError::NotFound => write!(f, "not found"),
+            QueryError::Contract(e) => write!(f, "contract error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A successful query answer plus the *server-side* simulated cost; the
+/// caller adds the RPC round-trip (the Figure 13 bottleneck is round-trip
+/// count, Section 4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Encoded answer. For `BlockTxs`: a list of `(from, to, value)`
+    /// triples encoded with `bb_types::codec`. For `AccountAtBlock`: an
+    /// 8-byte balance. For `Contract`: the chaincode's return bytes.
+    pub data: Vec<u8>,
+    /// Simulated time the server spent producing it.
+    pub server_cost: SimDuration,
+}
+
+/// Fault-injection commands (Section 3.3's failure modes).
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Crash-stop a node (Figure 9).
+    Crash(NodeId),
+    /// Revive a crashed node.
+    Recover(NodeId),
+    /// Add fixed latency to all of a node's links.
+    Delay(NodeId, SimDuration),
+    /// Corrupt messages touching a node with this probability.
+    Corrupt(NodeId, f64),
+    /// Partition the first `left` nodes from the rest (Figure 10).
+    PartitionHalf {
+        /// Nodes on the left side.
+        left: u32,
+    },
+    /// Remove the partition.
+    Heal,
+}
+
+/// Result of a direct (micro-benchmark) execution: CPUHeavy and IOHeavy
+/// measure single-transaction latency and memory on one server
+/// (Section 4.2 runs "one client and one server").
+#[derive(Debug, Clone)]
+pub struct DirectExec {
+    /// Did the execution succeed?
+    pub success: bool,
+    /// Simulated server time: admission + execution.
+    pub duration: SimDuration,
+    /// Gas / native work units consumed.
+    pub gas_used: u64,
+    /// Modeled peak resident memory during the execution.
+    pub modeled_mem: u64,
+    /// Contract return data.
+    pub output: Vec<u8>,
+    /// Failure cause (out of memory, out of gas, revert...).
+    pub error: Option<String>,
+}
+
+/// The platform-side API every simulated blockchain implements — the Rust
+/// rendering of `IBlockchainConnector`.
+pub trait BlockchainConnector {
+    /// Human-readable platform name ("ethereum", "parity", "hyperledger").
+    fn name(&self) -> &'static str;
+
+    /// Number of server nodes.
+    fn node_count(&self) -> u32;
+
+    /// Deploy a contract synchronously at genesis/setup time, before the
+    /// measured run. Returns its address.
+    fn deploy(&mut self, bundle: &ContractBundle) -> Address;
+
+    /// Submit a signed transaction to `server`'s transaction pool at the
+    /// current virtual time. Returns `false` when the server refuses the
+    /// submission (Parity's RPC throttling, Section 4.1.1: "it enforces a
+    /// maximum client request rate at around 80 tx/s"). Completion is
+    /// observed via [`BlockchainConnector::confirmed_blocks_since`].
+    fn submit(&mut self, server: NodeId, tx: Transaction) -> bool;
+
+    /// Run the platform's internal event world up to `t`.
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Current virtual time of the platform world.
+    fn now(&self) -> SimTime;
+
+    /// `getLatestBlock(h)`: confirmed main-chain blocks with height > `h`,
+    /// in height order (Section 3.2's polling interface).
+    fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary>;
+
+    /// Answer a read-only query against current (or historical) state.
+    fn query(&mut self, q: &Query) -> Result<QueryResult, QueryError>;
+
+    /// Inject a fault at the current virtual time.
+    fn inject(&mut self, fault: Fault);
+
+    /// Platform counters at the current instant.
+    fn stats(&self) -> PlatformStats;
+
+    /// Setup-time fast path: append `blocks` of already-signed transactions
+    /// directly to every node's chain, bypassing consensus — the analytics
+    /// workload preloads "100,000 blocks, each contain\[ing\] 3 transactions"
+    /// this way. Only legal before the measured run starts.
+    fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
+        let _ = blocks;
+        panic!("this platform does not support block preloading");
+    }
+
+    /// Execute one transaction synchronously on a single server and report
+    /// its simulated cost — the micro-benchmark path (CPUHeavy, IOHeavy).
+    fn execute_direct(&mut self, tx: Transaction) -> DirectExec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_error_display() {
+        assert_eq!(QueryError::Unsupported.to_string(), "query unsupported on this platform");
+        assert!(QueryError::Contract("boom".into()).to_string().contains("boom"));
+        assert_eq!(QueryError::NotFound.to_string(), "not found");
+    }
+
+    #[test]
+    fn platform_stats_default_is_zeroed() {
+        let s = PlatformStats::default();
+        assert_eq!(s.blocks_total, 0);
+        assert_eq!(s.txs_committed, 0);
+        assert!(s.cpu_utilisation.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! The asynchronous driver (Section 3.2).
+//!
+//! "Current blockchain systems are asynchronous services... the Driver
+//! maintains a queue of outstanding transactions that have not been
+//! confirmed. New transaction IDs are added to the queue by worker threads.
+//! A polling thread periodically invokes getLatestBlock(h)... The Driver
+//! then extracts transaction lists from the confirmed blocks' content and
+//! removes matching ones in the local queue."
+//!
+//! Clients are open-loop: client `i` submits to server `i mod n` at a fixed
+//! request rate (the paper's 8–1024 tx/s sweeps). The outstanding queue's
+//! length over time is itself a reported metric (Figures 6 and 18).
+
+use crate::connector::BlockchainConnector;
+use crate::stats::RunStats;
+use bb_sim::series::Summary;
+use bb_sim::{SimDuration, SimTime, TimeSeries};
+use bb_types::{ClientId, NodeId, Transaction, TxId};
+use std::collections::HashMap;
+
+/// The `IWorkloadConnector` interface: "it has a getNextTransaction method
+/// which returns a new blockchain transaction" (Section 3.2). Workloads own
+/// their keypairs, nonces and key-distribution generators.
+pub trait WorkloadConnector {
+    /// Workload name ("ycsb", "smallbank", ...).
+    fn name(&self) -> &'static str;
+
+    /// Deploy contracts and preload state. Runs on virtual time *before*
+    /// the measured window.
+    fn setup(&mut self, chain: &mut dyn BlockchainConnector);
+
+    /// Produce the next transaction for `client`.
+    fn next_transaction(&mut self, client: ClientId) -> Transaction;
+
+    /// The platform refused `client`'s latest submission at the RPC; the
+    /// workload should roll back any per-client nonce it advanced for it.
+    fn on_rejected(&mut self, client: ClientId) {
+        let _ = client;
+    }
+}
+
+/// Driver configuration (the paper's "number of operations, number of
+/// clients, threads, etc.").
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Concurrent open-loop clients.
+    pub clients: u32,
+    /// Request rate per client, tx/s.
+    pub rate_per_client: f64,
+    /// Measured window length.
+    pub duration: SimDuration,
+    /// Poll cadence for `getLatestBlock(h)`.
+    pub poll_interval: SimDuration,
+    /// Extra polling time after the window, to harvest latency samples for
+    /// late commits (not counted into throughput).
+    pub drain: SimDuration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients: 8,
+            rate_per_client: 100.0,
+            duration: SimDuration::from_secs(300),
+            poll_interval: SimDuration::from_millis(500),
+            drain: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Run `workload` against `chain` under `config` and collect statistics.
+pub fn run_workload(
+    chain: &mut dyn BlockchainConnector,
+    workload: &mut dyn WorkloadConnector,
+    config: &DriverConfig,
+) -> RunStats {
+    assert!(config.clients > 0, "need at least one client");
+    assert!(config.rate_per_client > 0.0, "need a positive request rate");
+    workload.setup(chain);
+
+    let n = chain.node_count();
+    let t0 = chain.now();
+    let t_end = t0 + config.duration;
+    let t_drain_end = t_end + config.drain;
+    let interval = SimDuration::from_secs_f64(1.0 / config.rate_per_client);
+
+    // Stagger client phases so submissions do not arrive in lockstep.
+    let mut next_send: Vec<SimTime> = (0..config.clients)
+        .map(|i| t0 + SimDuration::from_micros(interval.as_micros() * i as u64 / config.clients as u64))
+        .collect();
+    let mut next_poll = t0 + config.poll_interval;
+
+    let mut outstanding: HashMap<TxId, SimTime> = HashMap::new();
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut commit_events = TimeSeries::new();
+    let mut queue_timeline = TimeSeries::new();
+    let mut seen_height = 0u64;
+
+    loop {
+        // The next thing to happen: a client send (only before t_end) or a poll.
+        let send_candidate = next_send
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, t)| t < t_end)
+            .min_by_key(|&(_, t)| t);
+        let now = match send_candidate {
+            Some((_, t)) if t <= next_poll => t,
+            _ => next_poll,
+        };
+        if now > t_drain_end {
+            break;
+        }
+        chain.advance_to(now);
+
+        if let Some((ci, t)) = send_candidate {
+            if t == now && t <= next_poll {
+                let client = ClientId(ci as u32);
+                let tx = workload.next_transaction(client);
+                let id = tx.id();
+                outstanding.insert(id, now);
+                if chain.submit(NodeId(ci as u32 % n), tx) {
+                    submitted += 1;
+                } else {
+                    // Server-side throttling: the request never entered the
+                    // system (Parity's RPC rate limit).
+                    outstanding.remove(&id);
+                    workload.on_rejected(client);
+                    rejected += 1;
+                }
+                next_send[ci] = t + interval;
+                continue;
+            }
+        }
+
+        // Poll: harvest confirmed blocks.
+        let blocks = chain.confirmed_blocks_since(seen_height);
+        for block in blocks {
+            seen_height = seen_height.max(block.height);
+            let confirmed_at = SimTime(block.confirmed_at_us);
+            for (txid, success) in &block.txs {
+                let Some(sent_at) = outstanding.remove(txid) else {
+                    continue; // preload traffic or another client's txs
+                };
+                let latency = confirmed_at.since(sent_at).as_secs_f64();
+                if confirmed_at <= t_end {
+                    if *success {
+                        committed += 1;
+                    } else {
+                        aborted += 1;
+                    }
+                    commit_events.push(now, 1.0);
+                    latencies.push(latency);
+                } else if *success {
+                    // Drain-phase commit: latency sample only.
+                    latencies.push(latency);
+                }
+            }
+        }
+        queue_timeline.push(now, outstanding.len() as f64);
+        next_poll = now + config.poll_interval;
+        if now >= t_drain_end || (now >= t_end && outstanding.is_empty()) {
+            break;
+        }
+    }
+
+    RunStats {
+        duration: config.duration,
+        submitted,
+        rejected,
+        committed,
+        aborted,
+        latencies: Summary::from_values(latencies),
+        commit_events,
+        queue_timeline,
+        platform: chain.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{Fault, PlatformStats, Query, QueryError, QueryResult};
+    use crate::contract::ContractBundle;
+    use bb_crypto::{Hash256, KeyPair};
+    use bb_types::{Address, BlockSummary};
+
+    /// A toy chain that commits every submitted tx in a block after a fixed
+    /// confirmation delay, at a bounded rate.
+    struct MockChain {
+        now: SimTime,
+        n: u32,
+        confirm_delay: SimDuration,
+        /// (ready_at, txid) queue.
+        pipe: Vec<(SimTime, TxId)>,
+        blocks: Vec<BlockSummary>,
+        submitted: u64,
+    }
+
+    impl MockChain {
+        fn new(n: u32) -> Self {
+            MockChain {
+                now: SimTime::ZERO,
+                n,
+                confirm_delay: SimDuration::from_millis(800),
+                pipe: Vec::new(),
+                blocks: Vec::new(),
+                submitted: 0,
+            }
+        }
+    }
+
+    impl BlockchainConnector for MockChain {
+        fn name(&self) -> &'static str {
+            "mock"
+        }
+        fn node_count(&self) -> u32 {
+            self.n
+        }
+        fn deploy(&mut self, _bundle: &ContractBundle) -> Address {
+            Address::from_index(0)
+        }
+        fn submit(&mut self, _server: NodeId, tx: Transaction) -> bool {
+            self.submitted += 1;
+            self.pipe.push((self.now + self.confirm_delay, tx.id()));
+            true
+        }
+        fn advance_to(&mut self, t: SimTime) {
+            self.now = t;
+            let ready: Vec<TxId> = {
+                let (done, rest): (Vec<_>, Vec<_>) =
+                    self.pipe.drain(..).partition(|&(at, _)| at <= t);
+                self.pipe = rest;
+                done.into_iter().map(|(_, id)| id).collect()
+            };
+            if !ready.is_empty() {
+                let height = self.blocks.len() as u64 + 1;
+                self.blocks.push(BlockSummary {
+                    id: Hash256::digest(&height.to_be_bytes()),
+                    height,
+                    proposer: NodeId(0),
+                    confirmed_at_us: t.as_micros(),
+                    txs: ready.into_iter().map(|id| (id, true)).collect(),
+                });
+            }
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary> {
+            self.blocks.iter().filter(|b| b.height > height).cloned().collect()
+        }
+        fn query(&mut self, _q: &Query) -> Result<QueryResult, QueryError> {
+            Err(QueryError::Unsupported)
+        }
+        fn inject(&mut self, _fault: Fault) {}
+        fn execute_direct(&mut self, _tx: Transaction) -> crate::connector::DirectExec {
+            unimplemented!("mock chain has no direct-execution path")
+        }
+        fn stats(&self) -> PlatformStats {
+            PlatformStats {
+                blocks_total: self.blocks.len() as u64,
+                blocks_main: self.blocks.len() as u64,
+                ..Default::default()
+            }
+        }
+    }
+
+    struct TrivialWorkload {
+        nonce: u64,
+    }
+
+    impl WorkloadConnector for TrivialWorkload {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn setup(&mut self, _chain: &mut dyn BlockchainConnector) {}
+        fn next_transaction(&mut self, client: ClientId) -> Transaction {
+            self.nonce += 1;
+            let kp = KeyPair::from_seed(client.0 as u64);
+            Transaction::signed(&kp, self.nonce, Address::from_index(1), 1, vec![])
+        }
+    }
+
+    fn config(secs: u64, rate: f64, clients: u32) -> DriverConfig {
+        DriverConfig {
+            clients,
+            rate_per_client: rate,
+            duration: SimDuration::from_secs(secs),
+            poll_interval: SimDuration::from_millis(250),
+            drain: SimDuration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn driver_matches_submissions_to_commits() {
+        let mut chain = MockChain::new(4);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_workload(&mut chain, &mut wl, &config(10, 10.0, 4));
+        // 4 clients × 10 tx/s × 10 s = 400 submissions.
+        assert_eq!(stats.submitted, 400);
+        // Everything confirms 0.8 s later; submissions from the last 0.8 s
+        // of the window land in the drain phase (latency samples only).
+        assert!(stats.committed >= 360, "committed {}", stats.committed);
+        assert_eq!(stats.aborted, 0);
+        // ...but every submission eventually yields a latency sample.
+        assert_eq!(stats.latencies.count(), 400);
+        let mean = stats.mean_latency().unwrap();
+        assert!((0.8..1.1).contains(&mean), "mean latency {mean}");
+    }
+
+    #[test]
+    fn throughput_matches_offered_load_when_unsaturated() {
+        let mut chain = MockChain::new(2);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_workload(&mut chain, &mut wl, &config(20, 25.0, 2));
+        let tps = stats.throughput_tps();
+        assert!((tps - 50.0).abs() < 3.0, "tps {tps}");
+    }
+
+    #[test]
+    fn queue_timeline_sampled() {
+        let mut chain = MockChain::new(1);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_workload(&mut chain, &mut wl, &config(5, 20.0, 1));
+        assert!(!stats.queue_timeline.is_empty());
+        // Queue stays bounded (service keeps up).
+        let max_q = stats
+            .queue_timeline
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(max_q <= 40.0, "queue got to {max_q}");
+    }
+
+    #[test]
+    fn commit_timeline_sums_to_committed() {
+        let mut chain = MockChain::new(2);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_workload(&mut chain, &mut wl, &config(8, 5.0, 2));
+        let total: f64 = stats.throughput_timeline().iter().sum();
+        assert_eq!(total as u64, stats.committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let mut chain = MockChain::new(1);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let mut cfg = config(1, 1.0, 1);
+        cfg.clients = 0;
+        run_workload(&mut chain, &mut wl, &cfg);
+    }
+}

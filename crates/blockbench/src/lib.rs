@@ -1,0 +1,37 @@
+//! The BLOCKBENCH framework core (Figure 4 of the paper).
+//!
+//! "To evaluate a blockchain system, the first step is to integrate the
+//! blockchain into the framework's backend by implementing \[the\]
+//! IBlockchainConnector interface... A user can use one of the existing
+//! workloads... or implement a new workload using the IWorkloadConnector
+//! interface... BLOCKBENCH's core component is the Driver which takes as
+//! input a workload \[and\] user-defined configuration..., executes it on the
+//! blockchain and outputs running statistics." (Section 3.2)
+//!
+//! - [`connector`]: the `BlockchainConnector` trait (deploy / submit /
+//!   `get_latest_blocks(h)` / query / fault injection) every platform
+//!   implements, plus platform-level stats;
+//! - [`contract`]: the dual-backend contract bundle — each Table 1 contract
+//!   ships an SVM bytecode build (Ethereum/Parity) and a native chaincode
+//!   build (Fabric), mirroring the paper's Solidity + Go twin
+//!   implementations;
+//! - [`driver`]: the asynchronous driver — open-loop clients, an
+//!   outstanding-transaction queue, and a polling loop that matches
+//!   confirmed blocks back to submissions;
+//! - [`stats`]: throughput, latency percentiles/CDF, queue-length and
+//!   commit timelines (Section 3.3's metrics);
+//! - [`security`]: the fork-ratio security metric of Figure 10.
+
+pub mod connector;
+pub mod contract;
+pub mod driver;
+pub mod security;
+pub mod stats;
+
+pub use connector::{
+    BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
+};
+pub use contract::{Chaincode, ChaincodeContext, ContractBundle, SvmContract};
+pub use driver::{run_workload, DriverConfig, WorkloadConnector};
+pub use security::fork_ratio;
+pub use stats::RunStats;

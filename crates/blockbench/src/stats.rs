@@ -1,0 +1,118 @@
+//! Benchmark run statistics (Section 3.3's evaluation metrics).
+
+use crate::connector::PlatformStats;
+use bb_sim::series::Summary;
+use bb_sim::{SimDuration, TimeSeries};
+
+/// Everything one driver run produces.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Measured window length.
+    pub duration: SimDuration,
+    /// Transactions submitted by clients.
+    pub submitted: u64,
+    /// Submissions refused by server-side throttling (never entered the
+    /// system; not counted in `submitted`).
+    pub rejected: u64,
+    /// Transactions committed (successfully executed) within the window.
+    pub committed: u64,
+    /// Transactions included but failed (reverted / out of gas / rejected).
+    pub aborted: u64,
+    /// Per-transaction submit→confirm latencies, in seconds.
+    pub latencies: Summary,
+    /// One sample per committed transaction at its confirmation instant
+    /// (value 1.0): bucket for a throughput curve.
+    pub commit_events: TimeSeries,
+    /// Outstanding-queue length sampled at every poll (Figures 6/18).
+    pub queue_timeline: TimeSeries,
+    /// Platform-side counters at the end of the run.
+    pub platform: PlatformStats,
+}
+
+impl RunStats {
+    /// Successful transactions per second over the measured window.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / secs
+    }
+
+    /// Mean latency in seconds (`None` when nothing committed).
+    pub fn mean_latency(&self) -> Option<f64> {
+        self.latencies.mean()
+    }
+
+    /// Latency quantile in seconds.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.latencies.quantile(q)
+    }
+
+    /// Committed-per-second curve (Figure 9's time series).
+    pub fn throughput_timeline(&self) -> Vec<f64> {
+        self.commit_events.bucket_sum(1)
+    }
+
+    /// One summary line for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:>8} submitted  {:>8} committed  {:>6} aborted  {:>9.1} tx/s  lat mean {:>7.3}s p50 {:>7.3}s p99 {:>8.3}s",
+            self.submitted,
+            self.committed,
+            self.aborted,
+            self.throughput_tps(),
+            self.mean_latency().unwrap_or(f64::NAN),
+            self.latency_quantile(0.5).unwrap_or(f64::NAN),
+            self.latency_quantile(0.99).unwrap_or(f64::NAN),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_sim::SimTime;
+
+    fn stats_with(committed: u64, secs: u64) -> RunStats {
+        let mut commit_events = TimeSeries::new();
+        for i in 0..committed {
+            commit_events.push(SimTime::from_millis(i * 100), 1.0);
+        }
+        RunStats {
+            duration: SimDuration::from_secs(secs),
+            submitted: committed + 5,
+            rejected: 0,
+            committed,
+            aborted: 2,
+            latencies: Summary::from_values((0..committed).map(|i| i as f64 * 0.01).collect()),
+            commit_events,
+            queue_timeline: TimeSeries::new(),
+            platform: PlatformStats::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_divides_by_window() {
+        let s = stats_with(100, 10);
+        assert!((s.throughput_tps() - 10.0).abs() < 1e-9);
+        let empty = stats_with(0, 0);
+        assert_eq!(empty.throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn timeline_buckets_commits() {
+        let s = stats_with(25, 10);
+        let tl = s.throughput_timeline();
+        assert_eq!(tl[0], 10.0); // 10 commits in second 0 (every 100 ms)
+        assert_eq!(tl.iter().sum::<f64>(), 25.0);
+    }
+
+    #[test]
+    fn summary_line_contains_counts() {
+        let s = stats_with(10, 5);
+        let line = s.summary_line();
+        assert!(line.contains("10 committed"));
+        assert!(line.contains("15 submitted"));
+    }
+}

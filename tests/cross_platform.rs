@@ -1,0 +1,106 @@
+//! Cross-crate integration: the same workloads drive all three platforms
+//! through the same framework interfaces, deterministically.
+
+use bb_bench::exp_macro::{run_macro, Macro};
+use bb_bench::{Platform, ALL_PLATFORMS};
+use bb_sim::SimDuration;
+
+#[test]
+fn every_platform_commits_every_workload() {
+    for platform in ALL_PLATFORMS {
+        for workload in [Macro::Ycsb, Macro::Smallbank, Macro::DoNothing] {
+            let stats = run_macro(platform, workload, 4, 4, 10.0, SimDuration::from_secs(15));
+            assert!(
+                stats.committed > 0,
+                "{} × {:?} committed nothing: {}",
+                platform.name(),
+                workload,
+                stats.summary_line()
+            );
+            // At 40 tx/s offered, nobody should saturate — commits track
+            // submissions closely (Parity's cap is ~45 tx/s, above this).
+            assert!(
+                stats.committed + stats.aborted > stats.submitted * 6 / 10,
+                "{} × {:?} lost transactions: {}",
+                platform.name(),
+                workload,
+                stats.summary_line()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for platform in ALL_PLATFORMS {
+        let a = run_macro(platform, Macro::Ycsb, 4, 4, 20.0, SimDuration::from_secs(10));
+        let b = run_macro(platform, Macro::Ycsb, 4, 4, 20.0, SimDuration::from_secs(10));
+        assert_eq!(a.submitted, b.submitted, "{}", platform.name());
+        assert_eq!(a.committed, b.committed, "{}", platform.name());
+        assert_eq!(a.aborted, b.aborted, "{}", platform.name());
+        assert_eq!(
+            a.platform.blocks_main, b.platform.blocks_main,
+            "{}",
+            platform.name()
+        );
+        assert_eq!(
+            a.latencies.quantile(0.5),
+            b.latencies.quantile(0.5),
+            "{}",
+            platform.name()
+        );
+    }
+}
+
+#[test]
+fn realistic_contract_workloads_run_everywhere() {
+    use bb_workloads::{DoublerWorkload, EtherIdWorkload, WavesWorkload};
+    use blockbench::driver::{run_workload, DriverConfig, WorkloadConnector};
+
+    let config = DriverConfig {
+        clients: 4,
+        rate_per_client: 10.0,
+        duration: SimDuration::from_secs(10),
+        poll_interval: SimDuration::from_millis(500),
+        drain: SimDuration::from_secs(10),
+    };
+    for platform in ALL_PLATFORMS {
+        let workloads: Vec<Box<dyn WorkloadConnector>> = vec![
+            Box::new(EtherIdWorkload::new(4, 1)),
+            Box::new(DoublerWorkload::new(4, 2)),
+            Box::new(WavesWorkload::new(4, 3)),
+        ];
+        for mut wl in workloads {
+            let mut chain = platform.build(4);
+            let name = wl.name();
+            let stats = run_workload(chain.as_mut(), wl.as_mut(), &config);
+            assert!(
+                stats.committed > 100,
+                "{} × {}: {}",
+                platform.name(),
+                name,
+                stats.summary_line()
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_footprints_follow_the_data_models() {
+    // Same committed work: trie platforms pay an order of magnitude more
+    // disk than the flat-KV platform; Parity pays none at all (in-memory).
+    let eth = run_macro(Platform::Ethereum, Macro::Ycsb, 4, 4, 20.0, SimDuration::from_secs(20));
+    let par = run_macro(Platform::Parity, Macro::Ycsb, 4, 4, 20.0, SimDuration::from_secs(20));
+    let fab =
+        run_macro(Platform::Hyperledger, Macro::Ycsb, 4, 4, 20.0, SimDuration::from_secs(20));
+    assert!(eth.platform.disk_bytes > 0);
+    assert_eq!(par.platform.disk_bytes, 0, "parity keeps state in memory");
+    assert!(fab.platform.disk_bytes > 0);
+    // Normalize per committed transaction.
+    let eth_per_tx = eth.platform.disk_bytes as f64 / eth.committed.max(1) as f64;
+    let fab_per_tx = fab.platform.disk_bytes as f64 / fab.committed.max(1) as f64;
+    assert!(
+        eth_per_tx > 3.0 * fab_per_tx,
+        "trie amplification missing: eth {eth_per_tx:.0} B/tx vs fabric {fab_per_tx:.0} B/tx"
+    );
+}

@@ -1,0 +1,167 @@
+//! Integration tests of the framework driver against the real platforms:
+//! rejection accounting, queue dynamics and the polling interface.
+
+use bb_bench::exp_macro::{run_macro, Macro};
+use bb_bench::Platform;
+use bb_sim::SimDuration;
+
+/// Parity throttles at the RPC; the driver must account rejections
+/// separately and keep its outstanding queue truthful.
+#[test]
+fn parity_rejections_are_counted_not_lost() {
+    let stats = run_macro(Platform::Parity, Macro::Ycsb, 2, 2, 512.0, SimDuration::from_secs(20));
+    assert!(stats.rejected > 0, "no rejections under a 1024 tx/s flood of 2 servers");
+    // Accepted transactions either commit or remain visibly queued; the
+    // books must balance within the accepted population.
+    assert!(stats.submitted > stats.committed);
+    // The queue timeline never goes negative (trivially) and stays bounded
+    // by the admission backlog rather than the full offered load.
+    let max_q = stats
+        .queue_timeline
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let offered = 2.0 * 512.0 * 20.0;
+    assert!(
+        max_q < offered * 0.6,
+        "queue tracked the full offered load despite throttling: {max_q}"
+    );
+}
+
+/// The queue grows without bound on a saturated Ethereum network but stays
+/// flat when unsaturated (Figure 6's two regimes).
+#[test]
+fn queue_regimes_on_ethereum() {
+    let calm = run_macro(Platform::Ethereum, Macro::Ycsb, 8, 8, 8.0, SimDuration::from_secs(30));
+    let storm = run_macro(Platform::Ethereum, Macro::Ycsb, 8, 8, 512.0, SimDuration::from_secs(30));
+    let end_q = |s: &blockbench::RunStats| {
+        s.queue_timeline.points().last().map(|&(_, v)| v).unwrap_or(0.0)
+    };
+    assert!(end_q(&calm) < 300.0, "calm queue exploded: {}", end_q(&calm));
+    assert!(
+        end_q(&storm) > 10.0 * end_q(&calm).max(1.0),
+        "storm queue did not grow: calm {} storm {}",
+        end_q(&calm),
+        end_q(&storm)
+    );
+}
+
+/// Confirmed blocks stream in height order with no duplicates, across the
+/// whole run — the contract `get_latest_block(h)` promises the driver.
+#[test]
+fn confirmed_blocks_are_ordered_and_unique() {
+    use bb_contracts::donothing;
+    use bb_crypto::KeyPair;
+    use bb_types::{NodeId, Transaction};
+
+    for platform in [Platform::Ethereum, Platform::Parity, Platform::Hyperledger] {
+        let mut chain = platform.build(4);
+        let contract = chain.deploy(&donothing::bundle());
+        let kp = KeyPair::from_seed(1);
+        let mut heights = Vec::new();
+        let mut seen = 0u64;
+        for sec in 1..=30u64 {
+            for k in 0..5 {
+                let nonce = (sec - 1) * 5 + k;
+                let tx = Transaction::signed(&kp, nonce, contract, 0, donothing::call());
+                chain.submit(NodeId((nonce % 4) as u32), tx);
+            }
+            chain.advance_to(bb_sim::SimTime::from_secs(sec));
+            for b in chain.confirmed_blocks_since(seen) {
+                heights.push(b.height);
+                seen = seen.max(b.height);
+            }
+        }
+        assert!(!heights.is_empty(), "{}: nothing confirmed", platform.name());
+        let mut sorted = heights.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(heights, sorted, "{}: duplicate or out-of-order blocks", platform.name());
+    }
+}
+
+/// Aborted transactions (contract reverts) surface through the receipts.
+#[test]
+fn aborts_flow_through_receipts() {
+    use bb_contracts::smallbank;
+    use bb_crypto::KeyPair;
+    use bb_types::{NodeId, Transaction};
+
+    let mut chain = Platform::Hyperledger.build(4);
+    let contract = chain.deploy(&smallbank::bundle());
+    let kp = KeyPair::from_seed(1);
+    // Sending from an unfunded account must abort inside the chaincode.
+    let bad = Transaction::signed(&kp, 0, contract, 0, smallbank::send_payment_call(1, 2, 100));
+    let good = Transaction::signed(&kp, 1, contract, 0, smallbank::deposit_checking_call(1, 50));
+    chain.submit(NodeId(0), bad.clone());
+    chain.submit(NodeId(1), good.clone());
+    chain.advance_to(bb_sim::SimTime::from_secs(5));
+    let mut results = std::collections::HashMap::new();
+    for b in chain.confirmed_blocks_since(0) {
+        for (id, ok) in b.txs {
+            results.insert(id, ok);
+        }
+    }
+    assert_eq!(results.get(&bad.id()), Some(&false), "revert not surfaced");
+    assert_eq!(results.get(&good.id()), Some(&true));
+}
+
+/// The paper's third failure mode, "random response": corrupt messages are
+/// discarded at signature verification. The chain keeps working (at reduced
+/// efficiency) when a minority node's traffic is mangled.
+#[test]
+fn corruption_fault_degrades_but_does_not_stop() {
+    use blockbench::connector::Fault;
+    for platform in [Platform::Ethereum, Platform::Hyperledger] {
+        let mut chain = platform.build(4);
+        let contract = chain.deploy(&bb_contracts::donothing::bundle());
+        chain.inject(Fault::Corrupt(bb_types::NodeId(3), 0.5));
+        let kp = bb_crypto::KeyPair::from_seed(1);
+        for nonce in 0..40u64 {
+            let tx = bb_types::Transaction::signed(
+                &kp,
+                nonce,
+                contract,
+                0,
+                bb_contracts::donothing::call(),
+            );
+            chain.submit(bb_types::NodeId((nonce % 3) as u32), tx);
+        }
+        chain.advance_to(bb_sim::SimTime::from_secs(40));
+        let committed: usize =
+            chain.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert!(
+            committed >= 35,
+            "{}: corruption of one node's links broke the chain: {committed}/40",
+            platform.name()
+        );
+    }
+}
+
+/// Injected network delay on one node slows its participation but the
+/// cluster keeps committing.
+#[test]
+fn delay_fault_tolerated() {
+    use blockbench::connector::Fault;
+    let mut chain = Platform::Hyperledger.build(4);
+    let contract = chain.deploy(&bb_contracts::donothing::bundle());
+    chain.inject(Fault::Delay(
+        bb_types::NodeId(2),
+        bb_sim::SimDuration::from_millis(200),
+    ));
+    let kp = bb_crypto::KeyPair::from_seed(1);
+    for nonce in 0..20u64 {
+        let tx = bb_types::Transaction::signed(
+            &kp,
+            nonce,
+            contract,
+            0,
+            bb_contracts::donothing::call(),
+        );
+        chain.submit(bb_types::NodeId((nonce % 4) as u32), tx);
+    }
+    chain.advance_to(bb_sim::SimTime::from_secs(20));
+    let committed: usize = chain.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+    assert_eq!(committed, 20);
+}

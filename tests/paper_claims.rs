@@ -1,0 +1,155 @@
+//! The paper's headline findings, asserted end-to-end at reduced scale.
+//! Each test names the claim (Section 4's bullet list) it reproduces.
+
+use bb_bench::exp_macro::{run_macro, Macro};
+use bb_bench::Platform;
+use bb_sim::{SimDuration, SimTime};
+use bb_types::NodeId;
+use blockbench::connector::Fault;
+use blockbench::security::fork_ratio;
+
+/// "Hyperledger performs consistently better than Ethereum and Parity
+/// across the benchmarks."
+#[test]
+fn hyperledger_wins_both_macro_benchmarks() {
+    for workload in [Macro::Ycsb, Macro::Smallbank] {
+        let h = run_macro(Platform::Hyperledger, workload, 8, 8, 256.0, SimDuration::from_secs(20));
+        let e = run_macro(Platform::Ethereum, workload, 8, 8, 256.0, SimDuration::from_secs(20));
+        let p = run_macro(Platform::Parity, workload, 8, 8, 256.0, SimDuration::from_secs(20));
+        let (ht, et, pt) = (h.throughput_tps(), e.throughput_tps(), p.throughput_tps());
+        assert!(ht > 2.0 * et, "{workload:?}: hyperledger {ht} vs ethereum {et}");
+        assert!(et > 2.0 * pt, "{workload:?}: ethereum {et} vs parity {pt}");
+        // Latency ordering: parity lowest, ethereum highest (Figure 5a).
+        let (hl, el, pl) = (
+            h.mean_latency().unwrap(),
+            e.mean_latency().unwrap(),
+            p.mean_latency().unwrap(),
+        );
+        assert!(pl < hl, "{workload:?}: parity lat {pl} vs hyperledger {hl}");
+        assert!(el > hl, "{workload:?}: ethereum lat {el} vs hyperledger {hl}");
+    }
+}
+
+/// "Parity processes transactions at a constant rate": throughput is flat
+/// across offered loads once past its cap (Figure 5b).
+#[test]
+fn parity_throughput_is_flat_in_offered_load() {
+    let lo = run_macro(Platform::Parity, Macro::Ycsb, 8, 8, 64.0, SimDuration::from_secs(20));
+    let hi = run_macro(Platform::Parity, Macro::Ycsb, 8, 8, 512.0, SimDuration::from_secs(20));
+    let (a, b) = (lo.throughput_tps(), hi.throughput_tps());
+    assert!((a - b).abs() < 0.35 * a.max(b), "parity throughput moved: {a} vs {b}");
+    assert!(a < 70.0, "parity above its signing cap: {a}");
+}
+
+/// The Smallbank-vs-YCSB overhead: "a drop of ~10% in throughput and ~20%
+/// increase in latency" on the execution-bound platforms — versus H-Store's
+/// 6.6× collapse (Appendix B).
+#[test]
+fn smallbank_costs_blockchains_little_but_hstore_much() {
+    let y = run_macro(Platform::Hyperledger, Macro::Ycsb, 8, 8, 256.0, SimDuration::from_secs(20));
+    let s =
+        run_macro(Platform::Hyperledger, Macro::Smallbank, 8, 8, 256.0, SimDuration::from_secs(20));
+    let drop = 1.0 - s.throughput_tps() / y.throughput_tps();
+    assert!(drop < 0.35, "blockchain smallbank penalty too large: {drop:.2}");
+
+    let hy = bb_hstore::run_ycsb(bb_hstore::HStoreConfig::default(), 50_000, 100_000, 1);
+    let hs = bb_hstore::run_smallbank(bb_hstore::HStoreConfig::default(), 50_000, 100_000, 1);
+    let ratio = hy.tps / hs.tps;
+    assert!((4.0..10.0).contains(&ratio), "h-store penalty: {ratio:.1}x");
+    // And the database is still more than an order of magnitude faster.
+    assert!(hs.tps > 10.0 * y.throughput_tps(), "h-store {} vs fabric {}", hs.tps, y.throughput_tps());
+}
+
+/// "Ethereum and Parity are more resilient to node failures" — and PBFT at
+/// n=12 cannot survive 4 crashes (Figure 9).
+#[test]
+fn crash_tolerance_split() {
+    let run_with_crashes = |platform: Platform| -> (u64, u64) {
+        let mut chain = platform.build(12);
+        #[allow(unused_imports)]
+        use blockbench::driver::WorkloadConnector;
+        let mut wl = Macro::Ycsb.build(8);
+        wl.setup(chain.as_mut());
+        let mut nonce_sent = 0u64;
+        let mut seen = 0u64;
+        let mut committed_pre = 0u64;
+        let mut committed_post = 0u64;
+        for sec in 1..=60u64 {
+            if sec == 30 {
+                for i in 8..12 {
+                    chain.inject(Fault::Crash(NodeId(i)));
+                }
+            }
+            for c in 0..8u32 {
+                for _ in 0..5 {
+                    let tx = wl.next_transaction(bb_types::ClientId(c));
+                    chain.submit(NodeId(c % 12), tx);
+                    nonce_sent += 1;
+                }
+            }
+            chain.advance_to(SimTime::from_secs(sec));
+            for b in chain.confirmed_blocks_since(seen) {
+                seen = seen.max(b.height);
+                let n = b.txs.len() as u64;
+                if sec <= 30 {
+                    committed_pre += n;
+                } else {
+                    committed_post += n;
+                }
+            }
+        }
+        let _ = nonce_sent;
+        (committed_pre, committed_post)
+    };
+    let (eth_pre, eth_post) = run_with_crashes(Platform::Ethereum);
+    assert!(eth_pre > 0 && eth_post > eth_pre / 4, "ethereum stalled: {eth_pre}/{eth_post}");
+    let (par_pre, par_post) = run_with_crashes(Platform::Parity);
+    assert!(par_pre > 0 && par_post > par_pre / 4, "parity stalled: {par_pre}/{par_post}");
+    let (fab_pre, fab_post) = run_with_crashes(Platform::Hyperledger);
+    assert!(fab_pre > 0, "fabric never started");
+    assert!(
+        fab_post < fab_pre / 4,
+        "12-node fabric survived 4 crashes: {fab_pre}/{fab_post}"
+    );
+}
+
+/// "...but they are vulnerable to security attacks that fork the
+/// blockchain" (Figure 10): partitions fork PoW/PoA, never PBFT.
+#[test]
+fn partition_forks_pow_and_poa_only() {
+    let attack = |platform: Platform| -> f64 {
+        let mut chain = platform.build(8);
+        chain.advance_to(SimTime::from_secs(10));
+        chain.inject(Fault::PartitionHalf { left: 4 });
+        chain.advance_to(SimTime::from_secs(60));
+        chain.inject(Fault::Heal);
+        chain.advance_to(SimTime::from_secs(100));
+        fork_ratio(&chain.stats())
+    };
+    let eth = attack(Platform::Ethereum);
+    let par = attack(Platform::Parity);
+    let fab = attack(Platform::Hyperledger);
+    assert!(eth < 0.9, "ethereum barely forked: {eth}");
+    assert!(par < 0.9, "parity barely forked: {par}");
+    assert!((fab - 1.0).abs() < 1e-9, "hyperledger forked: {fab}");
+}
+
+/// Consensus is the gap for Ethereum/Hyperledger; signing for Parity
+/// (Figure 13c): DoNothing ≈ YCSB on Parity; DoNothing > YCSB on Ethereum.
+#[test]
+fn donothing_isolates_the_bottleneck() {
+    let p_do = run_macro(Platform::Parity, Macro::DoNothing, 8, 8, 256.0, SimDuration::from_secs(20));
+    let p_y = run_macro(Platform::Parity, Macro::Ycsb, 8, 8, 256.0, SimDuration::from_secs(20));
+    let rel = (p_do.throughput_tps() - p_y.throughput_tps()).abs() / p_y.throughput_tps();
+    assert!(rel < 0.15, "parity workloads differ: {rel:.2}");
+
+    let e_do =
+        run_macro(Platform::Ethereum, Macro::DoNothing, 8, 8, 256.0, SimDuration::from_secs(20));
+    let e_y = run_macro(Platform::Ethereum, Macro::Ycsb, 8, 8, 256.0, SimDuration::from_secs(20));
+    assert!(
+        e_do.throughput_tps() > e_y.throughput_tps() * 1.02,
+        "ethereum DoNothing not cheaper: {} vs {}",
+        e_do.throughput_tps(),
+        e_y.throughput_tps()
+    );
+}
