@@ -28,6 +28,16 @@
 //! certificates are replaced by re-forwarding uncommitted requests plus
 //! state sync — equivalent liveness/safety behaviour for crash and
 //! partition faults, which are the faults the benchmark injects.
+//!
+//! Retransmission is *bounded*: on a liveness timeout (and on view entry)
+//! a replica re-forwards at most one batch worth of outstanding requests,
+//! and sync replies carry at most [`SYNC_WINDOW`] batches (the laggard
+//! requests the next window after applying one). In PBFT proper these
+//! bounds come from clients owning retransmission and from the high/low
+//! water marks; without them an overloaded cluster re-broadcasts its
+//! entire backlog every timeout — O(backlog × n²) traffic per round —
+//! which turns the ≥16-node collapse from "throughput degrades" into an
+//! event storm that grows without bound.
 
 use bb_crypto::Hash256;
 use bb_sim::{SimDuration, SimTime};
@@ -36,6 +46,11 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// An opaque client request (an encoded transaction).
 pub type Request = Vec<u8>;
+
+/// Max committed batches per [`PbftMsg::SyncReply`]. A lagging replica
+/// catches up window by window, requesting the next chunk after applying
+/// one, instead of receiving the entire committed log in a single message.
+pub const SYNC_WINDOW: usize = 20;
 
 /// Protocol parameters.
 #[derive(Debug, Clone)]
@@ -214,8 +229,11 @@ pub struct PbftNode {
     slots: BTreeMap<u64, Slot>,
     last_committed: u64,
     committed_log: BTreeMap<u64, Vec<Request>>,
-    /// Requests seen but not yet committed, for re-forwarding on view change.
-    awaiting: HashMap<Hash256, Request>,
+    /// Requests seen but not yet committed, for re-forwarding on view
+    /// change. Ordered (by digest) so every retransmission path walks it
+    /// in a deterministic order — a `HashMap` here would randomise message
+    /// order, and with it the whole simulation, across runs.
+    awaiting: BTreeMap<Hash256, Request>,
     /// Primary-side queue of requests not yet batched.
     pending: VecDeque<Request>,
     pending_digests: HashSet<Hash256>,
@@ -237,7 +255,7 @@ impl PbftNode {
             slots: BTreeMap::new(),
             last_committed: 0,
             committed_log: BTreeMap::new(),
-            awaiting: HashMap::new(),
+            awaiting: BTreeMap::new(),
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
             view_votes: HashMap::new(),
@@ -361,7 +379,7 @@ impl PbftNode {
                 self.on_new_view(from, view, committed_floor, now)
             }
             PbftMsg::SyncRequest { from_seq } => self.on_sync_request(from, from_seq),
-            PbftMsg::SyncReply { batches } => self.on_sync_reply(batches, now),
+            PbftMsg::SyncReply { batches } => self.on_sync_reply(from, batches, now),
         }
     }
 
@@ -532,10 +550,12 @@ impl PbftNode {
         }
         if let Some(vd) = self.view_deadline {
             if now >= vd && self.has_outstanding_work() {
-                // Spread the outstanding requests: like a PBFT client that
-                // got no reply, broadcast them so every replica arms its
-                // liveness timer and can join the view change.
-                for req in self.awaiting.values() {
+                // Spread outstanding requests: like a PBFT client that got
+                // no reply, broadcast them so every replica arms its
+                // liveness timer and can join the view change. Bounded to
+                // one batch worth per timeout — commits prune `awaiting`,
+                // so later windows surface on later timeouts.
+                for req in self.awaiting.values().take(self.config.batch_size) {
                     actions.push(Action::Broadcast(PbftMsg::Forward(req.clone())));
                 }
                 // Escalate: vote for the next view above anything voted so far.
@@ -635,10 +655,12 @@ impl PbftNode {
                 PbftMsg::SyncRequest { from_seq: self.last_committed },
             ));
         }
-        // Re-forward everything still outstanding to the new primary.
+        // Re-forward outstanding requests to the new primary — one batch
+        // worth now; the liveness timer re-forwards the rest window by
+        // window as earlier ones commit.
         let primary = self.config.primary_of(self.view);
         if primary != self.id {
-            for req in self.awaiting.values() {
+            for req in self.awaiting.values().take(self.config.batch_size) {
                 actions.push(Action::Send(primary, PbftMsg::Forward(req.clone())));
             }
         }
@@ -647,7 +669,15 @@ impl PbftNode {
     }
 
     fn repropose_awaiting(&mut self, now: SimTime) -> Vec<Action> {
-        let reqs: Vec<Request> = self.awaiting.values().cloned().collect();
+        // In-flight window: re-propose a couple of batches, not the whole
+        // backlog — backups re-forward theirs window by window too, and an
+        // unbounded re-proposal burst at 20 nodes is O(backlog × n) clones.
+        let reqs: Vec<Request> = self
+            .awaiting
+            .values()
+            .take(2 * self.config.batch_size)
+            .cloned()
+            .collect();
         let mut actions = Vec::new();
         for req in reqs {
             let digest = request_digest(&req);
@@ -681,6 +711,7 @@ impl PbftNode {
         let batches: Vec<(u64, Vec<Request>)> = self
             .committed_log
             .range(from_seq + 1..)
+            .take(SYNC_WINDOW)
             .map(|(&s, b)| (s, b.clone()))
             .collect();
         if batches.is_empty() {
@@ -689,7 +720,13 @@ impl PbftNode {
         vec![Action::Send(from, PbftMsg::SyncReply { batches })]
     }
 
-    fn on_sync_reply(&mut self, batches: Vec<(u64, Vec<Request>)>, now: SimTime) -> Vec<Action> {
+    fn on_sync_reply(
+        &mut self,
+        from: NodeId,
+        batches: Vec<(u64, Vec<Request>)>,
+        now: SimTime,
+    ) -> Vec<Action> {
+        let full_window = batches.len() == SYNC_WINDOW;
         let mut actions = Vec::new();
         for (seq, batch) in batches {
             if seq != self.last_committed + 1 {
@@ -705,6 +742,14 @@ impl PbftNode {
             actions.push(Action::CommitBatch { seq, batch });
         }
         if !actions.is_empty() {
+            // A full window means the peer may hold more: request the next
+            // chunk. (An empty or partial reply ends the catch-up loop.)
+            if full_window {
+                actions.push(Action::Send(
+                    from,
+                    PbftMsg::SyncRequest { from_seq: self.last_committed },
+                ));
+            }
             self.view_deadline = if self.has_outstanding_work() {
                 Some(now + self.config.view_timeout)
             } else {
@@ -1020,10 +1065,10 @@ mod tests {
             let mut committed: Vec<Vec<(u64, Vec<Request>)>> = vec![Vec::new(); 4];
             let now = SimTime::from_secs(1);
             let mut queue: Vec<(NodeId, NodeId, PbftMsg)> = Vec::new();
-            let mut absorb = |committed: &mut Vec<Vec<(u64, Vec<Request>)>>,
-                              queue: &mut Vec<(NodeId, NodeId, PbftMsg)>,
-                              src: NodeId,
-                              acts: Vec<Action>| {
+            let absorb = |committed: &mut Vec<Vec<(u64, Vec<Request>)>>,
+                          queue: &mut Vec<(NodeId, NodeId, PbftMsg)>,
+                          src: NodeId,
+                          acts: Vec<Action>| {
                 for a in acts {
                     match a {
                         Action::Send(to, m) => queue.push((src, to, m)),
@@ -1056,6 +1101,67 @@ mod tests {
                 assert_eq!(&committed[i], reference, "seed {seed}, replica {i}");
             }
         }
+    }
+
+    #[test]
+    fn timeout_retransmission_is_bounded_to_one_batch() {
+        // A backup sitting on a large backlog must not re-broadcast the
+        // whole backlog on a liveness timeout — one batch worth, plus the
+        // view-change vote.
+        let config = PbftConfig { n: 4, batch_size: 3, ..PbftConfig::default() };
+        let mut node = PbftNode::new(NodeId(1), config.clone());
+        let t0 = SimTime::from_secs(1);
+        for i in 0..50 {
+            node.on_request(format!("tx-{i}").into_bytes(), t0);
+        }
+        assert_eq!(node.awaiting_count(), 50);
+        let acts = node.on_tick(t0 + config.view_timeout + SimDuration::from_millis(1));
+        let forwards = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Broadcast(PbftMsg::Forward(_))))
+            .count();
+        assert_eq!(forwards, config.batch_size, "retransmission window");
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(PbftMsg::ViewChange { .. }))));
+    }
+
+    #[test]
+    fn retransmission_order_is_deterministic() {
+        // Two replicas fed the same requests in the same order must emit
+        // identical retransmission actions — the ordered `awaiting` map is
+        // what keeps whole-simulation runs byte-identical across processes.
+        let config = PbftConfig { n: 4, batch_size: 8, ..PbftConfig::default() };
+        let t0 = SimTime::from_secs(1);
+        let mk = || {
+            let mut n = PbftNode::new(NodeId(1), config.clone());
+            for i in 0..30 {
+                n.on_request(format!("tx-{i}").into_bytes(), t0);
+            }
+            n.on_tick(t0 + config.view_timeout + SimDuration::from_millis(1))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn deep_lag_catches_up_through_sync_windows() {
+        // 75 requests at batch_size 3 = 25 committed batches — more than
+        // one SYNC_WINDOW. The laggard must request chunk after chunk until
+        // it has the full log.
+        assert!(25 > SYNC_WINDOW);
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        c.down[3] = true;
+        for i in 0..75 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), t0);
+        }
+        assert_eq!(c.committed[0].len(), 25);
+        assert!(c.committed[3].is_empty());
+        c.down[3] = false;
+        let acts = vec![Action::Send(NodeId(0), PbftMsg::SyncRequest { from_seq: 0 })];
+        c.dispatch(NodeId(3), acts, t0 + SimDuration::from_secs(1));
+        assert_eq!(c.nodes[3].last_committed(), 25);
+        assert_eq!(c.committed[3], c.committed[0]);
     }
 
     #[test]

@@ -377,7 +377,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::testing::DualRunner;
@@ -427,6 +427,42 @@ mod proptests {
             for a in 0..6u64 {
                 let (svm, native) = r.invoke_both(&query_call(a)).unwrap();
                 prop_assert_eq!(svm, native);
+            }
+        }
+    }
+}
+
+/// Plain seeded re-expression of the dual-backend equivalence property above,
+/// so the coverage survives the default (offline, `proptest`-feature-off) run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use crate::testing::DualRunner;
+    use bb_sim::SimRng;
+
+    #[test]
+    fn backends_stay_equivalent_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_000B);
+        for _ in 0..20 {
+            let b = bundle();
+            let mut r = DualRunner::new(&b);
+            for _ in 0..rng.range(1, 40) {
+                let a = rng.below(6);
+                let bacct = rng.below(6);
+                let amt = rng.below(200) as i64;
+                let payload = match rng.below(5) {
+                    0 => deposit_checking_call(a, amt),
+                    1 => send_payment_call(a, bacct, amt),
+                    2 => transact_savings_call(a, rng.range(0, 300) as i64 - 100),
+                    3 => write_check_call(a, amt),
+                    _ => amalgamate_call(a, bacct),
+                };
+                let _ = r.invoke_both(&payload); // reverts must match too
+            }
+            r.assert_states_match();
+            for a in 0..6u64 {
+                let (svm, native) = r.invoke_both(&query_call(a)).unwrap();
+                assert_eq!(svm, native);
             }
         }
     }

@@ -203,7 +203,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::testing::DualRunner;
@@ -233,6 +233,42 @@ mod proptests {
             for (key, _) in &ops {
                 let (svm, native) = r.invoke_both(&read_call(*key)).unwrap();
                 prop_assert_eq!(svm, native);
+            }
+        }
+    }
+}
+
+/// Plain seeded re-expression of the dual-backend equivalence property above,
+/// so the coverage survives the default (offline, `proptest`-feature-off) run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use crate::testing::DualRunner;
+    use bb_sim::SimRng;
+
+    #[test]
+    fn backends_stay_equivalent_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_000A);
+        for _ in 0..24 {
+            let b = bundle();
+            let mut r = DualRunner::new(&b);
+            let mut touched = Vec::new();
+            for _ in 0..rng.range(1, 40) {
+                let key = rng.below(16);
+                touched.push(key);
+                let payload = if rng.chance(0.5) {
+                    let mut v = vec![0u8; rng.below(32) as usize];
+                    rng.fill_bytes(&mut v);
+                    write_call(key, &v)
+                } else {
+                    delete_call(key)
+                };
+                r.invoke_both(&payload).unwrap();
+            }
+            r.assert_states_match();
+            for key in touched {
+                let (svm, native) = r.invoke_both(&read_call(key)).unwrap();
+                assert_eq!(svm, native);
             }
         }
     }

@@ -224,7 +224,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -247,6 +247,42 @@ mod proptests {
             let mut ext = data.clone();
             ext.push(b);
             prop_assert_ne!(sha256(&data), sha256(&ext));
+        }
+    }
+}
+
+/// Plain seeded re-expressions of the highest-value properties above, so the
+/// coverage survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use bb_sim::SimRng;
+
+    #[test]
+    fn split_invariance_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0001);
+        for _ in 0..200 {
+            let len = rng.below(512) as usize;
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let split = rng.below(len as u64 + 1) as usize;
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data));
+        }
+    }
+
+    #[test]
+    fn extension_changes_digest_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0002);
+        for _ in 0..200 {
+            let len = rng.below(256) as usize;
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let mut ext = data.clone();
+            ext.push(rng.below(256) as u8);
+            assert_ne!(sha256(&data), sha256(&ext));
         }
     }
 }

@@ -81,6 +81,12 @@ struct EthNode {
     pool_ids: HashSet<TxId>,
     /// Everything ever seen (suppresses gossip loops).
     seen: HashSet<TxId>,
+    /// Blocks whose transactions were pruned from the pool — only blocks
+    /// that joined this node's main chain. A transaction in a side block
+    /// that never wins stays in the pool; pruning on mere validation would
+    /// lose it for good when the fork is abandoned without a reorg through
+    /// our head.
+    pruned: HashSet<Hash256>,
     cpu: CpuMeter,
     mine_generation: u64,
     crashed: bool,
@@ -179,6 +185,7 @@ impl EthereumChain {
                     pool: VecDeque::new(),
                     pool_ids: HashSet::new(),
                     seen: HashSet::new(),
+                    pruned: HashSet::from([genesis]),
                     cpu: CpuMeter::new(config.cores),
                     mine_generation: 0,
                     crashed: false,
@@ -312,38 +319,65 @@ impl EthWorldView<'_> {
         let mut receipts: Vec<(TxId, bool)> = Vec::new();
         let mut gas_total = 0u64;
         let mut exec_time = SimDuration::ZERO;
-        let mut leftovers: Vec<Rc<Transaction>> = Vec::new();
-        while included.len() < self.config.max_txs_per_block {
+        // Future-nonce transactions buffered per sender, nonce-ordered —
+        // the pool is in arrival order, and gossip can deliver one sender's
+        // transactions out of nonce order. A plain FIFO pass would shunt
+        // every later transaction of that sender to the next block (each
+        // exactly one nonce ahead by the time it's popped), capping blocks
+        // at a handful of transactions; real pools queue per sender by
+        // nonce. Sender map is ordered so the put-back below is
+        // deterministic.
+        let mut future: std::collections::BTreeMap<Address, std::collections::BTreeMap<u64, Rc<Transaction>>> =
+            Default::default();
+        'fill: while included.len() < self.config.max_txs_per_block {
             let Some(tx) = node.pool.pop_front() else {
                 break;
             };
             if !node.pool_ids.contains(&tx.id()) {
                 continue; // pruned
             }
-            match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit) {
-                Ok(res) => {
-                    gas_total += res.gas_used.max(1000);
-                    exec_time += self.config.costs.exec_time(res.gas_used.max(1000))
-                        + self.config.costs.sig_verify;
-                    node.pool_ids.remove(&tx.id());
-                    receipts.push((tx.id(), res.success));
-                    included.push((*tx).clone());
-                    if gas_total >= self.config.block_gas_limit {
-                        break;
+            // Try this transaction, then any buffered successors it unblocks.
+            let mut next = Some(tx);
+            while let Some(tx) = next.take() {
+                match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit)
+                {
+                    Ok(res) => {
+                        gas_total += res.gas_used.max(1000);
+                        exec_time += self.config.costs.exec_time(res.gas_used.max(1000))
+                            + self.config.costs.sig_verify;
+                        node.pool_ids.remove(&tx.id());
+                        receipts.push((tx.id(), res.success));
+                        let nonce = tx.nonce;
+                        let from = tx.from;
+                        included.push((*tx).clone());
+                        if included.len() >= self.config.max_txs_per_block
+                            || gas_total >= self.config.block_gas_limit
+                        {
+                            break 'fill;
+                        }
+                        if let Some(q) = future.get_mut(&from) {
+                            next = q.remove(&(nonce + 1));
+                            if q.is_empty() {
+                                future.remove(&from);
+                            }
+                        }
                     }
-                }
-                Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
-                    // Future nonce: keep for a later block.
-                    leftovers.push(tx);
-                }
-                Err(_) => {
-                    // Stale or broken: drop.
-                    node.pool_ids.remove(&tx.id());
+                    Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
+                        // Future nonce: hold until its predecessor applies.
+                        future.entry(tx.from).or_default().insert(got, tx);
+                    }
+                    Err(_) => {
+                        // Stale or broken: drop.
+                        node.pool_ids.remove(&tx.id());
+                    }
                 }
             }
         }
-        for tx in leftovers {
-            node.pool.push_front(tx);
+        // Still-blocked transactions wait in the pool for a later block.
+        for (_, q) in future {
+            for (_, tx) in q {
+                node.pool.push_front(tx);
+            }
         }
         node.cpu.charge(now, exec_time);
 
@@ -397,7 +431,6 @@ impl EthWorldView<'_> {
                         }
                         Err(_) => receipts.push((tx.id(), false)),
                     }
-                    node.pool_ids.remove(&tx.id());
                     node.seen.insert(tx.id());
                 }
                 node.cpu.charge(now, exec_time);
@@ -430,6 +463,27 @@ impl EthWorldView<'_> {
         // Connecting this block may have connected stored orphan children;
         // execute any now-connected bodies we have roots missing for.
         self.execute_connected_descendants(now, at, id);
+        // Whatever the head is now, drop its branch's transactions from the
+        // pool (after the reorg path above re-added the abandoned branch's).
+        self.prune_main_chain(at);
+    }
+
+    /// Remove the transactions of blocks that joined this node's main chain
+    /// from its pool. Walks head→genesis, stopping at the first block
+    /// already pruned, so each block is processed once; side blocks are
+    /// deliberately never pruned here.
+    fn prune_main_chain(&mut self, at: NodeId) {
+        let node = &mut self.nodes[at.index()];
+        let mut cursor = node.tree.head();
+        while node.pruned.insert(cursor) {
+            let Some(body) = node.bodies.get(&cursor) else {
+                break;
+            };
+            for tx in &body.txs {
+                node.pool_ids.remove(&tx.id());
+            }
+            cursor = body.header.parent;
+        }
     }
 
     /// After a block connects, orphan children stored in `bodies` may now be
@@ -464,7 +518,6 @@ impl EthWorldView<'_> {
                         }
                         Err(_) => receipts.push((tx.id(), false)),
                     }
-                    node.pool_ids.remove(&tx.id());
                     node.seen.insert(tx.id());
                 }
                 node.cpu.charge(now, exec_time);
@@ -825,6 +878,7 @@ impl BlockchainConnector for EthereumChain {
                 node.receipts.insert(id, receipts.clone());
                 node.bodies.insert(id, Rc::clone(&block));
                 node.tree.insert(id, parent, 1000);
+                node.pruned.insert(id);
                 if i == 0 {
                     self.blocks_mined += 1;
                     self.confirmed.push(BlockSummary {

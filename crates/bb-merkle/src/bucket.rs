@@ -250,7 +250,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use bb_storage::MemStore;
@@ -291,6 +291,46 @@ mod proptests {
             prop_assert_eq!(t.len(), model.len() as u64);
             for (k, v) in &model {
                 prop_assert_eq!(t.get(k).unwrap(), Some(v.clone()));
+            }
+        }
+    }
+}
+
+/// Plain seeded re-expression of the canonical-root property above, so the
+/// coverage survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use bb_sim::SimRng;
+    use bb_storage::MemStore;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn root_is_canonical_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0009);
+        for _ in 0..48 {
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            let mut t = BucketTree::new(MemStore::new(), 16);
+            for _ in 0..rng.range(1, 80) {
+                let k: Vec<u8> = (0..rng.range(1, 4)).map(|_| rng.below(256) as u8).collect();
+                if rng.chance(0.5) {
+                    let mut v = vec![0u8; rng.below(4) as usize];
+                    rng.fill_bytes(&mut v);
+                    model.insert(k.clone(), v.clone());
+                    t.put(&k, &v).unwrap();
+                } else {
+                    model.remove(&k);
+                    t.delete(&k).unwrap();
+                }
+            }
+            let mut fresh = BucketTree::new(MemStore::new(), 16);
+            for (k, v) in &model {
+                fresh.put(k, v).unwrap();
+            }
+            assert_eq!(t.root(), fresh.root());
+            assert_eq!(t.len(), model.len() as u64);
+            for (k, v) in &model {
+                assert_eq!(t.get(k).unwrap(), Some(v.clone()));
             }
         }
     }

@@ -181,7 +181,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -205,6 +205,40 @@ mod proptests {
             let flip = flip % n;
             b[flip] = Hash256::digest(b"flip");
             prop_assert_ne!(merkle_root(&a), merkle_root(&b));
+        }
+    }
+}
+
+/// Exhaustive re-expressions of the properties above — no randomness needed
+/// at these domain sizes, so the default (offline, `proptest`-feature-off)
+/// run keeps full coverage.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+
+    #[test]
+    fn every_proof_verifies_exhaustive() {
+        for n in 1usize..64 {
+            let leaves: Vec<Hash256> =
+                (0..n).map(|i| Hash256::digest(&(i as u64).to_be_bytes())).collect();
+            let t = MerkleTree::build(&leaves);
+            for pick in 0..n {
+                let p = t.prove(pick).unwrap();
+                assert!(verify_proof(&t.root(), &leaves[pick], &p), "n={n} pick={pick}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_leaf_sets_distinct_roots_exhaustive() {
+        for n in 1usize..32 {
+            let a: Vec<Hash256> =
+                (0..n).map(|i| Hash256::digest(&(i as u64).to_be_bytes())).collect();
+            for flip in 0..n {
+                let mut b = a.clone();
+                b[flip] = Hash256::digest(b"flip");
+                assert_ne!(merkle_root(&a), merkle_root(&b), "n={n} flip={flip}");
+            }
         }
     }
 }

@@ -645,7 +645,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use bb_storage::MemStore;
@@ -701,6 +701,50 @@ mod proptests {
                 fresh.insert(k, v).unwrap();
             }
             prop_assert_eq!(t.root(), fresh.root());
+        }
+    }
+}
+
+/// Plain seeded re-expression of the model-agreement property above, so the
+/// coverage survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use bb_sim::SimRng;
+    use bb_storage::MemStore;
+    use std::collections::BTreeMap;
+
+    /// Small alphabet + short keys force deep structural sharing.
+    fn random_key(rng: &mut SimRng) -> Vec<u8> {
+        (0..rng.below(6)).map(|_| rng.below(4) as u8).collect()
+    }
+
+    #[test]
+    fn agrees_with_model_and_root_is_canonical_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0008);
+        for _ in 0..96 {
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            let mut t = PatriciaTrie::new(MemStore::new());
+            for _ in 0..rng.range(1, 60) {
+                let k = random_key(&mut rng);
+                if rng.chance(0.5) {
+                    let mut v = vec![0u8; rng.below(8) as usize];
+                    rng.fill_bytes(&mut v);
+                    model.insert(k.clone(), v.clone());
+                    t.insert(&k, &v).unwrap();
+                } else {
+                    model.remove(&k);
+                    t.remove(&k).unwrap();
+                }
+            }
+            for (k, v) in &model {
+                assert_eq!(t.get(k).unwrap(), Some(v.clone()));
+            }
+            let mut fresh = PatriciaTrie::new(MemStore::new());
+            for (k, v) in &model {
+                fresh.insert(k, v).unwrap();
+            }
+            assert_eq!(t.root(), fresh.root());
         }
     }
 }

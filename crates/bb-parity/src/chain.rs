@@ -64,6 +64,10 @@ struct PoaNode {
     pool: VecDeque<Rc<Transaction>>,
     pool_ids: HashSet<TxId>,
     seen: HashSet<TxId>,
+    /// Main-chain blocks whose transactions were pruned from the pool (side
+    /// blocks never are — their transactions must stay minable if the fork
+    /// loses without a reorg through this node's head).
+    pruned: HashSet<Hash256>,
     cpu: CpuMeter,
     /// Signature-verification pipeline state.
     admission_busy_until: SimTime,
@@ -140,6 +144,7 @@ impl ParityChain {
                     pool: VecDeque::new(),
                     pool_ids: HashSet::new(),
                     seen: HashSet::new(),
+                    pruned: HashSet::from([genesis]),
                     cpu: CpuMeter::new(config.cores),
                     admission_busy_until: SimTime::ZERO,
                     admission_backlog: 0,
@@ -273,36 +278,55 @@ impl PoaView<'_> {
         let mut receipts = Vec::new();
         let mut gas_total = 0u64;
         let mut cpu_time = SimDuration::ZERO;
-        let mut leftovers: Vec<Rc<Transaction>> = Vec::new();
-        while included.len() < max_txs {
+        // Future-nonce transactions buffered per sender, nonce-ordered (see
+        // the Ethereum chain's `build_block` for why a plain FIFO pass over
+        // the arrival-ordered pool starves blocks down to a handful of
+        // transactions). Sender map ordered for a deterministic put-back.
+        let mut future: std::collections::BTreeMap<Address, std::collections::BTreeMap<u64, Rc<Transaction>>> =
+            Default::default();
+        'fill: while included.len() < max_txs {
             let Some(tx) = node.pool.pop_front() else {
                 break;
             };
             if !node.pool_ids.contains(&tx.id()) {
                 continue;
             }
-            match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit) {
-                Ok(res) => {
-                    gas_total += res.gas_used.max(1000);
-                    cpu_time += self.config.produce_sign_cost
-                        + self.config.costs.exec_time(res.gas_used.max(1000));
-                    node.pool_ids.remove(&tx.id());
-                    receipts.push((tx.id(), res.success));
-                    included.push((*tx).clone());
-                    if gas_total >= self.config.block_gas_limit {
-                        break;
+            let mut next = Some(tx);
+            while let Some(tx) = next.take() {
+                match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit)
+                {
+                    Ok(res) => {
+                        gas_total += res.gas_used.max(1000);
+                        cpu_time += self.config.produce_sign_cost
+                            + self.config.costs.exec_time(res.gas_used.max(1000));
+                        node.pool_ids.remove(&tx.id());
+                        receipts.push((tx.id(), res.success));
+                        let nonce = tx.nonce;
+                        let from = tx.from;
+                        included.push((*tx).clone());
+                        if included.len() >= max_txs || gas_total >= self.config.block_gas_limit {
+                            break 'fill;
+                        }
+                        if let Some(q) = future.get_mut(&from) {
+                            next = q.remove(&(nonce + 1));
+                            if q.is_empty() {
+                                future.remove(&from);
+                            }
+                        }
                     }
-                }
-                Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
-                    leftovers.push(tx);
-                }
-                Err(_) => {
-                    node.pool_ids.remove(&tx.id());
+                    Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
+                        future.entry(tx.from).or_default().insert(got, tx);
+                    }
+                    Err(_) => {
+                        node.pool_ids.remove(&tx.id());
+                    }
                 }
             }
         }
-        for tx in leftovers {
-            node.pool.push_front(tx);
+        for (_, q) in future {
+            for (_, tx) in q {
+                node.pool.push_front(tx);
+            }
         }
         node.cpu.charge(now, cpu_time);
 
@@ -354,7 +378,6 @@ impl PoaView<'_> {
                         }
                         Err(_) => receipts.push((tx.id(), false)),
                     }
-                    node.pool_ids.remove(&tx.id());
                     node.seen.insert(tx.id());
                 }
                 node.cpu.charge(now, exec_time);
@@ -369,6 +392,9 @@ impl PoaView<'_> {
                 self.readopt_abandoned(at, old_head);
             }
             self.execute_connected_descendants(now, at, id);
+            // Drop the (possibly new) main branch's transactions from the
+            // pool, after any reorg re-adoption above.
+            self.prune_main_chain(at);
         } else {
             node.tree.insert(id, parent, block.header.difficulty);
             node.bodies.insert(id, Rc::clone(&block));
@@ -406,7 +432,6 @@ impl PoaView<'_> {
                         .map(|r| r.success)
                         .unwrap_or(false);
                     receipts.push((tx.id(), ok));
-                    node.pool_ids.remove(&tx.id());
                     node.seen.insert(tx.id());
                 }
                 node.cpu.charge(now, SimDuration::from_micros(100 * child.txs.len() as u64));
@@ -415,6 +440,23 @@ impl PoaView<'_> {
                 node.receipts.insert(cid, receipts);
                 frontier.push(cid);
             }
+        }
+    }
+
+    /// Remove the transactions of blocks that joined this node's main chain
+    /// from its pool. Walks head→genesis, stopping at the first block
+    /// already pruned, so each block is processed once.
+    fn prune_main_chain(&mut self, at: NodeId) {
+        let node = &mut self.nodes[at.index()];
+        let mut cursor = node.tree.head();
+        while node.pruned.insert(cursor) {
+            let Some(body) = node.bodies.get(&cursor) else {
+                break;
+            };
+            for tx in &body.txs {
+                node.pool_ids.remove(&tx.id());
+            }
+            cursor = body.header.parent;
         }
     }
 
@@ -569,6 +611,14 @@ impl BlockchainConnector for ParityChain {
         let node = &mut self.nodes[server.index()];
         if node.admission_backlog >= self.config.admission_queue_cap {
             // RPC throttled: Parity's ~80 tx/s per-server signing bound.
+            return false;
+        }
+        if node.pool_ids.len() >= self.config.tx_pool_cap {
+            // Transaction queue full: without this bound, admission (~80
+            // tx/s/server) outruns the ~45 tx/s producer and accepted
+            // transactions queue for the rest of the run — Parity instead
+            // errors at the RPC, which is what keeps its latency low and
+            // flat while throughput stays constant (Figure 5).
             return false;
         }
         let now = self.sched.now();
@@ -733,6 +783,7 @@ impl BlockchainConnector for ParityChain {
                 node.receipts.insert(id, receipts.clone());
                 node.bodies.insert(id, Rc::clone(&block));
                 node.tree.insert(id, parent, 1);
+                node.pruned.insert(id);
                 if i == 0 {
                     self.blocks_produced += 1;
                     self.confirmed.push(BlockSummary {

@@ -30,6 +30,13 @@ pub struct ParityConfig {
     /// `1/sig_verify` tx/s (≈80) back up here and overflow is throttled at
     /// the RPC.
     pub admission_queue_cap: usize,
+    /// Bound on the per-node transaction queue (Parity's bounded tx pool):
+    /// once this many admitted transactions await inclusion, further
+    /// submissions get a "queue full" RPC error. About 1.5 blocks worth —
+    /// accepted transactions therefore confirm within a few steps, keeping
+    /// latency low and flat while the producer seals at its constant ~45
+    /// tx/s (Section 4.2.3 / Figure 5).
+    pub tx_pool_cap: usize,
     /// Node RAM for the in-memory state cap.
     pub node_mem_bytes: u64,
     /// Client→server RPC latency.
@@ -53,6 +60,7 @@ impl ParityConfig {
             costs: EvmCosts::parity(),
             produce_sign_cost: SimDuration::from_millis(22),
             admission_queue_cap: 160,
+            tx_pool_cap: 64,
             node_mem_bytes: 32 << 30,
             rpc_delay: SimDuration::from_micros(800),
             cores: 8,

@@ -392,7 +392,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -449,6 +449,53 @@ mod proptests {
             let expected: Vec<(Vec<u8>, Vec<u8>)> =
                 model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
             prop_assert_eq!(scanned, expected);
+        }
+    }
+}
+
+/// Plain seeded re-expression of the model-equivalence property above, so the
+/// coverage survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use bb_sim::SimRng;
+
+    #[test]
+    fn behaves_like_btreemap_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0007);
+        for _ in 0..48 {
+            let mut model: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+            let mut store = LsmStore::new_private(LsmConfig {
+                memtable_flush_bytes: 512,
+                max_tables: 2,
+                ..LsmConfig::default()
+            });
+            for _ in 0..rng.range(1, 200) {
+                match rng.below(5) {
+                    // Puts dominate so flushes see real data.
+                    0..=2 => {
+                        let key = vec![b'k', rng.below(256) as u8];
+                        let mut value = vec![0u8; rng.below(32) as usize];
+                        rng.fill_bytes(&mut value);
+                        model.insert(key.clone(), value.clone());
+                        store.put(&key, &value).unwrap();
+                    }
+                    3 => {
+                        let key = vec![b'k', rng.below(256) as u8];
+                        model.remove(&key);
+                        store.delete(&key).unwrap();
+                    }
+                    _ => store.flush(),
+                }
+            }
+            for k in 0..=255u8 {
+                let key = vec![b'k', k];
+                assert_eq!(store.get(&key).unwrap(), model.get(&key).cloned());
+            }
+            let scanned = store.scan_prefix(b"k").unwrap();
+            let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(scanned, expected);
         }
     }
 }

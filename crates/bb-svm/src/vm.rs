@@ -733,7 +733,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::host::MockHost;
@@ -769,6 +769,50 @@ mod proptests {
             let b = vm.execute(&code, &calldata, 20_000, &mut h2);
             prop_assert_eq!(a, b);
             prop_assert_eq!(h1.storage, h2.storage);
+        }
+    }
+}
+
+/// Plain seeded re-expressions of the fuzz properties above, so the coverage
+/// survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use crate::host::MockHost;
+    use bb_sim::SimRng;
+
+    fn random_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+        let mut v = vec![0u8; rng.below(max_len) as usize];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn arbitrary_bytecode_never_panics_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0005);
+        for _ in 0..256 {
+            let code = random_bytes(&mut rng, 256);
+            let calldata = random_bytes(&mut rng, 64);
+            let vm = Vm::default();
+            let mut host = MockHost::new();
+            let out = vm.execute(&code, &calldata, 50_000, &mut host);
+            assert!(out.gas_used <= 50_000);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0006);
+        for _ in 0..256 {
+            let code = random_bytes(&mut rng, 128);
+            let calldata = random_bytes(&mut rng, 32);
+            let vm = Vm::default();
+            let mut h1 = MockHost::new();
+            let mut h2 = MockHost::new();
+            let a = vm.execute(&code, &calldata, 20_000, &mut h1);
+            let b = vm.execute(&code, &calldata, 20_000, &mut h2);
+            assert_eq!(a, b);
+            assert_eq!(h1.storage, h2.storage);
         }
     }
 }

@@ -273,7 +273,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -305,6 +305,56 @@ mod proptests {
                 prop_assert_eq!(d.bytes().unwrap(), &c[..]);
             }
             prop_assert!(d.expect_end().is_ok());
+        }
+    }
+}
+
+/// Plain seeded re-expressions of the round-trip properties above, so the
+/// coverage survives the default (offline, `proptest`-feature-off) test run.
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use bb_sim::SimRng;
+
+    #[test]
+    fn scalar_sequences_round_trip_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0003);
+        for _ in 0..100 {
+            let vals: Vec<u64> = (0..rng.below(64)).map(|_| rng.next_u64()).collect();
+            let mut e = Encoder::new();
+            for &v in &vals {
+                e.put_u64(v);
+            }
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            for &v in &vals {
+                assert_eq!(d.u64().unwrap(), v);
+            }
+            assert!(d.expect_end().is_ok());
+        }
+    }
+
+    #[test]
+    fn byte_chunks_round_trip_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0004);
+        for _ in 0..100 {
+            let chunks: Vec<Vec<u8>> = (0..rng.below(16))
+                .map(|_| {
+                    let mut c = vec![0u8; rng.below(128) as usize];
+                    rng.fill_bytes(&mut c);
+                    c
+                })
+                .collect();
+            let mut e = Encoder::new();
+            for c in &chunks {
+                e.put_bytes(c);
+            }
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            for c in &chunks {
+                assert_eq!(d.bytes().unwrap(), &c[..]);
+            }
+            assert!(d.expect_end().is_ok());
         }
     }
 }

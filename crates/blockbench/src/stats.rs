@@ -16,12 +16,19 @@ pub struct RunStats {
     pub rejected: u64,
     /// Transactions committed (successfully executed) within the window.
     pub committed: u64,
-    /// Transactions included but failed (reverted / out of gas / rejected).
+    /// Transactions included but failed (reverted / out of gas / rejected)
+    /// within the window. Like `committed`, this is a measured-window
+    /// counter: confirmations during the drain phase are excluded from both
+    /// (they still contribute latency samples — see `latencies`).
     pub aborted: u64,
-    /// Per-transaction submit→confirm latencies, in seconds.
+    /// Per-transaction submit→confirm latencies, in seconds. Every harvested
+    /// confirmation contributes a sample — successes and aborts, in-window
+    /// and drain-phase alike.
     pub latencies: Summary,
     /// One sample per committed transaction at its confirmation instant
-    /// (value 1.0): bucket for a throughput curve.
+    /// (value 1.0): bucket for a throughput curve. Aborts never appear here,
+    /// and samples are stamped with the block's confirmation time, not the
+    /// poll that harvested it.
     pub commit_events: TimeSeries,
     /// Outstanding-queue length sampled at every poll (Figures 6/18).
     pub queue_timeline: TimeSeries,

@@ -1,0 +1,199 @@
+//! An in-tree, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline from a cold checkout (see `DESIGN.md`,
+//! "Hermeticity"), so the real Criterion cannot be a dependency. This shim
+//! implements the API surface the `bb-bench` benches use — `Criterion`,
+//! benchmark groups, `Throughput`, `black_box`, `criterion_group!` /
+//! `criterion_main!` — with a simple calibrated wall-clock timer: each
+//! benchmark is warmed up briefly, then timed over enough iterations to fill
+//! a fixed measurement budget, and the mean time per iteration is printed.
+//!
+//! It intentionally does **not** do Criterion's statistical analysis,
+//! HTML reports or regression detection; numbers printed here are
+//! indicative only. Benches are additionally feature-gated (`bench`) so
+//! tier-1 test runs never build them.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit the benchmark's throughput is reported in.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// (total elapsed, iterations) of the measured phase.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly and record the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: run once to touch caches and estimate per-iter cost.
+        let warm_start = Instant::now();
+        black_box(body());
+        let per_iter = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~100 ms of measurement, capped by the sample-size hint so
+        // cluster-scale simulation benches stay tractable.
+        let budget = Duration::from_millis(100);
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, self.iters_hint as u128)
+            as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Label subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Cap the number of measured iterations (Criterion's sample count is
+    /// reinterpreted as an iteration cap here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: u64, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { iters_hint: sample_size.max(1) * 100, measured: None };
+    f(&mut b);
+    let Some((elapsed, iters)) = b.measured else {
+        println!("{name:<40} (no measurement: closure never called iter)");
+        return;
+    };
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = tp.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:>10.1} MiB/s", n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(n) => format!("  {:>10.1} elem/s", n as f64 / per_iter_ns * 1e9),
+    });
+    println!(
+        "{name:<40} {:>12.0} ns/iter ({iters} iters){}",
+        per_iter_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Group benchmark functions under a callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(10);
+            g.throughput(Throughput::Bytes(64));
+            g.bench_function("counts", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(calls)
+                })
+            });
+            g.finish();
+        }
+        assert!(calls > 0, "benchmark body never ran");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}

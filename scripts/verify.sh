@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as CI would from a cold, offline checkout.
+#
+# The workspace is hermetic: every dependency (including the `proptest` and
+# `criterion` stand-ins) lives in-tree, so `--offline` must always succeed
+# with an empty cargo registry cache and no network. If any step here starts
+# needing the registry, that is a regression against the hermeticity
+# guarantee documented in DESIGN.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: test suite (offline)"
+cargo test -q --offline
+
+echo "==> feature matrix: property tests compile (offline)"
+cargo check -q --offline --workspace --all-targets --features proptest
+
+echo "==> feature matrix: criterion benches compile (offline)"
+cargo check -q --offline -p bb-bench --benches --features bench
+
+echo "==> hermeticity: no crates.io packages in any manifest"
+if grep -rn 'rand' crates/*/Cargo.toml; then
+    echo "ERROR: external RNG dependency crept back into a manifest" >&2
+    exit 1
+fi
+if awk '/\[workspace.dependencies\]/{f=1;next} /^\[/{f=0} f && !/^[[:space:]]*#/ && /=/ && !/path[[:space:]]*=/' Cargo.toml | grep .; then
+    echo "ERROR: non-path (registry) dependency in [workspace.dependencies]" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -17,14 +17,20 @@ fn every_platform_commits_every_workload() {
                 workload,
                 stats.summary_line()
             );
-            // At 40 tx/s offered, nobody should saturate — commits track
-            // submissions closely (Parity's cap is ~45 tx/s, above this).
+            // At 40 tx/s offered, nobody should saturate — nearly every
+            // accepted submission must confirm by the end of the drain
+            // (Parity's cap is ~45 tx/s, above this). `committed`/`aborted`
+            // are window-scoped, so count confirmations via the latency
+            // samples: every harvested confirmation leaves exactly one,
+            // drain-phase included — slow-confirming PoW would undercount
+            // against a 15 s window otherwise.
             assert!(
-                stats.committed + stats.aborted > stats.submitted * 6 / 10,
-                "{} × {:?} lost transactions: {}",
+                stats.latencies.count() as u64 > stats.submitted * 9 / 10,
+                "{} × {:?} lost transactions: {} confirmed of {}",
                 platform.name(),
                 workload,
-                stats.summary_line()
+                stats.latencies.count(),
+                stats.submitted
             );
         }
     }
