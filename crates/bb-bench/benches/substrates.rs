@@ -155,6 +155,7 @@ fn bench_pbft_round(c: &mut Criterion) {
                             }
                         }
                         Action::CommitBatch { .. } => commits += 1,
+                        Action::InstallCheckpoint { .. } => {}
                     }
                 }
             };

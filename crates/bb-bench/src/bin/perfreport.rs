@@ -1,0 +1,198 @@
+//! `perfreport` — the perf-regression harness.
+//!
+//! Times the figure suite at a reduced scale plus the per-crate hot kernels
+//! and appends every measurement to the perf-trajectory file
+//! (`BB_BENCH_TRAJECTORY`, default `BENCH_harness.json`). Run it twice —
+//! once with `BB_SERIAL=1`, once without — to record a before/after pair
+//! for the parallel experiment runner; `scripts/bench.sh` does exactly that.
+//!
+//! Usage: `perfreport [--scale fast|quick] [--skip-figures]`
+//!   fast  (default) — trimmed durations/rates so both passes finish in
+//!                     minutes even on one core
+//!   quick           — the `figures` binary's quick scale
+
+use bb_bench::exp_macro::{self, run_macro, Macro};
+use bb_bench::exp_micro;
+use bb_bench::parallel::workers_for;
+use bb_bench::{Scale, ALL_PLATFORMS};
+use bb_crypto::{sha256, Hash256};
+use bb_merkle::PatriciaTrie;
+use bb_sim::SimDuration;
+use bb_storage::MemStore;
+use criterion::trajectory::{append_entry, env_path, escape, json_num};
+use std::path::Path;
+use std::time::Instant;
+
+fn fast_scale() -> Scale {
+    Scale {
+        duration: SimDuration::from_secs(10),
+        rates: vec![32.0, 256.0],
+        cpu_sizes: vec![10_000, 100_000],
+        io_tuples: vec![20_000],
+        analytics_blocks: 200,
+        analytics_spans: vec![10, 200],
+        ..Scale::quick()
+    }
+}
+
+fn mode() -> &'static str {
+    if workers_for(usize::MAX) <= 1 {
+        "serial"
+    } else {
+        "parallel"
+    }
+}
+
+/// Time one figure and append `{"kind":"figure", ...}`.
+fn time_figure(path: &Path, id: &str, f: impl FnOnce()) {
+    let start = Instant::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    println!("figure {id:<8} {wall:>8.2} s  [{}]", mode());
+    append_entry(
+        path,
+        &format!(
+            "{{\"kind\": \"figure\", \"id\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"wall_s\": {}}}",
+            escape(id),
+            mode(),
+            workers_for(usize::MAX),
+            json_num(wall)
+        ),
+    );
+}
+
+/// Time a closure kernel-style: warm once, then run for ~200 ms.
+fn time_kernel(path: &Path, id: &str, mut f: impl FnMut()) {
+    let warm = Instant::now();
+    f();
+    let per_iter = warm.elapsed().max(std::time::Duration::from_nanos(1));
+    let iters = (200_000_000u128 / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("kernel {id:<30} {mean_ns:>12.0} ns/iter ({iters} iters)");
+    append_entry(
+        path,
+        &format!(
+            "{{\"kind\": \"kernel\", \"id\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+            escape(id),
+            json_num(mean_ns),
+            iters
+        ),
+    );
+}
+
+/// Per-platform macro throughput + trie cache hit rate.
+fn macro_report(path: &Path, scale: &Scale) {
+    for platform in ALL_PLATFORMS {
+        let rate = *scale.rates.last().expect("rates nonempty");
+        let stats = run_macro(platform, Macro::Ycsb, 8, 8, rate, scale.duration);
+        let tps = stats.throughput_tps();
+        let hit_rate = stats.platform.trie_cache_hit_rate();
+        println!(
+            "macro  {:<12} {:>8.1} tx/s  trie cache hit rate {}",
+            platform.name(),
+            tps,
+            hit_rate.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into())
+        );
+        append_entry(
+            path,
+            &format!(
+                "{{\"kind\": \"macro\", \"platform\": \"{}\", \"workload\": \"YCSB\", \"tps\": {}, \"trie_cache_hit_rate\": {}}}",
+                escape(platform.name()),
+                json_num(tps),
+                hit_rate.map(json_num).unwrap_or_else(|| "null".into())
+            ),
+        );
+    }
+}
+
+/// Hot kernels of the substrate crates.
+fn kernel_report(path: &Path) {
+    let small = [0xabu8; 64];
+    time_kernel(path, "sha256/64B", || {
+        criterion::black_box(sha256(&small));
+    });
+    let big = vec![0xcdu8; 1024];
+    time_kernel(path, "sha256/1KiB", || {
+        criterion::black_box(sha256(&big));
+    });
+    // Trie: insert fresh keys into a growing trie (put_node + encode path).
+    let mut trie = PatriciaTrie::new(MemStore::new());
+    let mut i = 0u64;
+    time_kernel(path, "patricia/insert", || {
+        trie.insert(&i.to_be_bytes(), b"value-bytes-here").unwrap();
+        i += 1;
+    });
+    // Trie: read an existing key (load path; exercises the node cache).
+    let keys: Vec<u64> = (0..i.max(1)).collect();
+    let mut j = 0usize;
+    time_kernel(path, "patricia/get-warm", || {
+        let k = keys[j % keys.len()];
+        criterion::black_box(trie.get(&k.to_be_bytes()).unwrap());
+        j += 1;
+    });
+    let (hits, misses) = trie.cache_stats();
+    append_entry(
+        path,
+        &format!(
+            "{{\"kind\": \"kernel\", \"id\": \"patricia/cache\", \"hits\": {hits}, \"misses\": {misses}}}"
+        ),
+    );
+    time_kernel(path, "hash256/combine", || {
+        criterion::black_box(Hash256::combine(
+            &Hash256::digest(b"left"),
+            &Hash256::digest(b"right"),
+        ));
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--scale") && args.iter().any(|a| a == "quick");
+    let skip_figures = args.iter().any(|a| a == "--skip-figures");
+    let scale = if quick { Scale::quick() } else { fast_scale() };
+    let path = env_path().unwrap_or_else(|| criterion::trajectory::DEFAULT_FILE.into());
+
+    println!(
+        "perfreport: mode={} workers={} trajectory={}",
+        mode(),
+        workers_for(usize::MAX),
+        path.display()
+    );
+    append_entry(
+        &path,
+        &format!(
+            "{{\"kind\": \"meta\", \"mode\": \"{}\", \"workers\": {}, \"scale\": \"{}\"}}",
+            mode(),
+            workers_for(usize::MAX),
+            if quick { "quick" } else { "fast" }
+        ),
+    );
+
+    kernel_report(&path);
+    macro_report(&path, &scale);
+
+    if !skip_figures {
+        time_figure(&path, "fig5", || {
+            let (p, s) = exp_macro::fig5(&scale);
+            criterion::black_box((p.render().len(), s.render().len()));
+        });
+        time_figure(&path, "fig13c", || {
+            criterion::black_box(exp_macro::fig13c(&scale).render().len());
+        });
+        time_figure(&path, "fig11", || {
+            criterion::black_box(exp_micro::fig11(&scale).render().len());
+        });
+        time_figure(&path, "fig12", || {
+            criterion::black_box(exp_micro::fig12(&scale).render().len());
+        });
+        time_figure(&path, "fig13ab", || {
+            let (q1, q2) = exp_micro::fig13ab(&scale);
+            criterion::black_box((q1.render().len(), q2.render().len()));
+        });
+    }
+    println!("perfreport: wrote {}", path.display());
+}

@@ -5,6 +5,7 @@
 //! `run_workload`.
 
 use crate::exp_macro::Macro;
+use crate::parallel::map_cells;
 use crate::platforms::{Platform, ALL_PLATFORMS};
 use crate::table::{num, Table};
 use bb_sim::{SimDuration, SimTime};
@@ -74,16 +75,24 @@ pub fn fig9(window_secs: u64, fail_at: u64, rate: f64) -> Table {
         format!("Figure 9: failing 4 nodes at t={fail_at}s (8 clients)"),
         &["platform", "servers", "t (s)", "committed (cum)"],
     );
+    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| [12u32, 16].map(|s| (p, s)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, servers)| {
+        timeline(platform, servers, 8, rate, window_secs, |chain, sec| {
+            if sec == fail_at {
+                // Kill the last four nodes (node 0 is the observer).
+                for i in servers - 4..servers {
+                    chain.inject(Fault::Crash(NodeId(i)));
+                }
+            }
+        })
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for servers in [12u32, 16] {
-            let series = timeline(platform, servers, 8, rate, window_secs, |chain, sec| {
-                if sec == fail_at {
-                    // Kill the last four nodes (node 0 is the observer).
-                    for i in servers - 4..servers {
-                        chain.inject(Fault::Crash(NodeId(i)));
-                    }
-                }
-            });
+            let series = results.next().expect("one result per cell");
             for &(sec, committed, _, _) in series.iter().step_by(5) {
                 t.row(vec![
                     platform.name().into(),
@@ -106,15 +115,19 @@ pub fn fig10(window_secs: u64, partition_at: u64, partition_secs: u64, rate: f64
         ),
         &["platform", "t (s)", "blocks total", "blocks main", "fork ratio"],
     );
-    for platform in ALL_PLATFORMS {
-        let series = timeline(platform, 8, 8, rate, window_secs, |chain, sec| {
+    let mut results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
+        timeline(platform, 8, 8, rate, window_secs, |chain, sec| {
             if sec == partition_at {
                 chain.inject(Fault::PartitionHalf { left: 4 });
             }
             if sec == partition_at + partition_secs {
                 chain.inject(Fault::Heal);
             }
-        });
+        })
+    })
+    .into_iter();
+    for platform in ALL_PLATFORMS {
+        let series = results.next().expect("one result per cell");
         for &(sec, _, total, main) in series.iter().step_by(5) {
             let ratio = if total == 0 { 1.0 } else { main as f64 / total as f64 };
             t.row(vec![

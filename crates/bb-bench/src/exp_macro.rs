@@ -1,5 +1,11 @@
 //! Macro-benchmark experiments: Figures 5, 6, 13c, 14, 15, 16, 17 and 18.
+//!
+//! Every `(platform, workload, rate)` cell is an isolated simulated world, so
+//! the sweeps scatter their cells across threads via [`crate::parallel`] and
+//! rebuild the tables from the index-ordered results — output is
+//! byte-identical to the serial order (`BB_SERIAL=1`).
 
+use crate::parallel::map_cells;
 use crate::platforms::{Platform, Scale, ALL_PLATFORMS};
 use crate::table::{num, Table};
 use bb_ethereum::{EthConfig, EthereumChain};
@@ -89,11 +95,24 @@ pub fn fig5(scale: &Scale) -> (Table, Table) {
         "Figure 5b/c: performance vs request rate (per client)",
         &["platform", "workload", "rate/client", "tx/s", "latency s"],
     );
+    let duration = scale.duration;
+    let mut cells = Vec::new();
+    for platform in ALL_PLATFORMS {
+        for workload in [Macro::Ycsb, Macro::Smallbank] {
+            for &rate in &scale.rates {
+                cells.push((platform, workload, rate));
+            }
+        }
+    }
+    let mut results = map_cells(cells, move |(platform, workload, rate)| {
+        run_macro(platform, workload, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for workload in [Macro::Ycsb, Macro::Smallbank] {
             let mut best: Option<RunStats> = None;
             for &rate in &scale.rates {
-                let stats = run_macro(platform, workload, 8, 8, rate, scale.duration);
+                let stats = results.next().expect("one result per cell");
                 sweep.row(vec![
                     platform.name().into(),
                     workload.name().into(),
@@ -129,9 +148,18 @@ pub fn fig6(scale: &Scale) -> Table {
         "Figure 6: outstanding-queue length over time (8 servers, 8 clients)",
         &["platform", "rate/client", "t (s)", "queue"],
     );
+    let duration = scale.duration;
+    let cells: Vec<(Platform, f64)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| [8.0, 512.0].map(|r| (p, r)))
+        .collect();
+    let mut results = map_cells(cells, move |(platform, rate)| {
+        run_macro(platform, Macro::Ycsb, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for rate in [8.0, 512.0] {
-            let stats = run_macro(platform, Macro::Ycsb, 8, 8, rate, scale.duration);
+            let stats = results.next().expect("one result per cell");
             for &(at, q) in stats.queue_timeline.points().iter().step_by(10) {
                 t.row(vec![
                     platform.name().into(),
@@ -153,10 +181,19 @@ pub fn fig13c(scale: &Scale) -> Table {
         &["platform", "Smallbank", "YCSB", "DoNothing"],
     );
     let rate = *scale.rates.last().expect("rates nonempty");
+    let duration = scale.duration;
+    let grid: Vec<(Platform, Macro)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| [Macro::Smallbank, Macro::Ycsb, Macro::DoNothing].map(|w| (p, w)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, workload)| {
+        run_macro(platform, workload, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         let mut cells = vec![platform.name().to_string()];
-        for workload in [Macro::Smallbank, Macro::Ycsb, Macro::DoNothing] {
-            let stats = run_macro(platform, workload, 8, 8, rate, scale.duration);
+        for _workload in [Macro::Smallbank, Macro::Ycsb, Macro::DoNothing] {
+            let stats = results.next().expect("one result per cell");
             cells.push(num(stats.throughput_tps()));
         }
         t.row(cells);
@@ -171,9 +208,18 @@ pub fn fig14(scale: &Scale) -> Table {
         &["system", "YCSB", "Smallbank"],
     );
     let rate = *scale.rates.last().expect("rates nonempty");
+    let duration = scale.duration;
+    let grid: Vec<(Platform, Macro)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| [Macro::Ycsb, Macro::Smallbank].map(|w| (p, w)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, workload)| {
+        run_macro(platform, workload, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
-        let y = run_macro(platform, Macro::Ycsb, 8, 8, rate, scale.duration);
-        let s = run_macro(platform, Macro::Smallbank, 8, 8, rate, scale.duration);
+        let y = results.next().expect("one result per cell");
+        let s = results.next().expect("one result per cell");
         t.row(vec![
             platform.name().into(),
             num(y.throughput_tps()),
@@ -259,24 +305,21 @@ pub fn fig15(scale: &Scale) -> Table {
         stats.platform.blocks_main as f64 / duration.as_secs_f64()
     };
 
-    t.row(vec![
-        "ethereum".into(),
-        num(run_eth(0.5)),
-        num(run_eth(1.0)),
-        num(run_eth(2.0)),
-    ]);
-    t.row(vec![
-        "parity".into(),
-        num(run_parity(0.5)),
-        num(run_parity(1.0)),
-        num(run_parity(2.0)),
-    ]);
-    t.row(vec![
-        "hyperledger".into(),
-        num(run_fabric(0.5)),
-        num(run_fabric(1.0)),
-        num(run_fabric(2.0)),
-    ]);
+    let factors = [0.5, 1.0, 2.0];
+    let grid: Vec<(usize, f64)> = (0..3).flat_map(|p| factors.map(|f| (p, f))).collect();
+    let rates: Vec<f64> = map_cells(grid, |(which, factor)| match which {
+        0 => run_eth(factor),
+        1 => run_parity(factor),
+        _ => run_fabric(factor),
+    });
+    for (which, name) in ["ethereum", "parity", "hyperledger"].into_iter().enumerate() {
+        t.row(vec![
+            name.into(),
+            num(rates[which * 3]),
+            num(rates[which * 3 + 1]),
+            num(rates[which * 3 + 2]),
+        ]);
+    }
     t
 }
 
@@ -288,9 +331,13 @@ pub fn fig16(scale: &Scale) -> Table {
         &["platform", "t (s)", "cpu %", "net Mbps"],
     );
     let rate = *scale.rates.last().expect("rates nonempty");
+    let duration = scale.duration.min(SimDuration::from_secs(100));
+    let mut results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
+        run_macro(platform, Macro::Ycsb, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
-        let duration = scale.duration.min(SimDuration::from_secs(100));
-        let stats = run_macro(platform, Macro::Ycsb, 8, 8, rate, duration);
+        let stats = results.next().expect("one result per cell");
         let cpu = &stats.platform.cpu_utilisation;
         let net = &stats.platform.net_mbps;
         for s in (0..duration.as_micros() / 1_000_000).step_by(5) {
@@ -313,9 +360,18 @@ pub fn fig17(scale: &Scale) -> Table {
         &["platform", "workload", "latency s", "cdf"],
     );
     let rate = *scale.rates.last().expect("rates nonempty");
+    let duration = scale.duration;
+    let grid: Vec<(Platform, Macro)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| [Macro::Ycsb, Macro::Smallbank].map(|w| (p, w)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, workload)| {
+        run_macro(platform, workload, 8, 8, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for workload in [Macro::Ycsb, Macro::Smallbank] {
-            let stats = run_macro(platform, workload, 8, 8, rate, scale.duration);
+            let stats = results.next().expect("one result per cell");
             for (value, p) in stats.latencies.cdf(20) {
                 t.row(vec![
                     platform.name().into(),
@@ -336,8 +392,13 @@ pub fn fig18(scale: &Scale) -> Table {
         "Figure 18: queue length at 20 servers / 20 clients",
         &["platform", "t (s)", "queue"],
     );
+    let (base_rate, duration) = (scale.base_rate, scale.duration);
+    let mut results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
+        run_macro(platform, Macro::Ycsb, 20, 20, base_rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
-        let stats = run_macro(platform, Macro::Ycsb, 20, 20, scale.base_rate, scale.duration);
+        let stats = results.next().expect("one result per cell");
         for &(at, q) in stats.queue_timeline.points().iter().step_by(10) {
             t.row(vec![platform.name().into(), num(at.as_secs_f64()), num(q)]);
         }

@@ -1,5 +1,6 @@
 //! Micro-benchmark experiments: Figures 11, 12 and 13a/b.
 
+use crate::parallel::map_cells;
 use crate::platforms::{Platform, Scale, ALL_PLATFORMS};
 use crate::table::{mb, num, Table};
 use bb_workloads::{AnalyticsRunner, CpuHeavyRunner, IoHeavyRunner};
@@ -17,17 +18,28 @@ pub fn fig11(scale: &Scale) -> Table {
         "Figure 11: CPUHeavy (sizes = paper / 100, node RAM scaled alike)",
         &["platform", "input size", "exec time s", "peak mem MB"],
     );
-    for platform in ALL_PLATFORMS {
+    // The chain and runner are reused across sizes (the paper warms one
+    // deployment per platform), so the cell is the platform.
+    let sizes = scale.cpu_sizes.clone();
+    let results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
         let mut chain = platform.build_micro(CPU_MEM_SCALE);
         let mut runner = CpuHeavyRunner::new();
-        for &n in &scale.cpu_sizes {
-            let r = runner.run(chain.as_mut(), n);
-            match r.exec_time {
+        sizes
+            .iter()
+            .map(|&n| {
+                let r = runner.run(chain.as_mut(), n);
+                (n, r.exec_time, r.peak_mem)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (platform, rows) in ALL_PLATFORMS.into_iter().zip(results) {
+        for (n, exec_time, peak_mem) in rows {
+            match exec_time {
                 Some(d) => t.row(vec![
                     platform.name().into(),
                     format!("{n}"),
                     num(d.as_secs_f64()),
-                    mb(r.peak_mem),
+                    mb(peak_mem),
                 ]),
                 None => t.row(vec![
                     platform.name().into(),
@@ -47,20 +59,24 @@ pub fn fig12(scale: &Scale) -> Table {
         "Figure 12: IOHeavy (tuple counts = paper / 10)",
         &["platform", "tuples", "write tup/s", "read tup/s", "disk MB"],
     );
-    for platform in ALL_PLATFORMS {
-        for &tuples in &scale.io_tuples {
-            // Fresh chain per size, like the paper's per-point runs.
-            let mut chain = platform.build_micro(IO_MEM_SCALE);
-            let mut runner = IoHeavyRunner::new(10_000);
-            let r = runner.run(chain.as_mut(), tuples);
-            t.row(vec![
-                platform.name().into(),
-                format!("{tuples}"),
-                r.write_tps.map(num).unwrap_or_else(|| "X".into()),
-                r.read_tps.map(num).unwrap_or_else(|| "X".into()),
-                mb(r.disk_bytes),
-            ]);
-        }
+    let grid: Vec<(Platform, u64)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| scale.io_tuples.iter().map(move |&n| (p, n)))
+        .collect();
+    let results = map_cells(grid.clone(), |(platform, tuples)| {
+        // Fresh chain per size, like the paper's per-point runs.
+        let mut chain = platform.build_micro(IO_MEM_SCALE);
+        let mut runner = IoHeavyRunner::new(10_000);
+        runner.run(chain.as_mut(), tuples)
+    });
+    for ((platform, tuples), r) in grid.into_iter().zip(results) {
+        t.row(vec![
+            platform.name().into(),
+            format!("{tuples}"),
+            r.write_tps.map(num).unwrap_or_else(|| "X".into()),
+            r.read_tps.map(num).unwrap_or_else(|| "X".into()),
+            mb(r.disk_bytes),
+        ]);
     }
     t
 }
@@ -75,23 +91,32 @@ pub fn fig13ab(scale: &Scale) -> (Table, Table) {
         "Figure 13b: analytics Q2 latency (largest change of an account)",
         &["platform", "blocks scanned", "latency s", "round trips"],
     );
-    for platform in ALL_PLATFORMS {
+    // One preloaded chain serves every span, so the cell is the platform.
+    let blocks = scale.analytics_blocks;
+    let spans = scale.analytics_spans.clone();
+    let results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
         let nodes = if platform == Platform::Hyperledger { 4 } else { 1 };
         let mut chain = platform.build(nodes);
-        let mut runner = AnalyticsRunner::new(1024, scale.analytics_blocks, 3, 77);
+        let mut runner = AnalyticsRunner::new(1024, blocks, 3, 77);
         runner.preload(chain.as_mut());
-        for &span in &scale.analytics_spans {
-            if span > scale.analytics_blocks {
-                continue;
-            }
-            let r1 = runner.q1(chain.as_mut(), span);
+        spans
+            .iter()
+            .filter(|&&span| span <= blocks)
+            .map(|&span| {
+                let r1 = runner.q1(chain.as_mut(), span);
+                let r2 = runner.q2(chain.as_mut(), 7, span);
+                (span, r1, r2)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (platform, rows) in ALL_PLATFORMS.into_iter().zip(results) {
+        for (span, r1, r2) in rows {
             q1.row(vec![
                 platform.name().into(),
                 format!("{span}"),
                 num(r1.latency.as_secs_f64()),
                 format!("{}", r1.round_trips),
             ]);
-            let r2 = runner.q2(chain.as_mut(), 7, span);
             q2.row(vec![
                 platform.name().into(),
                 format!("{span}"),

@@ -1,7 +1,8 @@
 //! Scalability experiments: Figures 7, 8 and 19.
 
 use crate::exp_macro::{run_macro, Macro};
-use crate::platforms::{Scale, ALL_PLATFORMS};
+use crate::parallel::map_cells;
+use crate::platforms::{Platform, Scale, ALL_PLATFORMS};
 use crate::table::{num, Table};
 
 /// Figures 7 (YCSB) and 19 (Smallbank): scale clients and servers together.
@@ -16,9 +17,17 @@ pub fn fig7(scale: &Scale, workload: Macro) -> Table {
     // stretch to cover several PoW confirmations at large N.
     let rate = scale.base_rate * 2.0;
     let duration = scale.duration.max(bb_sim::SimDuration::from_secs(60));
+    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| scale.nodes_sweep.iter().map(move |&n| (p, n)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, n)| {
+        run_macro(platform, workload, n, n, rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for &n in &scale.nodes_sweep {
-            let stats = run_macro(platform, workload, n, n, rate, duration);
+            let stats = results.next().expect("one result per cell");
             t.row(vec![
                 platform.name().into(),
                 format!("{n}"),
@@ -39,9 +48,18 @@ pub fn fig8(scale: &Scale) -> Table {
     // 32-node PoW blocks arrive every ~16 s: the window must cover several
     // confirmations.
     let duration = scale.duration.max(bb_sim::SimDuration::from_secs(90));
+    let base_rate = scale.base_rate;
+    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+        .into_iter()
+        .flat_map(|p| scale.servers_sweep.iter().map(move |&n| (p, n)))
+        .collect();
+    let mut results = map_cells(grid, move |(platform, n)| {
+        run_macro(platform, Macro::Ycsb, n, 8, base_rate, duration)
+    })
+    .into_iter();
     for platform in ALL_PLATFORMS {
         for &n in &scale.servers_sweep {
-            let stats = run_macro(platform, Macro::Ycsb, n, 8, scale.base_rate, duration);
+            let stats = results.next().expect("one result per cell");
             t.row(vec![
                 platform.name().into(),
                 format!("{n}"),

@@ -12,6 +12,7 @@ pub mod exp_fault;
 pub mod exp_macro;
 pub mod exp_micro;
 pub mod exp_scale;
+pub mod parallel;
 pub mod platforms;
 pub mod table;
 

@@ -1,0 +1,153 @@
+//! Deterministic scatter/gather for independent experiment cells.
+//!
+//! Every figure sweep is a grid of *independent* `(platform, config, seed)`
+//! cells: each cell builds its own simulated world from scratch, runs it on
+//! its own virtual clock, and returns a value. Nothing is shared between
+//! cells, so they can run on OS threads concurrently — the only requirement
+//! for byte-identical output is that results are *collected in input order*,
+//! which [`map_cells`] guarantees by writing each result into a slot indexed
+//! by its cell's position.
+//!
+//! Hermetic by construction: `std::thread::scope` only, no rayon.
+//!
+//! Environment knobs:
+//! - `BB_SERIAL=1` — force the serial path (the escape hatch; also the
+//!   reference order the parallel path must reproduce byte-for-byte).
+//! - `BB_WORKERS=N` — override the worker count (otherwise
+//!   `std::thread::available_parallelism()`); useful both to throttle and to
+//!   force multi-threading on single-core CI machines when exercising the
+//!   determinism tests.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Decide how many workers to use for `cells` independent cells.
+///
+/// Returns 1 (serial) when `BB_SERIAL=1`, otherwise `BB_WORKERS` if set,
+/// otherwise `available_parallelism()`, always clamped to `cells`.
+pub fn workers_for(cells: usize) -> usize {
+    if cells <= 1 {
+        return 1;
+    }
+    if std::env::var("BB_SERIAL").map(|v| v == "1").unwrap_or(false) {
+        return 1;
+    }
+    let requested = std::env::var("BB_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    requested.min(cells)
+}
+
+/// Run `f` over every input cell, possibly on several threads, and return
+/// the results **in input order**.
+///
+/// With one worker (single core, one cell, or `BB_SERIAL=1`) this is a plain
+/// serial `map` — no threads are spawned, so the serial escape hatch is
+/// exactly the pre-parallelism code path. With more workers, cells are pulled
+/// from a shared queue (so a slow cell does not block the others behind a
+/// static partition) and each result lands in its input-index slot; a worker
+/// panic propagates out of the enclosing `thread::scope`.
+pub fn map_cells<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = workers_for(inputs.len());
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<O>>> = queue
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|_| Mutex::new(None))
+        .collect();
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some((idx, input)) => {
+                        let out = f(input);
+                        *slots[idx].lock().unwrap() = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every queued cell")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worker-count knobs are process-global env vars; tests that
+    /// mutate them must not interleave.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_are_in_input_order() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // Vary per-cell work so completion order differs from input order.
+        let inputs: Vec<u64> = (0..64).collect();
+        std::env::set_var("BB_WORKERS", "4");
+        let out = map_cells(inputs.clone(), |i| {
+            let spin = (64 - i) * 500;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            i * 2 + (acc & 0) // acc forced to 0: keep the spin, not the value
+        });
+        std::env::remove_var("BB_WORKERS");
+        assert_eq!(out, inputs.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_env_forces_one_worker() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("BB_SERIAL", "1");
+        assert_eq!(workers_for(128), 1);
+        std::env::remove_var("BB_SERIAL");
+    }
+
+    #[test]
+    fn workers_env_overrides_detection() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("BB_WORKERS", "3");
+        std::env::remove_var("BB_SERIAL");
+        assert_eq!(workers_for(128), 3);
+        // Clamped to the cell count.
+        assert_eq!(workers_for(2), 2);
+        std::env::remove_var("BB_WORKERS");
+    }
+
+    #[test]
+    fn single_cell_never_spawns() {
+        assert_eq!(workers_for(1), 1);
+        assert_eq!(workers_for(0), 1);
+        let out = map_cells(vec![41], |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -23,11 +23,16 @@
 //!   (`SyncRequest`/`SyncReply`) — also how partitioned nodes rejoin after
 //!   the Figure 10 attack heals (the ~50 s recovery gap).
 //!
-//! Simplifications vs. the full protocol, documented in DESIGN.md: no
-//! checkpoint garbage collection (runs are minutes long), and view-change
-//! certificates are replaced by re-forwarding uncommitted requests plus
-//! state sync — equivalent liveness/safety behaviour for crash and
-//! partition faults, which are the faults the benchmark injects.
+//! Simplifications vs. the full protocol, documented in DESIGN.md:
+//! view-change certificates are replaced by re-forwarding uncommitted
+//! requests plus state sync — equivalent liveness/safety behaviour for
+//! crash and partition faults, which are the faults the benchmark injects.
+//! Checkpointing is a *horizon*, not the full sub-protocol: each replica
+//! keeps the last [`PbftConfig::checkpoint_horizon`] committed batches and
+//! folds older ones into a running checkpoint digest. A laggard asking for
+//! history below the horizon receives the checkpoint instead and installs
+//! it on one peer's word (real PBFT demands f + 1 matching proofs; the
+//! benchmark injects crashes and partitions, never lying replicas).
 //!
 //! Retransmission is *bounded*: on a liveness timeout (and on view entry)
 //! a replica re-forwards at most one batch worth of outstanding requests,
@@ -63,6 +68,10 @@ pub struct PbftConfig {
     pub batch_timeout: SimDuration,
     /// Outstanding work older than this triggers a view change.
     pub view_timeout: SimDuration,
+    /// Committed batches kept in memory per replica; older ones fold into
+    /// the checkpoint digest and are garbage-collected. Sync requests below
+    /// the horizon are answered with a [`PbftMsg::Checkpoint`] jump.
+    pub checkpoint_horizon: usize,
 }
 
 impl Default for PbftConfig {
@@ -72,6 +81,10 @@ impl Default for PbftConfig {
             batch_size: 500,
             batch_timeout: SimDuration::from_millis(300),
             view_timeout: SimDuration::from_secs(5),
+            // Generous: paper-scale runs commit hundreds of batches, so the
+            // horizon only trims truly long sweeps; crashed replicas still
+            // catch up batch-by-batch well inside it.
+            checkpoint_horizon: 1024,
         }
     }
 }
@@ -151,6 +164,14 @@ pub enum PbftMsg {
         /// `(seq, batch)` pairs in order.
         batches: Vec<(u64, Vec<Request>)>,
     },
+    /// The requested history is below the sender's checkpoint horizon:
+    /// jump to this checkpoint, then sync the remaining batches.
+    Checkpoint {
+        /// Highest sequence folded into the checkpoint.
+        seq: u64,
+        /// Running digest of every batch up to and including `seq`.
+        digest: Hash256,
+    },
 }
 
 impl PbftMsg {
@@ -166,6 +187,7 @@ impl PbftMsg {
             PbftMsg::ViewChange { .. } => HEADER + 16,
             PbftMsg::NewView { .. } => HEADER + 16,
             PbftMsg::SyncRequest { .. } => HEADER + 8,
+            PbftMsg::Checkpoint { .. } => HEADER + 40,
             PbftMsg::SyncReply { batches } => {
                 HEADER
                     + batches
@@ -191,6 +213,15 @@ pub enum Action {
         seq: u64,
         /// The ordered requests.
         batch: Vec<Request>,
+    },
+    /// The node jumped past garbage-collected history to a peer's
+    /// checkpoint: batches `..= seq` will never be delivered here. The
+    /// platform decides whether (and how) to transfer application state.
+    InstallCheckpoint {
+        /// Highest sequence covered by the checkpoint.
+        seq: u64,
+        /// The adopted checkpoint digest.
+        digest: Hash256,
     },
 }
 
@@ -228,7 +259,14 @@ pub struct PbftNode {
     next_seq: u64,
     slots: BTreeMap<u64, Slot>,
     last_committed: u64,
+    /// Exactly the sequences in `(checkpoint_seq, last_committed]` — the
+    /// retained window the sync sub-protocol serves from.
     committed_log: BTreeMap<u64, Vec<Request>>,
+    /// Highest sequence folded into the checkpoint digest (0 = none).
+    checkpoint_seq: u64,
+    /// Chained digest of every garbage-collected batch up to
+    /// `checkpoint_seq`, starting from `Hash256::ZERO`.
+    checkpoint_digest: Hash256,
     /// Requests seen but not yet committed, for re-forwarding on view
     /// change. Ordered (by digest) so every retransmission path walks it
     /// in a deterministic order — a `HashMap` here would randomise message
@@ -255,6 +293,8 @@ impl PbftNode {
             slots: BTreeMap::new(),
             last_committed: 0,
             committed_log: BTreeMap::new(),
+            checkpoint_seq: 0,
+            checkpoint_digest: Hash256::ZERO,
             awaiting: BTreeMap::new(),
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
@@ -278,6 +318,18 @@ impl PbftNode {
     /// Highest contiguously committed sequence.
     pub fn last_committed(&self) -> u64 {
         self.last_committed
+    }
+
+    /// `(seq, digest)` of the current checkpoint — `(0, Hash256::ZERO)`
+    /// until the committed log first overflows the horizon.
+    pub fn checkpoint(&self) -> (u64, Hash256) {
+        (self.checkpoint_seq, self.checkpoint_digest)
+    }
+
+    /// Committed batches currently held in memory (bounded by
+    /// [`PbftConfig::checkpoint_horizon`]).
+    pub fn committed_log_len(&self) -> usize {
+        self.committed_log.len()
     }
 
     /// Requests seen and not yet committed.
@@ -380,6 +432,7 @@ impl PbftNode {
             }
             PbftMsg::SyncRequest { from_seq } => self.on_sync_request(from, from_seq),
             PbftMsg::SyncReply { batches } => self.on_sync_reply(from, batches, now),
+            PbftMsg::Checkpoint { seq, digest } => self.on_checkpoint(from, seq, digest, now),
         }
     }
 
@@ -515,6 +568,7 @@ impl PbftNode {
             self.last_committed = next;
             actions.push(Action::CommitBatch { seq: next, batch });
         }
+        self.gc_committed_log();
         if !actions.is_empty() {
             // Progress: reset (or clear) the liveness timer.
             self.view_deadline = if self.has_outstanding_work() {
@@ -708,6 +762,15 @@ impl PbftNode {
     }
 
     fn on_sync_request(&mut self, from: NodeId, from_seq: u64) -> Vec<Action> {
+        if from_seq < self.checkpoint_seq {
+            // The batches the peer needs first were garbage-collected:
+            // offer the checkpoint jump; the peer follows up with a
+            // SyncRequest from the checkpoint for the retained window.
+            return vec![Action::Send(
+                from,
+                PbftMsg::Checkpoint { seq: self.checkpoint_seq, digest: self.checkpoint_digest },
+            )];
+        }
         let batches: Vec<(u64, Vec<Request>)> = self
             .committed_log
             .range(from_seq + 1..)
@@ -741,6 +804,7 @@ impl PbftNode {
             self.slots.remove(&seq);
             actions.push(Action::CommitBatch { seq, batch });
         }
+        self.gc_committed_log();
         if !actions.is_empty() {
             // A full window means the peer may hold more: request the next
             // chunk. (An empty or partial reply ends the catch-up loop.)
@@ -757,6 +821,63 @@ impl PbftNode {
             };
         }
         actions
+    }
+
+    /// A peer answered a sync request with a checkpoint jump: the history
+    /// this node is missing was garbage-collected everywhere it asked.
+    ///
+    /// Installing on one peer's word is safe for the faults the benchmark
+    /// injects (crashes, partitions — never lying replicas); full PBFT
+    /// would demand f + 1 matching checkpoint proofs. Requests this node
+    /// forwarded that committed inside the jumped-over range stay in
+    /// `awaiting` (their bodies live in the discarded batches), so they may
+    /// be re-proposed — the platform's own replay protection, not PBFT,
+    /// dedups at that layer, and no benchmark scenario reaches this corner.
+    fn on_checkpoint(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        digest: Hash256,
+        now: SimTime,
+    ) -> Vec<Action> {
+        if seq <= self.last_committed {
+            return Vec::new(); // stale offer; batch sync can proceed
+        }
+        self.checkpoint_seq = seq;
+        self.checkpoint_digest = digest;
+        self.last_committed = seq;
+        // Everything at or below the checkpoint is history this node will
+        // never replay: drop stale slots and pre-checkpoint log entries so
+        // the retained-window invariant holds.
+        self.committed_log = self.committed_log.split_off(&(seq + 1));
+        self.slots.retain(|&s, _| s > seq);
+        self.view_deadline = if self.has_outstanding_work() {
+            Some(now + self.config.view_timeout)
+        } else {
+            None
+        };
+        vec![
+            Action::InstallCheckpoint { seq, digest },
+            // Fetch the peer's retained window above the checkpoint.
+            Action::Send(from, PbftMsg::SyncRequest { from_seq: seq }),
+        ]
+    }
+
+    /// Fold committed batches beyond the horizon into the checkpoint
+    /// digest, oldest first, keeping `committed_log` bounded.
+    fn gc_committed_log(&mut self) {
+        while self.committed_log.len() > self.config.checkpoint_horizon {
+            let (&seq, _) = self.committed_log.iter().next().expect("len > horizon >= 0");
+            let batch = self.committed_log.remove(&seq).expect("key just observed");
+            debug_assert_eq!(seq, self.checkpoint_seq + 1, "GC folds contiguously");
+            self.checkpoint_digest = Hash256::digest_parts(&[
+                b"pbft-ckpt",
+                self.checkpoint_digest.as_bytes(),
+                &seq.to_be_bytes(),
+                batch_digest(&batch).as_bytes(),
+            ]);
+            self.checkpoint_seq = seq;
+        }
     }
 }
 
@@ -801,6 +922,9 @@ mod tests {
                         Action::CommitBatch { seq, batch } => {
                             committed[src.index()].push((seq, batch));
                         }
+                        // State-transfer jump; the harness tracks only the
+                        // batch stream, which resumes past the checkpoint.
+                        Action::InstallCheckpoint { .. } => {}
                     }
                 }
             };
@@ -1080,6 +1204,7 @@ mod tests {
                         Action::CommitBatch { seq, batch } => {
                             committed[src.index()].push((seq, batch));
                         }
+                        Action::InstallCheckpoint { .. } => {}
                     }
                 }
             };
@@ -1162,6 +1287,74 @@ mod tests {
         c.dispatch(NodeId(3), acts, t0 + SimDuration::from_secs(1));
         assert_eq!(c.nodes[3].last_committed(), 25);
         assert_eq!(c.committed[3], c.committed[0]);
+    }
+
+    #[test]
+    fn sync_crosses_checkpoint_horizon() {
+        // Horizon 5 with 25 committed batches: the live replicas hold only
+        // seqs 21..=25 plus a checkpoint digest for 1..=20. A recovering
+        // laggard asking for history from 0 must jump via the checkpoint,
+        // then batch-sync the retained window.
+        let config = PbftConfig { n: 4, batch_size: 3, checkpoint_horizon: 5, ..PbftConfig::default() };
+        let mut c = Cluster {
+            nodes: (0..4).map(|i| PbftNode::new(NodeId(i), config.clone())).collect(),
+            committed: vec![Vec::new(); 4],
+            down: vec![false; 4],
+        };
+        let t0 = SimTime::from_secs(1);
+        c.down[3] = true;
+        for i in 0..75 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), t0);
+        }
+        assert_eq!(c.committed[0].len(), 25);
+        assert_eq!(c.nodes[0].committed_log_len(), 5, "log bounded by horizon");
+        let (ckpt_seq, ckpt_digest) = c.nodes[0].checkpoint();
+        assert_eq!(ckpt_seq, 20);
+        assert_ne!(ckpt_digest, Hash256::ZERO);
+        // Every live replica folded the same history into the same digest.
+        for i in 1..3 {
+            assert_eq!(c.nodes[i].checkpoint(), (ckpt_seq, ckpt_digest), "replica {i}");
+        }
+        // Recovery: checkpoint jump, then sync of the retained window.
+        c.down[3] = false;
+        let acts = vec![Action::Send(NodeId(0), PbftMsg::SyncRequest { from_seq: 0 })];
+        c.dispatch(NodeId(3), acts, t0 + SimDuration::from_secs(1));
+        assert_eq!(c.nodes[3].last_committed(), 25);
+        assert_eq!(c.nodes[3].checkpoint(), (ckpt_seq, ckpt_digest));
+        // The laggard delivered exactly the batches above the checkpoint,
+        // matching the live replicas' tail.
+        assert_eq!(c.committed[3], c.committed[0][20..].to_vec());
+    }
+
+    #[test]
+    fn checkpoint_digest_is_order_sensitive() {
+        // Two nodes GC'ing different histories must end at different
+        // digests — the chain binds sequence numbers and batch contents.
+        let config = PbftConfig { n: 4, batch_size: 1, checkpoint_horizon: 0, ..PbftConfig::default() };
+        let run = |batches: &[&[u8]]| {
+            let mut node = PbftNode::new(NodeId(1), config.clone());
+            let now = SimTime::from_secs(1);
+            for (k, body) in batches.iter().enumerate() {
+                let seq = k as u64 + 1;
+                let batch = vec![body.to_vec()];
+                let digest = batch_digest(&batch);
+                node.on_message(
+                    NodeId(0),
+                    PbftMsg::PrePrepare { view: 0, seq, digest, batch },
+                    now,
+                );
+                node.on_message(NodeId(2), PbftMsg::Prepare { view: 0, seq, digest }, now);
+                for from in [0u32, 2] {
+                    node.on_message(NodeId(from), PbftMsg::Commit { view: 0, seq, digest }, now);
+                }
+            }
+            node.checkpoint()
+        };
+        let (s1, d1) = run(&[b"a", b"b"]);
+        let (s2, d2) = run(&[b"b", b"a"]);
+        assert_eq!(s1, 2);
+        assert_eq!(s2, 2);
+        assert_ne!(d1, d2);
     }
 
     #[test]

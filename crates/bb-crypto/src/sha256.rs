@@ -75,13 +75,20 @@ impl Sha256 {
 
     /// Finish and produce the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        // 0x80 marker followed by enough zeros to land on 56 mod 64, in a
+        // single `update` from a static block (the old byte-at-a-time loop
+        // re-entered `update` up to 64 times per digest — measurable, since
+        // every trie node write finalizes a hash).
+        const PAD: [u8; 64] = {
+            let mut p = [0u8; 64];
+            p[0] = 0x80;
+            p
+        };
         let bit_len = self.length_bytes.wrapping_mul(8);
-        // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length.
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0]);
-        }
-        self.length_bytes -= 8; // the length field is not itself counted
+        // Pad length: one marker byte plus zeros so that buffered ≡ 56 (mod 64).
+        let pad_len = 1 + (119 - self.buffered) % 64;
+        self.update(&PAD[..pad_len]);
+        debug_assert_eq!(self.buffered, 56);
         self.update(&bit_len.to_be_bytes());
         debug_assert_eq!(self.buffered, 0);
         let mut out = [0u8; 32];

@@ -809,8 +809,12 @@ impl BlockchainConnector for EthereumChain {
     fn stats(&self) -> PlatformStats {
         let n = self.nodes.len();
         let mut disk = 0u64;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
         for node in &self.nodes {
             disk += node.state.store().stats().disk_bytes;
+            let (h, m) = node.state.trie_cache_stats();
+            cache_hits += h;
+            cache_misses += m;
         }
         // Average per-second CPU and network series over nodes.
         let mut cpu: Vec<f64> = Vec::new();
@@ -840,6 +844,8 @@ impl BlockchainConnector for EthereumChain {
             cpu_utilisation: cpu,
             net_mbps: net,
             net_bytes: self.network.stats().bytes,
+            trie_cache_hits: cache_hits,
+            trie_cache_misses: cache_misses,
         }
     }
 

@@ -190,6 +190,11 @@ impl<S: KvStore> AccountState<S> {
         self.trie.store()
     }
 
+    /// Decoded-node cache `(hits, misses)` of the state trie (stats).
+    pub fn trie_cache_stats(&self) -> (u64, u64) {
+        self.trie.cache_stats()
+    }
+
     /// Validate a transaction against current state without applying it:
     /// the pool's admission check.
     pub fn validate(&mut self, tx: &Transaction) -> Result<(), TxInvalid> {

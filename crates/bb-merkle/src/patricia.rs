@@ -13,6 +13,13 @@
 
 use bb_crypto::Hash256;
 use bb_storage::{KvError, KvStore};
+use std::collections::HashMap;
+
+/// Decoded-node cache capacity. Nodes are content-addressed and immutable,
+/// so the only cost of a stale-free cache is memory; when it fills we drop
+/// it wholesale (cheapest possible policy, and the working set of a macro
+/// run refills it within one block).
+const NODE_CACHE_CAP: usize = 1 << 17;
 
 /// Merkle-Patricia trie handle owning its backing store.
 pub struct PatriciaTrie<S: KvStore> {
@@ -20,6 +27,15 @@ pub struct PatriciaTrie<S: KvStore> {
     root: Hash256,
     /// Nodes written since construction (write-amplification metric).
     nodes_written: u64,
+    /// Decoded nodes by hash. Content-addressing makes entries immutable,
+    /// so the cache can never go stale — it only skips store reads and
+    /// re-decodes, never changes what a walk observes (determinism-safe:
+    /// no simulated cost model consumes store read counters).
+    cache: HashMap<Hash256, Node>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Scratch buffer reused across `put_node` encodings.
+    encode_buf: Vec<u8>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +66,17 @@ fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
 }
 
 impl Node {
+    #[cfg(test)]
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append this node's encoding to `out` (cleared first) — lets callers
+    /// reuse one allocation across many encodings.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Node::Leaf { path, value } => {
                 out.push(TAG_LEAF);
@@ -88,7 +113,6 @@ impl Node {
                 }
             }
         }
-        out
     }
 
     fn decode(bytes: &[u8]) -> Result<Node, KvError> {
@@ -141,7 +165,15 @@ impl Node {
 impl<S: KvStore> PatriciaTrie<S> {
     /// Empty trie over `store`.
     pub fn new(store: S) -> Self {
-        PatriciaTrie { store, root: Hash256::ZERO, nodes_written: 0 }
+        PatriciaTrie {
+            store,
+            root: Hash256::ZERO,
+            nodes_written: 0,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            encode_buf: Vec::new(),
+        }
     }
 
     /// Current root commitment ([`Hash256::ZERO`] when empty).
@@ -170,19 +202,43 @@ impl<S: KvStore> PatriciaTrie<S> {
         self.nodes_written
     }
 
+    /// Decoded-node cache `(hits, misses)` since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
     fn load(&mut self, hash: &Hash256) -> Result<Node, KvError> {
+        if let Some(node) = self.cache.get(hash) {
+            self.cache_hits += 1;
+            return Ok(node.clone());
+        }
+        self.cache_misses += 1;
         let bytes = self
             .store
             .get(&hash.0)?
             .ok_or_else(|| KvError::Corrupt(format!("missing trie node {hash:?}")))?;
-        Node::decode(&bytes)
+        let node = Node::decode(&bytes)?;
+        self.cache_insert(*hash, node.clone());
+        Ok(node)
+    }
+
+    fn cache_insert(&mut self, hash: Hash256, node: Node) {
+        if self.cache.len() >= NODE_CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert(hash, node);
     }
 
     fn put_node(&mut self, node: &Node) -> Result<Hash256, KvError> {
-        let bytes = node.encode();
+        let mut bytes = std::mem::take(&mut self.encode_buf);
+        node.encode_into(&mut bytes);
         let hash = Hash256::digest(&bytes);
         self.store.put(&hash.0, &bytes)?;
+        self.encode_buf = bytes;
         self.nodes_written += 1;
+        // A freshly written node is about to be walked again (it sits on
+        // the path every subsequent update in this block re-traverses).
+        self.cache_insert(hash, node.clone());
         Ok(hash)
     }
 
@@ -196,7 +252,11 @@ impl<S: KvStore> PatriciaTrie<S> {
         if root.is_zero() {
             return Ok(None);
         }
-        let mut path = to_nibbles(key);
+        // Narrow a slice over one nibble buffer instead of reallocating the
+        // remaining path at every step — this walk is the hottest loop in
+        // the Ethereum/Parity platforms.
+        let nibbles = to_nibbles(key);
+        let mut path: &[u8] = &nibbles;
         let mut at = root;
         loop {
             match self.load(&at)? {
@@ -205,7 +265,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                 }
                 Node::Ext { path: p, child } => {
                     if path.starts_with(&p) {
-                        path = path[p.len()..].to_vec();
+                        path = &path[p.len()..];
                         at = child;
                     } else {
                         return Ok(None);
@@ -219,7 +279,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                     if next.is_zero() {
                         return Ok(None);
                     }
-                    path = path[1..].to_vec();
+                    path = &path[1..];
                     at = next;
                 }
             }
@@ -632,6 +692,41 @@ mod tests {
         // Far more nodes written than keys inserted: the paper's Figure 12
         // disk blow-up in miniature.
         assert!(t.nodes_written() > 200, "nodes written: {}", t.nodes_written());
+    }
+
+    #[test]
+    fn decoded_node_cache_serves_repeat_walks() {
+        let mut t = trie();
+        for i in 0..100u32 {
+            t.insert(format!("key{i:04}").as_bytes(), b"x").unwrap();
+        }
+        let (_, misses_after_insert) = t.cache_stats();
+        // Every node on every path was just written (and cached), so a full
+        // re-read adds hits but no misses.
+        for i in 0..100u32 {
+            assert_eq!(t.get(format!("key{i:04}").as_bytes()).unwrap(), Some(b"x".to_vec()));
+        }
+        let (hits, misses) = t.cache_stats();
+        assert_eq!(misses, misses_after_insert, "re-walks must not miss");
+        assert!(hits > 100, "hits: {hits}");
+        // And the cache must not change what a walk observes.
+        assert_eq!(t.get(b"absent").unwrap(), None);
+    }
+
+    #[test]
+    fn cached_and_cold_walks_agree() {
+        // Dropping the cache mid-life must not change what walks observe —
+        // the store alone is authoritative, including for historical roots.
+        let mut t = trie();
+        t.insert(b"acct", b"10").unwrap();
+        let old_root = t.root();
+        t.insert(b"acct", b"20").unwrap();
+        assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
+        t.cache.clear();
+        assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
+        assert_eq!(t.get_at(old_root, b"acct").unwrap(), Some(b"10".to_vec()));
+        let (_, misses) = t.cache_stats();
+        assert!(misses > 0, "cold walks must repopulate through the store");
     }
 
     #[test]

@@ -718,7 +718,11 @@ impl BlockchainConnector for ParityChain {
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
         let mut mem_peak = self.mem_peak.max(self.config.costs.mem_base);
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
         for (i, node) in self.nodes.iter().enumerate() {
+            let (h, m) = node.state.trie_cache_stats();
+            cache_hits += h;
+            cache_misses += m;
             let series = node.cpu.utilisation_series();
             if series.len() > cpu.len() {
                 cpu.resize(series.len(), 0.0);
@@ -745,6 +749,8 @@ impl BlockchainConnector for ParityChain {
             cpu_utilisation: cpu,
             net_mbps: net,
             net_bytes: self.network.stats().bytes,
+            trie_cache_hits: cache_hits,
+            trie_cache_misses: cache_misses,
         }
     }
 

@@ -183,7 +183,17 @@ impl Zipfian {
 
     /// Draw the next item rank; rank 0 is the hottest item.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
-        let u = rng.unit();
+        self.sample_from_unit(rng.unit())
+    }
+
+    /// Map one uniform draw `u ∈ [0, 1)` to an item rank — the deterministic
+    /// core of [`Zipfian::sample`], exposed so tests can cross-check it
+    /// against YCSB's `ZipfianGenerator.nextValue` point by point.
+    ///
+    /// The two low-rank short-circuits are Gray et al.'s: rank 0 with
+    /// probability `1/zetan`, rank 1 with probability `0.5^theta / zetan` —
+    /// the same constants YCSB uses (`uz < 1.0 + pow(0.5, theta)`).
+    pub fn sample_from_unit(&self, u: f64) -> u64 {
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -360,6 +370,68 @@ mod tests {
         assert!(counts[0] > 20 * counts[500].max(1));
         // But the tail must still be hit.
         assert!(counts[500..].iter().sum::<u64>() > 0);
+    }
+
+    /// Known-answer cross-check against YCSB's reference generator
+    /// (`com.yahoo.ycsb.generator.ZipfianGenerator.nextValue`), closing the
+    /// ROADMAP "Zipfian hot-rank bias" item: the rank-0/rank-1 constants and
+    /// the tail formula must agree with the reference point by point.
+    #[test]
+    fn zipf_matches_ycsb_reference_generator() {
+        // Transliteration of YCSB's nextValue(itemcount, u): same zeta
+        // normaliser, same eta, same branch constants.
+        fn ycsb_next_value(items: u64, theta: f64, u: f64) -> u64 {
+            let zetan: f64 = (1..=items).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let zeta2theta: f64 = (1..=2u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let alpha = 1.0 / (1.0 - theta);
+            let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+            let uz = u * zetan;
+            if uz < 1.0 {
+                return 0;
+            }
+            if uz < 1.0 + 0.5f64.powf(theta) {
+                return 1;
+            }
+            (items as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64
+        }
+        for (items, theta) in [(1000u64, 0.99f64), (100, 0.5), (10_000, 0.99), (16, 0.9)] {
+            let z = Zipfian::new(items, theta);
+            for k in 0..4096u64 {
+                let u = k as f64 / 4096.0;
+                let reference = ycsb_next_value(items, theta, u).min(items - 1);
+                assert_eq!(
+                    z.sample_from_unit(u),
+                    reference,
+                    "divergence at items={items} theta={theta} u={u}"
+                );
+            }
+        }
+    }
+
+    /// The hot ranks must land at their analytic Gray et al. frequencies:
+    /// P(rank 0) = 1/zetan and P(rank 1) = 0.5^theta/zetan. A uniform grid
+    /// over u (not an RNG stream) keeps this a distributional assertion.
+    #[test]
+    fn zipf_hot_rank_probabilities_are_analytic() {
+        let items = 1000u64;
+        let theta = 0.99f64;
+        let z = Zipfian::new(items, theta);
+        let zetan: f64 = (1..=items).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let samples = 200_000u64;
+        let mut rank0 = 0u64;
+        let mut rank1 = 0u64;
+        for k in 0..samples {
+            match z.sample_from_unit((k as f64 + 0.5) / samples as f64) {
+                0 => rank0 += 1,
+                1 => rank1 += 1,
+                _ => {}
+            }
+        }
+        let p0 = rank0 as f64 / samples as f64;
+        let p1 = rank1 as f64 / samples as f64;
+        assert!((p0 - 1.0 / zetan).abs() < 1e-4, "P(0) = {p0}, want {}", 1.0 / zetan);
+        let want1 = 0.5f64.powf(theta) / zetan;
+        assert!((p1 - want1).abs() < 1e-4, "P(1) = {p1}, want {want1}");
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub struct PlatformStats {
     pub net_mbps: Vec<f64>,
     /// Total network bytes offered.
     pub net_bytes: u64,
+    /// Decoded-node cache hits across all state tries (Ethereum/Parity
+    /// Merkle-Patricia walks; zero for platforms without a trie cache).
+    pub trie_cache_hits: u64,
+    /// Decoded-node cache misses across all state tries.
+    pub trie_cache_misses: u64,
+}
+
+impl PlatformStats {
+    /// Trie-cache hit rate in `[0, 1]`, or `None` when the platform made no
+    /// cached trie reads.
+    pub fn trie_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.trie_cache_hits + self.trie_cache_misses;
+        (total > 0).then(|| self.trie_cache_hits as f64 / total as f64)
+    }
 }
 
 /// Read-only queries exposed over the platforms' RPC interfaces

@@ -15,6 +15,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod trajectory;
+
 /// Opaque value barrier: prevents the optimiser from deleting benchmark
 /// bodies.
 pub fn black_box<T>(x: T) -> T {
@@ -137,6 +139,12 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: u64, tp: Option<Thro
         return;
     };
     let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    // Feed the perf-trajectory file when one is explicitly configured (the
+    // default-path fallback is reserved for `perfreport`, so plain `cargo
+    // bench` runs don't silently drop files into the working directory).
+    if std::env::var("BB_BENCH_TRAJECTORY").map(|v| !v.is_empty() && v != "0").unwrap_or(false) {
+        trajectory::record_bench(name, per_iter_ns, iters);
+    }
     let rate = tp.map(|t| match t {
         Throughput::Bytes(n) => format!("  {:>10.1} MiB/s", n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64),
         Throughput::Elements(n) => format!("  {:>10.1} elem/s", n as f64 / per_iter_ns * 1e9),

@@ -1,0 +1,141 @@
+//! Perf-trajectory file: a growing JSON array of benchmark records.
+//!
+//! Both the criterion-shim benches (`cargo bench --features bench`) and the
+//! `bb-bench` `perfreport` binary append records to the same file, so one
+//! artefact accumulates the repo's performance history. The file is a valid
+//! JSON array at all times: appends splice a new entry before the trailing
+//! `]` rather than streaming line-delimited JSON.
+//!
+//! Path resolution: `BB_BENCH_TRAJECTORY` if set, else `BENCH_harness.json`
+//! in the current directory. Setting `BB_BENCH_TRAJECTORY=0` disables bench
+//! appends (the in-process API still works with explicit paths).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default trajectory file name.
+pub const DEFAULT_FILE: &str = "BENCH_harness.json";
+
+/// Resolve the trajectory path from the environment, or `None` when
+/// recording is disabled via `BB_BENCH_TRAJECTORY=0`.
+pub fn env_path() -> Option<PathBuf> {
+    match std::env::var("BB_BENCH_TRAJECTORY") {
+        Ok(v) if v == "0" => None,
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => Some(PathBuf::from(DEFAULT_FILE)),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 for JSON (no NaN/Inf — clamp to null).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Append one entry (a complete JSON object, no trailing comma) to the
+/// array at `path`, creating the file if needed. The file stays a valid
+/// JSON array after every call. Errors are reported, not fatal — a bench
+/// run must not die on a read-only checkout.
+pub fn append_entry(path: &Path, entry_json: &str) {
+    let result = (|| -> std::io::Result<()> {
+        let existing = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let trimmed = existing.trim_end();
+        let new_content = match trimmed.strip_suffix(']') {
+            Some(head) if !trimmed.is_empty() => {
+                let head = head.trim_end();
+                if head.trim_end().ends_with('[') {
+                    // Empty array.
+                    format!("[\n{entry_json}\n]\n")
+                } else {
+                    format!("{head},\n{entry_json}\n]\n")
+                }
+            }
+            _ => format!("[\n{entry_json}\n]\n"),
+        };
+        fs::write(path, new_content)
+    })();
+    if let Err(e) = result {
+        eprintln!("trajectory: could not append to {}: {e}", path.display());
+    }
+}
+
+/// Record a bench-shim measurement (mean ns/iter for a bench id) to the
+/// env-resolved trajectory file, if recording is enabled.
+pub fn record_bench(id: &str, mean_ns: f64, iters: u64) {
+    let Some(path) = env_path() else { return };
+    let entry = format!(
+        "{{\"kind\": \"bench\", \"id\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+        escape(id),
+        json_num(mean_ns),
+        iters
+    );
+    append_entry(&path, &entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bb_trajectory_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn appends_stay_valid_json_array() {
+        let path = tmp("appends");
+        let _ = fs::remove_file(&path);
+        append_entry(&path, "{\"kind\": \"bench\", \"id\": \"a\", \"mean_ns\": 1.5}");
+        append_entry(&path, "{\"kind\": \"bench\", \"id\": \"b\", \"mean_ns\": 2}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"kind\"").count(), 2, "{text}");
+        // Each entry sits between exactly one comma separator.
+        assert_eq!(text.matches("},").count(), 1, "{text}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_and_garbageless_bootstrap() {
+        let path = tmp("bootstrap");
+        let _ = fs::remove_file(&path);
+        fs::write(&path, "[]\n").unwrap();
+        append_entry(&path, "{\"id\": \"x\"}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "[\n{\"id\": \"x\"}\n]\n");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
+    }
+}

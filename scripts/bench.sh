@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf-regression harness: runs `perfreport` twice — serial then parallel —
+# so BENCH_harness.json records a before/after pair for the experiment
+# runner, plus per-crate kernel timings and the trie cache hit rate.
+#
+# Usage: scripts/bench.sh [--scale quick] [--skip-figures] [--with-benches]
+#   --with-benches  also run the criterion-shim benches (`--features bench`)
+#                   so their ns/iter land in the same trajectory file.
+# Environment:
+#   BB_BENCH_TRAJECTORY  output file (default: BENCH_harness.json at repo root)
+#   BB_WORKERS           worker override for the parallel pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BB_BENCH_TRAJECTORY="${BB_BENCH_TRAJECTORY:-$PWD/BENCH_harness.json}"
+
+with_benches=0
+passthrough=()
+for arg in "$@"; do
+  case "$arg" in
+    --with-benches) with_benches=1 ;;
+    *) passthrough+=("$arg") ;;
+  esac
+done
+
+echo "== build (release, offline) =="
+cargo build --release --offline -p bb-bench --bin perfreport
+
+echo "== pass 1: serial (BB_SERIAL=1) =="
+BB_SERIAL=1 target/release/perfreport "${passthrough[@]+"${passthrough[@]}"}"
+
+echo "== pass 2: parallel =="
+target/release/perfreport "${passthrough[@]+"${passthrough[@]}"}"
+
+if [ "$with_benches" = 1 ]; then
+  echo "== criterion-shim benches =="
+  cargo bench --offline -p bb-bench --features bench
+fi
+
+echo "== trajectory: $BB_BENCH_TRAJECTORY =="
+tail -n 20 "$BB_BENCH_TRAJECTORY"

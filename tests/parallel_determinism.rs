@@ -1,0 +1,48 @@
+//! Same-seed figure tables must be byte-identical whether experiment cells
+//! run serially (`BB_SERIAL=1`) or scattered across worker threads.
+//!
+//! This is the contract that makes the parallel runner safe to leave on by
+//! default: each cell builds its own simulated world on its own virtual
+//! clock, and `map_cells` collects results in input order, so thread
+//! scheduling must not be observable in any rendered table.
+//!
+//! Lives in its own integration-test binary because the worker knobs are
+//! process-global env vars: here nothing else can race the mutations.
+
+use bb_bench::exp_macro;
+use bb_bench::Scale;
+use bb_sim::SimDuration;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        duration: SimDuration::from_secs(3),
+        rates: vec![64.0],
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn figure_tables_byte_identical_parallel_vs_serial() {
+    let scale = tiny_scale();
+
+    std::env::remove_var("BB_WORKERS");
+    std::env::set_var("BB_SERIAL", "1");
+    let serial_13c = exp_macro::fig13c(&scale).render();
+    let serial_5 = {
+        let (performance, saturation) = exp_macro::fig5(&scale);
+        (performance.render(), saturation.render())
+    };
+
+    // Force multi-threading even on single-core CI machines.
+    std::env::remove_var("BB_SERIAL");
+    std::env::set_var("BB_WORKERS", "4");
+    let parallel_13c = exp_macro::fig13c(&scale).render();
+    let parallel_5 = {
+        let (performance, saturation) = exp_macro::fig5(&scale);
+        (performance.render(), saturation.render())
+    };
+    std::env::remove_var("BB_WORKERS");
+
+    assert_eq!(serial_13c, parallel_13c, "fig13c must not depend on thread scheduling");
+    assert_eq!(serial_5, parallel_5, "fig5 must not depend on thread scheduling");
+}
