@@ -7,9 +7,17 @@
 //! for the parallel experiment runner; `scripts/bench.sh` does exactly that.
 //!
 //! Usage: `perfreport [--scale fast|quick] [--skip-figures]`
+//!        `perfreport --compare [--threshold PCT]`
 //!   fast  (default) — trimmed durations/rates so both passes finish in
 //!                     minutes even on one core
 //!   quick           — the `figures` binary's quick scale
+//!
+//! `--compare` is the regression gate: it diffs the most recent run in the
+//! trajectory file against the latest earlier run carrying the same metric
+//! (kernel ns/iter, figure wall-clock keyed by runner mode, macro tx/s) and
+//! exits non-zero when any metric regressed past the threshold (default
+//! 15%). `scripts/bench.sh` runs it after recording the serial/parallel
+//! pair.
 
 use bb_bench::exp_macro::{self, run_macro, Macro};
 use bb_bench::exp_micro;
@@ -19,7 +27,7 @@ use bb_crypto::{sha256, Hash256};
 use bb_merkle::PatriciaTrie;
 use bb_sim::SimDuration;
 use bb_storage::MemStore;
-use criterion::trajectory::{append_entry, env_path, escape, json_num};
+use criterion::trajectory::{self, append_entry, env_path, escape, json_num};
 use std::path::Path;
 use std::time::Instant;
 
@@ -84,25 +92,30 @@ fn time_kernel(path: &Path, id: &str, mut f: impl FnMut()) {
     );
 }
 
-/// Per-platform macro throughput + trie cache hit rate.
+/// Per-platform macro throughput + trie cache hit rate + per-cell wall time
+/// (the input the LPT dispatch hints in `bb_bench::parallel` are predicting).
 fn macro_report(path: &Path, scale: &Scale) {
     for platform in ALL_PLATFORMS {
         let rate = *scale.rates.last().expect("rates nonempty");
+        let start = Instant::now();
         let stats = run_macro(platform, Macro::Ycsb, 8, 8, rate, scale.duration);
+        let cell_wall = start.elapsed().as_secs_f64();
         let tps = stats.throughput_tps();
         let hit_rate = stats.platform.trie_cache_hit_rate();
         println!(
-            "macro  {:<12} {:>8.1} tx/s  trie cache hit rate {}",
+            "macro  {:<12} {:>8.1} tx/s  cell {:>6.2} s  trie cache hit rate {}",
             platform.name(),
             tps,
+            cell_wall,
             hit_rate.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into())
         );
         append_entry(
             path,
             &format!(
-                "{{\"kind\": \"macro\", \"platform\": \"{}\", \"workload\": \"YCSB\", \"tps\": {}, \"trie_cache_hit_rate\": {}}}",
+                "{{\"kind\": \"macro\", \"platform\": \"{}\", \"workload\": \"YCSB\", \"tps\": {}, \"cell_wall_s\": {}, \"trie_cache_hit_rate\": {}}}",
                 escape(platform.name()),
                 json_num(tps),
+                json_num(cell_wall),
                 hit_rate.map(json_num).unwrap_or_else(|| "null".into())
             ),
         );
@@ -147,6 +160,150 @@ fn kernel_report(path: &Path) {
             &Hash256::digest(b"right"),
         ));
     });
+    pump_kernel(path);
+}
+
+/// `scheduler/pump`: raw event-loop throughput (events/sec) through a
+/// self-chaining world — every delivery schedules its own successor, so the
+/// measurement is pure heap pop/push plus dispatch, with a steady in-flight
+/// population keeping the heap at a realistic depth.
+fn pump_kernel(path: &Path) {
+    use bb_sim::{Scheduler, SimTime, World};
+
+    struct Pump;
+    impl World for Pump {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, chain: u32, sched: &mut Scheduler<u32>) {
+            // Chains restep at staggered offsets so deliveries interleave
+            // instead of draining one chain at a time.
+            sched.schedule(now + SimDuration::from_micros(31 + (chain % 7) as u64), chain);
+        }
+    }
+
+    const CHAINS: u32 = 1024;
+    let mut sched = Scheduler::new();
+    let mut world = Pump;
+    for chain in 0..CHAINS {
+        sched.schedule(SimTime::ZERO + SimDuration::from_micros(chain as u64), chain);
+    }
+    // Warm: populate the heap and fault in the code paths.
+    sched.run_until(&mut world, sched.now() + SimDuration::from_millis(1));
+
+    let start = Instant::now();
+    let mut delivered = 0u64;
+    while start.elapsed() < std::time::Duration::from_millis(200) {
+        delivered += sched.run_until(&mut world, sched.now() + SimDuration::from_millis(1));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let events_per_s = delivered as f64 / wall;
+    let mean_ns = wall * 1e9 / delivered.max(1) as f64;
+    println!("kernel {:<30} {mean_ns:>12.0} ns/event ({events_per_s:.0} events/s)", "scheduler/pump");
+    append_entry(
+        path,
+        &format!(
+            "{{\"kind\": \"kernel\", \"id\": \"scheduler/pump\", \"mean_ns\": {}, \"events_per_s\": {}, \"iters\": {delivered}}}",
+            json_num(mean_ns),
+            json_num(events_per_s)
+        ),
+    );
+}
+
+/// One comparable measurement pulled out of a trajectory entry:
+/// `(key, value, lower_is_better)`.
+fn metric(entry: &trajectory::Entry) -> Option<(String, f64, bool)> {
+    use trajectory::Value;
+    let field = |name: &str| entry.get(name).and_then(Value::as_str);
+    match field("kind")? {
+        // Kernel and bench ns/iter: lower is better. (`patricia/cache`
+        // carries counters, not a mean — it has no mean_ns and is skipped.)
+        kind @ ("kernel" | "bench") => {
+            let id = field("id")?;
+            let mean_ns = entry.get("mean_ns")?.as_num()?;
+            Some((format!("{kind} {id}"), mean_ns, true))
+        }
+        // Figure wall-clock: lower is better, but only comparable within
+        // the same runner mode — a parallel pass legitimately beats the
+        // serial pass recorded just before it.
+        "figure" => {
+            let id = field("id")?;
+            let mode = field("mode")?;
+            let wall = entry.get("wall_s")?.as_num()?;
+            Some((format!("figure {id} [{mode}]"), wall, true))
+        }
+        // Macro throughput is simulated, hence mode-independent (that is
+        // the byte-identity contract): higher is better.
+        "macro" => {
+            let platform = field("platform")?;
+            let workload = field("workload")?;
+            let tps = entry.get("tps")?.as_num()?;
+            Some((format!("macro {platform}/{workload} tps"), tps, false))
+        }
+        _ => None,
+    }
+}
+
+/// Diff the latest run against the most recent earlier occurrence of each of
+/// its metrics. Returns the process exit code.
+fn compare(path: &Path, threshold_pct: f64) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfreport --compare: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let entries = match trajectory::parse_entries(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perfreport --compare: {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let mut runs = trajectory::split_runs(entries);
+    if runs.len() < 2 {
+        println!("perfreport --compare: fewer than two runs in {}; nothing to compare", path.display());
+        return 0;
+    }
+    let current = runs.pop().expect("len checked above");
+
+    // Last value per key wins within a run (a run measures each key once;
+    // this is just dedup hygiene for hand-edited files).
+    let mut baselines: Vec<std::collections::BTreeMap<String, f64>> = runs
+        .iter()
+        .map(|run| {
+            run.iter().filter_map(|e| metric(e).map(|(k, v, _)| (k, v))).collect()
+        })
+        .collect();
+    baselines.reverse(); // most recent earlier run first
+
+    let mut compared = 0u32;
+    let mut regressions = 0u32;
+    println!("comparing latest run against prior runs in {} (threshold {threshold_pct}%)", path.display());
+    for entry in &current {
+        let Some((key, new, lower_is_better)) = metric(entry) else { continue };
+        let Some(old) = baselines.iter().find_map(|b| b.get(&key).copied()) else {
+            println!("  {key:<42} {new:>12.2}  (no prior run to compare)");
+            continue;
+        };
+        if old == 0.0 {
+            continue;
+        }
+        compared += 1;
+        let delta_pct = (new - old) / old * 100.0;
+        let worse = if lower_is_better { delta_pct > threshold_pct } else { delta_pct < -threshold_pct };
+        let marker = if worse { "REGRESSED" } else { "ok" };
+        println!("  {key:<42} {old:>12.2} -> {new:>12.2}  {delta_pct:>+7.1}%  {marker}");
+        if worse {
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        eprintln!("perfreport --compare: {regressions} of {compared} metrics regressed past {threshold_pct}%");
+        1
+    } else {
+        println!("perfreport --compare: {compared} metrics within {threshold_pct}%");
+        0
+    }
 }
 
 fn main() {
@@ -155,6 +312,16 @@ fn main() {
     let skip_figures = args.iter().any(|a| a == "--skip-figures");
     let scale = if quick { Scale::quick() } else { fast_scale() };
     let path = env_path().unwrap_or_else(|| criterion::trajectory::DEFAULT_FILE.into());
+
+    if args.iter().any(|a| a == "--compare") {
+        let threshold = args
+            .iter()
+            .position(|a| a == "--threshold")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(15.0);
+        std::process::exit(compare(&path, threshold));
+    }
 
     println!(
         "perfreport: mode={} workers={} trajectory={}",

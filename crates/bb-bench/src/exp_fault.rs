@@ -5,7 +5,7 @@
 //! `run_workload`.
 
 use crate::exp_macro::Macro;
-use crate::parallel::map_cells;
+use crate::parallel::{cost_hint, map_cells, map_cells_hinted};
 use crate::platforms::{Platform, ALL_PLATFORMS};
 use crate::table::{num, Table};
 use bb_sim::{SimDuration, SimTime};
@@ -75,11 +75,12 @@ pub fn fig9(window_secs: u64, fail_at: u64, rate: f64) -> Table {
         format!("Figure 9: failing 4 nodes at t={fail_at}s (8 clients)"),
         &["platform", "servers", "t (s)", "committed (cum)"],
     );
-    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+    let window = SimDuration::from_secs(window_secs);
+    let grid: Vec<(u64, (Platform, u32))> = ALL_PLATFORMS
         .into_iter()
-        .flat_map(|p| [12u32, 16].map(|s| (p, s)))
+        .flat_map(|p| [12u32, 16].map(|s| (cost_hint(s, window), (p, s))))
         .collect();
-    let mut results = map_cells(grid, move |(platform, servers)| {
+    let mut results = map_cells_hinted(grid, move |(platform, servers)| {
         timeline(platform, servers, 8, rate, window_secs, |chain, sec| {
             if sec == fail_at {
                 // Kill the last four nodes (node 0 is the observer).

@@ -1,6 +1,6 @@
 //! Micro-benchmark experiments: Figures 11, 12 and 13a/b.
 
-use crate::parallel::map_cells;
+use crate::parallel::{map_cells, map_cells_hinted};
 use crate::platforms::{Platform, Scale, ALL_PLATFORMS};
 use crate::table::{mb, num, Table};
 use bb_workloads::{AnalyticsRunner, CpuHeavyRunner, IoHeavyRunner};
@@ -63,7 +63,10 @@ pub fn fig12(scale: &Scale) -> Table {
         .into_iter()
         .flat_map(|p| scale.io_tuples.iter().map(move |&n| (p, n)))
         .collect();
-    let results = map_cells(grid.clone(), |(platform, tuples)| {
+    // Cell cost here is tuple volume, not node-count × duration.
+    let hinted: Vec<(u64, (Platform, u64))> =
+        grid.iter().map(|&(p, n)| (n, (p, n))).collect();
+    let results = map_cells_hinted(hinted, |(platform, tuples)| {
         // Fresh chain per size, like the paper's per-point runs.
         let mut chain = platform.build_micro(IO_MEM_SCALE);
         let mut runner = IoHeavyRunner::new(10_000);

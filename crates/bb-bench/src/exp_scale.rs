@@ -1,7 +1,7 @@
 //! Scalability experiments: Figures 7, 8 and 19.
 
 use crate::exp_macro::{run_macro, Macro};
-use crate::parallel::map_cells;
+use crate::parallel::{cost_hint, map_cells_hinted};
 use crate::platforms::{Platform, Scale, ALL_PLATFORMS};
 use crate::table::{num, Table};
 
@@ -17,11 +17,11 @@ pub fn fig7(scale: &Scale, workload: Macro) -> Table {
     // stretch to cover several PoW confirmations at large N.
     let rate = scale.base_rate * 2.0;
     let duration = scale.duration.max(bb_sim::SimDuration::from_secs(60));
-    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+    let grid: Vec<(u64, (Platform, u32))> = ALL_PLATFORMS
         .into_iter()
-        .flat_map(|p| scale.nodes_sweep.iter().map(move |&n| (p, n)))
+        .flat_map(|p| scale.nodes_sweep.iter().map(move |&n| (cost_hint(n, duration), (p, n))))
         .collect();
-    let mut results = map_cells(grid, move |(platform, n)| {
+    let mut results = map_cells_hinted(grid, move |(platform, n)| {
         run_macro(platform, workload, n, n, rate, duration)
     })
     .into_iter();
@@ -49,11 +49,11 @@ pub fn fig8(scale: &Scale) -> Table {
     // confirmations.
     let duration = scale.duration.max(bb_sim::SimDuration::from_secs(90));
     let base_rate = scale.base_rate;
-    let grid: Vec<(Platform, u32)> = ALL_PLATFORMS
+    let grid: Vec<(u64, (Platform, u32))> = ALL_PLATFORMS
         .into_iter()
-        .flat_map(|p| scale.servers_sweep.iter().map(move |&n| (p, n)))
+        .flat_map(|p| scale.servers_sweep.iter().map(move |&n| (cost_hint(n, duration), (p, n))))
         .collect();
-    let mut results = map_cells(grid, move |(platform, n)| {
+    let mut results = map_cells_hinted(grid, move |(platform, n)| {
         run_macro(platform, Macro::Ycsb, n, 8, base_rate, duration)
     })
     .into_iter();

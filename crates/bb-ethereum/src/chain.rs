@@ -8,14 +8,21 @@
 //! the driver's RPC endpoint: it serves `getLatestBlock(h)` from its view of
 //! the confirmed chain (head minus `confirm_depth`), block/state queries,
 //! and the read-only contract path.
+//!
+//! Sharded: each server is a lane of a [`ShardedEngine`] and owns its own
+//! RNG stream (mining races, gossip coin flips), LSM store and trie, so
+//! block validation on different nodes runs on different cores while the
+//! run stays byte-identical to the serial path (DESIGN.md §5).
 
 use crate::config::EthConfig;
 use crate::state::{AccountState, TxInvalid};
 use bb_consensus::pow::{BlockTree, InsertOutcome};
 use bb_crypto::Hash256;
 use bb_merkle::merkle_root;
-use bb_net::{Delivery, Network};
-use bb_sim::{CpuMeter, Scheduler, SimDuration, SimRng, SimTime, World};
+use bb_net::Network;
+use bb_sim::{
+    CpuMeter, Effects, ShardedEngine, ShardedWorld, SimDuration, SimRng, SimTime,
+};
 use bb_storage::{KvStore, LsmConfig, LsmStore};
 use bb_svm::{Vm, VmConfig};
 use bb_types::{
@@ -26,7 +33,7 @@ use blockbench::connector::{
 };
 use blockbench::contract::ContractBundle;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Events of the Ethereum world.
 #[derive(Debug, Clone)]
@@ -43,7 +50,7 @@ pub enum EthEvent {
         /// Receiving node.
         to: NodeId,
         /// The transaction.
-        tx: Rc<Transaction>,
+        tx: Arc<Transaction>,
         /// Came from a peer (don't re-gossip) or from a client.
         gossiped: bool,
     },
@@ -52,7 +59,7 @@ pub enum EthEvent {
         /// Receiving node.
         to: NodeId,
         /// The block body.
-        block: Rc<Block>,
+        block: Arc<Block>,
         /// Peer that sent it (for parent fetches).
         from: NodeId,
     },
@@ -71,13 +78,13 @@ struct EthNode {
     state: AccountState<LsmStore>,
     tree: BlockTree,
     /// Block bodies by id (genesis included).
-    bodies: HashMap<Hash256, Rc<Block>>,
+    bodies: HashMap<Hash256, Arc<Block>>,
     /// Post-state root per block id.
     roots: HashMap<Hash256, Hash256>,
     /// Receipts (tx id, success) per block id.
     receipts: HashMap<Hash256, Vec<(TxId, bool)>>,
     /// Pending transactions in arrival order.
-    pool: VecDeque<Rc<Transaction>>,
+    pool: VecDeque<Arc<Transaction>>,
     pool_ids: HashSet<TxId>,
     /// Everything ever seen (suppresses gossip loops).
     seen: HashSet<TxId>,
@@ -88,12 +95,18 @@ struct EthNode {
     /// our head.
     pruned: HashSet<Hash256>,
     cpu: CpuMeter,
+    /// This node's private randomness: mining race draws and gossip coin
+    /// flips. Lane-local so parallel nodes never contend on one stream.
+    rng: SimRng,
     mine_generation: u64,
     crashed: bool,
+    /// Observer state — populated only on node 0.
+    confirmed: Vec<BlockSummary>,
+    confirmed_height: u64,
 }
 
 impl EthNode {
-    fn enqueue(&mut self, tx: Rc<Transaction>) -> bool {
+    fn enqueue(&mut self, tx: Arc<Transaction>) -> bool {
         if !self.seen.insert(tx.id()) {
             return false;
         }
@@ -101,36 +114,447 @@ impl EthNode {
         self.pool.push_back(tx);
         true
     }
-
 }
 
-/// The Ethereum-like platform: world + scheduler + observer state.
-pub struct EthereumChain {
+/// Read-only context shared by every lane.
+struct EthCtx {
     config: EthConfig,
     vm: Vm,
-    nodes: Vec<EthNode>,
+}
+
+/// The sharded-world marker type for Ethereum.
+struct EthWorld;
+
+/// The Ethereum-like platform.
+pub struct EthereumChain {
+    config: EthConfig,
+    engine: ShardedEngine<EthWorld>,
     network: Network,
-    rng: SimRng,
-    sched: Scheduler<EthEvent>,
-    /// Network-wide count of blocks ever mined (forks included).
-    blocks_mined: u64,
-    /// Observer (node 0) confirmation log.
-    confirmed: Vec<BlockSummary>,
-    confirmed_height: u64,
     started: bool,
     mem_peak: u64,
 }
 
-// The World impl operates on a view that excludes the scheduler itself.
-struct EthWorldView<'a> {
-    config: &'a EthConfig,
-    vm: &'a Vm,
-    nodes: &'a mut Vec<EthNode>,
-    network: &'a mut Network,
-    rng: &'a mut SimRng,
-    blocks_mined: &'a mut u64,
-    confirmed: &'a mut Vec<BlockSummary>,
-    confirmed_height: &'a mut u64,
+/// Observer counter: network-wide count of blocks ever mined (forks
+/// included).
+const BLOCKS_MINED: usize = 0;
+
+impl ShardedWorld for EthWorld {
+    type Event = EthEvent;
+    type Node = EthNode;
+    type Ctx = EthCtx;
+
+    fn route(_ctx: &EthCtx, event: &EthEvent) -> u32 {
+        match event {
+            EthEvent::Mine { miner, .. } => miner.0,
+            EthEvent::TxArrive { to, .. }
+            | EthEvent::BlockArrive { to, .. }
+            | EthEvent::BlockRequest { to, .. } => to.0,
+        }
+    }
+
+    fn handle(
+        ctx: &EthCtx,
+        lane: u32,
+        node: &mut EthNode,
+        now: SimTime,
+        event: EthEvent,
+        fx: &mut Effects<EthEvent>,
+    ) {
+        let id = NodeId(lane);
+        match event {
+            EthEvent::Mine { generation, .. } => on_mine(ctx, node, id, now, generation, fx),
+            EthEvent::TxArrive { tx, gossiped, .. } => on_tx(ctx, node, id, now, tx, gossiped, fx),
+            EthEvent::BlockArrive { block, from, .. } => on_block(ctx, node, id, now, block, from, fx),
+            EthEvent::BlockRequest { wanted, from, .. } => {
+                on_block_request(node, id, wanted, from, fx)
+            }
+        }
+    }
+}
+
+fn reschedule_mine(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    miner: NodeId,
+    now: SimTime,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    node.mine_generation += 1;
+    let generation = node.mine_generation;
+    let mean = ctx.config.pow.miner_interval(ctx.config.nodes);
+    let delay = node.rng.exp_duration(mean);
+    fx.schedule(now + delay, EthEvent::Mine { miner, generation });
+}
+
+fn on_mine(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    miner: NodeId,
+    now: SimTime,
+    generation: u64,
+    fx: &mut Effects<EthEvent>,
+) {
+    // PoW saturates the reserved cores whether or not a block is found.
+    let interval = ctx.config.pow.miner_interval(ctx.config.nodes);
+    if node.crashed || node.mine_generation != generation {
+        return;
+    }
+    let from = SimTime(now.as_micros().saturating_sub(interval.as_micros().min(now.as_micros())));
+    node.cpu.saturate(from, now);
+    let block = build_block(ctx, node, now, miner);
+    fx.count(BLOCKS_MINED, 1);
+    let block = Arc::new(block);
+    // Adopt locally.
+    adopt_block(ctx, node, now, miner, Arc::clone(&block), None, fx);
+    // Broadcast to every peer.
+    for peer in (0..ctx.config.nodes).map(NodeId) {
+        if peer == miner {
+            continue;
+        }
+        let b = Arc::clone(&block);
+        fx.send(peer.0, block.byte_size(), move |_at| EthEvent::BlockArrive {
+            to: peer,
+            block: b,
+            from: miner,
+        });
+    }
+    reschedule_mine(ctx, node, miner, now, fx);
+    if miner.index() == 0 {
+        refresh_confirmed(ctx, node, now);
+    }
+}
+
+/// Assemble and execute a block on the miner's current head.
+fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) -> Block {
+    let difficulty = 1000; // uniform difficulty: heaviest == longest
+    let parent = node.tree.head();
+    let parent_root = node.roots[&parent];
+    let height = node.tree.height_of(&parent).expect("head known") + 1;
+    node.state.set_root(parent_root);
+
+    let mut included: Vec<Transaction> = Vec::new();
+    let mut receipts: Vec<(TxId, bool)> = Vec::new();
+    let mut gas_total = 0u64;
+    let mut exec_time = SimDuration::ZERO;
+    // Future-nonce transactions buffered per sender, nonce-ordered —
+    // the pool is in arrival order, and gossip can deliver one sender's
+    // transactions out of nonce order. A plain FIFO pass would shunt
+    // every later transaction of that sender to the next block (each
+    // exactly one nonce ahead by the time it's popped), capping blocks
+    // at a handful of transactions; real pools queue per sender by
+    // nonce. Sender map is ordered so the put-back below is
+    // deterministic.
+    let mut future: std::collections::BTreeMap<Address, std::collections::BTreeMap<u64, Arc<Transaction>>> =
+        Default::default();
+    'fill: while included.len() < ctx.config.max_txs_per_block {
+        let Some(tx) = node.pool.pop_front() else {
+            break;
+        };
+        if !node.pool_ids.contains(&tx.id()) {
+            continue; // pruned
+        }
+        // Try this transaction, then any buffered successors it unblocks.
+        let mut next = Some(tx);
+        while let Some(tx) = next.take() {
+            match node.state.apply_transaction(&tx, height, &ctx.vm, ctx.config.tx_gas_limit) {
+                Ok(res) => {
+                    gas_total += res.gas_used.max(1000);
+                    exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000))
+                        + ctx.config.costs.sig_verify;
+                    node.pool_ids.remove(&tx.id());
+                    receipts.push((tx.id(), res.success));
+                    let nonce = tx.nonce;
+                    let from = tx.from;
+                    included.push((*tx).clone());
+                    if included.len() >= ctx.config.max_txs_per_block
+                        || gas_total >= ctx.config.block_gas_limit
+                    {
+                        break 'fill;
+                    }
+                    if let Some(q) = future.get_mut(&from) {
+                        next = q.remove(&(nonce + 1));
+                        if q.is_empty() {
+                            future.remove(&from);
+                        }
+                    }
+                }
+                Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
+                    // Future nonce: hold until its predecessor applies.
+                    future.entry(tx.from).or_default().insert(got, tx);
+                }
+                Err(_) => {
+                    // Stale or broken: drop.
+                    node.pool_ids.remove(&tx.id());
+                }
+            }
+        }
+    }
+    // Still-blocked transactions wait in the pool for a later block.
+    for (_, q) in future {
+        for (_, tx) in q {
+            node.pool.push_front(tx);
+        }
+    }
+    node.cpu.charge(now, exec_time);
+
+    let header = BlockHeader {
+        parent,
+        height,
+        timestamp_us: now.as_micros(),
+        tx_root: merkle_root(&included.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+        state_root: node.state.root(),
+        proposer: miner,
+        difficulty,
+        round: 0,
+    };
+    let block = Block { header, txs: included };
+    let id = block.id();
+    node.roots.insert(id, node.state.root());
+    node.receipts.insert(id, receipts);
+    block
+}
+
+/// Validate (re-execute) and adopt a block into a node's tree.
+fn adopt_block(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    now: SimTime,
+    me: NodeId,
+    block: Arc<Block>,
+    request_from: Option<NodeId>,
+    fx: &mut Effects<EthEvent>,
+) {
+    let id = block.id();
+    if node.bodies.contains_key(&id) {
+        return;
+    }
+    let parent = block.header.parent;
+    if let Some(&parent_root) = node.roots.get(&parent) {
+        // Full validation: re-execute on the parent state.
+        if !node.roots.contains_key(&id) {
+            node.state.set_root(parent_root);
+            let mut receipts = Vec::with_capacity(block.txs.len());
+            let mut exec_time = SimDuration::ZERO;
+            for tx in &block.txs {
+                match node.state.apply_transaction(
+                    tx,
+                    block.header.height,
+                    &ctx.vm,
+                    ctx.config.tx_gas_limit,
+                ) {
+                    Ok(res) => {
+                        exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000));
+                        receipts.push((tx.id(), res.success));
+                    }
+                    Err(_) => receipts.push((tx.id(), false)),
+                }
+                node.seen.insert(tx.id());
+            }
+            node.cpu.charge(now, exec_time);
+            node.roots.insert(id, node.state.root());
+            node.receipts.insert(id, receipts);
+        }
+        node.bodies.insert(id, Arc::clone(&block));
+        let old_head = node.tree.head();
+        let outcome = node.tree.insert(id, parent, block.header.difficulty);
+        if let InsertOutcome::NewHead { reorged } = outcome {
+            if reorged {
+                readopt_abandoned(node, old_head);
+            }
+        }
+    } else {
+        // Orphan: stash in the tree and fetch the ancestor chain.
+        node.tree.insert(id, parent, block.header.difficulty);
+        node.bodies.insert(id, Arc::clone(&block));
+        if let Some(from) = request_from {
+            fx.send(from.0, 64, move |_at| EthEvent::BlockRequest {
+                to: from,
+                wanted: parent,
+                from: me,
+            });
+        }
+        return;
+    }
+    // Connecting this block may have connected stored orphan children;
+    // execute any now-connected bodies we have roots missing for.
+    execute_connected_descendants(ctx, node, now, id);
+    // Whatever the head is now, drop its branch's transactions from the
+    // pool (after the reorg path above re-added the abandoned branch's).
+    prune_main_chain(node);
+}
+
+/// Remove the transactions of blocks that joined this node's main chain
+/// from its pool. Walks head→genesis, stopping at the first block
+/// already pruned, so each block is processed once; side blocks are
+/// deliberately never pruned here.
+fn prune_main_chain(node: &mut EthNode) {
+    let mut cursor = node.tree.head();
+    while node.pruned.insert(cursor) {
+        let Some(body) = node.bodies.get(&cursor) else {
+            break;
+        };
+        for tx in &body.txs {
+            node.pool_ids.remove(&tx.id());
+        }
+        cursor = body.header.parent;
+    }
+}
+
+/// After a block connects, orphan children stored in `bodies` may now be
+/// on the tree without executed state; execute them in height order.
+fn execute_connected_descendants(ctx: &EthCtx, node: &mut EthNode, now: SimTime, from_id: Hash256) {
+    let mut frontier = vec![from_id];
+    while let Some(parent_id) = frontier.pop() {
+        let Some(&parent_root) = node.roots.get(&parent_id) else {
+            continue;
+        };
+        let children: Vec<Arc<Block>> = node
+            .bodies
+            .values()
+            .filter(|b| b.header.parent == parent_id && !node.roots.contains_key(&b.id()))
+            .cloned()
+            .collect();
+        for child in children {
+            node.state.set_root(parent_root);
+            let mut receipts = Vec::with_capacity(child.txs.len());
+            let mut exec_time = SimDuration::ZERO;
+            for tx in &child.txs {
+                match node.state.apply_transaction(
+                    tx,
+                    child.header.height,
+                    &ctx.vm,
+                    ctx.config.tx_gas_limit,
+                ) {
+                    Ok(res) => {
+                        exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000));
+                        receipts.push((tx.id(), res.success));
+                    }
+                    Err(_) => receipts.push((tx.id(), false)),
+                }
+                node.seen.insert(tx.id());
+            }
+            node.cpu.charge(now, exec_time);
+            let cid = child.id();
+            node.roots.insert(cid, node.state.root());
+            node.receipts.insert(cid, receipts);
+            frontier.push(cid);
+        }
+    }
+}
+
+/// A reorg abandoned part of the old chain: re-adopt its transactions.
+fn readopt_abandoned(node: &mut EthNode, old_head: Hash256) {
+    let mut cursor = old_head;
+    // Walk the old branch until we hit a block still on the main chain.
+    while !node.tree.on_main_chain(&cursor) {
+        let Some(body) = node.bodies.get(&cursor) else {
+            break;
+        };
+        let parent = body.header.parent;
+        let txs: Vec<Arc<Transaction>> = body.txs.iter().map(|t| Arc::new(t.clone())).collect();
+        for tx in txs {
+            if node.pool_ids.insert(tx.id()) {
+                node.pool.push_back(tx);
+            }
+        }
+        cursor = parent;
+    }
+}
+
+fn on_tx(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    me: NodeId,
+    now: SimTime,
+    tx: Arc<Transaction>,
+    gossiped: bool,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    node.cpu.charge(now, ctx.config.costs.sig_verify);
+    if !node.enqueue(Arc::clone(&tx)) {
+        return;
+    }
+    if !gossiped {
+        let size = tx.byte_size();
+        for peer in (0..ctx.config.nodes).map(NodeId) {
+            if peer == me || !node.rng.chance(ctx.config.tx_gossip_prob) {
+                continue;
+            }
+            let tx = Arc::clone(&tx);
+            fx.send(peer.0, size, move |_at| EthEvent::TxArrive { to: peer, tx, gossiped: true });
+        }
+    }
+}
+
+fn on_block(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    me: NodeId,
+    now: SimTime,
+    block: Arc<Block>,
+    from: NodeId,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    let had_head = node.tree.head();
+    adopt_block(ctx, node, now, me, block, Some(from), fx);
+    if node.tree.head() != had_head {
+        // Head moved: restart the mining race on the new head.
+        reschedule_mine(ctx, node, me, now, fx);
+    }
+    if me.index() == 0 {
+        refresh_confirmed(ctx, node, now);
+    }
+}
+
+fn on_block_request(
+    node: &mut EthNode,
+    me: NodeId,
+    wanted: Hash256,
+    from: NodeId,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    if let Some(body) = node.bodies.get(&wanted) {
+        let body = Arc::clone(body);
+        let bytes = body.byte_size();
+        fx.send(from.0, bytes, move |_at| EthEvent::BlockArrive { to: from, block: body, from: me });
+    }
+}
+
+/// Advance the observer's (node 0) confirmation log. Only lane-0 events can
+/// change node 0's tree, so this runs only on lane 0.
+fn refresh_confirmed(ctx: &EthCtx, node: &mut EthNode, now: SimTime) {
+    let depth = ctx.config.pow.confirm_depth;
+    let upto = node.tree.confirmed_height(depth);
+    while node.confirmed_height < upto {
+        let h = node.confirmed_height + 1;
+        let Some(id) = node.tree.main_chain_at(h) else {
+            break;
+        };
+        // Only blocks whose bodies and receipts node 0 holds.
+        let (Some(_body), Some(receipts)) = (node.bodies.get(&id), node.receipts.get(&id)) else {
+            break;
+        };
+        node.confirmed.push(BlockSummary {
+            id,
+            height: h,
+            proposer: node.bodies[&id].header.proposer,
+            confirmed_at_us: now.as_micros(),
+            txs: receipts.clone(),
+        });
+        node.confirmed_height = h;
+    }
 }
 
 impl EthereumChain {
@@ -148,7 +572,7 @@ impl EthereumChain {
             difficulty: 0,
             round: 0,
         };
-        let genesis_block = Rc::new(Block { header: genesis_header, txs: Vec::new() });
+        let genesis_block = Arc::new(Block { header: genesis_header, txs: Vec::new() });
         let genesis = genesis_block.id();
         // (genesis id flows into every node's BlockTree below)
         let vm = Vm::new(
@@ -159,6 +583,10 @@ impl EthereumChain {
             },
             Default::default(),
         );
+        // The network's stream forks off the root seed first (its draws sit
+        // on the serial/sharded boundary); each node then forks its own
+        // private stream for mining races and gossip flips.
+        let network = Network::new(config.nodes, config.link.clone(), rng.fork());
         let nodes = (0..config.nodes)
             .map(|_i| {
                 let mut state = AccountState::new(LsmStore::new_private(LsmConfig {
@@ -187,34 +615,21 @@ impl EthereumChain {
                     seen: HashSet::new(),
                     pruned: HashSet::from([genesis]),
                     cpu: CpuMeter::new(config.cores),
+                    rng: rng.fork(),
                     mine_generation: 0,
                     crashed: false,
+                    confirmed: Vec::new(),
+                    confirmed_height: 0,
                 };
-                node.bodies.insert(genesis, Rc::clone(&genesis_block));
+                node.bodies.insert(genesis, Arc::clone(&genesis_block));
                 node.roots.insert(genesis, node.state.root());
                 node.receipts.insert(genesis, Vec::new());
                 node
             })
             .collect();
-        let network = Network::new(config.nodes, config.link.clone(), rng.fork());
-        EthereumChain {
-            config,
-            vm,
-            nodes,
-            network,
-            rng,
-            sched: Scheduler::new(),
-            blocks_mined: 0,
-            confirmed: Vec::new(),
-            confirmed_height: 0,
-            started: false,
-            mem_peak: 0,
-        }
-    }
-
-    /// Access the shared VM (micro-benchmark harnesses).
-    pub fn vm(&self) -> &Vm {
-        &self.vm
+        let ctx = EthCtx { config: config.clone(), vm };
+        let engine = ShardedEngine::new(ctx, nodes, network.min_latency());
+        EthereumChain { config, engine, network, started: false, mem_peak: 0 }
     }
 
     fn start_mining(&mut self) {
@@ -222,437 +637,14 @@ impl EthereumChain {
             return;
         }
         self.started = true;
-        let now = self.sched.now();
-        for i in 0..self.nodes.len() {
-            let node = &mut self.nodes[i];
-            node.mine_generation += 1;
-            let generation = node.mine_generation;
-            let mean = self.config.pow.miner_interval(self.config.nodes);
-            let delay = self.rng.exp_duration(mean);
-            self.sched.schedule(now + delay, EthEvent::Mine { miner: NodeId(i as u32), generation });
-        }
-    }
-
-}
-
-impl World for EthWorldView<'_> {
-    type Event = EthEvent;
-
-    fn handle(&mut self, now: SimTime, event: EthEvent, sched: &mut Scheduler<EthEvent>) {
-        match event {
-            EthEvent::Mine { miner, generation } => self.on_mine(now, miner, generation, sched),
-            EthEvent::TxArrive { to, tx, gossiped } => self.on_tx(now, to, tx, gossiped, sched),
-            EthEvent::BlockArrive { to, block, from } => {
-                self.on_block(now, to, block, from, sched)
-            }
-            EthEvent::BlockRequest { to, wanted, from } => {
-                self.on_block_request(now, to, wanted, from, sched)
-            }
-        }
-    }
-}
-
-impl EthWorldView<'_> {
-    fn reschedule_mine(&mut self, now: SimTime, miner: NodeId, sched: &mut Scheduler<EthEvent>) {
-        let node = &mut self.nodes[miner.index()];
-        if node.crashed {
-            return;
-        }
-        node.mine_generation += 1;
-        let generation = node.mine_generation;
+        let now = self.engine.now();
         let mean = self.config.pow.miner_interval(self.config.nodes);
-        let delay = self.rng.exp_duration(mean);
-        sched.schedule(now + delay, EthEvent::Mine { miner, generation });
-    }
-
-    fn on_mine(
-        &mut self,
-        now: SimTime,
-        miner: NodeId,
-        generation: u64,
-        sched: &mut Scheduler<EthEvent>,
-    ) {
-        // PoW saturates the reserved cores whether or not a block is found.
-        let interval = self.config.pow.miner_interval(self.config.nodes);
-        {
-            let node = &mut self.nodes[miner.index()];
-            if node.crashed || node.mine_generation != generation {
-                return;
-            }
-            let from = SimTime(now.as_micros().saturating_sub(interval.as_micros().min(now.as_micros())));
-            node.cpu.saturate(from, now);
-        }
-        let block = self.build_block(now, miner);
-        *self.blocks_mined += 1;
-        let id = block.id();
-        let block = Rc::new(block);
-        // Adopt locally.
-        self.adopt_block(now, miner, Rc::clone(&block), None);
-        // Broadcast to every peer.
-        for peer in (0..self.network.node_count()).map(NodeId) {
-            if peer == miner {
-                continue;
-            }
-            if let Delivery::Deliver { at, corrupted } =
-                self.network.send(now, miner, peer, block.byte_size())
-            {
-                if !corrupted {
-                    sched.schedule(at, EthEvent::BlockArrive { to: peer, block: Rc::clone(&block), from: miner });
-                }
-            }
-        }
-        let _ = id;
-        self.reschedule_mine(now, miner, sched);
-        self.refresh_confirmed(now);
-    }
-
-    /// Assemble and execute a block on the miner's current head.
-    fn build_block(&mut self, now: SimTime, miner: NodeId) -> Block {
-        let difficulty = 1000; // uniform difficulty: heaviest == longest
-        let node = &mut self.nodes[miner.index()];
-        let parent = node.tree.head();
-        let parent_root = node.roots[&parent];
-        let height = node.tree.height_of(&parent).expect("head known") + 1;
-        node.state.set_root(parent_root);
-
-        let mut included: Vec<Transaction> = Vec::new();
-        let mut receipts: Vec<(TxId, bool)> = Vec::new();
-        let mut gas_total = 0u64;
-        let mut exec_time = SimDuration::ZERO;
-        // Future-nonce transactions buffered per sender, nonce-ordered —
-        // the pool is in arrival order, and gossip can deliver one sender's
-        // transactions out of nonce order. A plain FIFO pass would shunt
-        // every later transaction of that sender to the next block (each
-        // exactly one nonce ahead by the time it's popped), capping blocks
-        // at a handful of transactions; real pools queue per sender by
-        // nonce. Sender map is ordered so the put-back below is
-        // deterministic.
-        let mut future: std::collections::BTreeMap<Address, std::collections::BTreeMap<u64, Rc<Transaction>>> =
-            Default::default();
-        'fill: while included.len() < self.config.max_txs_per_block {
-            let Some(tx) = node.pool.pop_front() else {
-                break;
-            };
-            if !node.pool_ids.contains(&tx.id()) {
-                continue; // pruned
-            }
-            // Try this transaction, then any buffered successors it unblocks.
-            let mut next = Some(tx);
-            while let Some(tx) = next.take() {
-                match node.state.apply_transaction(&tx, height, self.vm, self.config.tx_gas_limit)
-                {
-                    Ok(res) => {
-                        gas_total += res.gas_used.max(1000);
-                        exec_time += self.config.costs.exec_time(res.gas_used.max(1000))
-                            + self.config.costs.sig_verify;
-                        node.pool_ids.remove(&tx.id());
-                        receipts.push((tx.id(), res.success));
-                        let nonce = tx.nonce;
-                        let from = tx.from;
-                        included.push((*tx).clone());
-                        if included.len() >= self.config.max_txs_per_block
-                            || gas_total >= self.config.block_gas_limit
-                        {
-                            break 'fill;
-                        }
-                        if let Some(q) = future.get_mut(&from) {
-                            next = q.remove(&(nonce + 1));
-                            if q.is_empty() {
-                                future.remove(&from);
-                            }
-                        }
-                    }
-                    Err(TxInvalid::BadNonce { expected, got }) if got > expected => {
-                        // Future nonce: hold until its predecessor applies.
-                        future.entry(tx.from).or_default().insert(got, tx);
-                    }
-                    Err(_) => {
-                        // Stale or broken: drop.
-                        node.pool_ids.remove(&tx.id());
-                    }
-                }
-            }
-        }
-        // Still-blocked transactions wait in the pool for a later block.
-        for (_, q) in future {
-            for (_, tx) in q {
-                node.pool.push_front(tx);
-            }
-        }
-        node.cpu.charge(now, exec_time);
-
-        let header = BlockHeader {
-            parent,
-            height,
-            timestamp_us: now.as_micros(),
-            tx_root: merkle_root(&included.iter().map(|t| t.id().0).collect::<Vec<_>>()),
-            state_root: node.state.root(),
-            proposer: miner,
-            difficulty,
-            round: 0,
-        };
-        let block = Block { header, txs: included };
-        let id = block.id();
-        node.roots.insert(id, node.state.root());
-        node.receipts.insert(id, receipts);
-        block
-    }
-
-    /// Validate (re-execute) and adopt a block into a node's tree.
-    fn adopt_block(
-        &mut self,
-        now: SimTime,
-        at: NodeId,
-        block: Rc<Block>,
-        sched_from: Option<(NodeId, &mut Scheduler<EthEvent>)>,
-    ) {
-        let id = block.id();
-        let node = &mut self.nodes[at.index()];
-        if node.bodies.contains_key(&id) {
-            return;
-        }
-        let parent = block.header.parent;
-        if let Some(&parent_root) = node.roots.get(&parent) {
-            // Full validation: re-execute on the parent state.
-            if !node.roots.contains_key(&id) {
-                node.state.set_root(parent_root);
-                let mut receipts = Vec::with_capacity(block.txs.len());
-                let mut exec_time = SimDuration::ZERO;
-                for tx in &block.txs {
-                    match node.state.apply_transaction(
-                        tx,
-                        block.header.height,
-                        self.vm,
-                        self.config.tx_gas_limit,
-                    ) {
-                        Ok(res) => {
-                            exec_time += self.config.costs.exec_time(res.gas_used.max(1000));
-                            receipts.push((tx.id(), res.success));
-                        }
-                        Err(_) => receipts.push((tx.id(), false)),
-                    }
-                    node.seen.insert(tx.id());
-                }
-                node.cpu.charge(now, exec_time);
-                node.roots.insert(id, node.state.root());
-                node.receipts.insert(id, receipts);
-            }
-            node.bodies.insert(id, Rc::clone(&block));
-            let old_head = node.tree.head();
-            let outcome = node.tree.insert(id, parent, block.header.difficulty);
-            if let InsertOutcome::NewHead { reorged } = outcome {
-                if reorged {
-                    self.readopt_abandoned(at, old_head);
-                }
-            }
-        } else {
-            // Orphan: stash in the tree and fetch the ancestor chain.
-            node.tree.insert(id, parent, block.header.difficulty);
-            node.bodies.insert(id, Rc::clone(&block));
-            if let Some((from, sched)) = sched_from {
-                if let Delivery::Deliver { at: t, corrupted } =
-                    self.network.send(now, at, from, 64)
-                {
-                    if !corrupted {
-                        sched.schedule(t, EthEvent::BlockRequest { to: from, wanted: parent, from: at });
-                    }
-                }
-            }
-            return;
-        }
-        // Connecting this block may have connected stored orphan children;
-        // execute any now-connected bodies we have roots missing for.
-        self.execute_connected_descendants(now, at, id);
-        // Whatever the head is now, drop its branch's transactions from the
-        // pool (after the reorg path above re-added the abandoned branch's).
-        self.prune_main_chain(at);
-    }
-
-    /// Remove the transactions of blocks that joined this node's main chain
-    /// from its pool. Walks head→genesis, stopping at the first block
-    /// already pruned, so each block is processed once; side blocks are
-    /// deliberately never pruned here.
-    fn prune_main_chain(&mut self, at: NodeId) {
-        let node = &mut self.nodes[at.index()];
-        let mut cursor = node.tree.head();
-        while node.pruned.insert(cursor) {
-            let Some(body) = node.bodies.get(&cursor) else {
-                break;
-            };
-            for tx in &body.txs {
-                node.pool_ids.remove(&tx.id());
-            }
-            cursor = body.header.parent;
-        }
-    }
-
-    /// After a block connects, orphan children stored in `bodies` may now be
-    /// on the tree without executed state; execute them in height order.
-    fn execute_connected_descendants(&mut self, now: SimTime, at: NodeId, from_id: Hash256) {
-        let node = &mut self.nodes[at.index()];
-        let mut frontier = vec![from_id];
-        while let Some(parent_id) = frontier.pop() {
-            let Some(&parent_root) = node.roots.get(&parent_id) else {
-                continue;
-            };
-            let children: Vec<Rc<Block>> = node
-                .bodies
-                .values()
-                .filter(|b| b.header.parent == parent_id && !node.roots.contains_key(&b.id()))
-                .cloned()
-                .collect();
-            for child in children {
-                node.state.set_root(parent_root);
-                let mut receipts = Vec::with_capacity(child.txs.len());
-                let mut exec_time = SimDuration::ZERO;
-                for tx in &child.txs {
-                    match node.state.apply_transaction(
-                        tx,
-                        child.header.height,
-                        self.vm,
-                        self.config.tx_gas_limit,
-                    ) {
-                        Ok(res) => {
-                            exec_time += self.config.costs.exec_time(res.gas_used.max(1000));
-                            receipts.push((tx.id(), res.success));
-                        }
-                        Err(_) => receipts.push((tx.id(), false)),
-                    }
-                    node.seen.insert(tx.id());
-                }
-                node.cpu.charge(now, exec_time);
-                let cid = child.id();
-                node.roots.insert(cid, node.state.root());
-                node.receipts.insert(cid, receipts);
-                frontier.push(cid);
-            }
-        }
-    }
-
-    /// A reorg abandoned part of the old chain: re-adopt its transactions.
-    fn readopt_abandoned(&mut self, at: NodeId, old_head: Hash256) {
-        let node = &mut self.nodes[at.index()];
-        let mut cursor = old_head;
-        // Walk the old branch until we hit a block still on the main chain.
-        while !node.tree.on_main_chain(&cursor) {
-            let Some(body) = node.bodies.get(&cursor) else {
-                break;
-            };
-            let parent = body.header.parent;
-            let txs: Vec<Rc<Transaction>> =
-                body.txs.iter().map(|t| Rc::new(t.clone())).collect();
-            for tx in txs {
-                if node.pool_ids.insert(tx.id()) {
-                    node.pool.push_back(tx);
-                }
-            }
-            cursor = parent;
-        }
-    }
-
-    fn on_tx(
-        &mut self,
-        now: SimTime,
-        to: NodeId,
-        tx: Rc<Transaction>,
-        gossiped: bool,
-        sched: &mut Scheduler<EthEvent>,
-    ) {
-        let node = &mut self.nodes[to.index()];
-        if node.crashed {
-            return;
-        }
-        node.cpu.charge(now, self.config.costs.sig_verify);
-        if !node.enqueue(Rc::clone(&tx)) {
-            return;
-        }
-        if !gossiped {
-            let size = tx.byte_size();
-            for peer in (0..self.network.node_count()).map(NodeId) {
-                if peer == to || !self.rng.chance(self.config.tx_gossip_prob) {
-                    continue;
-                }
-                if let Delivery::Deliver { at, corrupted } = self.network.send(now, to, peer, size)
-                {
-                    if !corrupted {
-                        sched.schedule(
-                            at,
-                            EthEvent::TxArrive { to: peer, tx: Rc::clone(&tx), gossiped: true },
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    fn on_block(
-        &mut self,
-        now: SimTime,
-        to: NodeId,
-        block: Rc<Block>,
-        from: NodeId,
-        sched: &mut Scheduler<EthEvent>,
-    ) {
-        if self.nodes[to.index()].crashed {
-            return;
-        }
-        let had_head = self.nodes[to.index()].tree.head();
-        self.adopt_block(now, to, block, Some((from, sched)));
-        let node = &mut self.nodes[to.index()];
-        if node.tree.head() != had_head {
-            // Head moved: restart the mining race on the new head.
-            self.reschedule_mine(now, to, sched);
-        }
-        self.refresh_confirmed(now);
-    }
-
-    fn on_block_request(
-        &mut self,
-        now: SimTime,
-        to: NodeId,
-        wanted: Hash256,
-        from: NodeId,
-        sched: &mut Scheduler<EthEvent>,
-    ) {
-        let node = &self.nodes[to.index()];
-        if node.crashed {
-            return;
-        }
-        if let Some(body) = node.bodies.get(&wanted) {
-            let body = Rc::clone(body);
-            if let Delivery::Deliver { at, corrupted } =
-                self.network.send(now, to, from, body.byte_size())
-            {
-                if !corrupted {
-                    sched.schedule(at, EthEvent::BlockArrive { to: from, block: body, from: to });
-                }
-            }
-        }
-    }
-
-    /// Advance the observer's (node 0) confirmation log.
-    fn refresh_confirmed(&mut self, now: SimTime) {
-        let depth = self.config.pow.confirm_depth;
-        let node = &self.nodes[0];
-        let upto = node.tree.confirmed_height(depth);
-        while *self.confirmed_height < upto {
-            let h = *self.confirmed_height + 1;
-            let Some(id) = node.tree.main_chain_at(h) else {
-                break;
-            };
-            // Only blocks whose bodies and receipts node 0 holds.
-            let (Some(_body), Some(receipts)) = (node.bodies.get(&id), node.receipts.get(&id))
-            else {
-                break;
-            };
-            self.confirmed.push(BlockSummary {
-                id,
-                height: h,
-                proposer: node.bodies[&id].header.proposer,
-                confirmed_at_us: now.as_micros(),
-                txs: receipts.clone(),
+        for i in 0..self.config.nodes {
+            let (generation, delay) = self.engine.with_node_mut(i, |node| {
+                node.mine_generation += 1;
+                (node.mine_generation, node.rng.exp_duration(mean))
             });
-            *self.confirmed_height = h;
+            self.engine.schedule(now + delay, EthEvent::Mine { miner: NodeId(i), generation });
         }
     }
 }
@@ -668,70 +660,45 @@ impl BlockchainConnector for EthereumChain {
 
     fn deploy(&mut self, bundle: &ContractBundle) -> Address {
         assert!(!self.started, "deploy contracts before the run starts");
-        let addr = Address::contract(&Address::ZERO, self.nodes[0].seen.len() as u64);
-        for node in &mut self.nodes {
-            let head = node.tree.head();
-            let root = node.roots[&head];
-            node.state.set_root(root);
-            node.state.install_contract(&addr, &bundle.svm).expect("setup store healthy");
-            node.roots.insert(head, node.state.root());
+        let addr = Address::contract(&Address::ZERO, self.engine.with_node(0, |n| n.seen.len()) as u64);
+        for i in 0..self.config.nodes {
+            self.engine.with_node_mut(i, |node| {
+                let head = node.tree.head();
+                let root = node.roots[&head];
+                node.state.set_root(root);
+                node.state.install_contract(&addr, &bundle.svm).expect("setup store healthy");
+                node.roots.insert(head, node.state.root());
+            });
         }
         addr
     }
 
     fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
         self.start_mining();
-        let now = self.sched.now();
+        let now = self.engine.now();
         let at = now + self.config.rpc_delay;
-        self.sched
-            .schedule(at, EthEvent::TxArrive { to: server, tx: Rc::new(tx), gossiped: false });
+        self.engine
+            .schedule(at, EthEvent::TxArrive { to: server, tx: Arc::new(tx), gossiped: false });
         true
     }
 
     fn advance_to(&mut self, t: SimTime) {
         self.start_mining();
-        let (mut view, sched) = {
-            // Split borrows manually: Scheduler is a sibling field.
-            let EthereumChain {
-                config,
-                vm,
-                nodes,
-                network,
-                rng,
-                sched,
-                blocks_mined,
-                confirmed,
-                confirmed_height,
-                ..
-            } = self;
-            (
-                EthWorldView {
-                    config,
-                    vm,
-                    nodes,
-                    network,
-                    rng,
-                    blocks_mined,
-                    confirmed,
-                    confirmed_height,
-                },
-                sched,
-            )
-        };
-        sched.run_until(&mut view, t);
+        self.engine.run_until(t, &mut self.network);
     }
 
     fn now(&self) -> SimTime {
-        self.sched.now()
+        self.engine.now()
     }
 
     fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary> {
-        self.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+        self.engine.with_node(0, |node| {
+            node.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+        })
     }
 
     fn query(&mut self, q: &Query) -> Result<QueryResult, QueryError> {
-        let node = &mut self.nodes[0];
-        match q {
+        self.engine.with_ctx_node_mut(0, |ctx, node| match q {
             Query::BlockTxs { height } => {
                 let id = node.tree.main_chain_at(*height).ok_or(QueryError::NotFound)?;
                 let body = node.bodies.get(&id).ok_or(QueryError::NotFound)?;
@@ -769,7 +736,7 @@ impl BlockchainConnector for EthereumChain {
                 let height = node.tree.head_height();
                 let res = node
                     .state
-                    .apply_transaction(&tx, height, &self.vm, self.config.tx_gas_limit)
+                    .apply_transaction(&tx, height, &ctx.vm, ctx.config.tx_gas_limit)
                     .map_err(|e| QueryError::Contract(e.to_string()))?;
                 // Roll the state change back: queries are not transactions.
                 node.state.set_root(root);
@@ -780,22 +747,24 @@ impl BlockchainConnector for EthereumChain {
                 }
                 Ok(QueryResult {
                     data: res.output,
-                    server_cost: self.config.costs.exec_time(res.gas_used),
+                    server_cost: ctx.config.costs.exec_time(res.gas_used),
                 })
             }
-        }
+        })
     }
 
     fn inject(&mut self, fault: Fault) {
         match fault {
             Fault::Crash(node) => {
                 self.network.crash(node);
-                self.nodes[node.index()].crashed = true;
-                self.nodes[node.index()].mine_generation += 1; // cancel races
+                self.engine.with_node_mut(node.0, |n| {
+                    n.crashed = true;
+                    n.mine_generation += 1; // cancel races
+                });
             }
             Fault::Recover(node) => {
                 self.network.recover(node);
-                self.nodes[node.index()].crashed = false;
+                self.engine.with_node_mut(node.0, |n| n.crashed = false);
                 self.started = false;
                 self.start_mining();
             }
@@ -807,27 +776,27 @@ impl BlockchainConnector for EthereumChain {
     }
 
     fn stats(&self) -> PlatformStats {
-        let n = self.nodes.len();
+        let n = self.config.nodes as usize;
         let mut disk = 0u64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
-        for node in &self.nodes {
-            disk += node.state.store().stats().disk_bytes;
-            let (h, m) = node.state.trie_cache_stats();
-            cache_hits += h;
-            cache_misses += m;
-        }
         // Average per-second CPU and network series over nodes.
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            let series = node.cpu.utilisation_series();
-            if series.len() > cpu.len() {
-                cpu.resize(series.len(), 0.0);
-            }
-            for (j, v) in series.iter().enumerate() {
-                cpu[j] += v / n as f64;
-            }
-            let tx = self.network.tx_mbps_series(NodeId(i as u32));
+        for i in 0..self.config.nodes {
+            self.engine.with_node(i, |node| {
+                disk += node.state.store().stats().disk_bytes;
+                let (h, m) = node.state.trie_cache_stats();
+                cache_hits += h;
+                cache_misses += m;
+                let series = node.cpu.utilisation_series();
+                if series.len() > cpu.len() {
+                    cpu.resize(series.len(), 0.0);
+                }
+                for (j, v) in series.iter().enumerate() {
+                    cpu[j] += v / n as f64;
+                }
+            });
+            let tx = self.network.tx_mbps_series(NodeId(i));
             if tx.len() > net.len() {
                 net.resize(tx.len(), 0.0);
             }
@@ -835,10 +804,13 @@ impl BlockchainConnector for EthereumChain {
                 net[j] += v / n as f64;
             }
         }
+        let (blocks_main, txs_committed) = self.engine.with_node(0, |node| {
+            (node.tree.main_chain_len(), node.confirmed.iter().map(|b| b.txs.len() as u64).sum())
+        });
         PlatformStats {
-            blocks_total: self.blocks_mined,
-            blocks_main: self.nodes[0].tree.main_chain_len(),
-            txs_committed: self.confirmed.iter().map(|b| b.txs.len() as u64).sum(),
+            blocks_total: self.engine.counter(BLOCKS_MINED),
+            blocks_main,
+            txs_committed,
             disk_bytes: disk,
             mem_peak_bytes: self.mem_peak.max(self.config.costs.mem_base),
             cpu_utilisation: cpu,
@@ -852,85 +824,96 @@ impl BlockchainConnector for EthereumChain {
     fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
         assert!(!self.started, "preload before the run starts");
         for txs in blocks {
-            let now = self.sched.now();
-            for i in 0..self.nodes.len() {
-                let node = &mut self.nodes[i];
-                let parent = node.tree.head();
-                let parent_root = node.roots[&parent];
-                let height = node.tree.head_height() + 1;
-                node.state.set_root(parent_root);
-                let mut receipts = Vec::with_capacity(txs.len());
-                for tx in &txs {
-                    let ok = node
-                        .state
-                        .apply_transaction(tx, height, &self.vm, self.config.tx_gas_limit)
-                        .map(|r| r.success)
-                        .unwrap_or(false);
-                    receipts.push((tx.id(), ok));
-                }
-                let header = BlockHeader {
-                    parent,
-                    height,
-                    timestamp_us: now.as_micros(),
-                    tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
-                    state_root: node.state.root(),
-                    proposer: NodeId(0),
-                    difficulty: 1000,
-                    round: 0,
-                };
-                let block = Rc::new(Block { header, txs: txs.clone() });
-                let id = block.id();
-                node.roots.insert(id, node.state.root());
-                node.receipts.insert(id, receipts.clone());
-                node.bodies.insert(id, Rc::clone(&block));
-                node.tree.insert(id, parent, 1000);
-                node.pruned.insert(id);
-                if i == 0 {
-                    self.blocks_mined += 1;
-                    self.confirmed.push(BlockSummary {
-                        id,
+            let now = self.engine.now();
+            for i in 0..self.config.nodes {
+                self.engine.with_ctx_node_mut(i, |ctx, node| {
+                    let parent = node.tree.head();
+                    let parent_root = node.roots[&parent];
+                    let height = node.tree.head_height() + 1;
+                    node.state.set_root(parent_root);
+                    let mut receipts = Vec::with_capacity(txs.len());
+                    for tx in &txs {
+                        let ok = node
+                            .state
+                            .apply_transaction(tx, height, &ctx.vm, ctx.config.tx_gas_limit)
+                            .map(|r| r.success)
+                            .unwrap_or(false);
+                        receipts.push((tx.id(), ok));
+                    }
+                    let header = BlockHeader {
+                        parent,
                         height,
+                        timestamp_us: now.as_micros(),
+                        tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+                        state_root: node.state.root(),
                         proposer: NodeId(0),
-                        confirmed_at_us: now.as_micros(),
-                        txs: receipts,
-                    });
-                    self.confirmed_height = height;
+                        difficulty: 1000,
+                        round: 0,
+                    };
+                    let block = Arc::new(Block { header, txs: txs.clone() });
+                    let id = block.id();
+                    node.roots.insert(id, node.state.root());
+                    node.receipts.insert(id, receipts.clone());
+                    node.bodies.insert(id, Arc::clone(&block));
+                    node.tree.insert(id, parent, 1000);
+                    node.pruned.insert(id);
+                    if i == 0 {
+                        node.confirmed.push(BlockSummary {
+                            id,
+                            height,
+                            proposer: NodeId(0),
+                            confirmed_at_us: now.as_micros(),
+                            txs: receipts,
+                        });
+                        node.confirmed_height = height;
+                    }
+                });
+                if i == 0 {
+                    self.engine.bump_counter(BLOCKS_MINED, 1);
                 }
             }
         }
     }
 
     fn execute_direct(&mut self, tx: Transaction) -> DirectExec {
-        let node = &mut self.nodes[0];
-        let head = node.tree.head();
-        let root = node.roots[&head];
-        node.state.set_root(root);
-        let height = node.tree.head_height();
-        match node.state.apply_transaction(&tx, height, &self.vm, u64::MAX / 2) {
-            Ok(res) => {
-                let modeled = self.config.costs.modeled_mem(res.vm_peak_mem);
-                self.mem_peak = self.mem_peak.max(modeled);
-                // Commit the direct execution as the new head state.
-                node.roots.insert(head, node.state.root());
-                DirectExec {
-                    success: res.success,
-                    duration: self.config.costs.sig_verify
-                        + self.config.costs.exec_time(res.gas_used),
-                    gas_used: res.gas_used,
-                    modeled_mem: modeled,
-                    output: res.output,
-                    error: res.error,
+        let (exec, modeled) = self.engine.with_ctx_node_mut(0, |ctx, node| {
+            let head = node.tree.head();
+            let root = node.roots[&head];
+            node.state.set_root(root);
+            let height = node.tree.head_height();
+            match node.state.apply_transaction(&tx, height, &ctx.vm, u64::MAX / 2) {
+                Ok(res) => {
+                    let modeled = ctx.config.costs.modeled_mem(res.vm_peak_mem);
+                    // Commit the direct execution as the new head state.
+                    node.roots.insert(head, node.state.root());
+                    (
+                        DirectExec {
+                            success: res.success,
+                            duration: ctx.config.costs.sig_verify
+                                + ctx.config.costs.exec_time(res.gas_used),
+                            gas_used: res.gas_used,
+                            modeled_mem: modeled,
+                            output: res.output,
+                            error: res.error,
+                        },
+                        modeled,
+                    )
                 }
+                Err(e) => (
+                    DirectExec {
+                        success: false,
+                        duration: ctx.config.costs.sig_verify,
+                        gas_used: 0,
+                        modeled_mem: 0,
+                        output: Vec::new(),
+                        error: Some(e.to_string()),
+                    },
+                    0,
+                ),
             }
-            Err(e) => DirectExec {
-                success: false,
-                duration: self.config.costs.sig_verify,
-                gas_used: 0,
-                modeled_mem: 0,
-                output: Vec::new(),
-                error: Some(e.to_string()),
-            },
-        }
+        });
+        self.mem_peak = self.mem_peak.max(modeled);
+        exec
     }
 }
 
@@ -975,18 +958,15 @@ mod tests {
         }
         chain.advance_to(SimTime::from_secs(40));
         // All nodes should agree on the confirmed prefix.
-        let h0 = chain.nodes[0].tree.confirmed_height(2);
+        let h0 = chain.engine.with_node(0, |n| n.tree.confirmed_height(2));
         for i in 1..4 {
-            let hi = chain.nodes[i].tree.confirmed_height(2);
+            let hi = chain.engine.with_node(i, |n| n.tree.confirmed_height(2));
             let common = h0.min(hi);
-            assert!(
-                common > 0,
-                "node {i} has no confirmed chain (h0={h0}, hi={hi})"
-            );
+            assert!(common > 0, "node {i} has no confirmed chain (h0={h0}, hi={hi})");
             for h in 1..=common {
                 assert_eq!(
-                    chain.nodes[0].tree.main_chain_at(h),
-                    chain.nodes[i].tree.main_chain_at(h),
+                    chain.engine.with_node(0, |n| n.tree.main_chain_at(h)),
+                    chain.engine.with_node(i, |n| n.tree.main_chain_at(h)),
                     "divergence at height {h} on node {i}"
                 );
             }
@@ -1015,7 +995,8 @@ mod tests {
         let forked = stats.blocks_total - stats.blocks_main;
         assert!(forked > 5, "partition produced only {forked} fork blocks");
         // After healing, all nodes agree on the head within confirmation depth.
-        let heads: Vec<_> = chain.nodes.iter().map(|n| n.tree.head_height()).collect();
+        let heads: Vec<_> =
+            (0..8).map(|i| chain.engine.with_node(i, |n| n.tree.head_height())).collect();
         let max = *heads.iter().max().unwrap();
         let min = *heads.iter().min().unwrap();
         assert!(max - min <= 3, "heads diverged after heal: {heads:?}");
@@ -1085,5 +1066,32 @@ mod tests {
         let committed: usize =
             chain.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
         assert_eq!(committed, 1);
+    }
+
+    /// Same seed, serial vs forced-parallel: byte-identical results. Mining
+    /// races, gossip flips and LSM stores are all lane-local, so thread
+    /// scheduling must be invisible.
+    #[test]
+    fn serial_and_sharded_runs_are_byte_identical() {
+        fn run() -> String {
+            let mut chain = small_chain(4);
+            let contract = chain.deploy(&ycsb::bundle());
+            for nonce in 0..25 {
+                chain.submit(
+                    NodeId((nonce % 4) as u32),
+                    client_tx(3, nonce, contract, ycsb::write_call(nonce, b"w")),
+                );
+            }
+            chain.advance_to(SimTime::from_secs(20));
+            format!("{:?}\n{:?}", chain.confirmed_blocks_since(0), chain.stats())
+        }
+        // Only this test in the crate touches the process-global knobs.
+        std::env::set_var("BB_SERIAL", "1");
+        let serial = run();
+        std::env::remove_var("BB_SERIAL");
+        std::env::set_var("BB_SHARD_THREADS", "3");
+        let sharded = run();
+        std::env::remove_var("BB_SHARD_THREADS");
+        assert_eq!(serial, sharded);
     }
 }

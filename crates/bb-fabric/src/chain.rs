@@ -8,14 +8,21 @@
 //! collapse: "the consensus messages are rejected by other peers on account
 //! of the message channel being full. As messages are dropped, the views
 //! start to diverge and lead to unreachable consensus" (Section 4.1.2).
+//!
+//! The world is *sharded*: each peer is a lane of a
+//! [`ShardedEngine`], every event routes to exactly one peer, and all
+//! cross-peer traffic goes through the network outbox, so one Fabric run can
+//! execute its per-node work (batch execution, message processing) on
+//! several cores while staying byte-identical to the serial path (see
+//! `bb_sim::shard` and DESIGN.md §5).
 
 use crate::config::FabricConfig;
 use crate::state::FabricState;
 use bb_consensus::pbft::{Action, PbftConfig, PbftMsg, PbftNode};
 use bb_crypto::Hash256;
 use bb_merkle::merkle_root;
-use bb_net::{Delivery, Network};
-use bb_sim::{CpuMeter, Scheduler, SimDuration, SimRng, SimTime, World};
+use bb_net::Network;
+use bb_sim::{CpuMeter, Effects, ShardedEngine, ShardedWorld, SimDuration, SimRng, SimTime};
 use bb_types::{Address, Block, BlockHeader, BlockSummary, Encoder, NodeId, Transaction, TxId};
 use blockbench::connector::{
     BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
@@ -79,24 +86,277 @@ struct FabNode {
     ingress_busy_until: SimTime,
     /// Execution time owed by the pipeline before the next drain.
     pipeline_penalty: SimDuration,
+    /// Confirmed-block log; only the observer (node 0) appends to it.
+    confirmed: Vec<BlockSummary>,
 }
+
+/// Read-only context shared by every lane.
+struct FabCtx {
+    config: FabricConfig,
+}
+
+/// The sharded-world marker type for Fabric.
+struct FabWorld;
 
 /// The Fabric-like platform.
 pub struct FabricChain {
     config: FabricConfig,
-    nodes: Vec<FabNode>,
+    engine: ShardedEngine<FabWorld>,
     network: Network,
-    sched: Scheduler<FabEvent>,
-    confirmed: Vec<BlockSummary>,
     contracts: Vec<(Address, blockbench::contract::ChaincodeFactory)>,
     mem_peak: u64,
 }
 
-struct FabView<'a> {
-    config: &'a FabricConfig,
-    nodes: &'a mut Vec<FabNode>,
-    network: &'a mut Network,
-    confirmed: &'a mut Vec<BlockSummary>,
+impl ShardedWorld for FabWorld {
+    type Event = FabEvent;
+    type Node = FabNode;
+    type Ctx = FabCtx;
+
+    fn route(_ctx: &FabCtx, event: &FabEvent) -> u32 {
+        match event {
+            FabEvent::Ingress { to, .. } | FabEvent::Consensus { to, .. } => to.0,
+            FabEvent::Drain { node, .. } | FabEvent::Wake { node } => node.0,
+        }
+    }
+
+    fn handle(
+        ctx: &FabCtx,
+        lane: u32,
+        node: &mut FabNode,
+        now: SimTime,
+        event: FabEvent,
+        fx: &mut Effects<FabEvent>,
+    ) {
+        let id = NodeId(lane);
+        match event {
+            FabEvent::Ingress { req, .. } => on_ingress(ctx, node, id, now, req, fx),
+            FabEvent::Consensus { from, msg, .. } => {
+                enqueue(ctx, node, id, now, InboxItem::Message(from, msg), fx)
+            }
+            FabEvent::Drain { generation, .. } => on_drain(ctx, node, id, now, generation, fx),
+            FabEvent::Wake { .. } => on_wake(ctx, node, id, now, fx),
+        }
+    }
+}
+
+/// A client request cleared the paced ingress thread: hand it to PBFT
+/// (which forwards to the primary) and relay it to the other peers so
+/// they can watch for liveness. Relays travel through the *bounded*
+/// consensus channel.
+fn on_ingress(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    to: NodeId,
+    now: SimTime,
+    req: Vec<u8>,
+    fx: &mut Effects<FabEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    // Ingress-side signature verification.
+    node.cpu.charge(now, SimDuration::from_micros(500));
+    let actions = node.pbft.on_request(req.clone(), now);
+    let primary_gets_forward = actions
+        .iter()
+        .any(|a| matches!(a, Action::Send(_, PbftMsg::Forward(_))));
+    dispatch(ctx, node, to, now, actions, fx);
+    // Relay to everyone who has not seen it (skip the primary if the
+    // PBFT layer already forwarded there).
+    let primary = {
+        // Reconstruct the primary of the node's current view.
+        let view = node.pbft.view();
+        NodeId((view % ctx.config.nodes as u64) as u32)
+    };
+    for peer in (0..ctx.config.nodes).map(NodeId) {
+        if peer == to || (primary_gets_forward && peer == primary) {
+            continue;
+        }
+        send_msg(peer, PbftMsg::Forward(req.clone()), fx);
+    }
+    schedule_wake(node, to, now, fx);
+}
+
+/// Deliver into the bounded channel; full channel drops the item.
+fn enqueue(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    to: NodeId,
+    now: SimTime,
+    item: InboxItem,
+    fx: &mut Effects<FabEvent>,
+) {
+    let cap = ctx.config.channel_capacity;
+    let cost = ctx.config.msg_process_cost;
+    if node.crashed {
+        return;
+    }
+    if node.inbox.len() >= cap {
+        node.dropped_msgs += 1;
+        return;
+    }
+    node.inbox.push_back(item);
+    if !node.draining {
+        node.draining = true;
+        node.drain_generation += 1;
+        let generation = node.drain_generation;
+        let penalty = std::mem::take(&mut node.pipeline_penalty);
+        fx.schedule(now + cost + penalty, FabEvent::Drain { node: to, generation });
+    }
+}
+
+fn on_drain(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    id: NodeId,
+    now: SimTime,
+    generation: u64,
+    fx: &mut Effects<FabEvent>,
+) {
+    let cost = ctx.config.msg_process_cost;
+    if node.crashed || node.drain_generation != generation {
+        return;
+    }
+    node.cpu.charge(now, cost);
+    let Some(item) = node.inbox.pop_front() else {
+        node.draining = false;
+        return;
+    };
+    let InboxItem::Message(from, msg) = item;
+    let actions = node.pbft.on_message(from, msg, now);
+    if node.inbox.is_empty() {
+        node.draining = false;
+    } else {
+        node.drain_generation += 1;
+        let generation = node.drain_generation;
+        let penalty = std::mem::take(&mut node.pipeline_penalty);
+        fx.schedule(now + cost + penalty, FabEvent::Drain { node: id, generation });
+    }
+    dispatch(ctx, node, id, now, actions, fx);
+    schedule_wake(node, id, now, fx);
+}
+
+fn on_wake(ctx: &FabCtx, node: &mut FabNode, id: NodeId, now: SimTime, fx: &mut Effects<FabEvent>) {
+    node.wake_scheduled = None;
+    if node.crashed {
+        return;
+    }
+    let actions = node.pbft.on_tick(now);
+    dispatch(ctx, node, id, now, actions, fx);
+    schedule_wake(node, id, now, fx);
+}
+
+fn schedule_wake(node: &mut FabNode, id: NodeId, now: SimTime, fx: &mut Effects<FabEvent>) {
+    if node.crashed {
+        return;
+    }
+    let Some(wake) = node.pbft.next_wake() else {
+        return;
+    };
+    let wake = wake.max(now + SimDuration::from_micros(1));
+    if node.wake_scheduled.is_none_or(|t| wake < t) {
+        node.wake_scheduled = Some(wake);
+        fx.schedule(wake, FabEvent::Wake { node: id });
+    }
+}
+
+fn dispatch(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    from: NodeId,
+    now: SimTime,
+    actions: Vec<Action>,
+    fx: &mut Effects<FabEvent>,
+) {
+    for action in actions {
+        match action {
+            Action::Send(to, msg) => send_msg(to, msg, fx),
+            Action::Broadcast(msg) => {
+                for to in (0..ctx.config.nodes).map(NodeId) {
+                    if to != from {
+                        send_msg(to, msg.clone(), fx);
+                    }
+                }
+            }
+            Action::CommitBatch { seq, batch } => commit_batch(ctx, node, from, now, seq, batch),
+            // A replica jumped past garbage-collected consensus history.
+            // With the default horizon (1024 batches) no benchmark sweep
+            // ever trims the log, so this only fires in hand-built
+            // scenarios; the simulation does not model the application
+            // state transfer a real deployment would run here — the
+            // replica keeps serving consensus from the checkpoint on.
+            Action::InstallCheckpoint { .. } => {}
+        }
+    }
+}
+
+/// Queue a consensus message into the network outbox. Delivery time (and
+/// loss under faults) is decided at the window merge; corrupted messages
+/// fail signature verification at the receiver and are discarded (the
+/// paper's "random response" fault, Section 3.3).
+fn send_msg(to: NodeId, msg: PbftMsg, fx: &mut Effects<FabEvent>) {
+    let from = NodeId(fx.lane());
+    let bytes = msg.byte_size();
+    fx.send(to.0, bytes, move |_at| FabEvent::Consensus { to, from, msg });
+}
+
+/// Execute a committed batch and append the block.
+fn commit_batch(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    at: NodeId,
+    now: SimTime,
+    seq: u64,
+    batch: Vec<Vec<u8>>,
+) {
+    let height = node.blocks.len() as u64 + 1;
+    let mut txs = Vec::with_capacity(batch.len());
+    let mut receipts = Vec::with_capacity(batch.len());
+    let mut exec_time = SimDuration::ZERO;
+    for raw in &batch {
+        let Ok(tx) = Transaction::decode(raw) else {
+            continue;
+        };
+        let id = tx.id();
+        if !node.executed.insert(id) {
+            continue; // re-proposed duplicate
+        }
+        let res = node.state.invoke(&tx, height, true);
+        exec_time += ctx.config.invoke_time(res.units, res.state_ops);
+        receipts.push((id, res.success));
+        txs.push(tx);
+    }
+    node.cpu.charge(now, exec_time);
+    // Execution occupies the same event loop as message processing:
+    // the next drain waits for it.
+    node.pipeline_penalty += exec_time;
+    let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
+    // Headers must be byte-identical across replicas: the timestamp is
+    // the deterministic sequence number, not local delivery time.
+    let header = BlockHeader {
+        parent,
+        height,
+        timestamp_us: seq,
+        tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+        state_root: node.state.root(),
+        proposer: NodeId((seq % ctx.config.nodes as u64) as u32),
+        difficulty: 0,
+        round: seq,
+    };
+    let block = Block { header, txs };
+    if at.index() == 0 {
+        // PBFT confirms immediately: "Hyperledger confirms a block as
+        // soon as it appears on the blockchain" (Section 3.2).
+        node.confirmed.push(BlockSummary {
+            id: block.id(),
+            height,
+            proposer: block.header.proposer,
+            confirmed_at_us: now.as_micros(),
+            txs: receipts.clone(),
+        });
+    }
+    node.receipts.push(receipts);
+    node.blocks.push(block);
 }
 
 impl FabricChain {
@@ -129,246 +389,23 @@ impl FabricChain {
                 wake_scheduled: None,
                 ingress_busy_until: SimTime::ZERO,
                 pipeline_penalty: SimDuration::ZERO,
+                confirmed: Vec::new(),
             })
             .collect();
         let network = Network::new(config.nodes, config.link.clone(), rng.fork());
-        FabricChain {
-            config,
+        let engine = ShardedEngine::new(
+            FabCtx { config: config.clone() },
             nodes,
-            network,
-            sched: Scheduler::new(),
-            confirmed: Vec::new(),
-            contracts: Vec::new(),
-            mem_peak: 0,
-        }
+            network.min_latency(),
+        );
+        FabricChain { config, engine, network, contracts: Vec::new(), mem_peak: 0 }
     }
 
     /// Consensus-message drops so far (diagnostics for the collapse).
     pub fn dropped_messages(&self) -> u64 {
-        self.nodes.iter().map(|n| n.dropped_msgs).sum()
-    }
-
-    fn run(&mut self, t: SimTime) {
-        let FabricChain { config, nodes, network, sched, confirmed, .. } = self;
-        let mut view = FabView { config, nodes, network, confirmed };
-        sched.run_until(&mut view, t);
-    }
-}
-
-impl World for FabView<'_> {
-    type Event = FabEvent;
-
-    fn handle(&mut self, now: SimTime, event: FabEvent, sched: &mut Scheduler<FabEvent>) {
-        match event {
-            FabEvent::Ingress { to, req } => self.on_ingress(now, to, req, sched),
-            FabEvent::Consensus { to, from, msg } => {
-                self.enqueue(now, to, InboxItem::Message(from, msg), sched)
-            }
-            FabEvent::Drain { node, generation } => self.on_drain(now, node, generation, sched),
-            FabEvent::Wake { node } => self.on_wake(now, node, sched),
-        }
-    }
-}
-
-impl FabView<'_> {
-    /// A client request cleared the paced ingress thread: hand it to PBFT
-    /// (which forwards to the primary) and relay it to the other peers so
-    /// they can watch for liveness. Relays travel through the *bounded*
-    /// consensus channel.
-    fn on_ingress(&mut self, now: SimTime, to: NodeId, req: Vec<u8>, sched: &mut Scheduler<FabEvent>) {
-        let node = &mut self.nodes[to.index()];
-        if node.crashed {
-            return;
-        }
-        // Ingress-side signature verification.
-        node.cpu.charge(now, SimDuration::from_micros(500));
-        let actions = node.pbft.on_request(req.clone(), now);
-        let primary_gets_forward = actions
-            .iter()
-            .any(|a| matches!(a, Action::Send(_, PbftMsg::Forward(_))));
-        self.dispatch(now, to, actions, sched);
-        // Relay to everyone who has not seen it (skip the primary if the
-        // PBFT layer already forwarded there).
-        let primary = {
-            let node = &self.nodes[to.index()];
-            // Reconstruct the primary of the node's current view.
-            let view = node.pbft.view();
-            NodeId((view % self.config.nodes as u64) as u32)
-        };
-        for peer in (0..self.network.node_count()).map(NodeId) {
-            if peer == to || (primary_gets_forward && peer == primary) {
-                continue;
-            }
-            self.send(now, to, peer, PbftMsg::Forward(req.clone()), sched);
-        }
-        self.schedule_wake(now, to, sched);
-    }
-
-    /// Deliver into the bounded channel; full channel drops the item.
-    fn enqueue(&mut self, now: SimTime, to: NodeId, item: InboxItem, sched: &mut Scheduler<FabEvent>) {
-        let cap = self.config.channel_capacity;
-        let cost = self.config.msg_process_cost;
-        let node = &mut self.nodes[to.index()];
-        if node.crashed {
-            return;
-        }
-        if node.inbox.len() >= cap {
-            node.dropped_msgs += 1;
-            return;
-        }
-        node.inbox.push_back(item);
-        if !node.draining {
-            node.draining = true;
-            node.drain_generation += 1;
-            let generation = node.drain_generation;
-            let penalty = std::mem::take(&mut node.pipeline_penalty);
-            sched.schedule(now + cost + penalty, FabEvent::Drain { node: to, generation });
-        }
-    }
-
-    fn on_drain(&mut self, now: SimTime, id: NodeId, generation: u64, sched: &mut Scheduler<FabEvent>) {
-        let cost = self.config.msg_process_cost;
-        let actions = {
-            let node = &mut self.nodes[id.index()];
-            if node.crashed || node.drain_generation != generation {
-                return;
-            }
-            node.cpu.charge(now, cost);
-            let Some(item) = node.inbox.pop_front() else {
-                node.draining = false;
-                return;
-            };
-            let InboxItem::Message(from, msg) = item;
-            let actions = node.pbft.on_message(from, msg, now);
-            if node.inbox.is_empty() {
-                node.draining = false;
-            } else {
-                node.drain_generation += 1;
-                let generation = node.drain_generation;
-                let penalty = std::mem::take(&mut node.pipeline_penalty);
-                sched.schedule(now + cost + penalty, FabEvent::Drain { node: id, generation });
-            }
-            actions
-        };
-        self.dispatch(now, id, actions, sched);
-        self.schedule_wake(now, id, sched);
-    }
-
-    fn on_wake(&mut self, now: SimTime, id: NodeId, sched: &mut Scheduler<FabEvent>) {
-        let actions = {
-            let node = &mut self.nodes[id.index()];
-            node.wake_scheduled = None;
-            if node.crashed {
-                return;
-            }
-            node.pbft.on_tick(now)
-        };
-        self.dispatch(now, id, actions, sched);
-        self.schedule_wake(now, id, sched);
-    }
-
-    fn schedule_wake(&mut self, now: SimTime, id: NodeId, sched: &mut Scheduler<FabEvent>) {
-        let node = &mut self.nodes[id.index()];
-        if node.crashed {
-            return;
-        }
-        let Some(wake) = node.pbft.next_wake() else {
-            return;
-        };
-        let wake = wake.max(now + SimDuration::from_micros(1));
-        if node.wake_scheduled.is_none_or(|t| wake < t) {
-            node.wake_scheduled = Some(wake);
-            sched.schedule(wake, FabEvent::Wake { node: id });
-        }
-    }
-
-    fn dispatch(&mut self, now: SimTime, from: NodeId, actions: Vec<Action>, sched: &mut Scheduler<FabEvent>) {
-        for action in actions {
-            match action {
-                Action::Send(to, msg) => self.send(now, from, to, msg, sched),
-                Action::Broadcast(msg) => {
-                    for to in (0..self.network.node_count()).map(NodeId) {
-                        if to != from {
-                            self.send(now, from, to, msg.clone(), sched);
-                        }
-                    }
-                }
-                Action::CommitBatch { seq, batch } => self.commit_batch(now, from, seq, batch),
-                // A replica jumped past garbage-collected consensus history.
-                // With the default horizon (1024 batches) no benchmark sweep
-                // ever trims the log, so this only fires in hand-built
-                // scenarios; the simulation does not model the application
-                // state transfer a real deployment would run here — the
-                // replica keeps serving consensus from the checkpoint on.
-                Action::InstallCheckpoint { .. } => {}
-            }
-        }
-    }
-
-    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: PbftMsg, sched: &mut Scheduler<FabEvent>) {
-        if let Delivery::Deliver { at, corrupted } =
-            self.network.send(now, from, to, msg.byte_size())
-        {
-            // Corrupted messages fail signature verification at the
-            // receiver and are discarded (the paper's "random response"
-            // fault, Section 3.3).
-            if !corrupted {
-                sched.schedule(at, FabEvent::Consensus { to, from, msg });
-            }
-        }
-    }
-
-    /// Execute a committed batch and append the block.
-    fn commit_batch(&mut self, now: SimTime, at: NodeId, seq: u64, batch: Vec<Vec<u8>>) {
-        let node = &mut self.nodes[at.index()];
-        let height = node.blocks.len() as u64 + 1;
-        let mut txs = Vec::with_capacity(batch.len());
-        let mut receipts = Vec::with_capacity(batch.len());
-        let mut exec_time = SimDuration::ZERO;
-        for raw in &batch {
-            let Ok(tx) = Transaction::decode(raw) else {
-                continue;
-            };
-            let id = tx.id();
-            if !node.executed.insert(id) {
-                continue; // re-proposed duplicate
-            }
-            let res = node.state.invoke(&tx, height, true);
-            exec_time += self.config.invoke_time(res.units, res.state_ops);
-            receipts.push((id, res.success));
-            txs.push(tx);
-        }
-        node.cpu.charge(now, exec_time);
-        // Execution occupies the same event loop as message processing:
-        // the next drain waits for it.
-        node.pipeline_penalty += exec_time;
-        let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
-        // Headers must be byte-identical across replicas: the timestamp is
-        // the deterministic sequence number, not local delivery time.
-        let header = BlockHeader {
-            parent,
-            height,
-            timestamp_us: seq,
-            tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
-            state_root: node.state.root(),
-            proposer: NodeId((seq % self.config.nodes as u64) as u32),
-            difficulty: 0,
-            round: seq,
-        };
-        let block = Block { header, txs };
-        if at.index() == 0 {
-            // PBFT confirms immediately: "Hyperledger confirms a block as
-            // soon as it appears on the blockchain" (Section 3.2).
-            self.confirmed.push(BlockSummary {
-                id: block.id(),
-                height,
-                proposer: block.header.proposer,
-                confirmed_at_us: now.as_micros(),
-                txs: receipts.clone(),
-            });
-        }
-        node.receipts.push(receipts);
-        node.blocks.push(block);
+        (0..self.config.nodes)
+            .map(|i| self.engine.with_node(i, |n| n.dropped_msgs))
+            .sum()
     }
 }
 
@@ -383,54 +420,57 @@ impl BlockchainConnector for FabricChain {
 
     fn deploy(&mut self, bundle: &ContractBundle) -> Address {
         let addr = Address::contract(&Address::ZERO, self.contracts.len() as u64);
-        for node in &mut self.nodes {
-            node.state.install(addr, bundle.native);
+        for i in 0..self.config.nodes {
+            let native = bundle.native;
+            self.engine.with_node_mut(i, |node| node.state.install(addr, native));
         }
         self.contracts.push((addr, bundle.native));
         addr
     }
 
     fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
-        let now = self.sched.now();
-        let node = &mut self.nodes[server.index()];
+        let now = self.engine.now();
+        let rpc_delay = self.config.rpc_delay;
+        let ingress_interval = self.config.ingress_interval;
         // The RPC ingress thread admits requests at a fixed pace; excess
         // queues here (client-visible latency), never inside consensus.
-        let at = node
-            .ingress_busy_until
-            .max(now + self.config.rpc_delay)
-            + self.config.ingress_interval;
-        node.ingress_busy_until = at;
-        self.sched.schedule(at, FabEvent::Ingress { to: server, req: tx.encode() });
+        let at = self.engine.with_node_mut(server.0, |node| {
+            let at = node.ingress_busy_until.max(now + rpc_delay) + ingress_interval;
+            node.ingress_busy_until = at;
+            at
+        });
+        self.engine.schedule(at, FabEvent::Ingress { to: server, req: tx.encode() });
         true
     }
 
     fn advance_to(&mut self, t: SimTime) {
-        self.run(t);
+        self.engine.run_until(t, &mut self.network);
     }
 
     fn now(&self) -> SimTime {
-        self.sched.now()
+        self.engine.now()
     }
 
     fn confirmed_blocks_since(&mut self, height: u64) -> Vec<BlockSummary> {
-        self.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+        self.engine.with_node(0, |node| {
+            node.confirmed.iter().filter(|b| b.height > height).cloned().collect()
+        })
     }
 
     fn query(&mut self, q: &Query) -> Result<QueryResult, QueryError> {
         match q {
             Query::BlockTxs { height } => {
-                let node = &self.nodes[0];
-                let block = node
-                    .blocks
-                    .get((*height as usize).checked_sub(1).ok_or(QueryError::NotFound)?)
-                    .ok_or(QueryError::NotFound)?;
-                let mut enc = Encoder::with_capacity(block.txs.len() * 48 + 4);
-                enc.put_u32(block.txs.len() as u32);
-                for tx in &block.txs {
-                    enc.put_raw(tx.from.as_bytes()).put_raw(tx.to.as_bytes()).put_u64(tx.value);
-                }
-                let cost = SimDuration::from_micros(20 + 4 * block.txs.len() as u64);
-                Ok(QueryResult { data: enc.finish(), server_cost: cost })
+                let idx = (*height as usize).checked_sub(1).ok_or(QueryError::NotFound)?;
+                self.engine.with_node(0, |node| {
+                    let block = node.blocks.get(idx).ok_or(QueryError::NotFound)?;
+                    let mut enc = Encoder::with_capacity(block.txs.len() * 48 + 4);
+                    enc.put_u32(block.txs.len() as u32);
+                    for tx in &block.txs {
+                        enc.put_raw(tx.from.as_bytes()).put_raw(tx.to.as_bytes()).put_u64(tx.value);
+                    }
+                    let cost = SimDuration::from_micros(20 + 4 * block.txs.len() as u64);
+                    Ok(QueryResult { data: enc.finish(), server_cost: cost })
+                })
             }
             Query::AccountAtBlock { .. } => {
                 // "the system does not have APIs to query historical
@@ -439,19 +479,22 @@ impl BlockchainConnector for FabricChain {
                 Err(QueryError::Unsupported)
             }
             Query::Contract { address, payload } => {
-                let node = &mut self.nodes[0];
-                let kp = bb_crypto::KeyPair::from_seed(0);
-                let tx = Transaction::signed(&kp, 0, *address, 0, payload.clone());
-                let height = node.blocks.len() as u64;
-                let res = node.state.invoke(&tx, height, false);
-                if !res.success {
-                    return Err(QueryError::Contract(
-                        res.error.unwrap_or_else(|| "chaincode error".into()),
-                    ));
-                }
-                Ok(QueryResult {
-                    data: res.output,
-                    server_cost: self.config.invoke_time(res.units, res.state_ops),
+                let invoke_time =
+                    |units, ops| self.config.invoke_time(units, ops);
+                self.engine.with_node_mut(0, |node| {
+                    let kp = bb_crypto::KeyPair::from_seed(0);
+                    let tx = Transaction::signed(&kp, 0, *address, 0, payload.clone());
+                    let height = node.blocks.len() as u64;
+                    let res = node.state.invoke(&tx, height, false);
+                    if !res.success {
+                        return Err(QueryError::Contract(
+                            res.error.unwrap_or_else(|| "chaincode error".into()),
+                        ));
+                    }
+                    Ok(QueryResult {
+                        data: res.output,
+                        server_cost: invoke_time(res.units, res.state_ops),
+                    })
                 })
             }
         }
@@ -461,11 +504,11 @@ impl BlockchainConnector for FabricChain {
         match fault {
             Fault::Crash(node) => {
                 self.network.crash(node);
-                self.nodes[node.index()].crashed = true;
+                self.engine.with_node_mut(node.0, |n| n.crashed = true);
             }
             Fault::Recover(node) => {
                 self.network.recover(node);
-                self.nodes[node.index()].crashed = false;
+                self.engine.with_node_mut(node.0, |n| n.crashed = false);
             }
             Fault::Delay(node, d) => self.network.set_extra_delay(node, d),
             Fault::Corrupt(node, p) => self.network.set_corrupt_prob(node, p),
@@ -475,22 +518,24 @@ impl BlockchainConnector for FabricChain {
     }
 
     fn stats(&self) -> PlatformStats {
-        let n = self.nodes.len();
+        let n = self.config.nodes as usize;
         let mut disk = 0u64;
         let mut mem_peak = self.mem_peak.max(self.config.mem_base);
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            disk += node.state.store_stats().disk_bytes;
-            mem_peak = mem_peak.max(self.config.mem_base + node.state.mem_peak());
-            let series = node.cpu.utilisation_series();
-            if series.len() > cpu.len() {
-                cpu.resize(series.len(), 0.0);
-            }
-            for (j, v) in series.iter().enumerate() {
-                cpu[j] += v / n as f64;
-            }
-            let tx = self.network.tx_mbps_series(NodeId(i as u32));
+        for i in 0..self.config.nodes {
+            self.engine.with_node(i, |node| {
+                disk += node.state.store_stats().disk_bytes;
+                mem_peak = mem_peak.max(self.config.mem_base + node.state.mem_peak());
+                let series = node.cpu.utilisation_series();
+                if series.len() > cpu.len() {
+                    cpu.resize(series.len(), 0.0);
+                }
+                for (j, v) in series.iter().enumerate() {
+                    cpu[j] += v / n as f64;
+                }
+            });
+            let tx = self.network.tx_mbps_series(NodeId(i));
             if tx.len() > net.len() {
                 net.resize(tx.len(), 0.0);
             }
@@ -498,11 +543,17 @@ impl BlockchainConnector for FabricChain {
                 net[j] += v / n as f64;
             }
         }
+        let (blocks, txs_committed) = self.engine.with_node(0, |node| {
+            (
+                node.blocks.len() as u64,
+                node.confirmed.iter().map(|b| b.txs.len() as u64).sum(),
+            )
+        });
         PlatformStats {
             // PBFT never forks: every committed block is on the chain.
-            blocks_total: self.nodes[0].blocks.len() as u64,
-            blocks_main: self.nodes[0].blocks.len() as u64,
-            txs_committed: self.confirmed.iter().map(|b| b.txs.len() as u64).sum(),
+            blocks_total: blocks,
+            blocks_main: blocks,
+            txs_committed,
             disk_bytes: disk,
             mem_peak_bytes: mem_peak,
             cpu_utilisation: cpu,
@@ -516,58 +567,66 @@ impl BlockchainConnector for FabricChain {
 
     fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
         for txs in blocks {
-            let now = self.sched.now();
-            for i in 0..self.nodes.len() {
-                let node = &mut self.nodes[i];
-                let height = node.blocks.len() as u64 + 1;
-                let mut receipts = Vec::with_capacity(txs.len());
-                for tx in &txs {
-                    node.executed.insert(tx.id());
-                    let res = node.state.invoke(tx, height, true);
-                    receipts.push((tx.id(), res.success));
-                }
-                let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
-                let header = BlockHeader {
-                    parent,
-                    height,
-                    timestamp_us: now.as_micros(),
-                    tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
-                    state_root: node.state.root(),
-                    proposer: NodeId(0),
-                    difficulty: 0,
-                    round: height,
-                };
-                let block = Block { header, txs: txs.clone() };
-                if i == 0 {
-                    self.confirmed.push(BlockSummary {
-                        id: block.id(),
+            let now = self.engine.now();
+            for i in 0..self.config.nodes {
+                self.engine.with_node_mut(i, |node| {
+                    let height = node.blocks.len() as u64 + 1;
+                    let mut receipts = Vec::with_capacity(txs.len());
+                    for tx in &txs {
+                        node.executed.insert(tx.id());
+                        let res = node.state.invoke(tx, height, true);
+                        receipts.push((tx.id(), res.success));
+                    }
+                    let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
+                    let header = BlockHeader {
+                        parent,
                         height,
+                        timestamp_us: now.as_micros(),
+                        tx_root: merkle_root(&txs.iter().map(|t| t.id().0).collect::<Vec<_>>()),
+                        state_root: node.state.root(),
                         proposer: NodeId(0),
-                        confirmed_at_us: now.as_micros(),
-                        txs: receipts.clone(),
-                    });
-                }
-                node.receipts.push(receipts);
-                node.blocks.push(block);
+                        difficulty: 0,
+                        round: height,
+                    };
+                    let block = Block { header, txs: txs.clone() };
+                    if i == 0 {
+                        node.confirmed.push(BlockSummary {
+                            id: block.id(),
+                            height,
+                            proposer: NodeId(0),
+                            confirmed_at_us: now.as_micros(),
+                            txs: receipts.clone(),
+                        });
+                    }
+                    node.receipts.push(receipts);
+                    node.blocks.push(block);
+                });
             }
         }
     }
 
     fn execute_direct(&mut self, tx: Transaction) -> DirectExec {
-        let node = &mut self.nodes[0];
-        let height = node.blocks.len() as u64;
-        let res = node.state.invoke(&tx, height, true);
-        let modeled = self.config.mem_base + res.peak_alloc;
+        let msg_process_cost = self.config.msg_process_cost;
+        let invoke_time = |units, ops| self.config.invoke_time(units, ops);
+        let mem_base = self.config.mem_base;
+        let (exec, modeled) = self.engine.with_node_mut(0, |node| {
+            let height = node.blocks.len() as u64;
+            let res = node.state.invoke(&tx, height, true);
+            let modeled = mem_base + res.peak_alloc;
+            (
+                DirectExec {
+                    success: res.success,
+                    duration: msg_process_cost + invoke_time(res.units, res.state_ops),
+                    gas_used: res.units,
+                    modeled_mem: modeled,
+                    output: res.output,
+                    error: res.error,
+                },
+                modeled,
+            )
+        });
         self.mem_peak = self.mem_peak.max(modeled);
-        DirectExec {
-            success: res.success,
-            duration: self.config.msg_process_cost
-                + self.config.invoke_time(res.units, res.state_ops),
-            gas_used: res.units,
-            modeled_mem: modeled,
-            output: res.output,
-            error: res.error,
-        }
+        exec
     }
 }
 
@@ -608,15 +667,19 @@ mod tests {
             c.submit(NodeId((nonce % 4) as u32), client_tx(2, nonce, addr, ycsb::write_call(nonce, b"x")));
         }
         c.advance_to(SimTime::from_secs(5));
-        let reference: Vec<Hash256> = c.nodes[0].blocks.iter().map(|b| b.id()).collect();
+        let reference: Vec<Hash256> =
+            c.engine.with_node(0, |n| n.blocks.iter().map(|b| b.id()).collect());
         assert!(!reference.is_empty());
         for i in 1..4 {
-            let other: Vec<Hash256> = c.nodes[i].blocks.iter().map(|b| b.id()).collect();
+            let other: Vec<Hash256> =
+                c.engine.with_node(i, |n| n.blocks.iter().map(|b| b.id()).collect());
             assert_eq!(other, reference, "node {i} diverged");
         }
         // State roots agree too.
-        let root = c.nodes[0].state.root();
-        assert!(c.nodes.iter().all(|n| n.state.root() == root));
+        let root = c.engine.with_node(0, |n| n.state.root());
+        for i in 1..4 {
+            assert_eq!(c.engine.with_node(i, |n| n.state.root()), root);
+        }
     }
 
     #[test]
@@ -662,9 +725,11 @@ mod tests {
         }
         c.advance_to(SimTime::from_secs(60));
         // Node 0 is the observer AND the crashed primary, so look at node 1.
-        let committed: usize = c.nodes[1].receipts.iter().map(Vec::len).sum();
+        let (committed, view) = c
+            .engine
+            .with_node(1, |n| (n.receipts.iter().map(Vec::len).sum::<usize>(), n.pbft.view()));
         assert_eq!(committed, 5, "view change did not recover the cluster");
-        assert!(c.nodes[1].pbft.view() > 0);
+        assert!(view > 0);
     }
 
     #[test]
@@ -765,5 +830,33 @@ mod tests {
         let r = c.query(&Query::BlockTxs { height: 1 }).unwrap();
         let mut d = bb_types::Decoder::new(&r.data);
         assert_eq!(d.u32().unwrap(), 1);
+    }
+
+    /// The sharded engine must hide thread scheduling completely: same seed,
+    /// serial vs forced-parallel, byte-identical chain state.
+    #[test]
+    fn serial_and_sharded_runs_are_byte_identical() {
+        fn run() -> String {
+            let mut c = chain(4);
+            let addr = c.deploy(&ycsb::bundle());
+            for nonce in 0..40 {
+                c.submit(
+                    NodeId((nonce % 4) as u32),
+                    client_tx(5, nonce, addr, ycsb::write_call(nonce, b"y")),
+                );
+            }
+            c.advance_to(SimTime::from_secs(5));
+            format!("{:?}\n{:?}", c.confirmed_blocks_since(0), c.stats())
+        }
+        // Env knobs are process-global; fabric's tests otherwise leave them
+        // untouched, so only this test mutates them (no lock needed within
+        // this crate's suite).
+        std::env::set_var("BB_SERIAL", "1");
+        let serial = run();
+        std::env::remove_var("BB_SERIAL");
+        std::env::set_var("BB_SHARD_THREADS", "3");
+        let sharded = run();
+        std::env::remove_var("BB_SHARD_THREADS");
+        assert_eq!(serial, sharded);
     }
 }

@@ -119,6 +119,15 @@ impl Network {
         self.n
     }
 
+    /// Minimum possible cross-node delivery latency: the base link delay.
+    ///
+    /// Jitter, serialization time and injected `Fault::Delay` extras only
+    /// *add* to it, so this is a sound lookahead bound for the conservative
+    /// sharded scheduler (`bb_sim::shard`) even while faults are active.
+    pub fn min_latency(&self) -> SimDuration {
+        self.link.base_delay
+    }
+
     /// Offer a `bytes`-sized message from `from` to `to` at time `now`.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> Delivery {
         assert!(from.0 < self.n && to.0 < self.n, "node out of range");
@@ -241,6 +250,19 @@ impl Network {
     /// Total bytes sent by `node`.
     pub fn tx_bytes(&self, node: NodeId) -> u64 {
         self.tx_meters[node.index()].total()
+    }
+}
+
+/// Window-merge adapter for the sharded scheduler: a send either yields a
+/// clean delivery time or nothing (dropped or corrupted — either way no
+/// event arrives; metering and stats are recorded exactly as in
+/// [`Network::send`]).
+impl bb_sim::shard::Outboard for Network {
+    fn send(&mut self, now: SimTime, from: u32, to: u32, bytes: u64) -> Option<SimTime> {
+        match Network::send(self, now, NodeId(from), NodeId(to), bytes) {
+            Delivery::Deliver { at, corrupted } if !corrupted => Some(at),
+            _ => None,
+        }
     }
 }
 

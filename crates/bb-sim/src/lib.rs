@@ -20,10 +20,12 @@ pub mod meter;
 pub mod rng;
 pub mod scheduler;
 pub mod series;
+pub mod shard;
 pub mod time;
 
 pub use meter::{ByteMeter, CpuMeter, MemMeter};
 pub use rng::SimRng;
 pub use scheduler::{Scheduler, World};
+pub use shard::{Effects, EventKey, Outboard, ShardedEngine, ShardedWorld, GLOBAL_LANE};
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

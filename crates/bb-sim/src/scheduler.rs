@@ -98,8 +98,14 @@ impl<E> Scheduler<E> {
         self.heap.peek().map(|e| e.at)
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
+    /// Pop the next event only if it is due at or before `deadline`: one
+    /// sift-down via `PeekMut` instead of the peek + pop double traversal.
+    fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let head = self.heap.peek_mut()?;
+        if head.at > deadline {
+            return None;
+        }
+        let e = std::collections::binary_heap::PeekMut::pop(head);
         self.now = e.at;
         self.processed += 1;
         Some((e.at, e.event))
@@ -113,11 +119,7 @@ impl<E> Scheduler<E> {
         W: World<Event = E> + ?Sized,
     {
         let mut delivered = 0;
-        while let Some(at) = self.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (now, event) = self.pop().expect("peeked entry vanished");
+        while let Some((now, event)) = self.pop_due(deadline) {
             world.handle(now, event, self);
             delivered += 1;
         }

@@ -6,9 +6,9 @@ use super::wal::{Wal, WalRecord};
 use crate::kv::{KvError, KvStore};
 use crate::stats::StorageStats;
 use crate::vfs::Vfs;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning knobs for [`LsmStore`].
 #[derive(Debug, Clone)]
@@ -36,7 +36,7 @@ impl Default for LsmConfig {
 
 /// A log-structured merge-tree key-value store over a (shared) [`Vfs`].
 pub struct LsmStore {
-    vfs: Rc<RefCell<Vfs>>,
+    vfs: Arc<Mutex<Vfs>>,
     prefix: String,
     config: LsmConfig,
     wal: Wal,
@@ -50,17 +50,17 @@ pub struct LsmStore {
 impl LsmStore {
     /// Open a store rooted at `prefix` on `vfs`, replaying any WAL tail and
     /// re-attaching existing SSTables (restart path).
-    pub fn open(vfs: Rc<RefCell<Vfs>>, prefix: &str, config: LsmConfig) -> Result<LsmStore, KvError> {
+    pub fn open(vfs: Arc<Mutex<Vfs>>, prefix: &str, config: LsmConfig) -> Result<LsmStore, KvError> {
         let wal_file = format!("{prefix}/wal");
         let (wal, table_files) = {
-            let mut v = vfs.borrow_mut();
+            let mut v = vfs.lock().unwrap();
             let wal = Wal::open(&mut v, &wal_file);
             (wal, v.list(&format!("{prefix}/sst/")))
         };
         let mut tables = Vec::new();
         let mut next_table_id = 0;
         for file in &table_files {
-            let t = SsTable::open(&mut vfs.borrow_mut(), file)?;
+            let t = SsTable::open(&mut vfs.lock().unwrap(), file)?;
             if let Some(id) = file.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
                 next_table_id = next_table_id.max(id + 1);
             }
@@ -77,7 +77,7 @@ impl LsmStore {
             stats: StorageStats::default(),
         };
         // Recover the un-flushed tail.
-        let records = store.wal.replay(&mut store.vfs.borrow_mut());
+        let records = store.wal.replay(&mut store.vfs.lock().unwrap());
         for rec in records {
             match rec {
                 WalRecord::Put(k, v) => store.memtable.put(&k, &v),
@@ -89,7 +89,7 @@ impl LsmStore {
 
     /// Convenience constructor owning a private VFS.
     pub fn new_private(config: LsmConfig) -> LsmStore {
-        LsmStore::open(Rc::new(RefCell::new(Vfs::new())), "lsm", config)
+        LsmStore::open(Arc::new(Mutex::new(Vfs::new())), "lsm", config)
             .expect("fresh VFS cannot be corrupt")
     }
 
@@ -101,7 +101,7 @@ impl LsmStore {
         let file = format!("{}/sst/{:012}", self.prefix, self.next_table_id);
         self.next_table_id += 1;
         let table = {
-            let mut v = self.vfs.borrow_mut();
+            let mut v = self.vfs.lock().unwrap();
             let t = SsTable::build(
                 &mut v,
                 &file,
@@ -126,7 +126,7 @@ impl LsmStore {
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         // Oldest first so newer tables overwrite.
         for t in &self.tables {
-            let entries = t.all_entries(&mut self.vfs.borrow_mut()).expect("own table readable");
+            let entries = t.all_entries(&mut self.vfs.lock().unwrap()).expect("own table readable");
             for (k, v) in entries {
                 merged.insert(k, v);
             }
@@ -136,7 +136,7 @@ impl LsmStore {
         let file = format!("{}/sst/{:012}", self.prefix, self.next_table_id);
         self.next_table_id += 1;
         let new_table = {
-            let mut v = self.vfs.borrow_mut();
+            let mut v = self.vfs.lock().unwrap();
             let t = SsTable::build(
                 &mut v,
                 &file,
@@ -164,8 +164,8 @@ impl LsmStore {
     }
 
     /// Shared VFS handle.
-    pub fn vfs(&self) -> Rc<RefCell<Vfs>> {
-        Rc::clone(&self.vfs)
+    pub fn vfs(&self) -> Arc<Mutex<Vfs>> {
+        Arc::clone(&self.vfs)
     }
 
 }
@@ -177,7 +177,7 @@ impl KvStore for LsmStore {
             return Ok(hit.map(|v| v.to_vec()));
         }
         for t in self.tables.iter().rev() {
-            if let Some(hit) = t.get(&mut self.vfs.borrow_mut(), key)? {
+            if let Some(hit) = t.get(&mut self.vfs.lock().unwrap(), key)? {
                 return Ok(hit);
             }
         }
@@ -186,7 +186,7 @@ impl KvStore for LsmStore {
 
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
         self.stats.writes += 1;
-        self.wal.log_put(&mut self.vfs.borrow_mut(), key, value);
+        self.wal.log_put(&mut self.vfs.lock().unwrap(), key, value);
         self.memtable.put(key, value);
         if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
             self.flush_memtable();
@@ -196,7 +196,7 @@ impl KvStore for LsmStore {
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         self.stats.writes += 1;
-        self.wal.log_delete(&mut self.vfs.borrow_mut(), key);
+        self.wal.log_delete(&mut self.vfs.lock().unwrap(), key);
         self.memtable.delete(key);
         if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
             self.flush_memtable();
@@ -209,7 +209,7 @@ impl KvStore for LsmStore {
         // tables, finish with the memtable.
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         for t in &self.tables {
-            let entries = t.all_entries(&mut self.vfs.borrow_mut())?;
+            let entries = t.all_entries(&mut self.vfs.lock().unwrap())?;
             for (k, v) in entries {
                 if k.starts_with(prefix) {
                     merged.insert(k, v);
@@ -227,7 +227,7 @@ impl KvStore for LsmStore {
 
     fn stats(&self) -> StorageStats {
         let mut s = self.stats;
-        let v = self.vfs.borrow();
+        let v = self.vfs.lock().unwrap();
         s.disk_bytes = v.disk_usage();
         s.bytes_written = v.bytes_written();
         s.bytes_read = v.bytes_read();
@@ -328,9 +328,9 @@ mod tests {
 
     #[test]
     fn restart_recovers_wal_and_tables() {
-        let vfs = Rc::new(RefCell::new(Vfs::new()));
+        let vfs = Arc::new(Mutex::new(Vfs::new()));
         {
-            let mut s = LsmStore::open(Rc::clone(&vfs), "db", small_config()).unwrap();
+            let mut s = LsmStore::open(Arc::clone(&vfs), "db", small_config()).unwrap();
             for i in 0..300u32 {
                 s.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
             }

@@ -111,7 +111,10 @@ pub trait ChaincodeContext {
 }
 
 /// Native chaincode: the Fabric-side build of a contract.
-pub trait Chaincode {
+///
+/// `Send` so a node's installed chaincodes can migrate between the sharded
+/// engine's worker threads with the rest of the node state.
+pub trait Chaincode: Send {
     /// Execute `method` with `args`. Errors abort the transaction (state
     /// changes are rolled back by the platform's write buffering).
     fn invoke(

@@ -83,6 +83,217 @@ pub fn append_entry(path: &Path, entry_json: &str) {
     }
 }
 
+/// A scalar field value in a trajectory entry.
+///
+/// The trajectory format is deliberately flat — every entry is one JSON
+/// object of scalar fields — so the reader side stays as dependency-free as
+/// the writer side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON string.
+    Str(String),
+    /// JSON number (all numerics read back as f64).
+    Num(f64),
+    /// JSON true/false.
+    Bool(bool),
+    /// JSON null (e.g. a missing cache hit rate).
+    Null,
+}
+
+impl Value {
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One trajectory entry: field name → scalar value.
+pub type Entry = std::collections::BTreeMap<String, Value>;
+
+/// Parse a trajectory file: a JSON array of flat objects, exactly the shape
+/// [`append_entry`] maintains. Nested arrays/objects are rejected — they
+/// cannot appear in a well-formed trajectory and refusing them keeps this a
+/// ~100-line reader instead of a JSON library.
+pub fn parse_entries(text: &str) -> Result<Vec<Entry>, String> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'[')?;
+    let mut entries = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(entries);
+    }
+    loop {
+        entries.push(p.object()?);
+        p.ws();
+        match p.next() {
+            Some(b',') => p.ws(),
+            Some(b']') => break,
+            other => return Err(p.err(format!("expected ',' or ']', got {other:?}"))),
+        }
+    }
+    Ok(entries)
+}
+
+/// Split parsed entries into *runs*: each `{"kind": "meta", ...}` entry
+/// starts a new run and every following entry belongs to it (bench-shim
+/// entries appended outside any `perfreport` invocation attach to the most
+/// recent run). Entries before the first meta form a headless leading run.
+pub fn split_runs(entries: Vec<Entry>) -> Vec<Vec<Entry>> {
+    let mut runs: Vec<Vec<Entry>> = Vec::new();
+    for entry in entries {
+        let is_meta = entry.get("kind").and_then(Value::as_str) == Some("meta");
+        if is_meta || runs.is_empty() {
+            runs.push(Vec::new());
+        }
+        runs.last_mut().expect("just ensured non-empty").push(entry);
+    }
+    runs
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            got => Err(self.err(format!("expected {:?}, got {got:?}", want as char))),
+        }
+    }
+
+    fn err(&self, msg: String) -> String {
+        format!("trajectory parse error at byte {}: {msg}", self.i)
+    }
+
+    fn object(&mut self) -> Result<Entry, String> {
+        self.ws();
+        self.expect(b'{')?;
+        let mut fields = Entry::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let value = self.value()?;
+            fields.insert(key, value);
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(fields),
+                other => return Err(self.err(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(self.err(format!("unsupported value start {other:?} (flat scalars only)"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("bad literal, expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("bad number".into()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes so multi-byte UTF-8 passes through intact.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string".into())),
+                Some(b'"') => {
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8".into()))
+                }
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        if self.i + 4 > self.b.len() {
+                            return Err(self.err("truncated \\u escape".into()));
+                        }
+                        let c = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| self.err("bad \\u escape".into()))?;
+                        self.i += 4;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
 /// Record a bench-shim measurement (mean ns/iter for a bench id) to the
 /// env-resolved trajectory file, if recording is enabled.
 pub fn record_bench(id: &str, mean_ns: f64, iters: u64) {
@@ -137,5 +348,53 @@ mod tests {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_num(f64::NAN), "null");
         assert_eq!(json_num(2.5), "2.5");
+    }
+
+    #[test]
+    fn parse_round_trips_appended_entries() {
+        let path = tmp("roundtrip");
+        let _ = fs::remove_file(&path);
+        append_entry(&path, "{\"kind\": \"meta\", \"mode\": \"serial\", \"workers\": 1}");
+        append_entry(
+            &path,
+            "{\"kind\": \"kernel\", \"id\": \"sha256/64B\", \"mean_ns\": 132.5, \"iters\": 100000}",
+        );
+        append_entry(&path, "{\"kind\": \"macro\", \"platform\": \"parity\", \"tps\": null}");
+        let entries = parse_entries(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].get("mode").unwrap().as_str(), Some("serial"));
+        assert_eq!(entries[1].get("mean_ns").unwrap().as_num(), Some(132.5));
+        assert_eq!(entries[2].get("tps"), Some(&Value::Null));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_empty() {
+        assert_eq!(parse_entries("[]").unwrap(), Vec::<Entry>::new());
+        let entries =
+            parse_entries("[\n{\"id\": \"a\\\"b\\u0041\", \"ok\": true, \"x\": -1.5e2}\n]\n")
+                .unwrap();
+        assert_eq!(entries[0].get("id").unwrap().as_str(), Some("a\"bA"));
+        assert_eq!(entries[0].get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(entries[0].get("x").unwrap().as_num(), Some(-150.0));
+        // Nested structures are rejected, not silently mis-read.
+        assert!(parse_entries("[{\"a\": [1]}]").is_err());
+        assert!(parse_entries("[{\"a\": {\"b\": 1}}]").is_err());
+    }
+
+    #[test]
+    fn runs_split_on_meta_entries() {
+        let text = "[\
+            {\"kind\": \"bench\", \"id\": \"pre\"},\
+            {\"kind\": \"meta\", \"mode\": \"serial\"},\
+            {\"kind\": \"kernel\", \"id\": \"k\"},\
+            {\"kind\": \"meta\", \"mode\": \"parallel\"},\
+            {\"kind\": \"kernel\", \"id\": \"k\"},\
+            {\"kind\": \"bench\", \"id\": \"post\"}]";
+        let runs = split_runs(parse_entries(text).unwrap());
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len(), 1, "headless leading run");
+        assert_eq!(runs[1].len(), 2);
+        assert_eq!(runs[2].len(), 3, "trailing bench entries attach to the last run");
     }
 }

@@ -11,8 +11,15 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! - **No shrinking.** A failing case reports its case number and the
-//!   deterministic per-test seed; re-running reproduces it exactly.
+//! - **Greedy value shrinking**, not the real crate's lazy shrink trees.
+//!   When a case fails, [`test_runner::minimize`] repeatedly asks the
+//!   strategy for simpler candidates (halve/decrement numerics toward the
+//!   range start, truncate vectors, drop `Some`, shrink tuple components
+//!   one at a time) and re-runs the property, keeping the first candidate
+//!   that still fails until no candidate reproduces the failure. The
+//!   minimal input is printed with the case number; strategies built with
+//!   `prop_map` are opaque and stop the descent at their boundary (their
+//!   *containers* still shrink).
 //! - **Deterministic by default.** Case `k` of test `t` always sees the same
 //!   inputs, derived from `(t, k)` — no ambient entropy, so failures are
 //!   reproducible across machines and runs.
@@ -110,6 +117,80 @@ pub mod test_runner {
             }
         }
     }
+
+    /// Cap on accepted shrink steps: each step strictly simplifies the
+    /// input, so this is a runaway guard, not a tuning knob.
+    const MAX_SHRINK_STEPS: u32 = 4096;
+
+    /// Greedily minimise a failing input: ask `strategy` for candidate
+    /// simplifications of the current failing value, keep the first one for
+    /// which `is_failure` still returns true, and repeat until no candidate
+    /// reproduces the failure (a local minimum). Returns the minimal input
+    /// and the number of accepted shrink steps.
+    pub fn minimize<S, F>(strategy: &S, mut failing: S::Value, is_failure: &mut F) -> (S::Value, u32)
+    where
+        S: crate::strategy::Strategy + ?Sized,
+        F: FnMut(&S::Value) -> bool,
+    {
+        let mut steps = 0u32;
+        'descend: while steps < MAX_SHRINK_STEPS {
+            for candidate in strategy.shrink(&failing) {
+                if is_failure(&candidate) {
+                    failing = candidate;
+                    steps += 1;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        (failing, steps)
+    }
+
+    /// The driver behind the [`proptest!`](crate::proptest) macro: generate,
+    /// run, and on failure shrink to a minimal input before re-raising the
+    /// panic.
+    pub fn run_cases_shrink<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut body: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(&S::Value),
+    {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(config.cases);
+        for case in 0..cases {
+            let mut rng = TestRng::for_case(name, case);
+            let value = strategy.generate(&mut rng);
+            let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&value))) else {
+                continue;
+            };
+            // Shrink with the panic hook silenced: every rejected candidate
+            // re-runs the failing body, and hundreds of backtrace dumps
+            // would bury the report. The minimal failure is re-raised with
+            // its own (restored) hook below.
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let mut last_payload = payload;
+            let (minimal, steps) = minimize(strategy, value, &mut |candidate| {
+                match catch_unwind(AssertUnwindSafe(|| body(candidate))) {
+                    Ok(()) => false,
+                    Err(p) => {
+                        last_payload = p;
+                        true
+                    }
+                }
+            });
+            std::panic::set_hook(prev_hook);
+            eprintln!(
+                "proptest(shim): property `{name}` failed on case {case}/{cases}; \
+                 shrunk {steps} step(s) to minimal input:\n  {minimal:?}\n\
+                 (inputs are deterministic; rerun reproduces this case)"
+            );
+            resume_unwind(last_payload);
+        }
+    }
 }
 
 pub mod strategy {
@@ -125,6 +206,19 @@ pub mod strategy {
 
         /// Generate one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, most aggressive first.
+        ///
+        /// The greedy shrinker ([`test_runner::minimize`](crate::test_runner::minimize))
+        /// re-runs the failing property on each candidate in order and
+        /// descends into the first that still fails, so candidates should
+        /// move toward the strategy's simplest value (range start, empty
+        /// vector, `None`). The default is no candidates — correct for
+        /// opaque strategies like [`Just`] and `prop_map`ped values.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Transform generated values with `f`.
         fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -151,6 +245,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -203,6 +300,31 @@ pub mod strategy {
             let i = rng.below(self.arms.len() as u64) as usize;
             self.arms[i].generate(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // We cannot know which arm produced `value`, so offer every
+            // arm's candidates; ones that don't reproduce the failure are
+            // simply rejected by the greedy re-run.
+            self.arms.iter().flat_map(|arm| arm.shrink(value)).collect()
+        }
+    }
+
+    /// Shrink an integer toward `floor` (the smallest value its strategy can
+    /// produce): jump to the floor, halve the distance, then decrement —
+    /// most aggressive first, all in `i128` so no `$t` overflows.
+    fn shrink_int_toward(value: i128, floor: i128) -> Vec<i128> {
+        if value == floor {
+            return Vec::new();
+        }
+        let mut out = vec![floor];
+        let half = floor + (value - floor) / 2;
+        if half != floor && half != value {
+            out.push(half);
+        }
+        let dec = if value > floor { value - 1 } else { value + 1 };
+        if dec != floor && dec != half {
+            out.push(dec);
+        }
+        out
     }
 
     macro_rules! int_range_strategy {
@@ -214,6 +336,12 @@ pub mod strategy {
                     assert!(span > 0, "empty range strategy");
                     ((self.start as i128) + rng.below(span as u64) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*value as i128, self.start as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -222,6 +350,12 @@ pub mod strategy {
                     assert!(span > 0, "empty range strategy");
                     ((*self.start() as i128) + rng.below(span as u64) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int_toward(*value as i128, *self.start() as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*};
     }
@@ -229,15 +363,90 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($(($($name:ident),+);)*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     #[allow(non_snake_case)]
                     let ($($name,)+) = self;
                     ($($name.generate(rng),)+)
                 }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    tuple_shrink!(self, value, $($name),+)
+                }
             }
         )*};
+    }
+    // Shrink one component at a time, the rest held fixed — written per
+    // arity because "this tuple with position i replaced" has no generic
+    // spelling over heterogeneous std tuples.
+    macro_rules! tuple_shrink {
+        ($self:ident, $value:ident, A) => {{
+            $self.0.shrink(&$value.0).into_iter().map(|a| (a,)).collect()
+        }};
+        ($self:ident, $value:ident, A, B) => {{
+            let mut out: Vec<Self::Value> = Vec::new();
+            out.extend($self.0.shrink(&$value.0).into_iter().map(|a| (a, $value.1.clone())));
+            out.extend($self.1.shrink(&$value.1).into_iter().map(|b| ($value.0.clone(), b)));
+            out
+        }};
+        ($self:ident, $value:ident, A, B, C) => {{
+            let mut out: Vec<Self::Value> = Vec::new();
+            out.extend(
+                $self.0.shrink(&$value.0).into_iter()
+                    .map(|a| (a, $value.1.clone(), $value.2.clone())),
+            );
+            out.extend(
+                $self.1.shrink(&$value.1).into_iter()
+                    .map(|b| ($value.0.clone(), b, $value.2.clone())),
+            );
+            out.extend(
+                $self.2.shrink(&$value.2).into_iter()
+                    .map(|c| ($value.0.clone(), $value.1.clone(), c)),
+            );
+            out
+        }};
+        ($self:ident, $value:ident, A, B, C, D) => {{
+            let mut out: Vec<Self::Value> = Vec::new();
+            out.extend(
+                $self.0.shrink(&$value.0).into_iter()
+                    .map(|a| (a, $value.1.clone(), $value.2.clone(), $value.3.clone())),
+            );
+            out.extend(
+                $self.1.shrink(&$value.1).into_iter()
+                    .map(|b| ($value.0.clone(), b, $value.2.clone(), $value.3.clone())),
+            );
+            out.extend(
+                $self.2.shrink(&$value.2).into_iter()
+                    .map(|c| ($value.0.clone(), $value.1.clone(), c, $value.3.clone())),
+            );
+            out.extend(
+                $self.3.shrink(&$value.3).into_iter()
+                    .map(|d| ($value.0.clone(), $value.1.clone(), $value.2.clone(), d)),
+            );
+            out
+        }};
+        ($self:ident, $value:ident, A, B, C, D, E) => {{
+            let mut out: Vec<Self::Value> = Vec::new();
+            out.extend($self.0.shrink(&$value.0).into_iter().map(
+                |a| (a, $value.1.clone(), $value.2.clone(), $value.3.clone(), $value.4.clone()),
+            ));
+            out.extend($self.1.shrink(&$value.1).into_iter().map(
+                |b| ($value.0.clone(), b, $value.2.clone(), $value.3.clone(), $value.4.clone()),
+            ));
+            out.extend($self.2.shrink(&$value.2).into_iter().map(
+                |c| ($value.0.clone(), $value.1.clone(), c, $value.3.clone(), $value.4.clone()),
+            ));
+            out.extend($self.3.shrink(&$value.3).into_iter().map(
+                |d| ($value.0.clone(), $value.1.clone(), $value.2.clone(), d, $value.4.clone()),
+            ));
+            out.extend($self.4.shrink(&$value.4).into_iter().map(
+                |e| ($value.0.clone(), $value.1.clone(), $value.2.clone(), $value.3.clone(), e),
+            ));
+            out
+        }};
     }
     tuple_strategy! {
         (A);
@@ -259,6 +468,15 @@ pub mod arbitrary {
     pub trait Arbitrary {
         /// Generate an arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate simplifications, most aggressive first (see
+        /// [`Strategy::shrink`]). Default: none.
+        fn shrink_value(&self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            Vec::new()
+        }
     }
 
     macro_rules! arbitrary_int {
@@ -266,6 +484,25 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink_value(&self) -> Vec<$t> {
+                    // Toward zero: zero itself, halve, step. `/ 2` truncates
+                    // toward zero for signed types, which is the direction
+                    // we want.
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0 as $t];
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                    out
                 }
             }
         )*};
@@ -275,6 +512,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -291,6 +535,9 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_value()
         }
     }
 }
@@ -324,12 +571,38 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Truncations first (never below the strategy's minimum length):
+            // halve the excess, then drop one element.
+            let min = self.size.start;
+            let half = min + (value.len() - min.min(value.len())) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() > min && value.len() - 1 != half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise: each position replaced by one of its own
+            // shrink candidates, the rest untouched.
+            for (i, elem) in value.iter().enumerate() {
+                for candidate in self.elem.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -363,6 +636,14 @@ pub mod option {
                 Some(self.inner.generate(rng))
             } else {
                 None
+            }
+        }
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(inner) => std::iter::once(None)
+                    .chain(self.inner.shrink(inner).into_iter().map(Some))
+                    .collect(),
             }
         }
     }
@@ -401,10 +682,18 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
-                $(let $binding = $crate::strategy::Strategy::generate(&($strat), __rng);)+
-                $body
-            });
+            // All bindings fold into one tuple strategy so a failing case
+            // can be shrunk as a unit (see `test_runner::run_cases_shrink`).
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_cases_shrink(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |__values| {
+                    let ($($binding,)+) = __values.clone();
+                    $body
+                },
+            );
         }
     )*};
 }
@@ -505,5 +794,66 @@ mod tests {
             prop_assert_eq!(k, k);
             prop_assert_ne!(k, 0);
         }
+    }
+
+    #[test]
+    fn minimize_descends_an_int_to_the_failure_boundary() {
+        let (min, steps) =
+            crate::test_runner::minimize(&(0u64..1000), 957, &mut |v| *v >= 10);
+        assert_eq!(min, 10, "greedy halving + decrement should land exactly on the boundary");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn minimize_respects_the_range_floor() {
+        let (min, _) = crate::test_runner::minimize(&(50i64..200), 183, &mut |_| true);
+        assert_eq!(min, 50, "everything fails, so the floor is the minimum");
+        let (unmoved, steps) = crate::test_runner::minimize(&(50i64..200), 183, &mut |_| false);
+        assert_eq!((unmoved, steps), (183, 0), "nothing reproduces, so no step is taken");
+    }
+
+    #[test]
+    fn minimize_truncates_vectors_and_zeroes_elements() {
+        let strat = crate::collection::vec(any::<u8>(), 0..64);
+        let failing: Vec<u8> = (0..40).map(|i| i as u8 + 7).collect();
+        let (min, _) = crate::test_runner::minimize(&strat, failing, &mut |v| v.len() >= 3);
+        assert_eq!(min, vec![0, 0, 0], "length floors at 3, surviving elements shrink to 0");
+    }
+
+    #[test]
+    fn minimize_shrinks_tuples_componentwise() {
+        let strat = (0u32..100, 0u32..100);
+        let (min, _) =
+            crate::test_runner::minimize(&strat, (57, 3), &mut |&(a, b)| a + b >= 5);
+        assert_eq!(min.0 + min.1, 5, "local minimum sits on the failure boundary: {min:?}");
+        assert!(min.0 <= 57 && min.1 <= 3);
+    }
+
+    #[test]
+    fn option_and_bool_shrinks_simplify() {
+        let opt = crate::option::of(1u32..50);
+        assert_eq!(opt.shrink(&None), vec![]);
+        let candidates = opt.shrink(&Some(9));
+        assert_eq!(candidates[0], None, "dropping the value comes first");
+        assert!(candidates.contains(&Some(1)), "then the inner shrinks: {candidates:?}");
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert_eq!(any::<bool>().shrink(&false), vec![]);
+    }
+
+    #[test]
+    fn failing_property_is_reported_after_shrinking() {
+        let config = ProptestConfig::with_cases(4);
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases_shrink(
+                &config,
+                "always_fails_above_ten",
+                &(any::<u64>(),),
+                |vals| {
+                    let (v,) = vals.clone();
+                    assert!(v < 10, "value {v} too big");
+                },
+            );
+        });
+        assert!(result.is_err(), "the minimised failure must still propagate");
     }
 }

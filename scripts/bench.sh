@@ -1,24 +1,33 @@
 #!/usr/bin/env bash
 # Perf-regression harness: runs `perfreport` twice — serial then parallel —
 # so BENCH_harness.json records a before/after pair for the experiment
-# runner, plus per-crate kernel timings and the trie cache hit rate.
+# runner, plus per-crate kernel timings and the trie cache hit rate, then
+# gates on `perfreport --compare`: the new entries are diffed against the
+# most recent earlier run of each metric and the script fails if anything
+# regressed past the threshold (default 15%).
 #
 # Usage: scripts/bench.sh [--scale quick] [--skip-figures] [--with-benches]
+#                         [--no-compare]
 #   --with-benches  also run the criterion-shim benches (`--features bench`)
 #                   so their ns/iter land in the same trajectory file.
+#   --no-compare    record only; skip the regression gate (first run on a
+#                   new machine, where cross-host deltas are meaningless).
 # Environment:
 #   BB_BENCH_TRAJECTORY  output file (default: BENCH_harness.json at repo root)
 #   BB_WORKERS           worker override for the parallel pass
+#   BB_BENCH_THRESHOLD   regression threshold in percent (default 15)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export BB_BENCH_TRAJECTORY="${BB_BENCH_TRAJECTORY:-$PWD/BENCH_harness.json}"
 
 with_benches=0
+compare=1
 passthrough=()
 for arg in "$@"; do
   case "$arg" in
     --with-benches) with_benches=1 ;;
+    --no-compare) compare=0 ;;
     *) passthrough+=("$arg") ;;
   esac
 done
@@ -39,3 +48,8 @@ fi
 
 echo "== trajectory: $BB_BENCH_TRAJECTORY =="
 tail -n 20 "$BB_BENCH_TRAJECTORY"
+
+if [ "$compare" = 1 ]; then
+  echo "== regression gate: perfreport --compare =="
+  target/release/perfreport --compare --threshold "${BB_BENCH_THRESHOLD:-15}"
+fi

@@ -12,6 +12,14 @@
 # tests inside it, so the suite runs with the runner *enabled* (no
 # BB_SERIAL). Override the ceiling with BB_VERIFY_BUDGET_S if a slower
 # machine needs more headroom.
+#
+# Performance is gated separately: `scripts/bench.sh` records kernel and
+# figure timings to BENCH_harness.json and finishes with
+# `perfreport --compare`, which exits non-zero when any kernel ns/iter,
+# figure wall-clock (per runner mode) or macro tx/s regressed more than
+# 15% against the most recent earlier run. Run it alongside this script
+# when a change touches a hot path; it is not part of tier-1 because perf
+# baselines are per-machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

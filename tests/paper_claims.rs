@@ -62,6 +62,11 @@ fn smallbank_costs_blockchains_little_but_hstore_much() {
 
 /// "Ethereum and Parity are more resilient to node failures" — and PBFT at
 /// n=12 cannot survive 4 crashes (Figure 9).
+///
+/// The post-crash window is 60 s (vs 30 s pre-crash) and the assertions
+/// compare *rates*: PoW block arrivals are exponential with a ~6.5 s
+/// network mean after the crash, so a 30 s window can legitimately catch
+/// a double-length gap and read as a stall on an unlucky seed.
 #[test]
 fn crash_tolerance_split() {
     let run_with_crashes = |platform: Platform| -> (u64, u64) {
@@ -74,7 +79,7 @@ fn crash_tolerance_split() {
         let mut seen = 0u64;
         let mut committed_pre = 0u64;
         let mut committed_post = 0u64;
-        for sec in 1..=60u64 {
+        for sec in 1..=90u64 {
             if sec == 30 {
                 for i in 8..12 {
                     chain.inject(Fault::Crash(NodeId(i)));
@@ -101,14 +106,16 @@ fn crash_tolerance_split() {
         let _ = nonce_sent;
         (committed_pre, committed_post)
     };
+    // pre counts 30 s, post counts 60 s: "post rate > pre rate / 4" is
+    // `post > pre / 2` in raw counts (and `<` for the PBFT stall).
     let (eth_pre, eth_post) = run_with_crashes(Platform::Ethereum);
-    assert!(eth_pre > 0 && eth_post > eth_pre / 4, "ethereum stalled: {eth_pre}/{eth_post}");
+    assert!(eth_pre > 0 && eth_post > eth_pre / 2, "ethereum stalled: {eth_pre}/{eth_post}");
     let (par_pre, par_post) = run_with_crashes(Platform::Parity);
-    assert!(par_pre > 0 && par_post > par_pre / 4, "parity stalled: {par_pre}/{par_post}");
+    assert!(par_pre > 0 && par_post > par_pre / 2, "parity stalled: {par_pre}/{par_post}");
     let (fab_pre, fab_post) = run_with_crashes(Platform::Hyperledger);
     assert!(fab_pre > 0, "fabric never started");
     assert!(
-        fab_post < fab_pre / 4,
+        fab_post < fab_pre / 2,
         "12-node fabric survived 4 crashes: {fab_pre}/{fab_post}"
     );
 }

@@ -1,17 +1,33 @@
-//! Same-seed figure tables must be byte-identical whether experiment cells
-//! run serially (`BB_SERIAL=1`) or scattered across worker threads.
+//! Same-seed results must be byte-identical whether the simulation runs
+//! serially or parallel — at both levels of the stack:
 //!
-//! This is the contract that makes the parallel runner safe to leave on by
-//! default: each cell builds its own simulated world on its own virtual
-//! clock, and `map_cells` collects results in input order, so thread
-//! scheduling must not be observable in any rendered table.
+//! - the experiment runner (`BB_SERIAL=1` vs `BB_WORKERS=4`): each cell
+//!   builds its own simulated world on its own virtual clock, and
+//!   `map_cells` collects results in input order, so thread scheduling
+//!   must not be observable in any rendered table;
+//! - the sharded event engine inside one world (`BB_SERIAL=1` vs
+//!   `BB_SHARD_THREADS=4`): the conservative window scheduler commits
+//!   events in the canonical `(time, shard, seq)` order regardless of
+//!   which lane thread ran them, so full `RunStats` debug output must
+//!   match byte for byte across seeds, platforms and fault injections.
 //!
 //! Lives in its own integration-test binary because the worker knobs are
-//! process-global env vars: here nothing else can race the mutations.
+//! process-global env vars: the `ENV_LOCK` below serialises the tests so
+//! nothing else can race the mutations.
 
-use bb_bench::exp_macro;
-use bb_bench::Scale;
-use bb_sim::SimDuration;
+use bb_bench::exp_macro::{self, Macro};
+use bb_bench::{Platform, Scale, ALL_PLATFORMS};
+use bb_ethereum::{EthConfig, EthereumChain};
+use bb_fabric::{FabricChain, FabricConfig};
+use bb_parity::{ParityChain, ParityConfig};
+use bb_sim::{SimDuration, SimTime};
+use bb_types::{ClientId, NodeId};
+use blockbench::{run_workload, BlockchainConnector, DriverConfig, Fault};
+use std::sync::Mutex;
+
+/// Env vars are process-global; every test in this binary mutates them, so
+/// they all hold this lock for their full body.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny_scale() -> Scale {
     Scale {
@@ -21,8 +37,47 @@ fn tiny_scale() -> Scale {
     }
 }
 
+/// Force the in-world engine serial (the runner knob `BB_WORKERS` is
+/// irrelevant to these direct-drive tests).
+fn engine_serial() {
+    std::env::set_var("BB_SERIAL", "1");
+    std::env::remove_var("BB_SHARD_THREADS");
+}
+
+/// Force the in-world engine onto 4 lane threads, even on single-core CI.
+fn engine_sharded() {
+    std::env::remove_var("BB_SERIAL");
+    std::env::set_var("BB_SHARD_THREADS", "4");
+}
+
+fn engine_env_reset() {
+    std::env::remove_var("BB_SERIAL");
+    std::env::remove_var("BB_SHARD_THREADS");
+}
+
+fn build_seeded(platform: Platform, nodes: u32, seed: u64) -> Box<dyn BlockchainConnector> {
+    match platform {
+        Platform::Ethereum => {
+            let mut c = EthConfig::with_nodes(nodes);
+            c.seed = seed;
+            Box::new(EthereumChain::new(c))
+        }
+        Platform::Parity => {
+            let mut c = ParityConfig::with_nodes(nodes);
+            c.seed = seed;
+            Box::new(ParityChain::new(c))
+        }
+        Platform::Hyperledger => {
+            let mut c = FabricConfig::with_nodes(nodes);
+            c.seed = seed;
+            Box::new(FabricChain::new(c))
+        }
+    }
+}
+
 #[test]
 fn figure_tables_byte_identical_parallel_vs_serial() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let scale = tiny_scale();
 
     std::env::remove_var("BB_WORKERS");
@@ -45,4 +100,131 @@ fn figure_tables_byte_identical_parallel_vs_serial() {
 
     assert_eq!(serial_13c, parallel_13c, "fig13c must not depend on thread scheduling");
     assert_eq!(serial_5, parallel_5, "fig5 must not depend on thread scheduling");
+}
+
+/// One full driver run (open-loop clients, polling, drain) with the full
+/// `RunStats` rendered via `Debug` — every counter, every latency sample,
+/// every timeline point participates in the comparison.
+fn driver_stats(platform: Platform, seed: u64) -> String {
+    let mut chain = build_seeded(platform, 4, seed);
+    let mut workload = Macro::Ycsb.build(4);
+    let config = DriverConfig {
+        clients: 4,
+        rate_per_client: 50.0,
+        duration: SimDuration::from_secs(3),
+        poll_interval: SimDuration::from_millis(500),
+        drain: SimDuration::from_secs(2),
+    };
+    let stats = run_workload(chain.as_mut(), workload.as_mut(), &config);
+    format!("{stats:?}")
+}
+
+#[test]
+fn run_stats_byte_identical_across_platforms_and_seeds() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        for seed in [1u64, 7, 42] {
+            engine_serial();
+            let serial = driver_stats(platform, seed);
+            engine_sharded();
+            let sharded = driver_stats(platform, seed);
+            assert_eq!(
+                serial,
+                sharded,
+                "{} seed {seed}: sharded RunStats diverged from serial",
+                platform.name()
+            );
+        }
+    }
+    engine_env_reset();
+}
+
+/// Figure-9-style fault drive: crash a third of the cluster mid-run after
+/// slowing one node down, then sample cumulative commits and block counters
+/// every simulated second. Faults land between conservative windows, so
+/// the sharded engine must replay them identically.
+fn fault_timeline(platform: Platform, seed: u64) -> String {
+    const NODES: u32 = 12;
+    const CLIENTS: u32 = 4;
+    const SECS: u64 = 15;
+    let mut chain = build_seeded(platform, NODES, seed);
+    let mut workload = Macro::Ycsb.build(CLIENTS);
+    workload.setup(chain.as_mut());
+    let t0 = chain.now();
+    let interval = SimDuration::from_millis(25);
+    let mut next_send: Vec<SimTime> = (0..CLIENTS).map(|_| t0).collect();
+    let mut seen_height = 0u64;
+    let mut committed = 0u64;
+    let mut out = String::new();
+    for sec in 0..SECS {
+        if sec == 2 {
+            // A straggler first: node 1 gains 40 ms of extra link latency.
+            chain.inject(Fault::Delay(NodeId(1), SimDuration::from_millis(40)));
+        }
+        if sec == 5 {
+            // Then a crash of the last four nodes (node 0 is the observer).
+            for i in NODES - 4..NODES {
+                chain.inject(Fault::Crash(NodeId(i)));
+            }
+        }
+        let step_end = t0 + SimDuration::from_secs(sec + 1);
+        loop {
+            let Some((ci, t)) = next_send
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, t)| t < step_end)
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            chain.advance_to(t);
+            let tx = workload.next_transaction(ClientId(ci as u32));
+            if !chain.submit(NodeId(ci as u32 % NODES), tx) {
+                workload.on_rejected(ClientId(ci as u32));
+            }
+            next_send[ci] = t + interval;
+        }
+        chain.advance_to(step_end);
+        for block in chain.confirmed_blocks_since(seen_height) {
+            seen_height = seen_height.max(block.height);
+            committed += block.txs.iter().filter(|&&(_, ok)| ok).count() as u64;
+        }
+        let stats = chain.stats();
+        out.push_str(&format!(
+            "t={} committed={committed} total={} main={}\n",
+            sec + 1,
+            stats.blocks_total,
+            stats.blocks_main
+        ));
+    }
+    out
+}
+
+#[test]
+fn crash_and_delay_faults_replay_identically_when_sharded() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        engine_serial();
+        let serial = fault_timeline(platform, 42);
+        engine_sharded();
+        let sharded = fault_timeline(platform, 42);
+        assert_eq!(
+            serial,
+            sharded,
+            "{}: fault timeline diverged between serial and sharded engines",
+            platform.name()
+        );
+        // The timeline itself must show the fault bit: commits exist before
+        // the crash, so the comparison is not over an all-zero string.
+        let pre_crash = serial
+            .lines()
+            .nth(4)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kv| kv.strip_prefix("committed="))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        assert!(pre_crash > 0, "{}: no commits before the crash", platform.name());
+    }
+    engine_env_reset();
 }
