@@ -5,7 +5,7 @@
 
 use bb_crypto::{sha256, Hash256, KeyPair};
 use bb_merkle::{merkle_root, BucketTree, PatriciaTrie};
-use bb_storage::{KvStore, LsmConfig, LsmStore, MemStore};
+use bb_storage::{KvStore, LsmConfig, LsmStore, MemStore, WriteBatch};
 use bb_svm::{assemble, MockHost, Vm};
 use bb_types::{Address, Transaction};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -50,6 +50,20 @@ fn bench_patricia_trie(c: &mut Criterion) {
             black_box(trie.get(&i.to_be_bytes()).unwrap())
         })
     });
+    // The block-scoped write path: apply a 16-tx "block" of inserts, then
+    // seal it so only the committed root's reachable nodes hit storage.
+    g.bench_function("insert_commit_block_16", |b| {
+        let mut t = PatriciaTrie::new(MemStore::new());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..16 {
+                t.insert(&i.to_be_bytes(), b"value").unwrap();
+                i += 1;
+            }
+            t.commit().unwrap();
+            black_box(t.root())
+        })
+    });
     g.finish();
 }
 
@@ -89,6 +103,20 @@ fn bench_lsm(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 7919) % 20_000;
             black_box(store.get(&i.to_be_bytes()).unwrap())
+        })
+    });
+    // One atomic batch (single WAL record) vs the per-put path above.
+    g.bench_function("write_batch_64", |b| {
+        let mut s = LsmStore::new_private(LsmConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut batch = WriteBatch::new();
+            for _ in 0..64 {
+                batch.put(&i.to_be_bytes(), &[0u8; 100]);
+                i += 1;
+            }
+            s.apply_batch(batch).unwrap();
+            black_box(s.table_count())
         })
     });
     g.finish();

@@ -26,7 +26,7 @@ use bb_bench::{Scale, ALL_PLATFORMS};
 use bb_crypto::{sha256, Hash256};
 use bb_merkle::PatriciaTrie;
 use bb_sim::SimDuration;
-use bb_storage::MemStore;
+use bb_storage::{KvStore, LsmConfig, LsmStore, MemStore, WriteBatch};
 use criterion::trajectory::{self, append_entry, env_path, escape, json_num};
 use std::path::Path;
 use std::time::Instant;
@@ -154,6 +154,28 @@ fn kernel_report(path: &Path) {
             "{{\"kind\": \"kernel\", \"id\": \"patricia/cache\", \"hits\": {hits}, \"misses\": {misses}}}"
         ),
     );
+    // Block-scoped write path: a 16-insert "block" followed by a seal, so
+    // each iteration pays one overlay walk plus one store batch.
+    let mut block_trie = PatriciaTrie::new(MemStore::new());
+    let mut b = 0u64;
+    time_kernel(path, "trie/insert_commit_block", || {
+        for _ in 0..16 {
+            block_trie.insert(&b.to_be_bytes(), b"value-bytes-here").unwrap();
+            b += 1;
+        }
+        block_trie.commit().unwrap();
+    });
+    // One atomic LSM batch: a single WAL record carrying 64 puts.
+    let mut lsm = LsmStore::new_private(LsmConfig::default());
+    let mut k = 0u64;
+    time_kernel(path, "lsm/write_batch", || {
+        let mut batch = WriteBatch::new();
+        for _ in 0..64 {
+            batch.put(&k.to_be_bytes(), &[0u8; 100]);
+            k += 1;
+        }
+        lsm.apply_batch(batch).unwrap();
+    });
     time_kernel(path, "hash256/combine", || {
         criterion::black_box(Hash256::combine(
             &Hash256::digest(b"left"),

@@ -312,6 +312,7 @@ fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) ->
     };
     let block = Block { header, txs: included };
     let id = block.id();
+    node.state.commit_block().expect("state store healthy");
     node.roots.insert(id, node.state.root());
     node.receipts.insert(id, receipts);
     block
@@ -354,6 +355,7 @@ fn adopt_block(
                 node.seen.insert(tx.id());
             }
             node.cpu.charge(now, exec_time);
+            node.state.commit_block().expect("state store healthy");
             node.roots.insert(id, node.state.root());
             node.receipts.insert(id, receipts);
         }
@@ -438,6 +440,7 @@ fn execute_connected_descendants(ctx: &EthCtx, node: &mut EthNode, now: SimTime,
             }
             node.cpu.charge(now, exec_time);
             let cid = child.id();
+            node.state.commit_block().expect("state store healthy");
             node.roots.insert(cid, node.state.root());
             node.receipts.insert(cid, receipts);
             frontier.push(cid);
@@ -604,6 +607,8 @@ impl EthereumChain {
                         .credit(&Address::from_public_key(&kp.public()), i64::MAX / 4)
                         .expect("fresh store");
                 }
+                // Seal the genesis state so its root is durable.
+                state.commit_block().expect("fresh store");
                 let mut node = EthNode {
                     state,
                     tree: BlockTree::new(genesis),
@@ -667,6 +672,7 @@ impl BlockchainConnector for EthereumChain {
                 let root = node.roots[&head];
                 node.state.set_root(root);
                 node.state.install_contract(&addr, &bundle.svm).expect("setup store healthy");
+                node.state.commit_block().expect("setup store healthy");
                 node.roots.insert(head, node.state.root());
             });
         }
@@ -779,15 +785,21 @@ impl BlockchainConnector for EthereumChain {
         let n = self.config.nodes as usize;
         let mut disk = 0u64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut flushed, mut dropped, mut batches) = (0u64, 0u64, 0u64);
         // Average per-second CPU and network series over nodes.
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
-                disk += node.state.store().stats().disk_bytes;
+                let store_stats = node.state.store().stats();
+                disk += store_stats.disk_bytes;
+                batches += store_stats.batch_writes;
                 let (h, m) = node.state.trie_cache_stats();
                 cache_hits += h;
                 cache_misses += m;
+                let (f, d) = node.state.trie_flush_stats();
+                flushed += f;
+                dropped += d;
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
                     cpu.resize(series.len(), 0.0);
@@ -818,6 +830,9 @@ impl BlockchainConnector for EthereumChain {
             net_bytes: self.network.stats().bytes,
             trie_cache_hits: cache_hits,
             trie_cache_misses: cache_misses,
+            state_nodes_flushed: flushed,
+            state_nodes_dropped: dropped,
+            batch_put_count: batches,
         }
     }
 
@@ -852,6 +867,7 @@ impl BlockchainConnector for EthereumChain {
                     };
                     let block = Arc::new(Block { header, txs: txs.clone() });
                     let id = block.id();
+                    node.state.commit_block().expect("state store healthy");
                     node.roots.insert(id, node.state.root());
                     node.receipts.insert(id, receipts.clone());
                     node.bodies.insert(id, Arc::clone(&block));
@@ -885,6 +901,7 @@ impl BlockchainConnector for EthereumChain {
                 Ok(res) => {
                     let modeled = ctx.config.costs.modeled_mem(res.vm_peak_mem);
                     // Commit the direct execution as the new head state.
+                    node.state.commit_block().expect("state store healthy");
                     node.roots.insert(head, node.state.root());
                     (
                         DirectExec {

@@ -195,6 +195,21 @@ impl<S: KvStore> AccountState<S> {
         self.trie.cache_stats()
     }
 
+    /// Overlay flush counters `(nodes_flushed, nodes_dropped)` of the state
+    /// trie (stats).
+    pub fn trie_flush_stats(&self) -> (u64, u64) {
+        (self.trie.nodes_flushed(), self.trie.nodes_dropped())
+    }
+
+    /// Seal a block: flush the trie's dirty-node overlay to storage as one
+    /// write batch, keeping exactly the nodes reachable from the current
+    /// root (plus everything committed earlier) and dropping the garbage
+    /// interior roots that per-transaction application created. Every root
+    /// recorded for historical queries must be committed via this call.
+    pub fn commit_block(&mut self) -> Result<(), KvError> {
+        self.trie.commit()
+    }
+
     /// Validate a transaction against current state without applying it:
     /// the pool's admission check.
     pub fn validate(&mut self, tx: &Transaction) -> Result<(), TxInvalid> {
@@ -221,7 +236,6 @@ impl<S: KvStore> AccountState<S> {
         if sender.nonce != tx.nonce {
             return Err(TxInvalid::BadNonce { expected: sender.nonce, got: tx.nonce });
         }
-        let pre_root = self.trie.root();
         sender.nonce += 1;
         // The nonce bump survives failure; everything else rolls back.
         self.put_account(&tx.from, &sender).map_err(storage)?;
@@ -266,7 +280,6 @@ impl<S: KvStore> AccountState<S> {
         let callee = self.account(&tx.to).map_err(storage)?;
         if !callee.is_contract || tx.payload.is_empty() {
             // Plain transfer (the analytics preload path).
-            let _ = pre_root;
             return Ok(ExecResult { success: true, gas_used: 0, output: Vec::new(), vm_peak_mem: 0, error: None });
         }
         let Some(code) = self.contract_code(&tx.to).map_err(storage)? else {
@@ -533,6 +546,34 @@ mod tests {
         s.apply_transaction(&tx, 1, &Vm::default(), 1_000_000).unwrap();
         assert_eq!(s.account(&from).unwrap().balance, 600);
         assert_eq!(s.account_at(root_before, &from).unwrap().balance, 1000);
+    }
+
+    #[test]
+    fn commit_block_keeps_sealed_roots_and_drops_tx_garbage() {
+        let mut s = state();
+        let contract = deploy_ycsb(&mut s);
+        s.commit_block().unwrap(); // genesis-ish seal
+        // One multi-tx block: each apply materializes an intermediate root
+        // that the next apply replaces.
+        for i in 0..8u64 {
+            let tx = signed(1, i, contract, 0, ycsb::write_call(i, b"payload"));
+            assert!(s.apply_transaction(&tx, 1, &Vm::default(), 10_000_000).unwrap().success);
+        }
+        let sealed_root = s.root();
+        s.commit_block().unwrap();
+        let (flushed, dropped) = s.trie_flush_stats();
+        assert!(dropped > 0, "per-tx interior roots must be dropped at seal");
+        assert!(flushed > 0);
+        // Mid-block rollback roots (failed tx) also stay consistent.
+        let broke = signed(2, 0, contract, 0, ycsb::write_call(9, &[9u8; 100]));
+        // Out of gas: included but failed, root = nonce-only.
+        let r = s.apply_transaction(&broke, 2, &Vm::default(), 100).unwrap();
+        assert!(!r.success);
+        s.commit_block().unwrap();
+        // The sealed root answers historical reads after garbage was dropped.
+        let kp = KeyPair::from_seed(1);
+        let from = Address::from_public_key(&kp.public());
+        assert_eq!(s.account_at(sealed_root, &from).unwrap().nonce, 8);
     }
 
     #[test]

@@ -330,6 +330,8 @@ fn commit_batch(
     // Execution occupies the same event loop as message processing:
     // the next drain waits for it.
     node.pipeline_penalty += exec_time;
+    // Seal the batch: flush all state writes as one atomic LSM batch.
+    node.state.commit_block().expect("state store healthy");
     let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
     // Headers must be byte-identical across replicas: the timestamp is
     // the deterministic sequence number, not local delivery time.
@@ -523,9 +525,15 @@ impl BlockchainConnector for FabricChain {
         let mut mem_peak = self.mem_peak.max(self.config.mem_base);
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
+        let (mut flushed, mut superseded, mut batches) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
-                disk += node.state.store_stats().disk_bytes;
+                let store_stats = node.state.store_stats();
+                disk += store_stats.disk_bytes;
+                batches += store_stats.batch_writes;
+                let (f, s) = node.state.flush_stats();
+                flushed += f;
+                superseded += s;
                 mem_peak = mem_peak.max(self.config.mem_base + node.state.mem_peak());
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
@@ -562,6 +570,9 @@ impl BlockchainConnector for FabricChain {
             // Fabric's Bucket-Merkle state has no Patricia node cache.
             trie_cache_hits: 0,
             trie_cache_misses: 0,
+            state_nodes_flushed: flushed,
+            state_nodes_dropped: superseded,
+            batch_put_count: batches,
         }
     }
 
@@ -588,6 +599,7 @@ impl BlockchainConnector for FabricChain {
                         difficulty: 0,
                         round: height,
                     };
+                    node.state.commit_block().expect("setup store healthy");
                     let block = Block { header, txs: txs.clone() };
                     if i == 0 {
                         node.confirmed.push(BlockSummary {
@@ -612,6 +624,8 @@ impl BlockchainConnector for FabricChain {
         let (exec, modeled) = self.engine.with_node_mut(0, |node| {
             let height = node.blocks.len() as u64;
             let res = node.state.invoke(&tx, height, true);
+            // Each direct execution is its own "block" on this path.
+            node.state.commit_block().expect("state store healthy");
             let modeled = mem_base + res.peak_alloc;
             (
                 DirectExec {

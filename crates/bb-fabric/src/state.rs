@@ -81,6 +81,17 @@ impl FabricState {
         self.tree.store().stats()
     }
 
+    /// Seal a block: flush the bucket tree's pending values to the LSM
+    /// store as one atomic write batch.
+    pub fn commit_block(&mut self) -> Result<(), bb_storage::KvError> {
+        self.tree.commit()
+    }
+
+    /// `(values_flushed, values_superseded)` across this state's lifetime.
+    pub fn flush_stats(&self) -> (u64, u64) {
+        (self.tree.values_flushed(), self.tree.values_superseded())
+    }
+
     /// Peak chaincode allocation observed.
     pub fn mem_peak(&self) -> u64 {
         self.mem.peak()
@@ -348,9 +359,16 @@ mod tests {
         for i in 0..200u64 {
             s.invoke(&tx(1, i, addr, ycsb::write_call(i, &[7u8; 100])), 1, true);
         }
+        // Writes stay pending until the block seals.
+        assert_eq!(s.store_stats().writes, 0);
+        s.commit_block().unwrap();
         let stats = s.store_stats();
-        // One write per put plus WAL: no trie-style amplification.
+        // One write per put, all in a single WAL batch: no trie-style
+        // amplification.
         assert!(stats.writes <= 220, "writes {}", stats.writes);
+        assert_eq!(stats.batch_writes, 1);
         assert!(stats.disk_bytes > 100 * 200);
+        let (flushed, _) = s.flush_stats();
+        assert_eq!(flushed, 200);
     }
 }

@@ -14,7 +14,8 @@
 
 use crate::merkle::merkle_root;
 use bb_crypto::Hash256;
-use bb_storage::{KvError, KvStore};
+use bb_storage::{KvError, KvStore, WriteBatch};
+use std::collections::BTreeMap;
 
 const STATE_PREFIX: &[u8] = b"s:";
 
@@ -29,17 +30,37 @@ fn xor_into(acc: &mut Hash256, h: &Hash256) {
 }
 
 /// Authenticated state store: flat key-value data plus bucket digests.
+///
+/// Writes are block-scoped: `put`/`delete` update the bucket digests (and
+/// `entries`) eagerly in memory but park the value in a pending overlay;
+/// [`BucketTree::commit`] at block-seal time drains the overlay into one
+/// atomic [`WriteBatch`]. A key overwritten several times inside a block
+/// reaches storage once, with its final value.
 pub struct BucketTree<S: KvStore> {
     store: S,
     bucket_hashes: Vec<Hash256>,
     entries: u64,
+    /// Uncommitted state by full store key: `Some` = pending put, `None` =
+    /// pending delete. BTreeMap so commit order is deterministic.
+    pending: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Values persisted by `commit` calls.
+    values_flushed: u64,
+    /// Same-key overwrites absorbed by the overlay before reaching storage.
+    values_superseded: u64,
 }
 
 impl<S: KvStore> BucketTree<S> {
     /// New tree with `nbuckets` buckets over `store`.
     pub fn new(store: S, nbuckets: usize) -> Self {
         assert!(nbuckets > 0, "need at least one bucket");
-        BucketTree { store, bucket_hashes: vec![Hash256::ZERO; nbuckets], entries: 0 }
+        BucketTree {
+            store,
+            bucket_hashes: vec![Hash256::ZERO; nbuckets],
+            entries: 0,
+            pending: BTreeMap::new(),
+            values_flushed: 0,
+            values_superseded: 0,
+        }
     }
 
     fn bucket_of(&self, key: &[u8]) -> usize {
@@ -54,17 +75,29 @@ impl<S: KvStore> BucketTree<S> {
         k
     }
 
-    /// Read a state value.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        self.store.get(&Self::state_key(key))
+    /// Look up the live value for a full store key: overlay first, then the
+    /// store.
+    fn get_skey(&mut self, skey: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        if let Some(pending) = self.pending.get(skey) {
+            return Ok(pending.clone());
+        }
+        self.store.get(skey)
     }
 
-    /// Write a state value, updating the owning bucket digest in O(1).
+    /// Read a state value.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.get_skey(&Self::state_key(key))
+    }
+
+    /// Write a state value, updating the owning bucket digest in O(1). The
+    /// value lands in the pending overlay until [`Self::commit`].
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
         let skey = Self::state_key(key);
         let bucket = self.bucket_of(key);
-        let old = self.store.get(&skey)?;
-        self.store.put(&skey, value)?;
+        let old = self.get_skey(&skey)?;
+        if self.pending.insert(skey, Some(value.to_vec())).is_some() {
+            self.values_superseded += 1;
+        }
         if let Some(old) = &old {
             xor_into(&mut self.bucket_hashes[bucket], &entry_digest(key, old));
         } else {
@@ -77,21 +110,73 @@ impl<S: KvStore> BucketTree<S> {
     /// Delete a state value.
     pub fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         let skey = Self::state_key(key);
-        if let Some(old) = self.store.get(&skey)? {
+        if let Some(old) = self.get_skey(&skey)? {
             let bucket = self.bucket_of(key);
             xor_into(&mut self.bucket_hashes[bucket], &entry_digest(key, &old));
-            self.store.delete(&skey)?;
+            if self.pending.insert(skey, None).is_some() {
+                self.values_superseded += 1;
+            }
             self.entries -= 1;
         }
         Ok(())
     }
 
-    /// All live states under `prefix`, in key order.
+    /// Flush the pending overlay at a block boundary as one atomic
+    /// [`WriteBatch`]. On error the overlay is left intact (reads keep
+    /// working) and a later commit retries.
+    pub fn commit(&mut self) -> Result<(), KvError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut batch = WriteBatch::new();
+        for (skey, value) in &self.pending {
+            match value {
+                Some(v) => batch.put(skey, v),
+                None => batch.delete(skey),
+            }
+        }
+        let n = batch.len() as u64;
+        self.store.apply_batch(batch)?;
+        self.values_flushed += n;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Values persisted across all `commit` calls.
+    pub fn values_flushed(&self) -> u64 {
+        self.values_flushed
+    }
+
+    /// Same-key overwrites absorbed by the overlay (writes that never
+    /// reached storage).
+    pub fn values_superseded(&self) -> u64 {
+        self.values_superseded
+    }
+
+    /// Uncommitted values currently parked in the overlay.
+    pub fn pending_values(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// All live states under `prefix`, in key order (overlay merged over
+    /// the store, pending deletes filtered out).
     pub fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
-        let hits = self.store.scan_prefix(&Self::state_key(prefix))?;
-        Ok(hits
+        let sprefix = Self::state_key(prefix);
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = self
+            .store
+            .scan_prefix(&sprefix)?
             .into_iter()
-            .map(|(k, v)| (k[STATE_PREFIX.len()..].to_vec(), v))
+            .map(|(k, v)| (k, Some(v)))
+            .collect();
+        for (k, v) in self.pending.range(sprefix.clone()..) {
+            if !k.starts_with(&sprefix) {
+                break;
+            }
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k[STATE_PREFIX.len()..].to_vec(), v)))
             .collect())
     }
 
@@ -244,9 +329,64 @@ mod tests {
         for i in 0..100u32 {
             t.put(format!("k{i}").as_bytes(), b"v").unwrap();
         }
-        // Exactly one storage write per put (plus the read-before-write):
-        // the flat data model of Figure 12.
+        assert_eq!(t.store().stats().writes, 0, "writes defer to commit");
+        t.commit().unwrap();
+        // Exactly one storage write per distinct key, applied as a single
+        // batch: the flat data model of Figure 12.
         assert_eq!(t.store().stats().writes, 100);
+        assert_eq!(t.store().stats().batch_writes, 1);
+        assert_eq!(t.values_flushed(), 100);
+    }
+
+    #[test]
+    fn intra_block_overwrites_reach_storage_once() {
+        let mut t = tree();
+        for round in 0..5u32 {
+            t.put(b"hot", format!("v{round}").as_bytes()).unwrap();
+        }
+        t.delete(b"cold").unwrap(); // absent: no pending op
+        t.commit().unwrap();
+        assert_eq!(t.store().stats().writes, 1, "five puts collapse to one");
+        assert_eq!(t.values_superseded(), 4);
+        assert_eq!(t.get(b"hot").unwrap(), Some(b"v4".to_vec()));
+    }
+
+    #[test]
+    fn reads_and_scans_see_uncommitted_state() {
+        let mut t = tree();
+        t.put(b"acct:1", b"old").unwrap();
+        t.commit().unwrap();
+        t.put(b"acct:1", b"new").unwrap();
+        t.put(b"acct:2", b"two").unwrap();
+        t.delete(b"acct:1").unwrap();
+        // Mid-block view: overlay wins over the store.
+        assert_eq!(t.get(b"acct:1").unwrap(), None);
+        assert_eq!(
+            t.scan_prefix(b"acct:").unwrap(),
+            vec![(b"acct:2".to_vec(), b"two".to_vec())]
+        );
+        t.commit().unwrap();
+        assert_eq!(t.get(b"acct:1").unwrap(), None);
+        assert_eq!(
+            t.scan_prefix(b"acct:").unwrap(),
+            vec![(b"acct:2".to_vec(), b"two".to_vec())]
+        );
+    }
+
+    #[test]
+    fn root_is_unaffected_by_commit_timing() {
+        let mut batched = tree();
+        let mut eager = tree();
+        for i in 0..50u32 {
+            let k = format!("key{}", i % 17);
+            batched.put(k.as_bytes(), &i.to_be_bytes()).unwrap();
+            eager.put(k.as_bytes(), &i.to_be_bytes()).unwrap();
+            eager.commit().unwrap();
+            assert_eq!(batched.root(), eager.root());
+            assert_eq!(batched.len(), eager.len());
+        }
+        batched.commit().unwrap();
+        assert_eq!(batched.root(), eager.root());
     }
 }
 

@@ -1,18 +1,26 @@
 //! A persistent Merkle-Patricia trie over pluggable key-value storage —
 //! the state tree of the Ethereum-like and Parity-like platforms.
 //!
-//! Nodes are immutable and content-addressed: every update writes fresh
-//! leaf/extension/branch nodes along the key's path into the backing store
-//! (keyed by node hash) and returns a new root. Old nodes are never garbage
-//! collected, exactly like geth v1.4 — this is the mechanism behind the
+//! Nodes are immutable and content-addressed: every update hashes fresh
+//! leaf/extension/branch nodes along the key's path (keyed by node hash)
+//! and returns a new root. Committed nodes are never garbage collected,
+//! exactly like geth v1.4 — this is the mechanism behind the
 //! order-of-magnitude disk-usage gap the paper measures in Figure 12(c).
+//!
+//! Writes are **block-scoped**: `insert`/`remove` park encoded nodes in an
+//! in-memory dirty-node overlay, and [`PatriciaTrie::commit`] at block-seal
+//! time flushes only the nodes reachable from the committed root as one
+//! [`WriteBatch`]. Intermediate per-transaction roots created and replaced
+//! within a block leave garbage nodes in the overlay that are dropped at
+//! commit, so they never touch the WAL. Root hashes are byte-identical to
+//! an eager-write trie: hashing is unchanged, only persistence is deferred.
 //!
 //! The root hash is a binding commitment to the full key→value map: any two
 //! insertion orders producing the same map produce the same root (verified
 //! by property test).
 
 use bb_crypto::Hash256;
-use bb_storage::{KvError, KvStore};
+use bb_storage::{KvError, KvStore, WriteBatch};
 use std::collections::HashMap;
 
 /// Decoded-node cache capacity. Nodes are content-addressed and immutable,
@@ -25,8 +33,20 @@ const NODE_CACHE_CAP: usize = 1 << 17;
 pub struct PatriciaTrie<S: KvStore> {
     store: S,
     root: Hash256,
-    /// Nodes written since construction (write-amplification metric).
+    /// Uncommitted encoded nodes by hash. `put_node` lands here instead of
+    /// the store; `commit` flushes the subset reachable from the committed
+    /// root and drops the rest. Because nodes are content-addressed, every
+    /// ancestor of an overlay node is itself in the overlay, so reads that
+    /// miss the overlay can fall through to the store unconditionally.
+    overlay: HashMap<Hash256, Vec<u8>>,
+    /// Nodes written (hashed) since construction — the write-amplification
+    /// numerator an eager-write trie would have paid to storage.
     nodes_written: u64,
+    /// Overlay nodes persisted by `commit` calls.
+    nodes_flushed: u64,
+    /// Overlay nodes discarded by `commit` calls (garbage interior roots
+    /// from per-transaction application inside a block).
+    nodes_dropped: u64,
     /// Decoded nodes by hash. Content-addressing makes entries immutable,
     /// so the cache can never go stale — it only skips store reads and
     /// re-decodes, never changes what a walk observes (determinism-safe:
@@ -36,6 +56,8 @@ pub struct PatriciaTrie<S: KvStore> {
     cache_misses: u64,
     /// Scratch buffer reused across `put_node` encodings.
     encode_buf: Vec<u8>,
+    /// Scratch buffer reused across key→nibble conversions.
+    nibble_buf: Vec<u8>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,15 +73,6 @@ enum Node {
 const TAG_LEAF: u8 = 0;
 const TAG_EXT: u8 = 1;
 const TAG_BRANCH: u8 = 2;
-
-fn to_nibbles(key: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(key.len() * 2);
-    for &b in key {
-        out.push(b >> 4);
-        out.push(b & 0x0f);
-    }
-    out
-}
 
 fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
@@ -168,11 +181,15 @@ impl<S: KvStore> PatriciaTrie<S> {
         PatriciaTrie {
             store,
             root: Hash256::ZERO,
+            overlay: HashMap::new(),
             nodes_written: 0,
+            nodes_flushed: 0,
+            nodes_dropped: 0,
             cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
             encode_buf: Vec::new(),
+            nibble_buf: Vec::new(),
         }
     }
 
@@ -197,9 +214,25 @@ impl<S: KvStore> PatriciaTrie<S> {
         &mut self.store
     }
 
-    /// Trie nodes written since construction.
+    /// Trie nodes written (hashed) since construction.
     pub fn nodes_written(&self) -> u64 {
         self.nodes_written
+    }
+
+    /// Overlay nodes persisted across all `commit` calls.
+    pub fn nodes_flushed(&self) -> u64 {
+        self.nodes_flushed
+    }
+
+    /// Overlay nodes discarded across all `commit` calls (garbage interior
+    /// roots that never reached storage).
+    pub fn nodes_dropped(&self) -> u64 {
+        self.nodes_dropped
+    }
+
+    /// Uncommitted nodes currently parked in the overlay.
+    pub fn pending_nodes(&self) -> usize {
+        self.overlay.len()
     }
 
     /// Decoded-node cache `(hits, misses)` since construction.
@@ -213,11 +246,18 @@ impl<S: KvStore> PatriciaTrie<S> {
             return Ok(node.clone());
         }
         self.cache_misses += 1;
-        let bytes = self
-            .store
-            .get(&hash.0)?
-            .ok_or_else(|| KvError::Corrupt(format!("missing trie node {hash:?}")))?;
-        let node = Node::decode(&bytes)?;
+        // Overlay before store: uncommitted nodes exist nowhere else. The
+        // reverse order would also be correct (hashes collide only for
+        // identical bytes) but would charge the store a read per miss.
+        let node = if let Some(bytes) = self.overlay.get(hash) {
+            Node::decode(bytes)?
+        } else {
+            let bytes = self
+                .store
+                .get(&hash.0)?
+                .ok_or_else(|| KvError::Corrupt(format!("missing trie node {hash:?}")))?;
+            Node::decode(&bytes)?
+        };
         self.cache_insert(*hash, node.clone());
         Ok(node)
     }
@@ -229,17 +269,64 @@ impl<S: KvStore> PatriciaTrie<S> {
         self.cache.insert(hash, node);
     }
 
-    fn put_node(&mut self, node: &Node) -> Result<Hash256, KvError> {
+    fn put_node(&mut self, node: Node) -> Result<Hash256, KvError> {
         let mut bytes = std::mem::take(&mut self.encode_buf);
         node.encode_into(&mut bytes);
         let hash = Hash256::digest(&bytes);
-        self.store.put(&hash.0, &bytes)?;
+        self.overlay.insert(hash, bytes.clone());
         self.encode_buf = bytes;
         self.nodes_written += 1;
         // A freshly written node is about to be walked again (it sits on
         // the path every subsequent update in this block re-traverses).
-        self.cache_insert(hash, node.clone());
+        self.cache_insert(hash, node);
         Ok(hash)
+    }
+
+    /// Flush the overlay at a block boundary: persist exactly the nodes
+    /// reachable from the current root as one atomic [`WriteBatch`], drop
+    /// the rest (garbage interior roots from per-tx application). Reachable
+    /// traversal only ever descends into overlay nodes — a node already in
+    /// the store can't reference an uncommitted one, because a node's hash
+    /// covers its children, so new parents are always new nodes.
+    ///
+    /// On error (a capped in-memory store running out of space) the overlay
+    /// is left intact, so the in-memory trie stays fully readable and a
+    /// later commit retries the flush.
+    pub fn commit(&mut self) -> Result<(), KvError> {
+        if self.overlay.is_empty() {
+            return Ok(());
+        }
+        // Deterministic DFS from the committed root; removal from the
+        // overlay doubles as the visited set.
+        let mut staged: Vec<(Hash256, Vec<u8>)> = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(h) = stack.pop() {
+            let Some(bytes) = self.overlay.remove(&h) else {
+                continue; // already committed, or already staged
+            };
+            match Node::decode(&bytes)? {
+                Node::Leaf { .. } => {}
+                Node::Ext { child, .. } => stack.push(child),
+                Node::Branch { children, .. } => {
+                    stack.extend(children.iter().rev().filter(|c| !c.is_zero()));
+                }
+            }
+            staged.push((h, bytes));
+        }
+        let mut batch = WriteBatch::new();
+        for (h, bytes) in &staged {
+            batch.put(&h.0, bytes);
+        }
+        if let Err(e) = self.store.apply_batch(batch) {
+            // Restore the overlay so nothing becomes unreadable; a partial
+            // batch in the store is harmless (content-addressed rewrites).
+            self.overlay.extend(staged);
+            return Err(e);
+        }
+        self.nodes_flushed += staged.len() as u64;
+        self.nodes_dropped += self.overlay.len() as u64;
+        self.overlay.clear();
+        Ok(())
     }
 
     /// Fetch the value stored under `key` at the current root.
@@ -247,16 +334,39 @@ impl<S: KvStore> PatriciaTrie<S> {
         self.get_at(self.root, key)
     }
 
+    /// Convert `key` to nibbles in the trie's reusable scratch buffer. The
+    /// caller takes ownership for the duration of the walk (so `&mut self`
+    /// stays free) and hands it back via [`Self::restore_nibbles`].
+    fn take_nibbles(&mut self, key: &[u8]) -> Vec<u8> {
+        let mut buf = std::mem::take(&mut self.nibble_buf);
+        buf.clear();
+        for &b in key {
+            buf.push(b >> 4);
+            buf.push(b & 0x0f);
+        }
+        buf
+    }
+
+    fn restore_nibbles(&mut self, buf: Vec<u8>) {
+        self.nibble_buf = buf;
+    }
+
     /// Fetch the value stored under `key` at a historical `root`.
     pub fn get_at(&mut self, root: Hash256, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
         if root.is_zero() {
             return Ok(None);
         }
+        let nibbles = self.take_nibbles(key);
+        let out = self.get_walk(root, &nibbles);
+        self.restore_nibbles(nibbles);
+        out
+    }
+
+    fn get_walk(&mut self, root: Hash256, nibbles: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
         // Narrow a slice over one nibble buffer instead of reallocating the
         // remaining path at every step — this walk is the hottest loop in
         // the Ethereum/Parity platforms.
-        let nibbles = to_nibbles(key);
-        let mut path: &[u8] = &nibbles;
+        let mut path: &[u8] = nibbles;
         let mut at = root;
         loop {
             match self.load(&at)? {
@@ -288,15 +398,16 @@ impl<S: KvStore> PatriciaTrie<S> {
 
     /// Insert or overwrite `key`, producing a new root.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let path = to_nibbles(key);
-        let new_root = self.insert_at(self.root, &path, value)?;
-        self.root = new_root;
+        let path = self.take_nibbles(key);
+        let result = self.insert_at(self.root, &path, value);
+        self.restore_nibbles(path);
+        self.root = result?;
         Ok(())
     }
 
     fn insert_at(&mut self, at: Hash256, path: &[u8], value: &[u8]) -> Result<Hash256, KvError> {
         if at.is_zero() {
-            return self.put_node(&Node::Leaf { path: path.to_vec(), value: value.to_vec() });
+            return self.put_node(Node::Leaf { path: path.to_vec(), value: value.to_vec() });
         }
         let node = self.load(&at)?;
         let new_node = match node {
@@ -307,7 +418,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                     let cp = common_prefix_len(&p, path);
                     let branch = self.split_into_branch(&p[cp..], old, &path[cp..], value)?;
                     if cp > 0 {
-                        let child = self.put_node(&branch)?;
+                        let child = self.put_node(branch)?;
                         Node::Ext { path: path[..cp].to_vec(), child }
                     } else {
                         branch
@@ -328,7 +439,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                     let old_side = if p_rest.len() == 1 {
                         child
                     } else {
-                        self.put_node(&Node::Ext { path: p_rest[1..].to_vec(), child })?
+                        self.put_node(Node::Ext { path: p_rest[1..].to_vec(), child })?
                     };
                     children[p_rest[0] as usize] = old_side;
                     // New side: remainder of the inserted path.
@@ -336,7 +447,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                     if q_rest.is_empty() {
                         bvalue = Some(value.to_vec());
                     } else {
-                        let leaf = self.put_node(&Node::Leaf {
+                        let leaf = self.put_node(Node::Leaf {
                             path: q_rest[1..].to_vec(),
                             value: value.to_vec(),
                         })?;
@@ -344,7 +455,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                     }
                     let branch = Node::Branch { children, value: bvalue };
                     if cp > 0 {
-                        let bh = self.put_node(&branch)?;
+                        let bh = self.put_node(branch)?;
                         Node::Ext { path: path[..cp].to_vec(), child: bh }
                     } else {
                         branch
@@ -362,7 +473,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                 }
             }
         };
-        self.put_node(&new_node)
+        self.put_node(new_node)
     }
 
     /// Build a branch separating two diverging suffixes (either may be
@@ -380,13 +491,13 @@ impl<S: KvStore> PatriciaTrie<S> {
         if old_rest.is_empty() {
             bvalue = Some(old_value);
         } else {
-            let h = self.put_node(&Node::Leaf { path: old_rest[1..].to_vec(), value: old_value })?;
+            let h = self.put_node(Node::Leaf { path: old_rest[1..].to_vec(), value: old_value })?;
             children[old_rest[0] as usize] = h;
         }
         if new_rest.is_empty() {
             bvalue = Some(new_value.to_vec());
         } else {
-            let h = self.put_node(&Node::Leaf {
+            let h = self.put_node(Node::Leaf {
                 path: new_rest[1..].to_vec(),
                 value: new_value.to_vec(),
             })?;
@@ -398,16 +509,18 @@ impl<S: KvStore> PatriciaTrie<S> {
     /// Remove `key` if present, producing a new root. Removing an absent
     /// key leaves the root unchanged.
     pub fn remove(&mut self, key: &[u8]) -> Result<(), KvError> {
-        let path = to_nibbles(key);
         let root = self.root;
         if root.is_zero() {
             return Ok(());
         }
-        match self.remove_at(root, &path)? {
+        let path = self.take_nibbles(key);
+        let result = self.remove_at(root, &path);
+        self.restore_nibbles(path);
+        match result? {
             RemoveResult::Unchanged => {}
             RemoveResult::Gone => self.root = Hash256::ZERO,
             RemoveResult::Replaced(node) => {
-                self.root = self.put_node(&node)?;
+                self.root = self.put_node(node)?;
             }
         }
         Ok(())
@@ -453,7 +566,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                         self.normalise_branch(children, value)
                     }
                     RemoveResult::Replaced(child_node) => {
-                        children[idx] = self.put_node(&child_node)?;
+                        children[idx] = self.put_node(child_node)?;
                         Ok(RemoveResult::Replaced(Node::Branch { children, value }))
                     }
                 }
@@ -475,7 +588,7 @@ impl<S: KvStore> PatriciaTrie<S> {
                 Node::Ext { path: p, child }
             }
             branch @ Node::Branch { .. } => {
-                let h = self.put_node(&branch)?;
+                let h = self.put_node(branch)?;
                 Node::Ext { path: prefix, child: h }
             }
         })
@@ -716,17 +829,117 @@ mod tests {
     #[test]
     fn cached_and_cold_walks_agree() {
         // Dropping the cache mid-life must not change what walks observe —
-        // the store alone is authoritative, including for historical roots.
+        // overlay + store together are authoritative, including for
+        // historical roots recorded at commit points.
         let mut t = trie();
         t.insert(b"acct", b"10").unwrap();
         let old_root = t.root();
+        t.commit().unwrap();
         t.insert(b"acct", b"20").unwrap();
         assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
         t.cache.clear();
         assert_eq!(t.get(b"acct").unwrap(), Some(b"20".to_vec()));
         assert_eq!(t.get_at(old_root, b"acct").unwrap(), Some(b"10".to_vec()));
         let (_, misses) = t.cache_stats();
-        assert!(misses > 0, "cold walks must repopulate through the store");
+        assert!(misses > 0, "cold walks must repopulate through overlay/store");
+    }
+
+    #[test]
+    fn commit_flushes_strictly_fewer_nodes_than_eager_writes() {
+        // One multi-tx "block": every insert is a tx, each rewriting the
+        // path to its key. The eager path would have store-put every hashed
+        // node (`nodes_written`); commit must flush strictly fewer, because
+        // the replaced interior roots are garbage by seal time.
+        let mut t = trie();
+        for i in 0..32u32 {
+            t.insert(format!("key{i:04}").as_bytes(), b"x").unwrap();
+        }
+        let eager_puts = t.nodes_written();
+        assert_eq!(t.store().stats().writes, 0, "no store writes before commit");
+        t.commit().unwrap();
+        assert!(
+            t.nodes_flushed() < eager_puts,
+            "flushed {} must be < eager {}",
+            t.nodes_flushed(),
+            eager_puts
+        );
+        assert!(t.nodes_dropped() > 0, "per-tx garbage roots must be dropped");
+        // <= not ==: identical-content nodes (same hash) dedupe in the
+        // overlay, while the eager path would have store-put each of them.
+        assert!(t.nodes_flushed() + t.nodes_dropped() <= eager_puts);
+        assert_eq!(t.pending_nodes(), 0);
+        assert_eq!(t.store().stats().batch_writes, 1, "one batch per block seal");
+        // The store alone now serves everything reachable.
+        t.cache.clear();
+        for i in 0..32u32 {
+            assert_eq!(t.get(format!("key{i:04}").as_bytes()).unwrap(), Some(b"x".to_vec()));
+        }
+    }
+
+    #[test]
+    fn commit_on_clean_trie_is_free() {
+        let mut t = trie();
+        t.insert(b"k", b"v").unwrap();
+        t.commit().unwrap();
+        let flushed = t.nodes_flushed();
+        t.commit().unwrap(); // nothing new: no batch, no counters
+        assert_eq!(t.nodes_flushed(), flushed);
+        assert_eq!(t.store().stats().batch_writes, 1);
+    }
+
+    #[test]
+    fn historical_block_roots_survive_garbage_drop() {
+        // Three "blocks" of two txs each: the mid-block roots are garbage,
+        // the sealed roots must stay readable from the store alone.
+        let mut t = trie();
+        let mut block_roots = Vec::new();
+        let mut midblock_roots = Vec::new();
+        for b in 0..3u32 {
+            t.insert(format!("acct{b}").as_bytes(), b"mid").unwrap();
+            midblock_roots.push(t.root());
+            t.insert(format!("acct{b}").as_bytes(), format!("final{b}").as_bytes()).unwrap();
+            t.commit().unwrap();
+            block_roots.push(t.root());
+        }
+        t.cache.clear();
+        for (b, root) in block_roots.iter().enumerate() {
+            assert_eq!(
+                t.get_at(*root, format!("acct{b}").as_bytes()).unwrap(),
+                Some(format!("final{b}").into_bytes()),
+                "sealed root of block {b} must stay readable"
+            );
+        }
+        // A dropped mid-block root is gone for good: its top node never
+        // reached the store.
+        assert!(
+            t.get_at(midblock_roots[2], b"acct2").is_err(),
+            "garbage mid-block root should not resolve after commit"
+        );
+    }
+
+    #[test]
+    fn commit_failure_keeps_overlay_readable_and_retries() {
+        // A capped store OOMs the first commit; the trie must stay fully
+        // readable from the overlay, and a later commit (after the cap is
+        // no longer exceeded — here: never) keeps failing identically.
+        let mut t = PatriciaTrie::new(MemStore::with_capacity_cap(256));
+        for i in 0..16u32 {
+            t.insert(format!("key{i:02}").as_bytes(), &[7u8; 32]).unwrap();
+        }
+        let pending = t.pending_nodes();
+        let err = t.commit().unwrap_err();
+        assert!(matches!(err, KvError::OutOfSpace { .. }));
+        assert_eq!(t.pending_nodes(), pending, "failed commit must restore the overlay");
+        assert_eq!(t.nodes_flushed(), 0);
+        t.cache.clear(); // force reads through the overlay, not the cache
+        for i in 0..16u32 {
+            assert_eq!(
+                t.get(format!("key{i:02}").as_bytes()).unwrap(),
+                Some(vec![7u8; 32]),
+                "overlay must keep serving reads after a failed commit"
+            );
+        }
+        assert!(t.commit().is_err(), "retry hits the same cap");
     }
 
     #[test]
@@ -840,6 +1053,70 @@ mod seeded_props {
                 fresh.insert(k, v).unwrap();
             }
             assert_eq!(t.root(), fresh.root());
+        }
+    }
+
+    /// Overlay-commit ≡ eager writes: a trie committing at randomized block
+    /// boundaries must produce the identical root and identical `get` /
+    /// `get_at` answers as a reference trie that commits after every single
+    /// operation (the closest expressible analogue of the old eager path,
+    /// where every `put_node` hit the store immediately).
+    #[test]
+    fn overlay_commit_equivalent_to_eager_writes_seeded() {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0011);
+        for _ in 0..24 {
+            let mut batched = PatriciaTrie::new(MemStore::new());
+            let mut eager = PatriciaTrie::new(MemStore::new());
+            // Roots recorded at batched-commit points (block boundaries).
+            let mut sealed: Vec<(Hash256, std::collections::BTreeMap<Vec<u8>, Vec<u8>>)> =
+                Vec::new();
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for _ in 0..rng.range(2, 80) {
+                let k = random_key(&mut rng);
+                match rng.below(4) {
+                    // Inserts and overwrites dominate.
+                    0..=1 => {
+                        let mut v = vec![0u8; rng.below(8) as usize];
+                        rng.fill_bytes(&mut v);
+                        model.insert(k.clone(), v.clone());
+                        batched.insert(&k, &v).unwrap();
+                        eager.insert(&k, &v).unwrap();
+                    }
+                    2 => {
+                        model.remove(&k);
+                        batched.remove(&k).unwrap();
+                        eager.remove(&k).unwrap();
+                    }
+                    // Block boundary: batched seals, eager has been
+                    // committing all along.
+                    _ => {
+                        batched.commit().unwrap();
+                        sealed.push((batched.root(), model.clone()));
+                    }
+                }
+                eager.commit().unwrap(); // every op "eagerly" persisted
+                assert_eq!(batched.root(), eager.root(), "roots diverged mid-block");
+            }
+            batched.commit().unwrap();
+            sealed.push((batched.root(), model.clone()));
+            // Live reads agree (cold, through the store).
+            batched.cache.clear();
+            eager.cache.clear();
+            for (k, v) in &model {
+                assert_eq!(batched.get(k).unwrap(), Some(v.clone()));
+                assert_eq!(eager.get(k).unwrap(), Some(v.clone()));
+            }
+            // Historical reads at every sealed root agree with the model
+            // snapshot taken at that boundary, from the store alone.
+            for (root, snapshot) in &sealed {
+                for (k, v) in snapshot {
+                    assert_eq!(
+                        batched.get_at(*root, k).unwrap(),
+                        Some(v.clone()),
+                        "sealed-root read diverged"
+                    );
+                }
+            }
         }
     }
 }

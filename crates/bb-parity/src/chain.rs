@@ -278,6 +278,11 @@ fn build_block(
     };
     let block = Block { header, txs: included };
     let id = block.id();
+    // Seal the block's state. A failed commit means the in-memory store is
+    // full; the overlay keeps serving reads, so the chain limps on with
+    // unpersisted roots — the OOM surfaces through execute_direct and the
+    // memory counters, not a crash.
+    let _ = node.state.commit_block();
     node.roots.insert(id, node.state.root());
     node.receipts.insert(id, receipts);
     block
@@ -318,6 +323,7 @@ fn adopt_block(
                 node.seen.insert(tx.id());
             }
             node.cpu.charge(now, exec_time);
+            let _ = node.state.commit_block();
             node.roots.insert(id, node.state.root());
             node.receipts.insert(id, receipts);
         }
@@ -371,6 +377,7 @@ fn execute_connected_descendants(ctx: &PoaCtx, node: &mut PoaNode, now: SimTime,
             }
             node.cpu.charge(now, SimDuration::from_micros(100 * child.txs.len() as u64));
             let cid = child.id();
+            let _ = node.state.commit_block();
             node.roots.insert(cid, node.state.root());
             node.receipts.insert(cid, receipts);
             frontier.push(cid);
@@ -559,6 +566,7 @@ impl ParityChain {
                     confirmed_height: 0,
                 };
                 node.bodies.insert(genesis, Arc::clone(&genesis_block));
+                node.state.commit_block().expect("genesis fits in memory");
                 node.roots.insert(genesis, node.state.root());
                 node.receipts.insert(genesis, Vec::new());
                 node
@@ -609,6 +617,7 @@ impl BlockchainConnector for ParityChain {
                 let root = node.roots[&head];
                 node.state.set_root(root);
                 node.state.install_contract(&addr, &bundle.svm).expect("setup store healthy");
+                node.state.commit_block().expect("setup store healthy");
                 node.roots.insert(head, node.state.root());
             });
         }
@@ -739,11 +748,16 @@ impl BlockchainConnector for ParityChain {
         let mut net: Vec<f64> = Vec::new();
         let mut mem_peak = self.mem_peak.max(self.config.costs.mem_base);
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut flushed, mut dropped, mut batches) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let (h, m) = node.state.trie_cache_stats();
                 cache_hits += h;
                 cache_misses += m;
+                let (f, d) = node.state.trie_flush_stats();
+                flushed += f;
+                dropped += d;
+                batches += node.state.store().stats().batch_writes;
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
                     cpu.resize(series.len(), 0.0);
@@ -776,6 +790,9 @@ impl BlockchainConnector for ParityChain {
             net_bytes: self.network.stats().bytes,
             trie_cache_hits: cache_hits,
             trie_cache_misses: cache_misses,
+            state_nodes_flushed: flushed,
+            state_nodes_dropped: dropped,
+            batch_put_count: batches,
         }
     }
 
@@ -810,6 +827,7 @@ impl BlockchainConnector for ParityChain {
                     };
                     let block = Arc::new(Block { header, txs: txs.clone() });
                     let id = block.id();
+                    node.state.commit_block().expect("setup store healthy");
                     node.roots.insert(id, node.state.root());
                     node.receipts.insert(id, receipts.clone());
                     node.bodies.insert(id, Arc::clone(&block));
@@ -842,16 +860,26 @@ impl BlockchainConnector for ParityChain {
             match node.state.apply_transaction(&tx, height, &ctx.vm, u64::MAX / 2) {
                 Ok(res) => {
                     let modeled = ctx.config.costs.modeled_mem(res.vm_peak_mem);
-                    node.roots.insert(head, node.state.root());
+                    // Persist the sealed state. When the in-memory store is
+                    // out of capacity the commit fails and the execution is
+                    // reported as an out-of-space failure — this is where
+                    // Parity's memory ceiling bites on IOHeavy.
+                    let (success, error) = match node.state.commit_block() {
+                        Ok(()) => {
+                            node.roots.insert(head, node.state.root());
+                            (res.success, res.error)
+                        }
+                        Err(e) => (false, Some(e.to_string())),
+                    };
                     (
                         DirectExec {
-                            success: res.success,
+                            success,
                             duration: ctx.config.costs.sig_verify
                                 + ctx.config.costs.exec_time(res.gas_used),
                             gas_used: res.gas_used,
                             modeled_mem: modeled,
                             output: res.output,
-                            error: res.error,
+                            error,
                         },
                         modeled,
                     )

@@ -29,6 +29,55 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+/// A buffered set of writes applied atomically by [`KvStore::apply_batch`].
+///
+/// Engines that implement batching natively (the LSM store) turn one batch
+/// into one WAL record, one memtable pass and one flush check — instead of
+/// per-operation overhead. Operations apply in insertion order, so a later
+/// op on the same key wins.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Buffer an insert/overwrite of `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.ops.push((key.to_vec(), Some(value.to_vec())));
+    }
+
+    /// Buffer a delete of `key`.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.ops.push((key.to_vec(), None));
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The buffered operations: `(key, Some(value))` puts, `(key, None)`
+    /// deletes, in insertion order.
+    pub fn ops(&self) -> &[(Vec<u8>, Option<Vec<u8>>)] {
+        &self.ops
+    }
+
+    /// Consume the batch, yielding the operations.
+    pub fn into_ops(self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.ops
+    }
+}
+
 /// An ordered key-value store.
 pub trait KvStore {
     /// Fetch the value for `key`, if present.
@@ -39,6 +88,19 @@ pub trait KvStore {
 
     /// Remove `key`; removing an absent key is a no-op.
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError>;
+
+    /// Apply a [`WriteBatch`] in insertion order. The default implementation
+    /// loops over `put`/`delete`; engines override it to amortise per-write
+    /// overhead (one WAL record per batch on the LSM store).
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), KvError> {
+        for (key, value) in batch.into_ops() {
+            match value {
+                Some(v) => self.put(&key, &v)?,
+                None => self.delete(&key)?,
+            }
+        }
+        Ok(())
+    }
 
     /// All live `(key, value)` pairs whose key starts with `prefix`, in key
     /// order. Used by analytics scans and the bucket tree rebuild.

@@ -22,7 +22,7 @@ pub mod memstore;
 pub mod stats;
 pub mod vfs;
 
-pub use kv::{KvError, KvStore};
+pub use kv::{KvError, KvStore, WriteBatch};
 pub use lsm::store::{LsmConfig, LsmStore};
 pub use memstore::MemStore;
 pub use stats::StorageStats;

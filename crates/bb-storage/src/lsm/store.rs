@@ -3,7 +3,7 @@
 use super::memtable::MemTable;
 use super::sstable::SsTable;
 use super::wal::{Wal, WalRecord};
-use crate::kv::{KvError, KvStore};
+use crate::kv::{KvError, KvStore, WriteBatch};
 use crate::stats::StorageStats;
 use crate::vfs::Vfs;
 use std::sync::Mutex;
@@ -82,6 +82,14 @@ impl LsmStore {
             match rec {
                 WalRecord::Put(k, v) => store.memtable.put(&k, &v),
                 WalRecord::Delete(k) => store.memtable.delete(&k),
+                WalRecord::Batch(ops) => {
+                    for (k, v) in ops {
+                        match v {
+                            Some(v) => store.memtable.put(&k, &v),
+                            None => store.memtable.delete(&k),
+                        }
+                    }
+                }
             }
         }
         Ok(store)
@@ -198,6 +206,28 @@ impl KvStore for LsmStore {
         self.stats.writes += 1;
         self.wal.log_delete(&mut self.vfs.lock().unwrap(), key);
         self.memtable.delete(key);
+        if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            self.flush_memtable();
+        }
+        Ok(())
+    }
+
+    /// One WAL record, one memtable pass, one flush check — the whole point
+    /// of batching over per-node `put` calls.
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), KvError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let ops = batch.into_ops();
+        self.stats.writes += ops.len() as u64;
+        self.stats.batch_writes += 1;
+        self.wal.log_batch(&mut self.vfs.lock().unwrap(), &ops);
+        for (key, value) in &ops {
+            match value {
+                Some(v) => self.memtable.put(key, v),
+                None => self.memtable.delete(key),
+            }
+        }
         if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
             self.flush_memtable();
         }
@@ -380,6 +410,68 @@ mod tests {
         assert!(st.disk_bytes > 0);
         assert!(st.bytes_written >= st.disk_bytes);
         assert!(st.flushes > 0);
+    }
+
+    #[test]
+    fn batch_applies_atomically_and_recovers() {
+        let vfs = Arc::new(Mutex::new(Vfs::new()));
+        {
+            let mut s = LsmStore::open(Arc::clone(&vfs), "db", small_config()).unwrap();
+            s.put(b"stale", b"old").unwrap();
+            let mut b = WriteBatch::new();
+            b.put(b"a", b"1");
+            b.put(b"stale", b"new");
+            b.delete(b"missing");
+            b.put(b"b", b"2");
+            s.apply_batch(b).unwrap();
+            assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+            assert_eq!(s.get(b"stale").unwrap(), Some(b"new".to_vec()));
+            let st = s.stats();
+            assert_eq!(st.writes, 5, "batch ops count as writes");
+            assert_eq!(st.batch_writes, 1);
+            // Dropped without flush: the batch must recover from its single
+            // WAL record.
+        }
+        let mut s = LsmStore::open(vfs, "db", small_config()).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.get(b"stale").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn batch_wal_overhead_is_one_record() {
+        // N per-op puts pay N record frames; one N-op batch pays one.
+        let payload: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..50u32)
+            .map(|i| (format!("key{i:04}").into_bytes(), Some(vec![7u8; 40])))
+            .collect();
+        let mut single = LsmStore::new_private(LsmConfig::default());
+        for (k, v) in &payload {
+            single.put(k, v.as_ref().unwrap()).unwrap();
+        }
+        let mut batched = LsmStore::new_private(LsmConfig::default());
+        let mut b = WriteBatch::new();
+        for (k, v) in &payload {
+            b.put(k, v.as_ref().unwrap());
+        }
+        batched.apply_batch(b).unwrap();
+        assert!(
+            batched.stats().bytes_written < single.stats().bytes_written,
+            "batched WAL {} >= per-op WAL {}",
+            batched.stats().bytes_written,
+            single.stats().bytes_written
+        );
+        // Same logical state either way.
+        for (k, v) in &payload {
+            assert_eq!(batched.get(k).unwrap().as_deref(), v.as_deref());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut s = LsmStore::new_private(small_config());
+        s.apply_batch(WriteBatch::new()).unwrap();
+        let st = s.stats();
+        assert_eq!((st.writes, st.batch_writes, st.bytes_written), (0, 0, 0));
     }
 
     #[test]

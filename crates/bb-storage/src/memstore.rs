@@ -6,7 +6,7 @@
 //! [`KvError::OutOfSpace`], our analogue of the paper's 'X' (out-of-memory)
 //! data points.
 
-use crate::kv::{KvError, KvStore};
+use crate::kv::{KvError, KvStore, WriteBatch};
 use crate::stats::StorageStats;
 use std::collections::BTreeMap;
 
@@ -80,6 +80,23 @@ impl KvStore for MemStore {
         Ok(())
     }
 
+    /// Cap-respecting batch: operations apply in order until the cap trips,
+    /// at which point the error surfaces (the partially applied prefix
+    /// stays, matching the per-put failure mode of a real OOM).
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), KvError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.stats.batch_writes += 1;
+        for (key, value) in batch.into_ops() {
+            match value {
+                Some(v) => self.put(&key, &v)?,
+                None => self.delete(&key)?,
+            }
+        }
+        Ok(())
+    }
+
     fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
         let out: Vec<_> = self
             .map
@@ -147,6 +164,20 @@ mod tests {
         s.delete(b"k1").unwrap();
         s.put(b"k3", b"vvvv").unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn batch_respects_capacity_cap() {
+        let mut s = MemStore::with_capacity_cap(200);
+        let mut b = WriteBatch::new();
+        b.put(b"k1", b"vvvv");
+        b.put(b"k2", b"vvvv");
+        b.put(b"k3", b"vvvv");
+        let err = s.apply_batch(b).unwrap_err();
+        assert!(matches!(err, KvError::OutOfSpace { .. }));
+        // The prefix that fit stays applied, like per-put OOM.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().batch_writes, 1);
     }
 
     #[test]

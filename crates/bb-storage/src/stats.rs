@@ -20,6 +20,9 @@ pub struct StorageStats {
     pub compactions: u64,
     /// Bytes resident in memory (memtable / the whole store for MemStore).
     pub mem_bytes: u64,
+    /// Atomic write batches applied (each is one WAL record regardless of
+    /// how many operations it carries).
+    pub batch_writes: u64,
 }
 
 impl StorageStats {

@@ -36,6 +36,16 @@ pub struct PlatformStats {
     pub trie_cache_hits: u64,
     /// Decoded-node cache misses across all state tries.
     pub trie_cache_misses: u64,
+    /// State nodes/values persisted at block seals across all nodes (the
+    /// block-scoped write path's storage traffic).
+    pub state_nodes_flushed: u64,
+    /// State nodes/values created but never persisted: garbage interior
+    /// trie roots from per-tx application, or same-key overwrites absorbed
+    /// by the bucket tree's overlay, dropped at block seals.
+    pub state_nodes_dropped: u64,
+    /// Atomic write batches applied to the backing stores (one per sealed
+    /// block per node on the batched write path).
+    pub batch_put_count: u64,
 }
 
 impl PlatformStats {
@@ -44,6 +54,13 @@ impl PlatformStats {
     pub fn trie_cache_hit_rate(&self) -> Option<f64> {
         let total = self.trie_cache_hits + self.trie_cache_misses;
         (total > 0).then(|| self.trie_cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of state nodes that never reached storage thanks to
+    /// block-scoped write batching, or `None` before any block sealed.
+    pub fn write_savings_ratio(&self) -> Option<f64> {
+        let total = self.state_nodes_flushed + self.state_nodes_dropped;
+        (total > 0).then(|| self.state_nodes_dropped as f64 / total as f64)
     }
 }
 

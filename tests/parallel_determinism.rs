@@ -116,6 +116,20 @@ fn driver_stats(platform: Platform, seed: u64) -> String {
         drain: SimDuration::from_secs(2),
     };
     let stats = run_workload(chain.as_mut(), workload.as_mut(), &config);
+    // The block-scoped batched write path is the only write path — no
+    // feature flag — so every run being compared here must show flush
+    // activity: sealed blocks landed as atomic store batches, and the
+    // comparison below covers those counters byte for byte too.
+    assert!(
+        stats.platform.batch_put_count > 0,
+        "{}: no write batches were applied during the run",
+        platform.name()
+    );
+    assert!(
+        stats.platform.state_nodes_flushed > 0,
+        "{}: no state nodes were flushed at block seals",
+        platform.name()
+    );
     format!("{stats:?}")
 }
 
