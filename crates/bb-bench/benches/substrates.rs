@@ -122,6 +122,53 @@ fn bench_lsm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    use bb_storage::{FaultVfs, Vfs};
+    use std::sync::{Arc, Mutex};
+
+    // A crashed node's disk image: sstables plus a live WAL of batch
+    // records. Iterations clone the image, so they time `LsmStore::open`
+    // (manifest + sstable load + WAL scan/truncate) only.
+    let config = || LsmConfig { memtable_flush_bytes: 64 << 10, ..LsmConfig::default() };
+    let build_image = || {
+        let vfs = Arc::new(Mutex::new(Vfs::new()));
+        let mut store = LsmStore::open(Arc::clone(&vfs), "db", config()).unwrap();
+        let mut k = 0u64;
+        for _ in 0..32 {
+            let mut batch = WriteBatch::new();
+            for _ in 0..64 {
+                batch.put(&k.to_be_bytes(), &[0u8; 100]);
+                k += 1;
+            }
+            store.apply_batch(batch).unwrap();
+        }
+        drop(store);
+        vfs
+    };
+
+    let mut g = c.benchmark_group("recovery");
+    let torn = build_image();
+    let mut faults = FaultVfs::new(Arc::clone(&torn), 0x7e57);
+    assert!(faults.tear_tail("db/wal"));
+    let torn_image = torn.lock().unwrap().clone();
+    g.bench_function("wal_replay_torn_tail", |b| {
+        b.iter(|| {
+            let vfs = Arc::new(Mutex::new(torn_image.clone()));
+            let store = LsmStore::open(vfs, "db", config()).unwrap();
+            black_box(store.stats().wal_records_replayed)
+        })
+    });
+    let clean_image = build_image().lock().unwrap().clone();
+    g.bench_function("recover_open", |b| {
+        b.iter(|| {
+            let vfs = Arc::new(Mutex::new(clean_image.clone()));
+            let store = LsmStore::open(vfs, "db", config()).unwrap();
+            black_box(store.stats().wal_records_replayed)
+        })
+    });
+    g.finish();
+}
+
 fn bench_svm(c: &mut Criterion) {
     let mut g = c.benchmark_group("svm");
     let loop_code = assemble(
@@ -204,6 +251,7 @@ criterion_group!(
     bench_patricia_trie,
     bench_bucket_tree,
     bench_lsm,
+    bench_recovery,
     bench_svm,
     bench_tx_signing,
     bench_pbft_round,

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [all|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19] [--paper]
+//! figures [all|fig5|fig6|fig7|fig8|fig9|fig9r|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19] [--paper]
 //! ```
 //!
 //! Each figure prints as an aligned table and is also written to
@@ -10,7 +10,7 @@
 //! figure in minutes. EXPERIMENTS.md records paper-vs-measured per figure.
 
 use bb_bench::exp_ablation::{ablation_channel, ablation_difficulty, ablation_signing};
-use bb_bench::exp_fault::{fig10, fig9};
+use bb_bench::exp_fault::{fig10, fig9, fig9_restart};
 use bb_bench::exp_macro::{fig13c, fig14, fig15, fig16, fig17, fig18, fig5, fig6, Macro};
 use bb_bench::exp_micro::{fig11, fig12, fig13ab};
 use bb_bench::exp_scale::{fig7, fig8};
@@ -57,6 +57,13 @@ fn main() {
     if want("fig9") {
         let window = scale.duration.as_micros() / 1_000_000 * 2;
         emit(&fig9(window.max(60), window.max(60) / 2, scale.base_rate), "fig9_crash.csv");
+    }
+    if want("fig9r") {
+        let window = (scale.duration.as_micros() / 1_000_000 * 2).max(80);
+        emit(
+            &fig9_restart(window, window / 5, window / 3, scale.base_rate / 2.0),
+            "fig9_restart.csv",
+        );
     }
     if want("fig10") {
         let window = (scale.duration.as_micros() / 1_000_000 * 2).max(100);

@@ -7,7 +7,7 @@
 //! for the parallel experiment runner; `scripts/bench.sh` does exactly that.
 //!
 //! Usage: `perfreport [--scale fast|quick] [--skip-figures]`
-//!        `perfreport --compare [--threshold PCT]`
+//!        `perfreport --compare [--threshold PCT] [--stat mean|median]`
 //!   fast  (default) — trimmed durations/rates so both passes finish in
 //!                     minutes even on one core
 //!   quick           — the `figures` binary's quick scale
@@ -15,9 +15,12 @@
 //! `--compare` is the regression gate: it diffs the most recent run in the
 //! trajectory file against the latest earlier run carrying the same metric
 //! (kernel ns/iter, figure wall-clock keyed by runner mode, macro tx/s) and
-//! exits non-zero when any metric regressed past the threshold (default
-//! 15%). `scripts/bench.sh` runs it after recording the serial/parallel
-//! pair.
+//! exits non-zero when any metric regressed past the gate. Kernel/bench
+//! entries gate on the **median** by default (`--stat mean` reverts), and
+//! the gate per metric is the wider of the `--threshold` (default 15%) and
+//! the entry's own noise floor, 3× its MAD as a fraction of the median — so
+//! a jittery kernel cannot flag noise as regression. `scripts/bench.sh`
+//! runs it after recording the serial/parallel pair.
 
 use bb_bench::exp_macro::{self, run_macro, Macro};
 use bb_bench::exp_micro;
@@ -69,25 +72,40 @@ fn time_figure(path: &Path, id: &str, f: impl FnOnce()) {
     );
 }
 
-/// Time a closure kernel-style: warm once, then run for ~200 ms.
+/// Time a closure kernel-style: warm once, then run ~200 ms split into
+/// [`criterion::SAMPLE_BATCHES`] batches so the record carries a robust
+/// median and a MAD noise floor alongside the mean.
 fn time_kernel(path: &Path, id: &str, mut f: impl FnMut()) {
     let warm = Instant::now();
     f();
     let per_iter = warm.elapsed().max(std::time::Duration::from_nanos(1));
     let iters = (200_000_000u128 / per_iter.as_nanos()).clamp(1, 100_000) as u64;
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
+    let per_batch = (iters / criterion::SAMPLE_BATCHES as u64).max(1);
+    let mut batches = Vec::with_capacity(criterion::SAMPLE_BATCHES);
+    let mut remaining = iters;
+    while remaining > 0 {
+        let n = per_batch.min(remaining);
+        let start = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        batches.push((start.elapsed(), n));
+        remaining -= n;
     }
-    let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
-    println!("kernel {id:<30} {mean_ns:>12.0} ns/iter ({iters} iters)");
+    let stats = criterion::summarize(&batches).expect("at least one batch");
+    println!(
+        "kernel {id:<30} {:>12.0} ns/iter ±{:.0} ({} iters)",
+        stats.median_ns, stats.mad_ns, stats.iters
+    );
     append_entry(
         path,
         &format!(
-            "{{\"kind\": \"kernel\", \"id\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+            "{{\"kind\": \"kernel\", \"id\": \"{}\", \"mean_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"iters\": {}}}",
             escape(id),
-            json_num(mean_ns),
-            iters
+            json_num(stats.mean_ns),
+            json_num(stats.median_ns),
+            json_num(stats.mad_ns),
+            stats.iters
         ),
     );
 }
@@ -182,7 +200,58 @@ fn kernel_report(path: &Path) {
             &Hash256::digest(b"right"),
         ));
     });
+    recovery_kernels(path);
     pump_kernel(path);
+}
+
+/// Recovery-path kernels: reopening the disk image a crashed node leaves
+/// behind. Each iteration clones a prepared in-memory image, so the numbers
+/// measure `LsmStore::open` (manifest + sstable load + WAL scan/truncate),
+/// not image construction.
+fn recovery_kernels(path: &Path) {
+    use bb_storage::{FaultVfs, Vfs};
+    use std::sync::{Arc, Mutex};
+
+    // Small flush threshold so the image holds sstables *and* a live WAL
+    // remainder — both recovery paths get exercised on open.
+    let config = || LsmConfig { memtable_flush_bytes: 64 << 10, ..LsmConfig::default() };
+    let build_image = || {
+        let vfs = Arc::new(Mutex::new(Vfs::new()));
+        let mut store =
+            LsmStore::open(Arc::clone(&vfs), "db", config()).expect("fresh image opens");
+        let mut k = 0u64;
+        for _ in 0..32 {
+            let mut batch = WriteBatch::new();
+            for _ in 0..64 {
+                batch.put(&k.to_be_bytes(), &[0u8; 100]);
+                k += 1;
+            }
+            store.apply_batch(batch).expect("image write");
+        }
+        drop(store);
+        vfs
+    };
+
+    // Power cut: the last WAL append is torn mid-record; open must scan,
+    // checksum, truncate the tail and still recover the durable prefix.
+    let torn = build_image();
+    let mut faults = FaultVfs::new(Arc::clone(&torn), 0x7e57);
+    assert!(faults.tear_tail("db/wal"), "image has a WAL tail to tear");
+    let torn_image = torn.lock().expect("sole holder").clone();
+    time_kernel(path, "wal/replay_torn_tail", || {
+        let vfs = Arc::new(Mutex::new(torn_image.clone()));
+        let store = LsmStore::open(vfs, "db", config()).expect("torn tail recovers");
+        criterion::black_box(store.stats().wal_records_replayed);
+    });
+
+    // Clean restart: same image, intact WAL.
+    let clean = build_image();
+    let clean_image = clean.lock().expect("sole holder").clone();
+    time_kernel(path, "restart/recover_open", || {
+        let vfs = Arc::new(Mutex::new(clean_image.clone()));
+        let store = LsmStore::open(vfs, "db", config()).expect("clean image opens");
+        criterion::black_box(store.stats().wal_records_replayed);
+    });
 }
 
 /// `scheduler/pump`: raw event-loop throughput (events/sec) through a
@@ -230,18 +299,37 @@ fn pump_kernel(path: &Path) {
     );
 }
 
+/// Which summary statistic `--compare` gates kernel/bench entries on.
+#[derive(Clone, Copy, PartialEq)]
+enum Stat {
+    Mean,
+    Median,
+}
+
 /// One comparable measurement pulled out of a trajectory entry:
-/// `(key, value, lower_is_better)`.
-fn metric(entry: &trajectory::Entry) -> Option<(String, f64, bool)> {
+/// `(key, value, lower_is_better, noise_floor_pct)`. The noise floor is the
+/// entry's MAD as a percentage of its median — run-to-run scatter below it
+/// is jitter, not signal.
+fn metric(entry: &trajectory::Entry, stat: Stat) -> Option<(String, f64, bool, Option<f64>)> {
     use trajectory::Value;
     let field = |name: &str| entry.get(name).and_then(Value::as_str);
     match field("kind")? {
         // Kernel and bench ns/iter: lower is better. (`patricia/cache`
         // carries counters, not a mean — it has no mean_ns and is skipped.)
+        // Entries recorded before median/MAD existed fall back to the mean.
         kind @ ("kernel" | "bench") => {
             let id = field("id")?;
             let mean_ns = entry.get("mean_ns")?.as_num()?;
-            Some((format!("{kind} {id}"), mean_ns, true))
+            let median_ns = entry.get("median_ns").and_then(Value::as_num);
+            let value = match (stat, median_ns) {
+                (Stat::Median, Some(m)) => m,
+                _ => mean_ns,
+            };
+            let noise = match (entry.get("mad_ns").and_then(Value::as_num), median_ns) {
+                (Some(mad), Some(m)) if m > 0.0 => Some(mad / m * 100.0),
+                _ => None,
+            };
+            Some((format!("{kind} {id}"), value, true, noise))
         }
         // Figure wall-clock: lower is better, but only comparable within
         // the same runner mode — a parallel pass legitimately beats the
@@ -250,7 +338,7 @@ fn metric(entry: &trajectory::Entry) -> Option<(String, f64, bool)> {
             let id = field("id")?;
             let mode = field("mode")?;
             let wall = entry.get("wall_s")?.as_num()?;
-            Some((format!("figure {id} [{mode}]"), wall, true))
+            Some((format!("figure {id} [{mode}]"), wall, true, None))
         }
         // Macro throughput is simulated, hence mode-independent (that is
         // the byte-identity contract): higher is better.
@@ -258,7 +346,7 @@ fn metric(entry: &trajectory::Entry) -> Option<(String, f64, bool)> {
             let platform = field("platform")?;
             let workload = field("workload")?;
             let tps = entry.get("tps")?.as_num()?;
-            Some((format!("macro {platform}/{workload} tps"), tps, false))
+            Some((format!("macro {platform}/{workload} tps"), tps, false, None))
         }
         _ => None,
     }
@@ -266,7 +354,7 @@ fn metric(entry: &trajectory::Entry) -> Option<(String, f64, bool)> {
 
 /// Diff the latest run against the most recent earlier occurrence of each of
 /// its metrics. Returns the process exit code.
-fn compare(path: &Path, threshold_pct: f64) -> i32 {
+fn compare(path: &Path, threshold_pct: f64, stat: Stat) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -293,16 +381,20 @@ fn compare(path: &Path, threshold_pct: f64) -> i32 {
     let mut baselines: Vec<std::collections::BTreeMap<String, f64>> = runs
         .iter()
         .map(|run| {
-            run.iter().filter_map(|e| metric(e).map(|(k, v, _)| (k, v))).collect()
+            run.iter().filter_map(|e| metric(e, stat).map(|(k, v, _, _)| (k, v))).collect()
         })
         .collect();
     baselines.reverse(); // most recent earlier run first
 
     let mut compared = 0u32;
     let mut regressions = 0u32;
-    println!("comparing latest run against prior runs in {} (threshold {threshold_pct}%)", path.display());
+    println!(
+        "comparing latest run against prior runs in {} (threshold {threshold_pct}%, stat {})",
+        path.display(),
+        if stat == Stat::Median { "median" } else { "mean" }
+    );
     for entry in &current {
-        let Some((key, new, lower_is_better)) = metric(entry) else { continue };
+        let Some((key, new, lower_is_better, noise_pct)) = metric(entry, stat) else { continue };
         let Some(old) = baselines.iter().find_map(|b| b.get(&key).copied()) else {
             println!("  {key:<42} {new:>12.2}  (no prior run to compare)");
             continue;
@@ -312,7 +404,11 @@ fn compare(path: &Path, threshold_pct: f64) -> i32 {
         }
         compared += 1;
         let delta_pct = (new - old) / old * 100.0;
-        let worse = if lower_is_better { delta_pct > threshold_pct } else { delta_pct < -threshold_pct };
+        // The gate is the user threshold or the measurement's own noise
+        // floor (3× MAD/median), whichever is wider — a kernel whose batch
+        // scatter is ±10% cannot honestly flag an 8% "regression".
+        let gate = threshold_pct.max(noise_pct.map_or(0.0, |n| 3.0 * n));
+        let worse = if lower_is_better { delta_pct > gate } else { delta_pct < -gate };
         let marker = if worse { "REGRESSED" } else { "ok" };
         println!("  {key:<42} {old:>12.2} -> {new:>12.2}  {delta_pct:>+7.1}%  {marker}");
         if worse {
@@ -342,7 +438,20 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(15.0);
-        std::process::exit(compare(&path, threshold));
+        let stat = match args
+            .iter()
+            .position(|a| a == "--stat")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+        {
+            Some("mean") => Stat::Mean,
+            Some("median") | None => Stat::Median,
+            Some(other) => {
+                eprintln!("perfreport --compare: unknown --stat {other} (use mean|median)");
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(compare(&path, threshold, stat));
     }
 
     println!(

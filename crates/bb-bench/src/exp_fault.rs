@@ -10,32 +10,34 @@ use crate::platforms::{Platform, ALL_PLATFORMS};
 use crate::table::{num, Table};
 use bb_sim::{SimDuration, SimTime};
 use bb_types::NodeId;
-use blockbench::connector::Fault;
+use blockbench::connector::{Fault, PlatformStats};
+use blockbench::{FaultCursor, FaultPlan};
 
-/// Drive `platform` for `total_secs`, injecting `fault_at` via `inject`,
-/// and sample per-second committed transactions plus block counters.
-#[allow(clippy::type_complexity)]
+/// Drive `platform` for `total_secs` under a declarative [`FaultPlan`]
+/// (deadlines measured from workload start), sampling cumulative
+/// committed transactions and platform stats once per second.
 fn timeline(
     platform: Platform,
     nodes: u32,
     clients: u32,
     rate_per_client: f64,
     total_secs: u64,
-    mut inject: impl FnMut(&mut dyn blockbench::BlockchainConnector, u64),
-) -> Vec<(u64, u64, u64, u64)> {
-    // (t, committed_cumulative, blocks_total, blocks_main)
+    plan: &FaultPlan,
+) -> Vec<(u64, u64, PlatformStats)> {
+    // (t, committed_cumulative, stats)
     let mut chain = platform.build(nodes);
     let mut wl = Macro::Ycsb.build(clients);
     wl.setup(chain.as_mut());
     let interval = SimDuration::from_secs_f64(1.0 / rate_per_client);
     let t0 = chain.now();
+    let mut faults = FaultCursor::new(plan, t0);
     let mut next_send: Vec<SimTime> = (0..clients).map(|_| t0).collect();
     let mut seen_height = 0u64;
     let mut committed = 0u64;
     let mut out = Vec::new();
     let mut nonce_guard = 0u64;
     for sec in 0..total_secs {
-        inject(chain.as_mut(), sec);
+        faults.fire_due(chain.as_mut(), t0 + SimDuration::from_secs(sec));
         let step_end = t0 + SimDuration::from_secs(sec + 1);
         // Send this second's transactions, client by client.
         loop {
@@ -61,8 +63,7 @@ fn timeline(
             seen_height = seen_height.max(block.height);
             committed += block.txs.iter().filter(|&&(_, ok)| ok).count() as u64;
         }
-        let stats = chain.stats();
-        out.push((sec + 1, committed, stats.blocks_total, stats.blocks_main));
+        out.push((sec + 1, committed, chain.stats()));
     }
     let _ = nonce_guard;
     out
@@ -81,20 +82,18 @@ pub fn fig9(window_secs: u64, fail_at: u64, rate: f64) -> Table {
         .flat_map(|p| [12u32, 16].map(|s| (cost_hint(s, window), (p, s))))
         .collect();
     let mut results = map_cells_hinted(grid, move |(platform, servers)| {
-        timeline(platform, servers, 8, rate, window_secs, |chain, sec| {
-            if sec == fail_at {
-                // Kill the last four nodes (node 0 is the observer).
-                for i in servers - 4..servers {
-                    chain.inject(Fault::Crash(NodeId(i)));
-                }
-            }
-        })
+        // Kill the last four nodes (node 0 is the observer).
+        let mut plan = FaultPlan::new();
+        for i in servers - 4..servers {
+            plan = plan.at(SimDuration::from_secs(fail_at), Fault::Crash(NodeId(i)));
+        }
+        timeline(platform, servers, 8, rate, window_secs, &plan)
     })
     .into_iter();
     for platform in ALL_PLATFORMS {
         for servers in [12u32, 16] {
             let series = results.next().expect("one result per cell");
-            for &(sec, committed, _, _) in series.iter().step_by(5) {
+            for (sec, committed, _) in series.iter().step_by(5) {
                 t.row(vec![
                     platform.name().into(),
                     format!("{servers}"),
@@ -102,6 +101,52 @@ pub fn fig9(window_secs: u64, fail_at: u64, rate: f64) -> Table {
                     format!("{committed}"),
                 ]);
             }
+        }
+    }
+    t
+}
+
+/// Figure 9 variant for the recovery path: crash one server mid-run —
+/// tearing the tail off its WAL, as a real power cut would — then restart
+/// it from its durable store and watch it replay, resync and rejoin.
+/// Samples cumulative committed transactions plus the recovery counters.
+pub fn fig9_restart(window_secs: u64, fail_at: u64, restart_at: u64, rate: f64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 9 (restart): node 7 crashes with a torn WAL at t={fail_at}s, \
+             restarts from disk at t={restart_at}s (8 servers, 8 clients)"
+        ),
+        &[
+            "platform",
+            "t (s)",
+            "committed (cum)",
+            "recovery (ms)",
+            "resync blocks",
+            "wal replayed",
+            "wal truncated",
+        ],
+    );
+    let victim = NodeId(7);
+    let mut results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(fail_at), Fault::Crash(victim))
+            .at(SimDuration::from_secs(fail_at), Fault::TornTail(victim))
+            .at(SimDuration::from_secs(restart_at), Fault::Restart(victim));
+        timeline(platform, 8, 8, rate, window_secs, &plan)
+    })
+    .into_iter();
+    for platform in ALL_PLATFORMS {
+        let series = results.next().expect("one result per cell");
+        for (sec, committed, stats) in series.iter().step_by(5) {
+            t.row(vec![
+                platform.name().into(),
+                format!("{sec}"),
+                format!("{committed}"),
+                format!("{}", stats.recovery_ms),
+                format!("{}", stats.resync_blocks),
+                format!("{}", stats.wal_records_replayed),
+                format!("{}", stats.wal_tail_truncated),
+            ]);
         }
     }
     t
@@ -117,19 +162,16 @@ pub fn fig10(window_secs: u64, partition_at: u64, partition_secs: u64, rate: f64
         &["platform", "t (s)", "blocks total", "blocks main", "fork ratio"],
     );
     let mut results = map_cells(ALL_PLATFORMS.to_vec(), move |platform| {
-        timeline(platform, 8, 8, rate, window_secs, |chain, sec| {
-            if sec == partition_at {
-                chain.inject(Fault::PartitionHalf { left: 4 });
-            }
-            if sec == partition_at + partition_secs {
-                chain.inject(Fault::Heal);
-            }
-        })
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(partition_at), Fault::PartitionHalf { left: 4 })
+            .at(SimDuration::from_secs(partition_at + partition_secs), Fault::Heal);
+        timeline(platform, 8, 8, rate, window_secs, &plan)
     })
     .into_iter();
     for platform in ALL_PLATFORMS {
         let series = results.next().expect("one result per cell");
-        for &(sec, _, total, main) in series.iter().step_by(5) {
+        for (sec, _, stats) in series.iter().step_by(5) {
+            let (total, main) = (stats.blocks_total, stats.blocks_main);
             let ratio = if total == 0 { 1.0 } else { main as f64 / total as f64 };
             t.row(vec![
                 platform.name().into(),
@@ -200,6 +242,45 @@ mod tests {
         let e_mid = committed_at("ethereum", "12", "16");
         let e_end = final_committed(&text, "ethereum", "12");
         assert!(e_end > e_mid + 50, "ethereum stalled: {e_mid} → {e_end}");
+    }
+
+    #[test]
+    fn fig9_restart_node_rejoins_and_throughput_recovers() {
+        let t = fig9_restart(100, 20, 30, 20.0);
+        let text = t.render();
+        let cell = |platform: &str, sec: u64, col: usize| -> u64 {
+            text.lines()
+                .find(|l| {
+                    l.split_whitespace().next() == Some(platform)
+                        && l.split_whitespace().nth(1) == Some(&sec.to_string())
+                })
+                .and_then(|l| l.split_whitespace().nth(col).map(str::to_owned))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        for platform in ["ethereum", "parity", "hyperledger"] {
+            // Steady pre-fault window vs steady post-rejoin window.
+            let pre = (cell(platform, 16, 2) - cell(platform, 1, 2)) as f64 / 15.0;
+            let post = (cell(platform, 96, 2) - cell(platform, 61, 2)) as f64 / 35.0;
+            assert!(pre > 0.0, "{platform}: no pre-fault commits");
+            // Recovery means no lasting degradation: the post-rejoin rate is
+            // within 10% of (or better than — the cluster also drains the
+            // outage backlog) the pre-fault rate.
+            assert!(
+                post >= 0.90 * pre,
+                "{platform}: post-rejoin rate {post:.1} vs pre-fault {pre:.1} tx/s"
+            );
+            // The victim actually went through a recovery window.
+            assert!(cell(platform, 96, 3) > 0, "{platform}: no recovery time recorded");
+            assert!(cell(platform, 96, 4) > 0, "{platform}: nothing resynced");
+        }
+        // The durable platforms replayed their WAL and truncated the torn
+        // tail; Parity's MemStore-backed state has no files to recover.
+        for platform in ["ethereum", "hyperledger"] {
+            assert!(cell(platform, 96, 5) > 0, "{platform}: no WAL replay");
+            assert!(cell(platform, 96, 6) > 0, "{platform}: torn tail not truncated");
+        }
+        assert_eq!(cell("parity", 96, 5), 0);
     }
 
     #[test]

@@ -305,6 +305,22 @@ impl PbftNode {
         }
     }
 
+    /// Replica restarting after a crash with `floor` batches recovered from
+    /// its durable store: everything in-flight (slots, awaiting set, view
+    /// votes, timers) is gone — that is the point — but committed history up
+    /// to `floor` need not be re-fetched from peers. The caller follows up
+    /// with a `SyncRequest { from_seq: floor }` to close the gap.
+    pub fn resume_at(id: NodeId, config: PbftConfig, floor: u64) -> Self {
+        let mut node = PbftNode::new(id, config);
+        node.last_committed = floor;
+        node.next_seq = floor + 1;
+        // The durable store holds the *effects* of batches ≤ floor; the
+        // request payloads themselves were volatile. Fold them into the
+        // checkpoint digest position so sync serves only what is missing.
+        node.checkpoint_seq = floor;
+        node
+    }
+
     /// Current view.
     pub fn view(&self) -> u64 {
         self.view
@@ -1097,6 +1113,35 @@ mod tests {
         assert_eq!(c.committed[3].len(), 2);
         assert_eq!(c.nodes[3].last_committed(), 2);
         assert_eq!(c.committed[3], c.committed[0]);
+    }
+
+    #[test]
+    fn resumed_replica_syncs_only_the_gap() {
+        let mut c = Cluster::new(4);
+        let t0 = SimTime::from_secs(1);
+        // Four batches commit everywhere.
+        for i in 0..12 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), t0);
+        }
+        assert_eq!(c.committed[0].len(), 4);
+        // Node 3 crashes having durably committed only the first 2 batches,
+        // then restarts amnesiac above that floor while 2 more commit.
+        c.down[3] = true;
+        for i in 12..18 {
+            c.request(NodeId(0), format!("tx-{i}").as_bytes(), t0);
+        }
+        assert_eq!(c.committed[0].len(), 6);
+        let config = c.nodes[3].config.clone();
+        c.nodes[3] = PbftNode::resume_at(NodeId(3), config, 2);
+        c.committed[3].clear();
+        c.down[3] = false;
+        assert_eq!(c.nodes[3].last_committed(), 2);
+        let acts = vec![Action::Send(NodeId(0), PbftMsg::SyncRequest { from_seq: 2 })];
+        c.dispatch(NodeId(3), acts, t0 + SimDuration::from_secs(1));
+        // Only batches 3..=6 were re-fetched; the durable prefix stayed put.
+        assert_eq!(c.nodes[3].last_committed(), 6);
+        assert_eq!(c.committed[3].len(), 4);
+        assert_eq!(c.committed[3], c.committed[0][2..].to_vec());
     }
 
     #[test]

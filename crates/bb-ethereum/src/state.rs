@@ -190,6 +190,19 @@ impl<S: KvStore> AccountState<S> {
         self.trie.store()
     }
 
+    /// Mutably borrow the backing store (restart recovery scans).
+    pub fn store_mut(&mut self) -> &mut S {
+        self.trie.store_mut()
+    }
+
+    /// Drop everything volatile in the state trie — the uncommitted dirty
+    /// overlay and the decoded-node cache — keeping only what the backing
+    /// store holds. Crash-injection calls this; the root is left for the
+    /// caller to rewind to a durable one.
+    pub fn drop_volatile(&mut self) {
+        self.trie.drop_volatile();
+    }
+
     /// Decoded-node cache `(hits, misses)` of the state trie (stats).
     pub fn trie_cache_stats(&self) -> (u64, u64) {
         self.trie.cache_stats()
@@ -208,6 +221,16 @@ impl<S: KvStore> AccountState<S> {
     /// recorded for historical queries must be committed via this call.
     pub fn commit_block(&mut self) -> Result<(), KvError> {
         self.trie.commit()
+    }
+
+    /// [`Self::commit_block`] plus raw metadata ops (durable block records,
+    /// head pointers) riding the *same* atomic write batch — a crash can
+    /// never separate a block's state flush from its chain metadata.
+    pub fn commit_block_with_meta(
+        &mut self,
+        extras: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), KvError> {
+        self.trie.commit_with_extras(extras)
     }
 
     /// Validate a transaction against current state without applying it:

@@ -17,11 +17,12 @@
 //! `bb_sim::shard` and DESIGN.md §5).
 
 use crate::config::FabricConfig;
-use crate::state::FabricState;
+use crate::state::{FabricState, STORE_PREFIX};
 use bb_consensus::pbft::{Action, PbftConfig, PbftMsg, PbftNode};
 use bb_crypto::Hash256;
 use bb_merkle::merkle_root;
 use bb_net::Network;
+use bb_storage::FaultVfs;
 use bb_sim::{CpuMeter, Effects, ShardedEngine, ShardedWorld, SimDuration, SimRng, SimTime};
 use bb_types::{Address, Block, BlockHeader, BlockSummary, Encoder, NodeId, Transaction, TxId};
 use blockbench::connector::{
@@ -67,6 +68,33 @@ enum InboxItem {
     Message(NodeId, PbftMsg),
 }
 
+/// Key prefix of durable per-block records in each peer's LSM store.
+/// Outside the `s:` state namespace, so the bucket digests never see it.
+const BLOCK_META_PREFIX: &[u8] = b"!b/";
+
+/// Big-endian height key: `scan_prefix` returns records in chain order.
+fn block_meta_key(height: u64) -> Vec<u8> {
+    let mut k = BLOCK_META_PREFIX.to_vec();
+    k.extend_from_slice(&height.to_be_bytes());
+    k
+}
+
+/// Record value: the PBFT sequence floor as of this block (0 for blocks
+/// installed outside consensus, i.e. preloads) followed by the encoded
+/// block. The floor is stored explicitly because preloaded blocks consume
+/// heights without consuming sequence numbers.
+fn block_meta_record(pbft_floor: u64, block: &Block) -> Vec<u8> {
+    let mut v = pbft_floor.to_be_bytes().to_vec();
+    v.extend_from_slice(&block.encode());
+    v
+}
+
+fn decode_block_meta(value: &[u8]) -> Option<(u64, Block)> {
+    let floor = u64::from_be_bytes(value.get(..8)?.try_into().ok()?);
+    let block = Block::decode(&value[8..]).ok()?;
+    Some((floor, block))
+}
+
 struct FabNode {
     pbft: PbftNode,
     state: FabricState,
@@ -88,6 +116,21 @@ struct FabNode {
     pipeline_penalty: SimDuration,
     /// Confirmed-block log; only the observer (node 0) appends to it.
     confirmed: Vec<BlockSummary>,
+    /// Set while the peer is catching up after a durable-state restart.
+    restarted_at: Option<SimTime>,
+    /// The cluster's committed sequence at the restart instant; reaching
+    /// it ends the recovery window.
+    sync_target: Option<u64>,
+    /// Wall-clock (simulated) milliseconds from restart to caught-up.
+    recovery_ms: u64,
+    /// Blocks re-fetched from peers after restarts.
+    resync_blocks: u64,
+    /// Bytes of block data re-fetched after restarts.
+    resync_bytes: u64,
+    /// WAL records replayed across restarts.
+    wal_replayed: u64,
+    /// Torn WAL tails truncated across restarts.
+    wal_truncated: u64,
 }
 
 /// Read-only context shared by every lane.
@@ -330,8 +373,6 @@ fn commit_batch(
     // Execution occupies the same event loop as message processing:
     // the next drain waits for it.
     node.pipeline_penalty += exec_time;
-    // Seal the batch: flush all state writes as one atomic LSM batch.
-    node.state.commit_block().expect("state store healthy");
     let parent = node.blocks.last().map(|b| b.id()).unwrap_or(Hash256::ZERO);
     // Headers must be byte-identical across replicas: the timestamp is
     // the deterministic sequence number, not local delivery time.
@@ -346,6 +387,25 @@ fn commit_batch(
         round: seq,
     };
     let block = Block { header, txs };
+    let record = block_meta_record(seq, &block);
+    let block_bytes = (record.len() - 8) as u64;
+    // Seal the batch: state writes and the durable block record flush as
+    // one atomic LSM batch — a crash keeps both or neither.
+    node.state
+        .commit_block_with_meta(vec![(block_meta_key(height), Some(record))])
+        .expect("state store healthy");
+    if let Some(t0) = node.restarted_at {
+        node.resync_blocks += 1;
+        node.resync_bytes += block_bytes;
+        if node.sync_target.is_some_and(|t| seq >= t) {
+            // A completed recovery records at least 1 ms: `recovery_ms == 0`
+            // means "never caught up", and a sub-millisecond catch-up (no
+            // blocks mined during the outage) must not read as that.
+            node.recovery_ms = node.recovery_ms.max((now.since(t0).as_micros() / 1000).max(1));
+            node.restarted_at = None;
+            node.sync_target = None;
+        }
+    }
     if at.index() == 0 {
         // PBFT confirms immediately: "Hyperledger confirms a block as
         // soon as it appears on the blockchain" (Section 3.2).
@@ -392,6 +452,13 @@ impl FabricChain {
                 ingress_busy_until: SimTime::ZERO,
                 pipeline_penalty: SimDuration::ZERO,
                 confirmed: Vec::new(),
+                restarted_at: None,
+                sync_target: None,
+                recovery_ms: 0,
+                resync_blocks: 0,
+                resync_bytes: 0,
+                wal_replayed: 0,
+                wal_truncated: 0,
             })
             .collect();
         let network = Network::new(config.nodes, config.link.clone(), rng.fork());
@@ -401,6 +468,93 @@ impl FabricChain {
             network.min_latency(),
         );
         FabricChain { config, engine, network, contracts: Vec::new(), mem_peak: 0 }
+    }
+
+    /// Restart a crashed peer from its durable store: reopen the LSM
+    /// (replaying the WAL and truncating any torn tail), rebuild the
+    /// bucket digests and the chain from the per-block records, resume
+    /// PBFT at the durable sequence floor, and ask a live peer for the
+    /// committed batches past it.
+    fn restart_node(&mut self, id: NodeId) {
+        let now = self.engine.now();
+        let peer = (0..self.config.nodes)
+            .map(NodeId)
+            .find(|&p| p != id && !self.network.is_crashed(p));
+        let peer_floor = peer.map(|p| self.engine.with_node(p.0, |n| n.pbft.last_committed()));
+        let pbft_config = PbftConfig {
+            n: self.config.nodes,
+            batch_size: self.config.batch_size,
+            batch_timeout: self.config.batch_timeout,
+            view_timeout: self.config.view_timeout,
+            ..PbftConfig::default()
+        };
+        let buckets = self.config.state_buckets;
+        let mem_cap = self.config.node_mem_bytes.saturating_sub(self.config.mem_base);
+        let contracts = &self.contracts;
+        let floor = self.engine.with_node_mut(id.0, |n| {
+            // Reopen the store from the only thing the crash preserved:
+            // the Vfs-backed files.
+            let mut state = FabricState::reopen(n.state.vfs(), buckets, mem_cap)
+                .expect("durable store recoverable");
+            let st = state.store_stats();
+            n.wal_replayed += st.wal_records_replayed;
+            n.wal_truncated += st.wal_tail_truncated;
+            // Chaincode binaries are redeployable artifacts, not state.
+            for (addr, factory) in contracts {
+                state.install(*addr, *factory);
+            }
+            // Rebuild the chain from the durable block records. Each
+            // record rode the same atomic batch as its state flush, so
+            // this list is exactly the blocks whose effects survive.
+            let mut records: Vec<(u64, Block)> = state
+                .scan_meta(BLOCK_META_PREFIX)
+                .expect("durable store recoverable")
+                .iter()
+                .filter_map(|(_, v)| decode_block_meta(v))
+                .collect();
+            records.sort_by_key(|(_, b)| b.header.height);
+            let mut floor = 0u64;
+            let mut executed = HashSet::new();
+            let mut blocks = Vec::with_capacity(records.len());
+            let mut receipts = Vec::with_capacity(records.len());
+            for (f, block) in records {
+                floor = floor.max(f);
+                for tx in &block.txs {
+                    executed.insert(tx.id());
+                }
+                // Receipts were volatile; recovered blocks carry none.
+                receipts.push(Vec::new());
+                blocks.push(block);
+            }
+            n.pbft = PbftNode::resume_at(id, pbft_config, floor);
+            n.state = state;
+            n.blocks = blocks;
+            n.receipts = receipts;
+            n.executed = executed;
+            n.inbox.clear();
+            n.draining = false;
+            n.drain_generation += 1;
+            n.pipeline_penalty = SimDuration::ZERO;
+            n.wake_scheduled = None;
+            n.crashed = false;
+            n.sync_target = peer_floor.filter(|&t| t > floor);
+            n.restarted_at = n.sync_target.map(|_| now);
+            floor
+        });
+        self.network.recover(id);
+        if let Some(peer) = peer {
+            // Fetch the committed batches past the durable floor.
+            self.engine.schedule(
+                now,
+                FabEvent::Consensus {
+                    to: peer,
+                    from: id,
+                    msg: PbftMsg::SyncRequest { from_seq: floor },
+                },
+            );
+        }
+        // Restart the PBFT timers.
+        self.engine.schedule(now, FabEvent::Wake { node: id });
     }
 
     /// Consensus-message drops so far (diagnostics for the collapse).
@@ -431,6 +585,11 @@ impl BlockchainConnector for FabricChain {
     }
 
     fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
+        if self.network.is_crashed(server) {
+            // A crashed peer's gRPC endpoint refuses connections; the client
+            // sees the failure and does not burn a nonce on it.
+            return false;
+        }
         let now = self.engine.now();
         let rpc_delay = self.config.rpc_delay;
         let ingress_interval = self.config.ingress_interval;
@@ -506,11 +665,34 @@ impl BlockchainConnector for FabricChain {
         match fault {
             Fault::Crash(node) => {
                 self.network.crash(node);
-                self.engine.with_node_mut(node.0, |n| n.crashed = true);
+                self.engine.with_node_mut(node.0, |n| {
+                    n.crashed = true;
+                    // Amnesia: the inbox and pipeline are process memory.
+                    // The chain/state maps linger until a Restart discards
+                    // them, but no handler reads them while crashed.
+                    n.inbox.clear();
+                    n.draining = false;
+                    n.drain_generation += 1;
+                    n.pipeline_penalty = SimDuration::ZERO;
+                    n.wake_scheduled = None;
+                });
             }
             Fault::Recover(node) => {
+                // Legacy gentle revive (a long GC pause, not a process
+                // death): in-memory chain state is intact.
                 self.network.recover(node);
                 self.engine.with_node_mut(node.0, |n| n.crashed = false);
+            }
+            Fault::Restart(node) => self.restart_node(node),
+            Fault::TornTail(node) => {
+                let vfs = self.engine.with_node(node.0, |n| n.state.vfs());
+                FaultVfs::new(vfs, self.config.seed ^ 0xF417_7A11 ^ node.0 as u64)
+                    .tear_tail(&format!("{STORE_PREFIX}/wal"));
+            }
+            Fault::BitRot(node, flips) => {
+                let vfs = self.engine.with_node(node.0, |n| n.state.vfs());
+                FaultVfs::new(vfs, self.config.seed ^ 0x0B17_0707 ^ node.0 as u64)
+                    .bit_rot(&format!("{STORE_PREFIX}/wal"), flips);
             }
             Fault::Delay(node, d) => self.network.set_extra_delay(node, d),
             Fault::Corrupt(node, p) => self.network.set_corrupt_prob(node, p),
@@ -526,11 +708,18 @@ impl BlockchainConnector for FabricChain {
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
         let (mut flushed, mut superseded, mut batches) = (0u64, 0u64, 0u64);
+        let (mut wal_replayed, mut wal_truncated) = (0u64, 0u64);
+        let (mut recovery_ms, mut resync_blocks, mut resync_bytes) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let store_stats = node.state.store_stats();
                 disk += store_stats.disk_bytes;
                 batches += store_stats.batch_writes;
+                wal_replayed += node.wal_replayed;
+                wal_truncated += node.wal_truncated;
+                recovery_ms = recovery_ms.max(node.recovery_ms);
+                resync_blocks += node.resync_blocks;
+                resync_bytes += node.resync_bytes;
                 let (f, s) = node.state.flush_stats();
                 flushed += f;
                 superseded += s;
@@ -573,6 +762,11 @@ impl BlockchainConnector for FabricChain {
             state_nodes_flushed: flushed,
             state_nodes_dropped: superseded,
             batch_put_count: batches,
+            wal_records_replayed: wal_replayed,
+            wal_tail_truncated: wal_truncated,
+            recovery_ms,
+            resync_blocks,
+            resync_bytes,
         }
     }
 
@@ -599,8 +793,15 @@ impl BlockchainConnector for FabricChain {
                         difficulty: 0,
                         round: height,
                     };
-                    node.state.commit_block().expect("setup store healthy");
                     let block = Block { header, txs: txs.clone() };
+                    // Preloads bypass consensus: record a zero sequence
+                    // floor so a restart resumes PBFT from scratch.
+                    node.state
+                        .commit_block_with_meta(vec![(
+                            block_meta_key(height),
+                            Some(block_meta_record(0, &block)),
+                        )])
+                        .expect("setup store healthy");
                     if i == 0 {
                         node.confirmed.push(BlockSummary {
                             id: block.id(),
@@ -744,6 +945,62 @@ mod tests {
             .with_node(1, |n| (n.receipts.iter().map(Vec::len).sum::<usize>(), n.pbft.view()));
         assert_eq!(committed, 5, "view change did not recover the cluster");
         assert!(view > 0);
+    }
+
+    #[test]
+    fn torn_tail_restart_recovers_durable_prefix_and_resyncs() {
+        let mut c = chain(4);
+        let addr = c.deploy(&ycsb::bundle());
+        // Pace submissions across batch timeouts so the pre-crash chain
+        // holds several blocks (several WAL appends).
+        for wave in 0..10u64 {
+            c.advance_to(SimTime::from_millis(wave * 400));
+            for k in 0..3u64 {
+                let nonce = wave * 3 + k;
+                c.submit(
+                    NodeId((nonce % 4) as u32),
+                    client_tx(7, nonce, addr, ycsb::write_call(nonce, b"v")),
+                );
+            }
+        }
+        c.advance_to(SimTime::from_secs(5));
+        let pre_blocks = c.engine.with_node(3, |n| n.blocks.len());
+        assert!(pre_blocks > 1, "need several pre-crash blocks, got {pre_blocks}");
+        // Kill node 3 and tear the tail off its WAL: the final committed
+        // batch (state + block record, atomically) is lost.
+        c.inject(Fault::Crash(NodeId(3)));
+        c.inject(Fault::TornTail(NodeId(3)));
+        // The cluster keeps committing while node 3 is down.
+        for nonce in 30..60 {
+            c.submit(
+                NodeId((nonce % 3) as u32),
+                client_tx(7, nonce, addr, ycsb::write_call(nonce, b"w")),
+            );
+        }
+        c.advance_to(SimTime::from_secs(10));
+        c.inject(Fault::Restart(NodeId(3)));
+        // Immediately after restart the node holds a strict durable
+        // prefix of its pre-crash chain (the torn batch is gone).
+        let recovered_blocks = c.engine.with_node(3, |n| n.blocks.len());
+        assert!(recovered_blocks < pre_blocks, "{recovered_blocks} vs {pre_blocks}");
+        c.advance_to(SimTime::from_secs(25));
+        // Caught back up: chain and state byte-identical to the cluster.
+        let reference: Vec<Hash256> =
+            c.engine.with_node(0, |n| n.blocks.iter().map(|b| b.id()).collect());
+        let recovered: Vec<Hash256> =
+            c.engine.with_node(3, |n| n.blocks.iter().map(|b| b.id()).collect());
+        assert_eq!(recovered, reference);
+        assert_eq!(
+            c.engine.with_node(3, |n| n.state.root()),
+            c.engine.with_node(0, |n| n.state.root())
+        );
+        let s = c.stats();
+        assert!(s.wal_tail_truncated >= 1, "torn tail never hit the WAL");
+        assert!(s.wal_records_replayed > 0);
+        assert!(s.resync_blocks > 0);
+        assert!(s.recovery_ms > 0);
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 60);
     }
 
     #[test]

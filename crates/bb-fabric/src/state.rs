@@ -8,10 +8,25 @@
 
 use bb_merkle::BucketTree;
 use bb_sim::MemMeter;
-use bb_storage::{KvStore, LsmConfig, LsmStore};
+use bb_storage::{KvStore, LsmConfig, LsmStore, Vfs};
 use bb_types::{Address, Transaction};
 use blockbench::contract::{decode_call, Chaincode, ChaincodeContext, ChaincodeFactory};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// VFS path prefix of a peer's LSM store (`{prefix}/wal`, SSTables).
+pub const STORE_PREFIX: &str = "lsm";
+
+fn store_config() -> LsmConfig {
+    LsmConfig {
+        // Chain workloads write heavily and never delete: flush less
+        // often and let more tables accumulate before the (full)
+        // compaction rewrites the store.
+        memtable_flush_bytes: 4 << 20,
+        max_tables: 48,
+        ..LsmConfig::default()
+    }
+}
 
 /// Outcome of a chaincode invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,17 +63,43 @@ impl FabricState {
     /// Fresh state over a private LSM store.
     pub fn new(buckets: usize, mem_cap: u64) -> FabricState {
         FabricState {
-            tree: BucketTree::new(LsmStore::new_private(LsmConfig {
-                    // Chain workloads write heavily and never delete:
-                    // flush less often and let more tables accumulate
-                    // before the (full) compaction rewrites the store.
-                    memtable_flush_bytes: 4 << 20,
-                    max_tables: 48,
-                    ..LsmConfig::default()
-                }), buckets),
+            tree: BucketTree::new(LsmStore::new_private(store_config()), buckets),
             chaincodes: HashMap::new(),
             mem: MemMeter::new(mem_cap),
         }
+    }
+
+    /// Reopen a peer's state from its durable filesystem after a crash
+    /// (the restart path). Replays the WAL — truncating any torn tail —
+    /// and recomputes the Bucket-Merkle digests from the surviving `s:`
+    /// entries, so the returned state is exactly the durable prefix.
+    /// Chaincodes are volatile; the caller reinstalls them.
+    pub fn reopen(
+        vfs: Arc<Mutex<Vfs>>,
+        buckets: usize,
+        mem_cap: u64,
+    ) -> Result<FabricState, bb_storage::KvError> {
+        let store = LsmStore::open(vfs, STORE_PREFIX, store_config())?;
+        Ok(FabricState {
+            tree: BucketTree::rebuild(store, buckets)?,
+            chaincodes: HashMap::new(),
+            mem: MemMeter::new(mem_cap),
+        })
+    }
+
+    /// Shared handle to the filesystem under the LSM store — this is the
+    /// only thing a crash preserves.
+    pub fn vfs(&self) -> Arc<Mutex<Vfs>> {
+        self.tree.store().vfs()
+    }
+
+    /// Raw `(key, value)` pairs under `prefix` in the backing store
+    /// (durable block metadata lives outside the `s:` state namespace).
+    pub fn scan_meta(
+        &mut self,
+        prefix: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, bb_storage::KvError> {
+        self.tree.store_mut().scan_prefix(prefix)
     }
 
     /// Install (deploy) a chaincode at `addr`.
@@ -85,6 +126,17 @@ impl FabricState {
     /// store as one atomic write batch.
     pub fn commit_block(&mut self) -> Result<(), bb_storage::KvError> {
         self.tree.commit()
+    }
+
+    /// [`Self::commit_block`] plus raw metadata records riding the same
+    /// atomic batch, so a crash can never separate a block's state flush
+    /// from its chain metadata. Keys must live outside the `s:` state
+    /// namespace (they bypass the bucket digests).
+    pub fn commit_block_with_meta(
+        &mut self,
+        extras: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), bb_storage::KvError> {
+        self.tree.commit_with_extras(extras)
     }
 
     /// `(values_flushed, values_superseded)` across this state's lifetime.

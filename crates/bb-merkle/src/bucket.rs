@@ -63,6 +63,31 @@ impl<S: KvStore> BucketTree<S> {
         }
     }
 
+    /// Reconstruct a tree over a store that already holds committed state
+    /// (the restart path): bucket digests and the entry count come from one
+    /// scan of the state prefix, so the rebuilt root equals the root as of
+    /// the store's last durable commit. Nothing is written.
+    pub fn rebuild(mut store: S, nbuckets: usize) -> Result<Self, KvError> {
+        assert!(nbuckets > 0, "need at least one bucket");
+        let mut bucket_hashes = vec![Hash256::ZERO; nbuckets];
+        let mut entries = 0;
+        for (skey, value) in store.scan_prefix(STATE_PREFIX)? {
+            let key = &skey[STATE_PREFIX.len()..];
+            let bucket = (Hash256::digest_parts(&[b"bucket-assign", key]).to_u64()
+                % nbuckets as u64) as usize;
+            xor_into(&mut bucket_hashes[bucket], &entry_digest(key, &value));
+            entries += 1;
+        }
+        Ok(BucketTree {
+            store,
+            bucket_hashes,
+            entries,
+            pending: BTreeMap::new(),
+            values_flushed: 0,
+            values_superseded: 0,
+        })
+    }
+
     fn bucket_of(&self, key: &[u8]) -> usize {
         (Hash256::digest_parts(&[b"bucket-assign", key]).to_u64() % self.bucket_hashes.len() as u64)
             as usize
@@ -125,7 +150,19 @@ impl<S: KvStore> BucketTree<S> {
     /// [`WriteBatch`]. On error the overlay is left intact (reads keep
     /// working) and a later commit retries.
     pub fn commit(&mut self) -> Result<(), KvError> {
-        if self.pending.is_empty() {
+        self.commit_with_extras(Vec::new())
+    }
+
+    /// [`Self::commit`] plus caller-supplied raw store operations appended
+    /// to the *same* atomic batch — per-block durable metadata (encoded
+    /// block, head pointer) commits or vanishes with its state. Extras
+    /// bypass the bucket digests, so they must live outside the state
+    /// namespace.
+    pub fn commit_with_extras(
+        &mut self,
+        extras: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), KvError> {
+        if self.pending.is_empty() && extras.is_empty() {
             return Ok(());
         }
         let mut batch = WriteBatch::new();
@@ -136,6 +173,12 @@ impl<S: KvStore> BucketTree<S> {
             }
         }
         let n = batch.len() as u64;
+        for (k, v) in &extras {
+            match v {
+                Some(v) => batch.put(k, v),
+                None => batch.delete(k),
+            }
+        }
         self.store.apply_batch(batch)?;
         self.values_flushed += n;
         self.pending.clear();
@@ -371,6 +414,32 @@ mod tests {
             t.scan_prefix(b"acct:").unwrap(),
             vec![(b"acct:2".to_vec(), b"two".to_vec())]
         );
+    }
+
+    #[test]
+    fn rebuild_recovers_committed_root_and_drops_uncommitted() {
+        let mut t = tree();
+        t.put(b"alice", b"100").unwrap();
+        t.put(b"bob", b"200").unwrap();
+        t.commit().unwrap();
+        let durable_root = t.root();
+        // Uncommitted writes after the last commit are volatile: a rebuild
+        // over the same store must not see them.
+        t.put(b"carol", b"300").unwrap();
+        assert_ne!(t.root(), durable_root);
+        let BucketTree { store, .. } = t;
+        let mut r = BucketTree::rebuild(store, 64).unwrap();
+        assert_eq!(r.root(), durable_root);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(b"alice").unwrap(), Some(b"100".to_vec()));
+        assert_eq!(r.get(b"carol").unwrap(), None);
+    }
+
+    #[test]
+    fn rebuild_of_empty_store_is_empty_tree() {
+        let r = BucketTree::rebuild(MemStore::new(), 16).unwrap();
+        assert_eq!(r.root(), Hash256::ZERO);
+        assert!(r.is_empty());
     }
 
     #[test]

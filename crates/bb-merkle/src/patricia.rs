@@ -240,6 +240,17 @@ impl<S: KvStore> PatriciaTrie<S> {
         (self.cache_hits, self.cache_misses)
     }
 
+    /// Drop everything that would not survive a power cut: the uncommitted
+    /// dirty-node overlay and the decoded-node cache. The crash-fault path
+    /// calls this so a "crashed" node keeps only what its store persisted;
+    /// the root is NOT touched — callers rewind it to a durable root
+    /// themselves (the current one may reference overlay-only nodes).
+    pub fn drop_volatile(&mut self) {
+        self.nodes_dropped += self.overlay.len() as u64;
+        self.overlay.clear();
+        self.cache.clear();
+    }
+
     fn load(&mut self, hash: &Hash256) -> Result<Node, KvError> {
         if let Some(node) = self.cache.get(hash) {
             self.cache_hits += 1;
@@ -293,7 +304,18 @@ impl<S: KvStore> PatriciaTrie<S> {
     /// is left intact, so the in-memory trie stays fully readable and a
     /// later commit retries the flush.
     pub fn commit(&mut self) -> Result<(), KvError> {
-        if self.overlay.is_empty() {
+        self.commit_with_extras(Vec::new())
+    }
+
+    /// [`Self::commit`] plus caller-supplied raw store operations appended
+    /// to the *same* atomic batch. Platforms persist per-block metadata —
+    /// the encoded block, a durable head pointer — with exactly the state
+    /// nodes that block committed, so a crash can never separate them.
+    pub fn commit_with_extras(
+        &mut self,
+        extras: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), KvError> {
+        if self.overlay.is_empty() && extras.is_empty() {
             return Ok(());
         }
         // Deterministic DFS from the committed root; removal from the
@@ -316,6 +338,12 @@ impl<S: KvStore> PatriciaTrie<S> {
         let mut batch = WriteBatch::new();
         for (h, bytes) in &staged {
             batch.put(&h.0, bytes);
+        }
+        for (k, v) in &extras {
+            match v {
+                Some(v) => batch.put(k, v),
+                None => batch.delete(k),
+            }
         }
         if let Err(e) = self.store.apply_batch(batch) {
             // Restore the overlay so nothing becomes unreadable; a partial

@@ -59,6 +59,15 @@ pub enum PoaEvent {
         /// Asker.
         from: NodeId,
     },
+    /// A restarted authority asks a peer for its head block; the reply seeds
+    /// the ancestor walk-back that re-downloads the whole chain (Parity's
+    /// state is purely in-memory, so a restart recovers from genesis).
+    HeadRequest {
+        /// Peer asked.
+        to: NodeId,
+        /// Recovering node.
+        from: NodeId,
+    },
 }
 
 struct PoaNode {
@@ -78,6 +87,17 @@ struct PoaNode {
     /// Signature-verification pipeline state.
     admission_busy_until: SimTime,
     admission_backlog: usize,
+    /// Set while a restarted node re-downloads the chain; cleared (into
+    /// `recovery_ms`) once its head reaches the sync target.
+    restarted_at: Option<SimTime>,
+    /// Peer head height learned from the first post-restart block arrival.
+    sync_target: Option<u64>,
+    /// Longest completed restart→caught-up recovery on this node, virtual ms.
+    recovery_ms: u64,
+    /// Blocks re-fetched from peers while catching up after a restart.
+    resync_blocks: u64,
+    /// Bytes of those blocks.
+    resync_bytes: u64,
     /// Observer state — populated only on node 0.
     confirmed: Vec<BlockSummary>,
     confirmed_height: u64,
@@ -111,6 +131,12 @@ pub struct ParityChain {
     network: Network,
     started: bool,
     mem_peak: u64,
+    /// The genesis block every restart rebuilds from (Parity's state is
+    /// in-memory only — a restarted authority recovers genesis + deployed
+    /// contracts locally and re-downloads everything else from peers).
+    genesis_block: Arc<Block>,
+    /// Contracts installed at setup time, replayed into a rebuilt state.
+    deployed: Vec<(Address, blockbench::contract::SvmContract)>,
 }
 
 /// Observer counter indices (commutative run-wide tallies).
@@ -129,7 +155,8 @@ impl ShardedWorld for PoaWorld {
             PoaEvent::Step { index } => ctx.step_authority(*index).map_or(0, |a| a.0),
             PoaEvent::TxAdmit { to, .. }
             | PoaEvent::BlockArrive { to, .. }
-            | PoaEvent::BlockRequest { to, .. } => to.0,
+            | PoaEvent::BlockRequest { to, .. }
+            | PoaEvent::HeadRequest { to, .. } => to.0,
         }
     }
 
@@ -149,6 +176,7 @@ impl ShardedWorld for PoaWorld {
             PoaEvent::BlockRequest { wanted, from, .. } => {
                 on_block_request(ctx, node, id, now, wanted, from, fx)
             }
+            PoaEvent::HeadRequest { from, .. } => on_head_request(ctx, node, id, from, fx),
         }
     }
 }
@@ -465,7 +493,26 @@ fn on_block(
     if ctx.crashed[me.index()] {
         return;
     }
+    if node.restarted_at.is_some() {
+        node.resync_blocks += 1;
+        node.resync_bytes += block.byte_size();
+        if node.sync_target.is_none() {
+            // First arrival after a restart is the head-request reply: its
+            // height is the gap this node must close.
+            node.sync_target = Some(block.header.height.max(node.tree.head_height()));
+        }
+    }
     adopt_block(ctx, node, now, me, block, Some(from), fx);
+    if let (Some(t0), Some(target)) = (node.restarted_at, node.sync_target) {
+        if node.tree.head_height() >= target {
+            // A completed recovery records at least 1 ms: `recovery_ms == 0`
+            // means "never caught up", and a sub-millisecond catch-up (no
+            // blocks mined during the outage) must not read as that.
+            node.recovery_ms = node.recovery_ms.max((now.since(t0).as_micros() / 1000).max(1));
+            node.restarted_at = None;
+            node.sync_target = None;
+        }
+    }
     if me.index() == 0 {
         refresh_confirmed(ctx, node, now);
     }
@@ -484,6 +531,26 @@ fn on_block_request(
         return;
     }
     if let Some(body) = node.bodies.get(&wanted) {
+        let body = Arc::clone(body);
+        let bytes = body.byte_size();
+        fx.send(from.0, bytes, move |_at| PoaEvent::BlockArrive { to: from, block: body, from: me });
+    }
+}
+
+/// Serve a recovering peer our current head body; the ancestor fetch then
+/// walks the rest of the chain back to genesis.
+fn on_head_request(
+    ctx: &PoaCtx,
+    node: &mut PoaNode,
+    me: NodeId,
+    from: NodeId,
+    fx: &mut Effects<PoaEvent>,
+) {
+    if ctx.crashed[me.index()] {
+        return;
+    }
+    let head = node.tree.head();
+    if let Some(body) = node.bodies.get(&head) {
         let body = Arc::clone(body);
         let bytes = body.byte_size();
         fx.send(from.0, bytes, move |_at| PoaEvent::BlockArrive { to: from, block: body, from: me });
@@ -562,6 +629,11 @@ impl ParityChain {
                     cpu: CpuMeter::new(config.cores),
                     admission_busy_until: SimTime::ZERO,
                     admission_backlog: 0,
+                    restarted_at: None,
+                    sync_target: None,
+                    recovery_ms: 0,
+                    resync_blocks: 0,
+                    resync_bytes: 0,
                     confirmed: Vec::new(),
                     confirmed_height: 0,
                 };
@@ -582,7 +654,74 @@ impl ParityChain {
             crashed: vec![false; config.nodes as usize],
         };
         let engine = ShardedEngine::new(ctx, nodes, network.min_latency());
-        ParityChain { config, engine, network, started: false, mem_peak: 0 }
+        ParityChain {
+            config,
+            engine,
+            network,
+            started: false,
+            mem_peak: 0,
+            genesis_block,
+            deployed: Vec::new(),
+        }
+    }
+
+    /// Restart a crashed authority with total amnesia: rebuild genesis state
+    /// (client funding + deployed contracts) locally, then re-download the
+    /// chain from a live peer and re-execute it. Parity keeps no durable
+    /// store, so this is the whole recovery story.
+    fn restart_node(&mut self, id: NodeId) {
+        let now = self.engine.now();
+        let peer = (0..self.config.nodes)
+            .map(NodeId)
+            .find(|p| *p != id && !self.network.is_crashed(*p));
+        let genesis_block = Arc::clone(&self.genesis_block);
+        let genesis = genesis_block.id();
+        let state_cap = self.config.node_mem_bytes.saturating_sub(self.config.costs.mem_base);
+        let deployed = self.deployed.clone();
+        self.engine.with_node_mut(id.0, |n| {
+            let mut state = AccountState::new(MemStore::with_capacity_cap(state_cap));
+            for seed in 0..1024 {
+                let kp = bb_crypto::KeyPair::from_seed(seed);
+                state
+                    .credit(&Address::from_public_key(&kp.public()), i64::MAX / 4)
+                    .expect("genesis fits in memory");
+            }
+            for (addr, svm) in &deployed {
+                state.install_contract(addr, svm).expect("genesis fits in memory");
+            }
+            state.commit_block().expect("genesis fits in memory");
+            let mut node = PoaNode {
+                state,
+                tree: BlockTree::new(genesis),
+                bodies: HashMap::new(),
+                roots: HashMap::new(),
+                receipts: HashMap::new(),
+                pool: VecDeque::new(),
+                pool_ids: HashSet::new(),
+                seen: HashSet::new(),
+                pruned: HashSet::from([genesis]),
+                cpu: std::mem::replace(&mut n.cpu, CpuMeter::new(1)),
+                admission_busy_until: SimTime::ZERO,
+                admission_backlog: 0,
+                restarted_at: peer.map(|_| now),
+                sync_target: None,
+                recovery_ms: n.recovery_ms,
+                resync_blocks: n.resync_blocks,
+                resync_bytes: n.resync_bytes,
+                // Observer history survives as driver-side bookkeeping.
+                confirmed: std::mem::take(&mut n.confirmed),
+                confirmed_height: n.confirmed_height,
+            };
+            node.bodies.insert(genesis, Arc::clone(&genesis_block));
+            node.roots.insert(genesis, node.state.root());
+            node.receipts.insert(genesis, Vec::new());
+            *n = node;
+        });
+        self.network.recover(id);
+        self.engine.with_ctx_mut(|ctx| ctx.crashed[id.index()] = false);
+        if let Some(peer) = peer {
+            self.engine.schedule(now, PoaEvent::HeadRequest { to: peer, from: id });
+        }
     }
 
     fn start(&mut self) {
@@ -621,11 +760,19 @@ impl BlockchainConnector for ParityChain {
                 node.roots.insert(head, node.state.root());
             });
         }
+        self.deployed.push((addr, bundle.svm.clone()));
         addr
     }
 
     fn submit(&mut self, server: NodeId, tx: Transaction) -> bool {
         self.start();
+        if self.network.is_crashed(server) {
+            // A crashed node's RPC endpoint refuses connections; the client
+            // sees the failure and does not burn a nonce on it. Without this
+            // the client's nonce counter runs ahead of the dead node's pool
+            // and every later transaction it signs is permanently future.
+            return false;
+        }
         let now = self.engine.now();
         let rpc_delay = self.config.rpc_delay;
         let sig_verify = self.config.costs.sig_verify;
@@ -730,11 +877,25 @@ impl BlockchainConnector for ParityChain {
             Fault::Crash(node) => {
                 self.network.crash(node);
                 self.engine.with_ctx_mut(|ctx| ctx.crashed[node.index()] = true);
+                // Amnesia: the pool and the state trie's caches die with the
+                // process; everything else dies at Restart (handlers no-op
+                // while crashed, so keeping the chain copies around until
+                // then is observationally identical — and lets the gentle
+                // legacy Recover resurrect them).
+                self.engine.with_node_mut(node.0, |n| {
+                    n.pool.clear();
+                    n.pool_ids.clear();
+                    n.state.drop_volatile();
+                });
             }
             Fault::Recover(node) => {
                 self.network.recover(node);
                 self.engine.with_ctx_mut(|ctx| ctx.crashed[node.index()] = false);
             }
+            Fault::Restart(node) => self.restart_node(node),
+            // Parity holds no durable files: a power cut tears nothing and
+            // rot has nothing to rot. These faults are no-ops here.
+            Fault::TornTail(_) | Fault::BitRot(_, _) => {}
             Fault::Delay(node, d) => self.network.set_extra_delay(node, d),
             Fault::Corrupt(node, p) => self.network.set_corrupt_prob(node, p),
             Fault::PartitionHalf { left } => self.network.partition_in_half(left),
@@ -749,6 +910,8 @@ impl BlockchainConnector for ParityChain {
         let mut mem_peak = self.mem_peak.max(self.config.costs.mem_base);
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
         let (mut flushed, mut dropped, mut batches) = (0u64, 0u64, 0u64);
+        let mut recovery_ms = 0u64;
+        let (mut resync_blocks, mut resync_bytes) = (0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let (h, m) = node.state.trie_cache_stats();
@@ -758,6 +921,9 @@ impl BlockchainConnector for ParityChain {
                 flushed += f;
                 dropped += d;
                 batches += node.state.store().stats().batch_writes;
+                recovery_ms = recovery_ms.max(node.recovery_ms);
+                resync_blocks += node.resync_blocks;
+                resync_bytes += node.resync_bytes;
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
                     cpu.resize(series.len(), 0.0);
@@ -793,6 +959,10 @@ impl BlockchainConnector for ParityChain {
             state_nodes_flushed: flushed,
             state_nodes_dropped: dropped,
             batch_put_count: batches,
+            recovery_ms,
+            resync_blocks,
+            resync_bytes,
+            ..Default::default()
         }
     }
 
@@ -1047,6 +1217,37 @@ mod tests {
         assert_eq!(i64::from_le_bytes(r.data.try_into().unwrap()), 11);
         let r = c.query(&Query::AccountAtBlock { account: bob, height: 2 }).unwrap();
         assert_eq!(i64::from_le_bytes(r.data.try_into().unwrap()), 33);
+    }
+
+    #[test]
+    fn restart_rebuilds_from_genesis_and_resyncs_whole_chain() {
+        let mut c = chain(4);
+        let contract = c.deploy(&ycsb::bundle());
+        for nonce in 0..12 {
+            c.submit(NodeId((nonce % 4) as u32), client_tx(1, nonce, contract, ycsb::write_call(nonce, b"v")));
+        }
+        c.advance_to(SimTime::from_secs(8));
+        c.inject(Fault::Crash(NodeId(3)));
+        c.advance_to(SimTime::from_secs(14));
+        let cluster_head = c.engine.with_node(0, |n| n.tree.head_height());
+        c.inject(Fault::Restart(NodeId(3)));
+        // Immediately after restart the node is back at genesis...
+        assert_eq!(c.engine.with_node(3, |n| n.tree.head_height()), 0);
+        c.advance_to(SimTime::from_secs(25));
+        // ...and later it has re-downloaded and re-executed the whole chain.
+        let h3 = c.engine.with_node(3, |n| n.tree.head_height());
+        let h0 = c.engine.with_node(0, |n| n.tree.head_height());
+        assert!(h0.abs_diff(h3) <= 2, "restarted node lags: h0={h0} h3={h3}");
+        // The recovered states agree: same root at the common prefix.
+        let common = h3.min(cluster_head);
+        let id0 = c.engine.with_node(0, |n| n.tree.main_chain_at(common)).unwrap();
+        let r0 = c.engine.with_node(0, |n| n.roots[&id0]);
+        let r3 = c.engine.with_node(3, |n| n.roots[&id0]);
+        assert_eq!(r0, r3, "re-executed state diverged at height {common}");
+        let stats = c.stats();
+        assert!(stats.recovery_ms > 0, "recovery never completed");
+        // A full resync: at least the whole pre-crash chain was re-fetched.
+        assert!(stats.resync_blocks as u64 >= cluster_head, "resynced only {} blocks", stats.resync_blocks);
     }
 
     /// Same seed, serial vs forced-parallel: byte-identical results.

@@ -16,14 +16,17 @@
 //! Engines implement the common [`KvStore`] trait so the Merkle layers and
 //! platforms can swap them freely.
 
+pub mod fault;
 pub mod kv;
 pub mod lsm;
 pub mod memstore;
 pub mod stats;
 pub mod vfs;
 
+pub use fault::{FaultCounters, FaultVfs};
 pub use kv::{KvError, KvStore, WriteBatch};
 pub use lsm::store::{LsmConfig, LsmStore};
+pub use lsm::wal::{Wal, WalRecord, WalReplay};
 pub use memstore::MemStore;
 pub use stats::StorageStats;
 pub use vfs::Vfs;

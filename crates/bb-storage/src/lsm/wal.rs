@@ -22,6 +22,18 @@ pub enum WalRecord {
     Batch(Vec<(Vec<u8>, Option<Vec<u8>>)>),
 }
 
+/// Outcome of a [`Wal::replay_with_stats`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix; anything past it is torn or corrupt
+    /// and safe to truncate away.
+    pub valid_len: u64,
+    /// Did the file extend past the valid prefix?
+    pub torn: bool,
+}
+
 fn checksum(parts: &[&[u8]]) -> u32 {
     // FNV-1a folded to 32 bits: cheap, catches truncation and bit flips.
     let mut h = 0xcbf29ce484222325u64;
@@ -101,19 +113,32 @@ impl Wal {
         vfs.create(&self.file);
     }
 
+    /// Backing file name.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
     /// Replay all intact records. A torn or corrupt tail (crash mid-append)
     /// ends replay at the last good record, like production WALs.
     pub fn replay(&self, vfs: &mut Vfs) -> Vec<WalRecord> {
-        let Ok(data) = vfs.read(&self.file) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        let mut pos = 0usize;
-        while let Some((record, consumed)) = Self::parse_one(&data[pos..]) {
-            out.push(record);
-            pos += consumed;
-        }
-        out
+        self.replay_with_stats(vfs).records
+    }
+
+    /// Replay all intact records, reporting where the valid prefix ends.
+    /// Runs over the borrowed-read path: the log is parsed in place, no
+    /// whole-file copy.
+    pub fn replay_with_stats(&self, vfs: &mut Vfs) -> WalReplay {
+        vfs.read_with(&self.file, 0, usize::MAX, |data| {
+            let mut records = Vec::new();
+            let mut pos = 0usize;
+            while let Some((record, consumed)) = Self::parse_one(&data[pos..]) {
+                records.push(record);
+                pos += consumed;
+            }
+            let torn = pos < data.len();
+            WalReplay { records, valid_len: pos as u64, torn }
+        })
+        .unwrap_or_default()
     }
 
     fn parse_one(data: &[u8]) -> Option<(WalRecord, usize)> {
@@ -213,10 +238,27 @@ mod tests {
         let mut vfs = Vfs::new();
         let wal = Wal::open(&mut vfs, "wal");
         wal.log_put(&mut vfs, b"good", b"record");
+        let good_len = vfs.file_size("wal").unwrap();
         // Simulate a crash mid-append: write a partial record by hand.
         vfs.append("wal", &[TAG_PUT, 0, 0, 0, 10, b'x']);
-        let recs = wal.replay(&mut vfs);
-        assert_eq!(recs, vec![WalRecord::Put(b"good".to_vec(), b"record".to_vec())]);
+        let replay = wal.replay_with_stats(&mut vfs);
+        assert_eq!(
+            replay.records,
+            vec![WalRecord::Put(b"good".to_vec(), b"record".to_vec())]
+        );
+        assert!(replay.torn);
+        assert_eq!(replay.valid_len, good_len);
+    }
+
+    #[test]
+    fn intact_log_reports_not_torn() {
+        let mut vfs = Vfs::new();
+        let wal = Wal::open(&mut vfs, "wal");
+        wal.log_put(&mut vfs, b"a", b"1");
+        let replay = wal.replay_with_stats(&mut vfs);
+        assert!(!replay.torn);
+        assert_eq!(replay.valid_len, vfs.file_size("wal").unwrap());
+        assert_eq!(replay.records.len(), 1);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct StorageStats {
     /// Atomic write batches applied (each is one WAL record regardless of
     /// how many operations it carries).
     pub batch_writes: u64,
+    /// WAL records replayed into the memtable at the last open.
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt WAL tails truncated away at open (0 or 1 per open;
+    /// summed across nodes by the platforms).
+    pub wal_tail_truncated: u64,
 }
 
 impl StorageStats {

@@ -7,7 +7,7 @@
 //! authority step (Parity-like) or PBFT view (Fabric-like) — we fold the
 //! latter two into `round` since at most one is meaningful per platform.
 
-use crate::codec::Encoder;
+use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::ids::NodeId;
 use crate::tx::Transaction;
 use bb_crypto::Hash256;
@@ -48,6 +48,22 @@ impl BlockHeader {
         e.finish()
     }
 
+    /// Decode a header from the canonical encoding (inverse of
+    /// [`Self::encode`]); the platforms' durable block records round-trip
+    /// through this at restart.
+    pub fn decode_from(d: &mut Decoder) -> Result<BlockHeader, DecodeError> {
+        Ok(BlockHeader {
+            parent: Hash256(d.raw(32)?.try_into().expect("32 bytes")),
+            height: d.u64()?,
+            timestamp_us: d.u64()?,
+            tx_root: Hash256(d.raw(32)?.try_into().expect("32 bytes")),
+            state_root: Hash256(d.raw(32)?.try_into().expect("32 bytes")),
+            proposer: NodeId(d.u32()?),
+            difficulty: d.u64()?,
+            round: d.u64()?,
+        })
+    }
+
     /// The block identity.
     pub fn id(&self) -> Hash256 {
         Hash256::digest(&self.encode())
@@ -69,6 +85,32 @@ pub struct Block {
 }
 
 impl Block {
+    /// Canonical encoding: header (fixed width) then the length-prefixed
+    /// transaction list. This is what a node persists per committed block
+    /// and what peers ship during catch-up sync.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(160 + 160 * self.txs.len());
+        e.put_raw(&self.header.encode()).put_u32(self.txs.len() as u32);
+        for tx in &self.txs {
+            e.put_bytes(&tx.encode());
+        }
+        e.finish()
+    }
+
+    /// Decode a block (inverse of [`Self::encode`]), rejecting trailing
+    /// garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Block, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let header = BlockHeader::decode_from(&mut d)?;
+        let count = d.u32()? as usize;
+        let mut txs = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            txs.push(Transaction::decode(d.bytes()?)?);
+        }
+        d.expect_end()?;
+        Ok(Block { header, txs })
+    }
+
     /// The block identity (hash of the header).
     pub fn id(&self) -> Hash256 {
         self.header.id()
@@ -151,6 +193,31 @@ mod tests {
             block.header.byte_size() + 3 * block.txs[0].byte_size()
         );
         assert_eq!(block.tx_count(), 3);
+    }
+
+    #[test]
+    fn block_encoding_round_trips() {
+        let kp = KeyPair::from_seed(9);
+        let txs: Vec<Transaction> = (0..3)
+            .map(|n| Transaction::signed(&kp, n, Address::from_index(2), 5, vec![n as u8; 16]))
+            .collect();
+        let block = Block { header: header(7), txs };
+        let decoded = Block::decode(&block.encode()).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.id(), block.id());
+
+        let empty = Block { header: header(0), txs: Vec::new() };
+        assert_eq!(Block::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn block_decode_rejects_damage() {
+        let block = Block { header: header(1), txs: Vec::new() };
+        let bytes = block.encode();
+        assert!(Block::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Block::decode(&trailing).is_err());
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub struct PlatformStats {
     /// Atomic write batches applied to the backing stores (one per sealed
     /// block per node on the batched write path).
     pub batch_put_count: u64,
+    /// WAL records replayed across node restarts (durable-store platforms).
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt WAL tails truncated away at restarts.
+    pub wal_tail_truncated: u64,
+    /// Longest crash→caught-up recovery observed, in virtual milliseconds
+    /// (0 until a restarted node has rejoined the head).
+    pub recovery_ms: u64,
+    /// Blocks re-fetched from peers during post-restart catch-up.
+    pub resync_blocks: u64,
+    /// Bytes of blocks re-fetched during post-restart catch-up.
+    pub resync_bytes: u64,
 }
 
 impl PlatformStats {
@@ -132,10 +143,25 @@ pub struct QueryResult {
 /// Fault-injection commands (Section 3.3's failure modes).
 #[derive(Debug, Clone)]
 pub enum Fault {
-    /// Crash-stop a node (Figure 9).
+    /// Crash-stop a node (Figure 9): it drops every piece of volatile state
+    /// — transaction pool, miner/sealer progress, in-flight consensus, trie
+    /// caches and uncommitted overlays — keeping only its durable store.
     Crash(NodeId),
-    /// Revive a crashed node.
+    /// Revive a crashed node *with its volatile state intact* — the gentle
+    /// legacy fault (a long GC pause, not a power cut). Use
+    /// [`Fault::Restart`] for recovery through the durable store.
     Recover(NodeId),
+    /// Restart a crashed node from its durable store alone: replay the WAL
+    /// (`LsmStore::open`), rebuild the chain head from persisted blocks,
+    /// then catch up from peers (PBFT checkpoint/sync, block download on
+    /// the chain platforms).
+    Restart(NodeId),
+    /// Tear the un-fsynced tail of the node's WAL, as a power cut would.
+    /// Inject alongside [`Fault::Crash`] to make the crash destructive.
+    TornTail(NodeId),
+    /// Flip up to this many seeded bits in the node's WAL file. The frame
+    /// checksums turn rot into a clean loss of the corrupted suffix.
+    BitRot(NodeId, u32),
     /// Add fixed latency to all of a node's links.
     Delay(NodeId, SimDuration),
     /// Corrupt messages touching a node with this probability.

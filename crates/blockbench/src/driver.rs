@@ -12,6 +12,7 @@
 //! length over time is itself a reported metric (Figures 6 and 18).
 
 use crate::connector::BlockchainConnector;
+use crate::fault::{FaultCursor, FaultPlan};
 use crate::stats::RunStats;
 use bb_sim::series::Summary;
 use bb_sim::{SimDuration, SimTime, TimeSeries};
@@ -74,6 +75,29 @@ pub fn run_workload(
     workload: &mut dyn WorkloadConnector,
     config: &DriverConfig,
 ) -> RunStats {
+    run_inner(chain, workload, config, None)
+}
+
+/// [`run_workload`] with a declarative fault schedule: every fault in `plan`
+/// is injected once the run clock (measured from the end of workload setup)
+/// passes its deadline. Faults land at their scheduled instants — the driver
+/// advances the platform world to the deadline before injecting — so a plan
+/// produces the same timeline regardless of poll cadence.
+pub fn run_workload_with_faults(
+    chain: &mut dyn BlockchainConnector,
+    workload: &mut dyn WorkloadConnector,
+    config: &DriverConfig,
+    plan: &FaultPlan,
+) -> RunStats {
+    run_inner(chain, workload, config, Some(plan))
+}
+
+fn run_inner(
+    chain: &mut dyn BlockchainConnector,
+    workload: &mut dyn WorkloadConnector,
+    config: &DriverConfig,
+    plan: Option<&FaultPlan>,
+) -> RunStats {
     assert!(config.clients > 0, "need at least one client");
     assert!(config.rate_per_client > 0.0, "need a positive request rate");
     workload.setup(chain);
@@ -103,6 +127,7 @@ pub fn run_workload(
     let mut commit_instants: Vec<SimTime> = Vec::new();
     let mut queue_timeline = TimeSeries::new();
     let mut seen_height = 0u64;
+    let mut faults = plan.map(|p| FaultCursor::new(p, t0));
 
     loop {
         // The next thing to happen: a client send (only before t_end) or a poll.
@@ -118,6 +143,9 @@ pub fn run_workload(
         };
         if now > t_drain_end {
             break;
+        }
+        if let Some(cursor) = faults.as_mut() {
+            cursor.fire_due(chain, now);
         }
         chain.advance_to(now);
 

@@ -1,0 +1,185 @@
+//! Declarative fault schedules for the driver.
+//!
+//! Figure 9's crash experiment and the restart/rejoin experiment both need
+//! faults injected at precise virtual instants *inside* a measured run. A
+//! [`FaultPlan`] is a time-ordered list of [`Fault`]s the driver fires as the
+//! workload clock passes each deadline, so experiments describe "crash node 3
+//! at t=5 s, restart it at t=10 s" as data instead of hand-rolled polling
+//! loops. Injection happens between driver steps — never mid-`advance_to` —
+//! which keeps serial and sharded executions byte-identical.
+
+use crate::connector::{BlockchainConnector, Fault};
+use bb_sim::{SimDuration, SimTime};
+
+/// One scheduled fault: fire `fault` once the run clock reaches `at`
+/// (measured from the start of the driven window, not absolute time —
+/// workload setup length must not shift the schedule).
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Offset from the start of the measured window.
+    pub at: SimDuration,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+/// A time-ordered schedule of faults for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add `fault` at offset `at`; builder-style.
+    pub fn at(mut self, at: SimDuration, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// All events in firing order (stable for equal deadlines: insertion
+    /// order breaks ties, so `TornTail` queued before `Crash` at the same
+    /// instant tears the WAL first).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        sorted
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Cursor that walks a [`FaultPlan`] during a run, injecting every fault
+/// whose deadline has passed. The driver calls [`FaultCursor::fire_due`]
+/// before each step it takes.
+#[derive(Debug)]
+pub struct FaultCursor {
+    events: Vec<FaultEvent>,
+    next: usize,
+    t0: SimTime,
+}
+
+impl FaultCursor {
+    /// Start walking `plan` with deadlines measured from `t0`.
+    pub fn new(plan: &FaultPlan, t0: SimTime) -> Self {
+        FaultCursor { events: plan.events(), next: 0, t0 }
+    }
+
+    /// Inject every not-yet-fired fault with `t0 + at <= now` into `chain`,
+    /// in schedule order. Returns how many fired.
+    pub fn fire_due(&mut self, chain: &mut dyn BlockchainConnector, now: SimTime) -> usize {
+        let mut fired = 0;
+        while let Some(ev) = self.events.get(self.next) {
+            let deadline = self.t0 + ev.at;
+            if deadline > now {
+                break;
+            }
+            // Let the platform world reach the injection instant first so
+            // the fault lands at its scheduled time, not at the driver's
+            // next convenient step.
+            chain.advance_to(deadline);
+            chain.inject(ev.fault.clone());
+            self.next += 1;
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Faults not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_types::NodeId;
+
+    #[test]
+    fn plan_sorts_by_deadline_keeping_insertion_order_for_ties() {
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(5), Fault::Crash(NodeId(1)))
+            .at(SimDuration::from_secs(2), Fault::Delay(NodeId(0), SimDuration::from_millis(10)))
+            .at(SimDuration::from_secs(5), Fault::Restart(NodeId(1)));
+        let evs = plan.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at, SimDuration::from_secs(2));
+        assert!(matches!(evs[1].fault, Fault::Crash(_)));
+        assert!(matches!(evs[2].fault, Fault::Restart(_)));
+    }
+
+    #[test]
+    fn cursor_fires_each_event_exactly_once() {
+        struct Probe {
+            now: SimTime,
+            injected: Vec<(SimTime, String)>,
+        }
+        impl BlockchainConnector for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn node_count(&self) -> u32 {
+                1
+            }
+            fn deploy(&mut self, _b: &crate::contract::ContractBundle) -> bb_types::Address {
+                unreachable!()
+            }
+            fn submit(&mut self, _s: NodeId, _tx: bb_types::Transaction) -> bool {
+                true
+            }
+            fn advance_to(&mut self, t: SimTime) {
+                self.now = self.now.max(t);
+            }
+            fn now(&self) -> SimTime {
+                self.now
+            }
+            fn confirmed_blocks_since(&mut self, _h: u64) -> Vec<bb_types::BlockSummary> {
+                Vec::new()
+            }
+            fn query(
+                &mut self,
+                _q: &crate::connector::Query,
+            ) -> Result<crate::connector::QueryResult, crate::connector::QueryError> {
+                Err(crate::connector::QueryError::Unsupported)
+            }
+            fn inject(&mut self, fault: Fault) {
+                self.injected.push((self.now, format!("{fault:?}")));
+            }
+            fn stats(&self) -> crate::connector::PlatformStats {
+                crate::connector::PlatformStats::default()
+            }
+            fn execute_direct(&mut self, _tx: bb_types::Transaction) -> crate::connector::DirectExec {
+                unreachable!()
+            }
+        }
+
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(1), Fault::Crash(NodeId(0)))
+            .at(SimDuration::from_secs(3), Fault::Restart(NodeId(0)));
+        let mut chain = Probe { now: SimTime::ZERO, injected: Vec::new() };
+        let mut cursor = FaultCursor::new(&plan, SimTime::ZERO);
+
+        assert_eq!(cursor.fire_due(&mut chain, SimTime::from_millis(500)), 0);
+        assert_eq!(cursor.fire_due(&mut chain, SimTime::from_millis(2000)), 1);
+        // Already-fired events never refire.
+        assert_eq!(cursor.fire_due(&mut chain, SimTime::from_millis(2500)), 0);
+        assert_eq!(cursor.fire_due(&mut chain, SimTime::from_millis(4000)), 1);
+        assert_eq!(cursor.remaining(), 0);
+
+        // Injection happened at the scheduled instants, not the poll instants.
+        assert_eq!(chain.injected[0].0, SimTime::from_millis(1000));
+        assert_eq!(chain.injected[1].0, SimTime::from_millis(3000));
+    }
+}

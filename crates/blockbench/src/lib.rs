@@ -25,6 +25,7 @@
 pub mod connector;
 pub mod contract;
 pub mod driver;
+pub mod fault;
 pub mod security;
 pub mod stats;
 
@@ -32,6 +33,7 @@ pub use connector::{
     BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
 };
 pub use contract::{Chaincode, ChaincodeContext, ContractBundle, SvmContract};
-pub use driver::{run_workload, DriverConfig, WorkloadConnector};
+pub use driver::{run_workload, run_workload_with_faults, DriverConfig, WorkloadConnector};
+pub use fault::{FaultCursor, FaultEvent, FaultPlan};
 pub use security::fork_ratio;
 pub use stats::RunStats;

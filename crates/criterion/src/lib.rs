@@ -4,11 +4,14 @@
 //! "Hermeticity"), so the real Criterion cannot be a dependency. This shim
 //! implements the API surface the `bb-bench` benches use — `Criterion`,
 //! benchmark groups, `Throughput`, `black_box`, `criterion_group!` /
-//! `criterion_main!` — with a simple calibrated wall-clock timer: each
-//! benchmark is warmed up briefly, then timed over enough iterations to fill
-//! a fixed measurement budget, and the mean time per iteration is printed.
+//! `criterion_main!` — with a calibrated wall-clock timer: each benchmark is
+//! warmed up briefly, then timed as a series of equal batches filling a
+//! fixed measurement budget, and the per-iteration mean, median and MAD
+//! (median absolute deviation) are reported. The median is the robust
+//! headline number; the MAD is the noise floor `perfreport --compare` uses
+//! to avoid flagging jitter as regression.
 //!
-//! It intentionally does **not** do Criterion's statistical analysis,
+//! It intentionally does **not** do Criterion's full statistical analysis,
 //! HTML reports or regression detection; numbers printed here are
 //! indicative only. Benches are additionally feature-gated (`bench`) so
 //! tier-1 test runs never build them.
@@ -32,32 +35,92 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// Number of timing batches a measurement is split into; each batch yields
+/// one per-iteration sample, so median/MAD are computed over this many
+/// observations.
+pub const SAMPLE_BATCHES: usize = 15;
+
+/// Robust summary of repeated per-iteration timings (nanoseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Arithmetic mean over all iterations (total time / total iters).
+    pub mean_ns: f64,
+    /// Median of the per-batch means — robust to a slow outlier batch.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-batch means around the median;
+    /// the measurement's noise floor.
+    pub mad_ns: f64,
+    /// Total iterations across all batches.
+    pub iters: u64,
+}
+
+/// Summarize per-batch `(elapsed, iters)` timings into mean/median/MAD.
+pub fn summarize(batches: &[(Duration, u64)]) -> Option<SampleStats> {
+    if batches.is_empty() {
+        return None;
+    }
+    let total: Duration = batches.iter().map(|(d, _)| *d).sum();
+    let iters: u64 = batches.iter().map(|(_, n)| *n).sum();
+    let mut per_iter: Vec<f64> =
+        batches.iter().map(|(d, n)| d.as_nanos() as f64 / (*n).max(1) as f64).collect();
+    let median = median_of(&mut per_iter);
+    let mut deviations: Vec<f64> = per_iter.iter().map(|s| (s - median).abs()).collect();
+    let mad = median_of(&mut deviations);
+    Some(SampleStats {
+        mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+        median_ns: median,
+        mad_ns: mad,
+        iters,
+    })
+}
+
+fn median_of(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     iters_hint: u64,
-    /// (total elapsed, iterations) of the measured phase.
-    measured: Option<(Duration, u64)>,
+    /// Per-batch (elapsed, iterations) of the measured phase.
+    measured: Vec<(Duration, u64)>,
 }
 
 impl Bencher {
-    /// Run `body` repeatedly and record the mean wall-clock time per call.
+    /// Run `body` repeatedly, recording [`SAMPLE_BATCHES`] timing batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
         // Warm-up: run once to touch caches and estimate per-iter cost.
         let warm_start = Instant::now();
         black_box(body());
         let per_iter = warm_start.elapsed().max(Duration::from_nanos(1));
 
-        // Aim for ~100 ms of measurement, capped by the sample-size hint so
-        // cluster-scale simulation benches stay tractable.
+        // Aim for ~100 ms of total measurement split into equal batches,
+        // capped by the sample-size hint so cluster-scale simulation benches
+        // stay tractable.
         let budget = Duration::from_millis(100);
-        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, self.iters_hint as u128)
-            as u64;
+        let total_iters =
+            (budget.as_nanos() / per_iter.as_nanos()).clamp(1, self.iters_hint as u128) as u64;
+        let per_batch = (total_iters / SAMPLE_BATCHES as u64).max(1);
 
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(body());
+        self.measured.clear();
+        let mut remaining = total_iters;
+        while remaining > 0 {
+            let n = per_batch.min(remaining);
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(body());
+            }
+            self.measured.push((start.elapsed(), n));
+            remaining -= n;
         }
-        self.measured = Some((start.elapsed(), iters));
     }
 }
 
@@ -132,26 +195,29 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: u64, tp: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { iters_hint: sample_size.max(1) * 100, measured: None };
+    let mut b = Bencher { iters_hint: sample_size.max(1) * 100, measured: Vec::new() };
     f(&mut b);
-    let Some((elapsed, iters)) = b.measured else {
+    let Some(stats) = summarize(&b.measured) else {
         println!("{name:<40} (no measurement: closure never called iter)");
         return;
     };
-    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
     // Feed the perf-trajectory file when one is explicitly configured (the
     // default-path fallback is reserved for `perfreport`, so plain `cargo
     // bench` runs don't silently drop files into the working directory).
     if std::env::var("BB_BENCH_TRAJECTORY").map(|v| !v.is_empty() && v != "0").unwrap_or(false) {
-        trajectory::record_bench(name, per_iter_ns, iters);
+        trajectory::record_bench(name, &stats);
     }
     let rate = tp.map(|t| match t {
-        Throughput::Bytes(n) => format!("  {:>10.1} MiB/s", n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64),
-        Throughput::Elements(n) => format!("  {:>10.1} elem/s", n as f64 / per_iter_ns * 1e9),
+        Throughput::Bytes(n) => {
+            format!("  {:>10.1} MiB/s", n as f64 / stats.median_ns * 1e9 / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => format!("  {:>10.1} elem/s", n as f64 / stats.median_ns * 1e9),
     });
     println!(
-        "{name:<40} {:>12.0} ns/iter ({iters} iters){}",
-        per_iter_ns,
+        "{name:<40} {:>12.0} ns/iter ±{:.0} ({} iters){}",
+        stats.median_ns,
+        stats.mad_ns,
+        stats.iters,
         rate.unwrap_or_default()
     );
 }
@@ -203,5 +269,33 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(41) + 1, 42);
+    }
+
+    #[test]
+    fn summarize_is_robust_to_outlier_batches() {
+        // 14 batches at 100 ns/iter, one pathological batch at 10 µs/iter
+        // (e.g. a GC-style stall): the median and MAD shrug it off, the mean
+        // does not.
+        let batches: Vec<(Duration, u64)> = (0..15)
+            .map(|i| {
+                let per_iter_ns: u64 = if i == 14 { 10_000 } else { 100 };
+                (Duration::from_nanos(per_iter_ns * 10), 10)
+            })
+            .collect();
+        let s = summarize(&batches).unwrap();
+        assert_eq!(s.median_ns, 100.0);
+        assert_eq!(s.mad_ns, 0.0);
+        assert!(s.mean_ns > 500.0, "mean {} should be dragged up", s.mean_ns);
+        assert_eq!(s.iters, 150);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summarize_even_count_interpolates() {
+        let batches =
+            vec![(Duration::from_nanos(100), 1), (Duration::from_nanos(200), 1)];
+        let s = summarize(&batches).unwrap();
+        assert_eq!(s.median_ns, 150.0);
+        assert_eq!(s.mad_ns, 50.0);
     }
 }

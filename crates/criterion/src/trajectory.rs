@@ -294,15 +294,17 @@ impl Parser<'_> {
     }
 }
 
-/// Record a bench-shim measurement (mean ns/iter for a bench id) to the
-/// env-resolved trajectory file, if recording is enabled.
-pub fn record_bench(id: &str, mean_ns: f64, iters: u64) {
+/// Record a bench-shim measurement (mean/median/MAD ns per iteration) to
+/// the env-resolved trajectory file, if recording is enabled.
+pub fn record_bench(id: &str, stats: &crate::SampleStats) {
     let Some(path) = env_path() else { return };
     let entry = format!(
-        "{{\"kind\": \"bench\", \"id\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+        "{{\"kind\": \"bench\", \"id\": \"{}\", \"mean_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"iters\": {}}}",
         escape(id),
-        json_num(mean_ns),
-        iters
+        json_num(stats.mean_ns),
+        json_num(stats.median_ns),
+        json_num(stats.mad_ns),
+        stats.iters
     );
     append_entry(&path, &entry);
 }

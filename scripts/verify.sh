@@ -43,6 +43,15 @@ if [ "$suite_elapsed" -gt "$BB_VERIFY_BUDGET_S" ]; then
     exit 1
 fi
 
+echo "==> fault matrix: storage faults + crash-restart recovery smoke"
+# The recovery path cuts across every layer (VFS fault injection, WAL
+# replay, durable-state reopen, consensus resume, peer catch-up): run the
+# fault-focused tests by name so a regression here is called out as such
+# rather than drowned in the full suite's output.
+cargo test -q --offline -p bb-storage fault
+cargo test -q --offline -p bb-ethereum -p bb-parity -p bb-fabric restart
+cargo test -q --offline -p bb-bench --test cross_platform restart_recovers
+
 echo "==> feature matrix: property tests compile (offline)"
 cargo check -q --offline --workspace --all-targets --features proptest
 

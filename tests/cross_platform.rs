@@ -107,11 +107,60 @@ fn disk_footprints_follow_the_data_models() {
     assert!(eth.platform.disk_bytes > 0);
     assert_eq!(par.platform.disk_bytes, 0, "parity keeps state in memory");
     assert!(fab.platform.disk_bytes > 0);
-    // Normalize per committed transaction.
+    // Normalize per committed transaction. Both durable platforms persist
+    // block records alongside state (so a restart can rebuild the chain),
+    // which adds the same per-transaction block-body cost to each side; the
+    // trie-vs-flat-KV amplification shows up on top of that shared floor.
     let eth_per_tx = eth.platform.disk_bytes as f64 / eth.committed.max(1) as f64;
     let fab_per_tx = fab.platform.disk_bytes as f64 / fab.committed.max(1) as f64;
     assert!(
-        eth_per_tx > 3.0 * fab_per_tx,
+        eth_per_tx > 1.5 * fab_per_tx,
         "trie amplification missing: eth {eth_per_tx:.0} B/tx vs fabric {fab_per_tx:.0} B/tx"
     );
+}
+
+#[test]
+fn restart_recovers_durable_prefix_on_every_platform() {
+    use blockbench::driver::{run_workload_with_faults, DriverConfig};
+    use blockbench::{Fault, FaultPlan};
+    use bb_types::NodeId;
+
+    // One node power-cuts mid-run — tearing the tail off its WAL — and
+    // restarts five seconds later. On every platform the victim comes back
+    // from exactly its durable prefix, resyncs the gap from peers (the
+    // recovery window completes), and the cluster keeps committing. The
+    // durable platforms additionally replay their WAL and truncate the torn
+    // tail; Parity keeps state in memory, so its restart is a genesis
+    // rebuild plus a chain re-download and touches no files.
+    let victim = NodeId(3);
+    let config = DriverConfig {
+        clients: 4,
+        rate_per_client: 20.0,
+        duration: SimDuration::from_secs(20),
+        poll_interval: SimDuration::from_millis(500),
+        drain: SimDuration::from_secs(10),
+    };
+    for platform in ALL_PLATFORMS {
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(5), Fault::Crash(victim))
+            .at(SimDuration::from_secs(5), Fault::TornTail(victim))
+            .at(SimDuration::from_secs(10), Fault::Restart(victim));
+        let mut chain = platform.build(4);
+        let mut wl = Macro::Ycsb.build(4);
+        let stats = run_workload_with_faults(chain.as_mut(), wl.as_mut(), &config, &plan);
+        let p = &stats.platform;
+        assert!(stats.committed > 0, "{}: nothing committed", platform.name());
+        assert!(p.resync_blocks > 0, "{}: victim resynced nothing", platform.name());
+        assert!(p.recovery_ms > 0, "{}: recovery window never completed", platform.name());
+        match platform {
+            Platform::Parity => {
+                assert_eq!(p.wal_records_replayed, 0, "parity has no WAL to replay");
+                assert_eq!(p.wal_tail_truncated, 0, "parity has no WAL tail to tear");
+            }
+            _ => {
+                assert!(p.wal_records_replayed > 0, "{}: no WAL replay", platform.name());
+                assert!(p.wal_tail_truncated >= 1, "{}: tail not truncated", platform.name());
+            }
+        }
+    }
 }

@@ -215,6 +215,105 @@ fn fault_timeline(platform: Platform, seed: u64) -> String {
     out
 }
 
+/// Crash→restart→catch-up drive: node 3 of 4 power-cuts at t=3 s (torn WAL
+/// tail included), restarts from its durable store at t=7 s and resyncs
+/// from the survivors. Restarts rebuild whole node worlds between
+/// conservative windows — the sharded engine must replay the rebuild, the
+/// WAL replay and the catch-up identically.
+fn restart_timeline(platform: Platform, seed: u64) -> String {
+    const NODES: u32 = 4;
+    const CLIENTS: u32 = 4;
+    const SECS: u64 = 20;
+    let victim = NodeId(3);
+    let mut chain = build_seeded(platform, NODES, seed);
+    let mut workload = Macro::Ycsb.build(CLIENTS);
+    workload.setup(chain.as_mut());
+    let t0 = chain.now();
+    let interval = SimDuration::from_millis(50);
+    let mut next_send: Vec<SimTime> = (0..CLIENTS).map(|_| t0).collect();
+    let mut seen_height = 0u64;
+    let mut committed = 0u64;
+    let mut out = String::new();
+    for sec in 0..SECS {
+        if sec == 3 {
+            chain.inject(Fault::Crash(victim));
+            chain.inject(Fault::TornTail(victim));
+        }
+        if sec == 7 {
+            chain.inject(Fault::Restart(victim));
+        }
+        let step_end = t0 + SimDuration::from_secs(sec + 1);
+        loop {
+            let Some((ci, t)) = next_send
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, t)| t < step_end)
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            chain.advance_to(t);
+            let tx = workload.next_transaction(ClientId(ci as u32));
+            if !chain.submit(NodeId(ci as u32 % NODES), tx) {
+                workload.on_rejected(ClientId(ci as u32));
+            }
+            next_send[ci] = t + interval;
+        }
+        chain.advance_to(step_end);
+        for block in chain.confirmed_blocks_since(seen_height) {
+            seen_height = seen_height.max(block.height);
+            committed += block.txs.iter().filter(|&&(_, ok)| ok).count() as u64;
+        }
+        let stats = chain.stats();
+        out.push_str(&format!(
+            "t={} committed={committed} main={} recovery_ms={} resync={} wal={}+{}\n",
+            sec + 1,
+            stats.blocks_main,
+            stats.recovery_ms,
+            stats.resync_blocks,
+            stats.wal_records_replayed,
+            stats.wal_tail_truncated,
+        ));
+    }
+    out
+}
+
+#[test]
+fn restart_and_catchup_replay_identically_when_sharded() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        engine_serial();
+        let serial = restart_timeline(platform, 42);
+        engine_sharded();
+        let sharded = restart_timeline(platform, 42);
+        assert_eq!(
+            serial,
+            sharded,
+            "{}: restart timeline diverged between serial and sharded engines",
+            platform.name()
+        );
+        // The timeline must actually contain a completed recovery — the
+        // comparison is meaningless over a run where the victim never
+        // caught back up.
+        let last = serial.lines().last().expect("timeline non-empty");
+        let field = |name: &str| {
+            last.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(name))
+                .and_then(|v| v.split('+').next())
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        assert!(field("resync=") > 0, "{}: victim resynced nothing: {last}", platform.name());
+        assert!(
+            field("recovery_ms=") > 0,
+            "{}: no completed recovery window: {last}",
+            platform.name()
+        );
+    }
+    engine_env_reset();
+}
+
 #[test]
 fn crash_and_delay_faults_replay_identically_when_sharded() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -242,3 +341,4 @@ fn crash_and_delay_faults_replay_identically_when_sharded() {
     }
     engine_env_reset();
 }
+
