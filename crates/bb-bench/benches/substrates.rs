@@ -244,6 +244,60 @@ fn bench_pbft_round(c: &mut Criterion) {
     });
 }
 
+/// The optimistic block executor: one sealed 32-transaction block per
+/// iteration — speculate against the frozen pre-state, detect conflicts
+/// in canonical order, re-execute losers serially.
+fn bench_block_executor(c: &mut Criterion) {
+    use bb_contracts::ycsb;
+    use bb_ethereum::state::AccountState;
+    use std::sync::Arc;
+
+    let contract = Address::from_index(7777);
+    let mut state = AccountState::new(MemStore::new());
+    state.install_contract(&contract, &ycsb::bundle().svm).expect("fresh store");
+    let keys: Vec<KeyPair> = (0..32).map(KeyPair::from_seed).collect();
+    for kp in &keys {
+        state.credit(&Address::from_public_key(&kp.public()), 1_000_000).expect("fresh store");
+    }
+    state.commit_block().expect("fresh store");
+    let root = state.root();
+    let vm = Vm::default();
+
+    let mut g = c.benchmark_group("block_executor");
+    // Disjoint keys: the conflict-free fast path (every speculation wins).
+    let disjoint: Vec<Arc<Transaction>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            Arc::new(Transaction::signed(kp, 0, contract, 0, ycsb::write_call(i as u64, b"v")))
+        })
+        .collect();
+    g.bench_function("parallel_block_32", |b| {
+        b.iter(|| {
+            state.set_root(root);
+            black_box(state.execute_block(&disjoint, 1, &vm, 10_000_000, |gas| gas.max(1000)))
+        })
+    });
+    // One writer, 31 readers of one hot key: every reader's speculation
+    // consumed stale state, so nearly the whole block takes the serial
+    // loser re-execution path.
+    let hot: Vec<Arc<Transaction>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let call = if i == 0 { ycsb::write_call(0, b"v") } else { ycsb::read_call(0) };
+            Arc::new(Transaction::signed(kp, 0, contract, 0, call))
+        })
+        .collect();
+    g.bench_function("conflict_reexec_32", |b| {
+        b.iter(|| {
+            state.set_root(root);
+            black_box(state.execute_block(&hot, 1, &vm, 10_000_000, |gas| gas.max(1000)))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -255,5 +309,6 @@ criterion_group!(
     bench_svm,
     bench_tx_signing,
     bench_pbft_round,
+    bench_block_executor,
 );
 criterion_main!(benches);

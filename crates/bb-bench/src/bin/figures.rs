@@ -9,7 +9,9 @@
 //! original dimensions (slower); the default "quick" scale regenerates every
 //! figure in minutes. EXPERIMENTS.md records paper-vs-measured per figure.
 
-use bb_bench::exp_ablation::{ablation_channel, ablation_difficulty, ablation_signing};
+use bb_bench::exp_ablation::{
+    ablation_channel, ablation_conflict, ablation_difficulty, ablation_signing,
+};
 use bb_bench::exp_fault::{fig10, fig9, fig9_restart};
 use bb_bench::exp_macro::{fig13c, fig14, fig15, fig16, fig17, fig18, fig5, fig6, Macro};
 use bb_bench::exp_micro::{fig11, fig12, fig13ab};
@@ -106,5 +108,6 @@ fn main() {
         emit(&ablation_channel(scale.duration), "ablation_channel.csv");
         emit(&ablation_difficulty(scale.duration.max(bb_sim::SimDuration::from_secs(60))), "ablation_difficulty.csv");
         emit(&ablation_signing(scale.duration), "ablation_signing.csv");
+        emit(&ablation_conflict(scale.duration), "ablation_conflict.csv");
     }
 }

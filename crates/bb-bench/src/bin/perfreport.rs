@@ -201,7 +201,67 @@ fn kernel_report(path: &Path) {
         ));
     });
     recovery_kernels(path);
+    exec_kernels(path);
     pump_kernel(path);
+}
+
+/// Optimistic block-executor kernels: one sealed 32-transaction block per
+/// iteration through `AccountState::execute_block` — speculation against
+/// the frozen pre-state, conflict detection, canonical commit. The
+/// disjoint-key block measures the conflict-free fast path; the hot-key
+/// block makes every speculation read a predecessor's write, so almost
+/// all transactions take the serial loser re-execution path.
+fn exec_kernels(path: &Path) {
+    use bb_contracts::ycsb;
+    use bb_crypto::KeyPair;
+    use bb_ethereum::state::AccountState;
+    use bb_svm::Vm;
+    use bb_types::Transaction;
+    use std::sync::Arc;
+
+    let contract = bb_types::Address::from_index(7777);
+    let mut state = AccountState::new(MemStore::new());
+    state.install_contract(&contract, &ycsb::bundle().svm).expect("fresh store");
+    let keys: Vec<KeyPair> = (0..32).map(KeyPair::from_seed).collect();
+    for kp in &keys {
+        state
+            .credit(&bb_types::Address::from_public_key(&kp.public()), 1_000_000)
+            .expect("fresh store");
+    }
+    state.commit_block().expect("fresh store");
+    let root = state.root();
+    let vm = Vm::default();
+
+    let disjoint: Vec<Arc<Transaction>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            Arc::new(Transaction::signed(kp, 0, contract, 0, ycsb::write_call(i as u64, b"v")))
+        })
+        .collect();
+    time_kernel(path, "exec/parallel_block", || {
+        state.set_root(root);
+        let out = state.execute_block(&disjoint, 1, &vm, 10_000_000, |g| g.max(1000));
+        assert_eq!(out.conflicts, 0, "disjoint keys must not conflict");
+        criterion::black_box(out);
+    });
+
+    // One writer, 31 readers of the same key: every reader's speculation
+    // consumed stale state and must re-execute after the write commits.
+    let hot: Vec<Arc<Transaction>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let call = if i == 0 { ycsb::write_call(0, b"v") } else { ycsb::read_call(0) };
+            Arc::new(Transaction::signed(kp, 0, contract, 0, call))
+        })
+        .collect();
+    time_kernel(path, "exec/conflict_reexec", || {
+        state.set_root(root);
+        let out = state.execute_block(&hot, 1, &vm, 10_000_000, |g| g.max(1000));
+        assert!(out.conflicts > 0, "hot key must force loser re-execution");
+        criterion::black_box(out);
+    });
 }
 
 /// Recovery-path kernels: reopening the disk image a crashed node leaves

@@ -94,6 +94,9 @@ struct EthNode {
     /// Pending transactions in arrival order.
     pool: VecDeque<Arc<Transaction>>,
     pool_ids: HashSet<TxId>,
+    /// Head height at admission, per pooled transaction — the age-out
+    /// clock for future-nonced entries (`EthConfig::pool_evict_blocks`).
+    pool_admitted: HashMap<TxId, u64>,
     /// Everything ever seen (suppresses gossip loops).
     seen: HashSet<TxId>,
     /// Blocks whose transactions were pruned from the pool — only blocks
@@ -117,6 +120,13 @@ struct EthNode {
     recovery_ms: u64,
     /// Blocks received from peers while catching up after a restart.
     resync_blocks: u64,
+    /// Transactions that speculated against stale state and re-executed
+    /// (optimistic block executor).
+    exec_conflicts: u64,
+    /// Serial execution charge accumulated by the block executor, µs.
+    exec_serial_us: u64,
+    /// Modeled parallel makespan of the same blocks, µs.
+    exec_modeled_us: u64,
     /// Bytes of those blocks.
     resync_bytes: u64,
     /// WAL records replayed across this node's restarts.
@@ -134,6 +144,7 @@ impl EthNode {
             return false;
         }
         self.pool_ids.insert(tx.id());
+        self.pool_admitted.insert(tx.id(), self.tree.head_height());
         self.pool.push_back(tx);
         true
     }
@@ -304,7 +315,7 @@ fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) ->
     let height = node.tree.height_of(&parent).expect("head known") + 1;
     node.state.set_root(parent_root);
 
-    let mut included: Vec<Transaction> = Vec::new();
+    let mut included: Vec<Arc<Transaction>> = Vec::new();
     let mut receipts: Vec<(TxId, bool)> = Vec::new();
     let mut gas_total = 0u64;
     let mut exec_time = SimDuration::ZERO;
@@ -334,10 +345,11 @@ fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) ->
                     exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000))
                         + ctx.config.costs.sig_verify;
                     node.pool_ids.remove(&tx.id());
+                    node.pool_admitted.remove(&tx.id());
                     receipts.push((tx.id(), res.success));
                     let nonce = tx.nonce;
                     let from = tx.from;
-                    included.push((*tx).clone());
+                    included.push(Arc::clone(&tx));
                     if included.len() >= ctx.config.max_txs_per_block
                         || gas_total >= ctx.config.block_gas_limit
                     {
@@ -357,14 +369,25 @@ fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) ->
                 Err(_) => {
                     // Stale or broken: drop.
                     node.pool_ids.remove(&tx.id());
+                    node.pool_admitted.remove(&tx.id());
                 }
             }
         }
     }
-    // Still-blocked transactions wait in the pool for a later block.
+    // Still-blocked transactions wait in the pool for a later block —
+    // unless their nonce gap has persisted past the eviction horizon, in
+    // which case the predecessor is presumed lost (or never existed: a
+    // nonce-gap flood) and the entry ages out instead of re-queueing
+    // forever.
     for (_, q) in future {
         for (_, tx) in q {
-            node.pool.push_front(tx);
+            let admitted = *node.pool_admitted.entry(tx.id()).or_insert(height);
+            if height.saturating_sub(admitted) > ctx.config.pool_evict_blocks {
+                node.pool_ids.remove(&tx.id());
+                node.pool_admitted.remove(&tx.id());
+            } else {
+                node.pool.push_front(tx);
+            }
         }
     }
     node.cpu.charge(now, exec_time);
@@ -390,6 +413,34 @@ fn build_block(ctx: &EthCtx, node: &mut EthNode, now: SimTime, miner: NodeId) ->
     block
 }
 
+/// Execute a sealed block's transactions through the optimistic parallel
+/// executor (`node.state` must already sit at the parent root). The
+/// simulation still charges the serial execution time — the executor's
+/// parallelism shows up in the modeled-speedup counters, not in simulated
+/// latency — so every pre-executor figure is unchanged.
+fn execute_block_txs(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    now: SimTime,
+    block: &Block,
+) -> Vec<(TxId, bool)> {
+    let outcome = node.state.execute_block(
+        &block.txs,
+        block.header.height,
+        &ctx.vm,
+        ctx.config.tx_gas_limit,
+        |gas| ctx.config.costs.exec_time(gas.max(1000)).as_micros(),
+    );
+    for tx in &block.txs {
+        node.seen.insert(tx.id());
+    }
+    node.cpu.charge(now, SimDuration::from_micros(outcome.serial_us));
+    node.exec_conflicts += outcome.conflicts;
+    node.exec_serial_us += outcome.serial_us;
+    node.exec_modeled_us += outcome.modeled_us;
+    outcome.receipts
+}
+
 /// Validate (re-execute) and adopt a block into a node's tree.
 fn adopt_block(
     ctx: &EthCtx,
@@ -409,24 +460,7 @@ fn adopt_block(
         // Full validation: re-execute on the parent state.
         if !node.roots.contains_key(&id) {
             node.state.set_root(parent_root);
-            let mut receipts = Vec::with_capacity(block.txs.len());
-            let mut exec_time = SimDuration::ZERO;
-            for tx in &block.txs {
-                match node.state.apply_transaction(
-                    tx,
-                    block.header.height,
-                    &ctx.vm,
-                    ctx.config.tx_gas_limit,
-                ) {
-                    Ok(res) => {
-                        exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000));
-                        receipts.push((tx.id(), res.success));
-                    }
-                    Err(_) => receipts.push((tx.id(), false)),
-                }
-                node.seen.insert(tx.id());
-            }
-            node.cpu.charge(now, exec_time);
+            let receipts = execute_block_txs(ctx, node, now, &block);
             let record = block_meta_record(&node.state.root(), &block);
             node.state
                 .commit_block_with_meta(vec![(block_meta_key(&id), Some(record))])
@@ -475,6 +509,7 @@ fn prune_main_chain(node: &mut EthNode) {
         };
         for tx in &body.txs {
             node.pool_ids.remove(&tx.id());
+            node.pool_admitted.remove(&tx.id());
         }
         cursor = body.header.parent;
     }
@@ -496,24 +531,7 @@ fn execute_connected_descendants(ctx: &EthCtx, node: &mut EthNode, now: SimTime,
             .collect();
         for child in children {
             node.state.set_root(parent_root);
-            let mut receipts = Vec::with_capacity(child.txs.len());
-            let mut exec_time = SimDuration::ZERO;
-            for tx in &child.txs {
-                match node.state.apply_transaction(
-                    tx,
-                    child.header.height,
-                    &ctx.vm,
-                    ctx.config.tx_gas_limit,
-                ) {
-                    Ok(res) => {
-                        exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000));
-                        receipts.push((tx.id(), res.success));
-                    }
-                    Err(_) => receipts.push((tx.id(), false)),
-                }
-                node.seen.insert(tx.id());
-            }
-            node.cpu.charge(now, exec_time);
+            let receipts = execute_block_txs(ctx, node, now, &child);
             let cid = child.id();
             let record = block_meta_record(&node.state.root(), &child);
             node.state
@@ -535,9 +553,13 @@ fn readopt_abandoned(node: &mut EthNode, old_head: Hash256) {
             break;
         };
         let parent = body.header.parent;
-        let txs: Vec<Arc<Transaction>> = body.txs.iter().map(|t| Arc::new(t.clone())).collect();
+        // Block bodies already hold `Arc<Transaction>`: re-adopting the
+        // abandoned branch bumps refcounts instead of deep-cloning bodies.
+        let txs = body.txs.clone();
+        let height = node.tree.head_height();
         for tx in txs {
             if node.pool_ids.insert(tx.id()) {
+                node.pool_admitted.insert(tx.id(), height);
                 node.pool.push_back(tx);
             }
         }
@@ -725,6 +747,7 @@ impl EthereumChain {
                     receipts: HashMap::new(),
                     pool: VecDeque::new(),
                     pool_ids: HashSet::new(),
+                    pool_admitted: HashMap::new(),
                     seen: HashSet::new(),
                     pruned: HashSet::from([genesis]),
                     cpu: CpuMeter::new(config.cores),
@@ -736,6 +759,9 @@ impl EthereumChain {
                     recovery_ms: 0,
                     resync_blocks: 0,
                     resync_bytes: 0,
+                    exec_conflicts: 0,
+                    exec_serial_us: 0,
+                    exec_modeled_us: 0,
                     wal_replayed: 0,
                     wal_truncated: 0,
                     confirmed: Vec::new(),
@@ -819,6 +845,7 @@ impl EthereumChain {
             n.seen = seen;
             n.pool = VecDeque::new();
             n.pool_ids = HashSet::new();
+            n.pool_admitted = HashMap::new();
             n.pruned = HashSet::new();
             prune_main_chain(n);
             n.crashed = false;
@@ -988,6 +1015,7 @@ impl BlockchainConnector for EthereumChain {
                     // resurrects) stay.
                     n.pool.clear();
                     n.pool_ids.clear();
+                    n.pool_admitted.clear();
                     n.state.drop_volatile();
                 });
             }
@@ -1025,6 +1053,7 @@ impl BlockchainConnector for EthereumChain {
         let (mut wal_replayed, mut wal_truncated) = (0u64, 0u64);
         let mut recovery_ms = 0u64;
         let (mut resync_blocks, mut resync_bytes) = (0u64, 0u64);
+        let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
         // Average per-second CPU and network series over nodes.
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
@@ -1044,6 +1073,9 @@ impl BlockchainConnector for EthereumChain {
                 recovery_ms = recovery_ms.max(node.recovery_ms);
                 resync_blocks += node.resync_blocks;
                 resync_bytes += node.resync_bytes;
+                exec_conflicts += node.exec_conflicts;
+                exec_serial_us += node.exec_serial_us;
+                exec_modeled_us += node.exec_modeled_us;
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
                     cpu.resize(series.len(), 0.0);
@@ -1082,12 +1114,16 @@ impl BlockchainConnector for EthereumChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            exec_conflicts,
+            exec_serial_us,
+            exec_modeled_us,
         }
     }
 
     fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
         assert!(!self.started, "preload before the run starts");
         for txs in blocks {
+            let txs: Vec<Arc<Transaction>> = txs.into_iter().map(Arc::new).collect();
             let now = self.engine.now();
             for i in 0..self.config.nodes {
                 self.engine.with_ctx_node_mut(i, |ctx, node| {

@@ -72,6 +72,12 @@ pub struct EthConfig {
     pub max_txs_per_block: usize,
     /// Gas budget per transaction.
     pub tx_gas_limit: u64,
+    /// Age-out horizon for future-nonced pool entries, in blocks: a
+    /// transaction whose nonce gap persists this many blocks past its
+    /// admission is evicted from the pool rather than re-queued forever.
+    /// geth's pool is unbounded here, so pinning shows up as unbounded
+    /// pool growth (and wasted re-validation) instead of "queue full".
+    pub pool_evict_blocks: u64,
     /// Execution-engine cost constants.
     pub costs: EvmCosts,
     /// Node RAM for the memory model (the testbed's 32 GB, scaled together
@@ -102,6 +108,7 @@ impl EthConfig {
             block_gas_limit: 12_000_000,
             max_txs_per_block: 710,
             tx_gas_limit: 1_000_000,
+            pool_evict_blocks: 8,
             costs: EvmCosts::ethereum(),
             node_mem_bytes: 32 << 30,
             tx_gossip_prob: 1.0,

@@ -18,9 +18,10 @@
 use bb_merkle::PatriciaTrie;
 use bb_storage::{KvError, KvStore};
 use bb_svm::{Host, Vm};
-use bb_types::{Address, Transaction};
+use bb_types::{Address, Transaction, TxId};
 use blockbench::contract::{decode_call, SvmContract};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 /// A non-contract or contract account.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -254,125 +255,186 @@ impl<S: KvStore> AccountState<S> {
         vm: &Vm,
         tx_gas_limit: u64,
     ) -> Result<ExecResult, TxInvalid> {
-        let storage = |e: KvError| TxInvalid::Storage(e.to_string());
-        let mut sender = self.account(&tx.from).map_err(storage)?;
-        if sender.nonce != tx.nonce {
-            return Err(TxInvalid::BadNonce { expected: sender.nonce, got: tx.nonce });
-        }
-        sender.nonce += 1;
-        // The nonce bump survives failure; everything else rolls back.
-        self.put_account(&tx.from, &sender).map_err(storage)?;
-        let nonce_only_root = self.trie.root();
-
-        let fail = |state: &mut Self, err: String, gas: u64, peak: u64| {
-            state.set_root(nonce_only_root);
-            Ok(ExecResult { success: false, gas_used: gas, output: Vec::new(), vm_peak_mem: peak, error: Some(err) })
-        };
-
-        // Value transfer.
-        if tx.value > 0 {
-            if sender.balance < tx.value as i64 {
-                return fail(self, "insufficient funds".into(), 0, 0);
-            }
-            sender.balance -= tx.value as i64;
-            self.put_account(&tx.from, &sender).map_err(storage)?;
-            let mut to = self.account(&tx.to).map_err(storage)?;
-            to.balance += tx.value as i64;
-            self.put_account(&tx.to, &to).map_err(storage)?;
-        }
-
-        // Contract deployment.
-        if tx.is_deploy() {
-            let addr = Address::contract(&tx.from, tx.nonce);
-            match SvmContract::decode(&tx.payload) {
-                Some(code) => {
-                    self.install_contract(&addr, &code).map_err(storage)?;
-                    return Ok(ExecResult {
-                        success: true,
-                        gas_used: 1000 + tx.payload.len() as u64,
-                        output: addr.0.to_vec(),
-                        vm_peak_mem: 0,
-                        error: None,
-                    });
-                }
-                None => return fail(self, "malformed contract".into(), 1000, 0),
-            }
-        }
-
-        // Contract invocation.
-        let callee = self.account(&tx.to).map_err(storage)?;
-        if !callee.is_contract || tx.payload.is_empty() {
-            // Plain transfer (the analytics preload path).
-            return Ok(ExecResult { success: true, gas_used: 0, output: Vec::new(), vm_peak_mem: 0, error: None });
-        }
-        let Some(code) = self.contract_code(&tx.to).map_err(storage)? else {
-            return fail(self, "missing contract code".into(), 0, 0);
-        };
-        let Some((method, args)) = decode_call(&tx.payload) else {
-            return fail(self, "empty call payload".into(), 0, 0);
-        };
-        let Some(program) = code.method(method) else {
-            return fail(self, format!("unknown method {method}"), 0, 0);
-        };
-
-        let mut host = BufferedHost {
-            state: self,
-            contract: tx.to,
-            writes: BTreeMap::new(),
-            transfers: Vec::new(),
-            contract_balance: callee.balance + tx.value as i64,
-            caller: tx.from,
-            value: tx.value as i64,
-            height,
-            storage_error: None,
-        };
-        let out = vm.execute(program, args, tx_gas_limit, &mut host);
-        let writes = std::mem::take(&mut host.writes);
-        let transfers = std::mem::take(&mut host.transfers);
-        if let Some(e) = host.storage_error.take() {
-            return Err(TxInvalid::Storage(e));
-        }
-        if !out.success {
-            let err = out
-                .error
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "reverted".to_string());
-            return fail(self, err, out.gas_used, out.peak_memory);
-        }
-        // Flush buffered effects.
-        for (key, value) in writes {
-            let skey = storage_key(&tx.to, &key);
-            match value {
-                Some(v) => self.trie.insert(&skey, &v).map_err(storage)?,
-                None => self.trie.remove(&skey).map_err(storage)?,
-            }
-        }
-        let mut paid = 0i64;
-        for (to_bytes, amount) in &transfers {
-            let to = Address(*to_bytes);
-            let mut acct = self.account(&to).map_err(storage)?;
-            acct.balance += amount;
-            self.put_account(&to, &acct).map_err(storage)?;
-            paid += amount;
-        }
-        if paid > 0 {
-            let mut contract_acct = self.account(&tx.to).map_err(storage)?;
-            contract_acct.balance -= paid;
-            self.put_account(&tx.to, &contract_acct).map_err(storage)?;
-        }
-        Ok(ExecResult {
-            success: true,
-            gas_used: out.gas_used,
-            output: out.return_data,
-            vm_peak_mem: out.peak_memory,
-            error: None,
-        })
+        apply_tx(self, tx, height, vm, tx_gas_limit)
     }
 }
 
+/// The state surface one transaction application needs, abstracted so the
+/// *same* body runs in two modes: directly against the trie (serial
+/// application, loser re-execution) and against a buffered speculative
+/// view of the frozen pre-state ([`SpecView`]). One body means speculation
+/// can never drift from serial semantics.
+trait TxBackend {
+    /// Rollback token for the "nonce bump survives failure" semantics.
+    type Mark: Clone;
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError>;
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError>;
+    fn kv_del(&mut self, key: &[u8]) -> Result<(), KvError>;
+    fn mark(&self) -> Self::Mark;
+    fn rewind(&mut self, mark: &Self::Mark);
+}
+
+impl<S: KvStore> TxBackend for AccountState<S> {
+    type Mark = bb_crypto::Hash256;
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.trie.get(key)
+    }
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        self.trie.insert(key, value)
+    }
+    fn kv_del(&mut self, key: &[u8]) -> Result<(), KvError> {
+        self.trie.remove(key)
+    }
+    fn mark(&self) -> Self::Mark {
+        self.trie.root()
+    }
+    fn rewind(&mut self, mark: &Self::Mark) {
+        self.trie.set_root(*mark);
+    }
+}
+
+fn read_account<B: TxBackend>(b: &mut B, addr: &Address) -> Result<Account, KvError> {
+    Ok(b.kv_get(&addr.0)?.map(|x| Account::decode(&x)).unwrap_or_default())
+}
+
+fn write_account<B: TxBackend>(b: &mut B, addr: &Address, acct: &Account) -> Result<(), KvError> {
+    b.kv_put(&addr.0, &acct.encode())
+}
+
+/// The transaction-application body shared by serial and speculative
+/// execution (see [`TxBackend`]).
+fn apply_tx<B: TxBackend>(
+    b: &mut B,
+    tx: &Transaction,
+    height: u64,
+    vm: &Vm,
+    tx_gas_limit: u64,
+) -> Result<ExecResult, TxInvalid> {
+    let storage = |e: KvError| TxInvalid::Storage(e.to_string());
+    let mut sender = read_account(b, &tx.from).map_err(storage)?;
+    if sender.nonce != tx.nonce {
+        return Err(TxInvalid::BadNonce { expected: sender.nonce, got: tx.nonce });
+    }
+    sender.nonce += 1;
+    // The nonce bump survives failure; everything else rolls back.
+    write_account(b, &tx.from, &sender).map_err(storage)?;
+    let nonce_only = b.mark();
+
+    let fail = |b: &mut B, err: String, gas: u64, peak: u64| {
+        b.rewind(&nonce_only);
+        Ok(ExecResult { success: false, gas_used: gas, output: Vec::new(), vm_peak_mem: peak, error: Some(err) })
+    };
+
+    // Value transfer.
+    if tx.value > 0 {
+        if sender.balance < tx.value as i64 {
+            return fail(b, "insufficient funds".into(), 0, 0);
+        }
+        sender.balance -= tx.value as i64;
+        write_account(b, &tx.from, &sender).map_err(storage)?;
+        let mut to = read_account(b, &tx.to).map_err(storage)?;
+        to.balance += tx.value as i64;
+        write_account(b, &tx.to, &to).map_err(storage)?;
+    }
+
+    // Contract deployment.
+    if tx.is_deploy() {
+        let addr = Address::contract(&tx.from, tx.nonce);
+        match SvmContract::decode(&tx.payload) {
+            Some(code) => {
+                let mut acct = read_account(b, &addr).map_err(storage)?;
+                acct.is_contract = true;
+                write_account(b, &addr, &acct).map_err(storage)?;
+                b.kv_put(&code_key(&addr), &code.encode()).map_err(storage)?;
+                return Ok(ExecResult {
+                    success: true,
+                    gas_used: 1000 + tx.payload.len() as u64,
+                    output: addr.0.to_vec(),
+                    vm_peak_mem: 0,
+                    error: None,
+                });
+            }
+            None => return fail(b, "malformed contract".into(), 1000, 0),
+        }
+    }
+
+    // Contract invocation.
+    let callee = read_account(b, &tx.to).map_err(storage)?;
+    if !callee.is_contract || tx.payload.is_empty() {
+        // Plain transfer (the analytics preload path).
+        return Ok(ExecResult { success: true, gas_used: 0, output: Vec::new(), vm_peak_mem: 0, error: None });
+    }
+    let code = match b.kv_get(&code_key(&tx.to)).map_err(storage)? {
+        Some(bytes) => SvmContract::decode(&bytes),
+        None => None,
+    };
+    let Some(code) = code else {
+        return fail(b, "missing contract code".into(), 0, 0);
+    };
+    let Some((method, args)) = decode_call(&tx.payload) else {
+        return fail(b, "empty call payload".into(), 0, 0);
+    };
+    let Some(program) = code.method(method) else {
+        return fail(b, format!("unknown method {method}"), 0, 0);
+    };
+
+    let mut host = BufferedHost {
+        state: b,
+        contract: tx.to,
+        writes: BTreeMap::new(),
+        transfers: Vec::new(),
+        contract_balance: callee.balance + tx.value as i64,
+        caller: tx.from,
+        value: tx.value as i64,
+        height,
+        storage_error: None,
+    };
+    let out = vm.execute(program, args, tx_gas_limit, &mut host);
+    let writes = std::mem::take(&mut host.writes);
+    let transfers = std::mem::take(&mut host.transfers);
+    if let Some(e) = host.storage_error.take() {
+        return Err(TxInvalid::Storage(e));
+    }
+    if !out.success {
+        let err = out
+            .error
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "reverted".to_string());
+        return fail(b, err, out.gas_used, out.peak_memory);
+    }
+    // Flush buffered effects.
+    for (key, value) in writes {
+        let skey = storage_key(&tx.to, &key);
+        match value {
+            Some(v) => b.kv_put(&skey, &v).map_err(storage)?,
+            None => b.kv_del(&skey).map_err(storage)?,
+        }
+    }
+    let mut paid = 0i64;
+    for (to_bytes, amount) in &transfers {
+        let to = Address(*to_bytes);
+        let mut acct = read_account(b, &to).map_err(storage)?;
+        acct.balance += amount;
+        write_account(b, &to, &acct).map_err(storage)?;
+        paid += amount;
+    }
+    if paid > 0 {
+        let mut contract_acct = read_account(b, &tx.to).map_err(storage)?;
+        contract_acct.balance -= paid;
+        write_account(b, &tx.to, &contract_acct).map_err(storage)?;
+    }
+    Ok(ExecResult {
+        success: true,
+        gas_used: out.gas_used,
+        output: out.return_data,
+        vm_peak_mem: out.peak_memory,
+        error: None,
+    })
+}
+
 /// VM host buffering all effects until the execution is known to succeed.
-struct BufferedHost<'a, S: KvStore> {
-    state: &'a mut AccountState<S>,
+struct BufferedHost<'a, B: TxBackend> {
+    state: &'a mut B,
     contract: Address,
     writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
     transfers: Vec<([u8; 20], i64)>,
@@ -383,12 +445,12 @@ struct BufferedHost<'a, S: KvStore> {
     storage_error: Option<String>,
 }
 
-impl<S: KvStore> Host for BufferedHost<'_, S> {
+impl<B: TxBackend> Host for BufferedHost<'_, B> {
     fn storage_get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         if let Some(buffered) = self.writes.get(key) {
             return buffered.clone();
         }
-        match self.state.contract_storage(&self.contract, key) {
+        match self.state.kv_get(&storage_key(&self.contract, key)) {
             Ok(v) => v,
             Err(e) => {
                 self.storage_error = Some(e.to_string());
@@ -426,6 +488,367 @@ impl<S: KvStore> Host for BufferedHost<'_, S> {
 
     fn block_height(&self) -> u64 {
         self.height
+    }
+}
+
+/// The *logical* conflict-detection key for a trie key. Account records
+/// (20-byte keys) map to `key ++ "@b"` — the balance/contract-flag facet.
+/// Account **nonces** are deliberately not part of any logical key: the
+/// nonce evolution of a block is exactly predictable from the pre-state
+/// and the canonical order (see [`AccountState::execute_block`]'s prepass),
+/// so same-sender chains never conflict with each other. Code and storage
+/// keys carry `"#code"` / `"#s"` suffixes and cannot collide with `"@b"`.
+fn logical_key(key: &[u8]) -> Vec<u8> {
+    if key.len() == 20 {
+        let mut k = key.to_vec();
+        k.extend_from_slice(b"@b");
+        k
+    } else {
+        key.to_vec()
+    }
+}
+
+/// What one speculated transaction produced: its result, the logical keys
+/// it read from the pre-state, its raw buffered writes (for the winner
+/// commit) and the logical keys those writes touch (for the conflict
+/// oracle).
+struct SpecOutcome {
+    result: Result<ExecResult, TxInvalid>,
+    reads: Vec<Vec<u8>>,
+    writes: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    logical_writes: Vec<Vec<u8>>,
+}
+
+/// A buffered, read-logging view of the frozen pre-state used during
+/// speculation. All reads go through [`PatriciaTrie::get_frozen`] (no
+/// cache mutation, no counters) so speculating a block serially or in
+/// parallel leaves byte-identical trie state behind. Writes land in a
+/// private overlay; nothing touches the shared trie.
+struct SpecView<'a, 'b, S: KvStore> {
+    base: &'a Mutex<&'b mut PatriciaTrie<S>>,
+    /// The 20-byte account key of the transaction's sender.
+    sender_key: Vec<u8>,
+    /// How many earlier in-block transactions of the same sender precede
+    /// this one — reads of the sender account report `base nonce + delta`
+    /// so nonce checks see the state the serial schedule would show.
+    nonce_delta: u64,
+    /// Private write buffer (read-your-writes, committed only if clean).
+    buf: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Cache of base reads — both to avoid re-locking and to classify
+    /// account writes as balance-changing vs. nonce-only at the end.
+    base_seen: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Logical keys read from the pre-state (not from `buf`).
+    reads: BTreeSet<Vec<u8>>,
+}
+
+impl<S: KvStore> TxBackend for SpecView<'_, '_, S> {
+    type Mark = BTreeMap<Vec<u8>, Option<Vec<u8>>>;
+
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        if let Some(v) = self.buf.get(key) {
+            return Ok(v.clone());
+        }
+        self.reads.insert(logical_key(key));
+        if let Some(v) = self.base_seen.get(key) {
+            return Ok(v.clone());
+        }
+        let mut v = self.base.lock().expect("base trie lock").get_frozen(key)?;
+        if self.nonce_delta > 0 && key == &self.sender_key[..] {
+            let mut acct = v.as_deref().map(Account::decode).unwrap_or_default();
+            acct.nonce += self.nonce_delta;
+            v = Some(acct.encode());
+        }
+        self.base_seen.insert(key.to_vec(), v.clone());
+        Ok(v)
+    }
+
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        self.buf.insert(key.to_vec(), Some(value.to_vec()));
+        Ok(())
+    }
+
+    fn kv_del(&mut self, key: &[u8]) -> Result<(), KvError> {
+        self.buf.insert(key.to_vec(), None);
+        Ok(())
+    }
+
+    fn mark(&self) -> Self::Mark {
+        self.buf.clone()
+    }
+
+    fn rewind(&mut self, mark: &Self::Mark) {
+        // Reads and `base_seen` survive the rewind on purpose: the decision
+        // to fail *depended* on them, so they stay conflict-relevant.
+        self.buf = mark.clone();
+    }
+}
+
+impl<S: KvStore> SpecView<'_, '_, S> {
+    /// Classify the buffered writes and package the speculation outcome.
+    /// Account writes whose balance and contract flag match the base value
+    /// are nonce-only: they produce **no** logical write, so later readers
+    /// of that account don't spuriously conflict with a same-sender chain.
+    fn finish(self, result: Result<ExecResult, TxInvalid>) -> SpecOutcome {
+        let mut writes = Vec::new();
+        let mut logical_writes = Vec::new();
+        if result.is_ok() {
+            for (key, val) in &self.buf {
+                if key.len() == 20 {
+                    let new = val.as_deref().map(Account::decode).unwrap_or_default();
+                    let base = self.base_seen.get(key);
+                    let nonce_only = base.is_some_and(|b| {
+                        let old = b.as_deref().map(Account::decode).unwrap_or_default();
+                        old.balance == new.balance && old.is_contract == new.is_contract
+                    });
+                    if !nonce_only {
+                        logical_writes.push(logical_key(key));
+                    }
+                } else {
+                    logical_writes.push(key.clone());
+                }
+                writes.push((key.clone(), val.clone()));
+            }
+        }
+        SpecOutcome { result, reads: self.reads.into_iter().collect(), writes, logical_writes }
+    }
+}
+
+/// Loser path: a re-execution against the live trie that records which
+/// keys it wrote, so later transactions' conflict checks see them.
+struct RecordingState<'a, S: KvStore> {
+    inner: &'a mut AccountState<S>,
+    writes: BTreeSet<Vec<u8>>,
+}
+
+impl<S: KvStore> TxBackend for RecordingState<'_, S> {
+    type Mark = bb_crypto::Hash256;
+    fn kv_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        self.inner.trie.get(key)
+    }
+    fn kv_put(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        // Nonce-only account writes produce no logical write, mirroring
+        // `SpecView::finish`: if the balance/contract facet the put leaves
+        // behind differs from the pre-block value, some put along the way
+        // changed it and recorded the key. Without this, a single loser's
+        // nonce bump marks its sender's `@b` facet written and every later
+        // same-sender transaction (which reads it for the nonce check)
+        // cascades into the loser path.
+        let nonce_only = key.len() == 20
+            && self.inner.trie.get(key)?.is_some_and(|prior| {
+                let old = Account::decode(&prior);
+                let new = Account::decode(value);
+                old.balance == new.balance && old.is_contract == new.is_contract
+            });
+        if !nonce_only {
+            self.writes.insert(key.to_vec());
+        }
+        self.inner.trie.insert(key, value)
+    }
+    fn kv_del(&mut self, key: &[u8]) -> Result<(), KvError> {
+        self.writes.insert(key.to_vec());
+        self.inner.trie.remove(key)
+    }
+    fn mark(&self) -> Self::Mark {
+        self.inner.trie.root()
+    }
+    fn rewind(&mut self, mark: &Self::Mark) {
+        // Rewound keys stay recorded: conservative but deterministic.
+        self.inner.trie.set_root(*mark);
+    }
+}
+
+/// What [`AccountState::execute_block`] hands back to the chain layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockExecOutcome {
+    /// `(tx id, success)` per transaction, canonical order — exactly what
+    /// the classic serial loop would have recorded.
+    pub receipts: Vec<(TxId, bool)>,
+    /// Transactions that speculated against stale state and re-executed.
+    pub conflicts: u64,
+    /// Serial execution charge in µs (what the simulation bills — identical
+    /// to the pre-executor accounting).
+    pub serial_us: u64,
+    /// Modeled parallel makespan in µs (see `bb_exec::model_block`).
+    pub modeled_us: u64,
+}
+
+impl<S: KvStore> AccountState<S> {
+    /// Execute a sealed block's transactions with optimistic intra-block
+    /// parallelism: speculate every transaction against the frozen
+    /// pre-state on `bb_exec::resolved_threads()` workers, then commit in
+    /// canonical order with first-writer-wins conflict detection; losers
+    /// re-execute serially at their canonical slot. The committed state,
+    /// receipts, conflict count and trie counters are byte-identical
+    /// between `BB_SERIAL_EXEC=1` and any thread count, because
+    /// speculation is side-effect-free and the commit phase is canonical.
+    ///
+    /// `cost_us` converts a transaction's gas into the platform's modeled
+    /// execution time in µs (callers pass their `EvmCosts` formula).
+    pub fn execute_block(
+        &mut self,
+        txs: &[Arc<Transaction>],
+        height: u64,
+        vm: &Vm,
+        tx_gas_limit: u64,
+        cost_us: impl Fn(u64) -> u64 + Sync,
+    ) -> BlockExecOutcome
+    where
+        S: Send,
+    {
+        let threads = bb_exec::resolved_threads();
+
+        // Nonce prepass: the serial schedule's nonce evolution is exactly
+        // predictable from the pre-state (nonce-valid transactions bump by
+        // one even when execution fails; invalid ones don't bump at all).
+        // Each transaction's speculative view shifts its sender's nonce by
+        // the number of in-block predecessors, which is why same-sender
+        // chains carry no read-write conflicts.
+        let mut nonces: BTreeMap<[u8; 20], (u64, u64)> = BTreeMap::new();
+        let mut deltas = Vec::with_capacity(txs.len());
+        for tx in txs {
+            if !nonces.contains_key(&tx.from.0) {
+                match self.trie.get_frozen(&tx.from.0) {
+                    Ok(v) => {
+                        let n = v.map(|b| Account::decode(&b)).unwrap_or_default().nonce;
+                        nonces.insert(tx.from.0, (n, n));
+                    }
+                    // Storage failure before anything ran: fall back to the
+                    // plain serial schedule (still deterministic).
+                    Err(_) => return self.execute_block_serial(txs, height, vm, tx_gas_limit, &cost_us),
+                }
+            }
+            let (base, cur) = nonces.get_mut(&tx.from.0).expect("prepass entry");
+            deltas.push(*cur - *base);
+            if tx.nonce == *cur {
+                *cur += 1;
+            }
+        }
+
+        // Phase 1 — speculate. The trie is behind a mutex only so worker
+        // threads can share it; `get_frozen` never mutates anything, so
+        // lock order cannot influence the outcome.
+        let outcomes: Vec<SpecOutcome> = {
+            let base = Mutex::new(&mut self.trie);
+            bb_exec::speculate(txs.len(), threads, |i| {
+                let tx = &txs[i];
+                let mut view = SpecView {
+                    base: &base,
+                    sender_key: tx.from.0.to_vec(),
+                    nonce_delta: deltas[i],
+                    buf: BTreeMap::new(),
+                    base_seen: BTreeMap::new(),
+                    reads: BTreeSet::new(),
+                };
+                let result = apply_tx(&mut view, tx, height, vm, tx_gas_limit);
+                view.finish(result)
+            })
+        };
+
+        // Phase 2 — canonical-order commit with first-writer-wins.
+        let mut committed = bb_exec::KeySet::new();
+        let mut receipts = Vec::with_capacity(txs.len());
+        let mut conflicts = 0u64;
+        let mut winner_us = 0u64;
+        let mut loser_us = Vec::new();
+        let mut spec_us = Vec::with_capacity(txs.len());
+        for (tx, spec) in txs.iter().zip(outcomes) {
+            spec_us.push(match &spec.result {
+                Ok(r) => cost_us(r.gas_used),
+                Err(_) => 0,
+            });
+            // Speculated storage errors always take the serial path: the
+            // live trie, not the snapshot, owns error semantics.
+            let forced = matches!(spec.result, Err(TxInvalid::Storage(_)));
+            if !forced && !committed.conflicts(&spec.reads) {
+                match self.commit_winner(tx, &spec) {
+                    Ok(()) => {
+                        committed.record(spec.logical_writes);
+                        match &spec.result {
+                            Ok(r) => {
+                                winner_us += cost_us(r.gas_used);
+                                receipts.push((tx.id(), r.success));
+                            }
+                            Err(_) => receipts.push((tx.id(), false)),
+                        }
+                        continue;
+                    }
+                    // Mid-commit storage failure: demote to the loser path,
+                    // whose re-execution defines the outcome.
+                    Err(_) => {}
+                }
+            }
+            conflicts += 1;
+            let mut rec = RecordingState { inner: self, writes: BTreeSet::new() };
+            let result = apply_tx(&mut rec, tx, height, vm, tx_gas_limit);
+            let keys = rec.writes;
+            committed.record(keys.iter().map(|k| logical_key(k)));
+            match result {
+                Ok(r) => {
+                    loser_us.push(cost_us(r.gas_used));
+                    receipts.push((tx.id(), r.success));
+                }
+                Err(_) => receipts.push((tx.id(), false)),
+            }
+        }
+
+        let cost = bb_exec::model_block(&spec_us, winner_us, &loser_us);
+        BlockExecOutcome {
+            receipts,
+            conflicts,
+            serial_us: cost.serial_us,
+            modeled_us: cost.modeled_us,
+        }
+    }
+
+    /// Apply a clean speculation's buffered writes. Account records merge
+    /// rather than overwrite: balance and contract flag come from the
+    /// speculation (base-accurate, because the transaction was clean), the
+    /// nonce comes from the live trie so bumps by earlier same-sender
+    /// transactions survive, plus one for this transaction's own sender.
+    fn commit_winner(&mut self, tx: &Transaction, spec: &SpecOutcome) -> Result<(), KvError> {
+        for (key, val) in &spec.writes {
+            if key.len() == 20 {
+                let new = val.as_deref().map(Account::decode).unwrap_or_default();
+                let mut cur =
+                    self.trie.get(key)?.map(|b| Account::decode(&b)).unwrap_or_default();
+                cur.balance = new.balance;
+                cur.is_contract = new.is_contract;
+                if key[..] == tx.from.0 {
+                    cur.nonce += 1;
+                }
+                self.trie.insert(key, &cur.encode())?;
+            } else {
+                match val {
+                    Some(v) => self.trie.insert(key, v)?,
+                    None => self.trie.remove(key)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The executor's deterministic fallback: the classic serial loop,
+    /// reported as zero conflicts and a modeled time equal to serial.
+    fn execute_block_serial(
+        &mut self,
+        txs: &[Arc<Transaction>],
+        height: u64,
+        vm: &Vm,
+        tx_gas_limit: u64,
+        cost_us: &impl Fn(u64) -> u64,
+    ) -> BlockExecOutcome {
+        let mut receipts = Vec::with_capacity(txs.len());
+        let mut serial_us = 0u64;
+        for tx in txs {
+            match apply_tx(self, tx, height, vm, tx_gas_limit) {
+                Ok(r) => {
+                    serial_us += cost_us(r.gas_used);
+                    receipts.push((tx.id(), r.success));
+                }
+                Err(_) => receipts.push((tx.id(), false)),
+            }
+        }
+        BlockExecOutcome { receipts, conflicts: 0, serial_us, modeled_us: serial_us }
     }
 }
 
@@ -597,6 +1020,127 @@ mod tests {
         let kp = KeyPair::from_seed(1);
         let from = Address::from_public_key(&kp.public());
         assert_eq!(s.account_at(sealed_root, &from).unwrap().nonce, 8);
+    }
+
+    fn run_block_classic(
+        s: &mut AccountState<MemStore>,
+        txs: &[Arc<Transaction>],
+    ) -> Vec<(TxId, bool)> {
+        txs.iter()
+            .map(|tx| match s.apply_transaction(tx, 1, &Vm::default(), 10_000_000) {
+                Ok(r) => (tx.id(), r.success),
+                Err(_) => (tx.id(), false),
+            })
+            .collect()
+    }
+
+    /// Two identically seeded states, a block mixing same-sender chains,
+    /// cross-account balance conflicts, contract read-after-write, a bad
+    /// nonce and an out-of-gas revert. The optimistic executor must land
+    /// on the classic serial loop's exact root and receipts.
+    #[test]
+    fn executor_matches_classic_serial_loop() {
+        let alice = KeyPair::from_seed(1);
+        let bob = KeyPair::from_seed(2);
+        let carol = KeyPair::from_seed(3);
+        let carol_addr = Address::from_public_key(&carol.public());
+        let seed = |s: &mut AccountState<MemStore>| {
+            let contract = deploy_ycsb(s);
+            s.credit(&Address::from_public_key(&alice.public()), 1000).unwrap();
+            s.credit(&Address::from_public_key(&bob.public()), 1000).unwrap();
+            // Carol starts broke: her send only clears if Bob's pays first.
+            s.commit_block().unwrap();
+            contract
+        };
+        let mut a = state();
+        let mut b = state();
+        let contract = seed(&mut a);
+        assert_eq!(seed(&mut b), contract);
+        assert_eq!(a.root(), b.root());
+
+        let txs: Vec<Arc<Transaction>> = vec![
+            // Same-sender chain: three YCSB writes, disjoint keys — no
+            // conflicts despite sharing the sender account.
+            Arc::new(Transaction::signed(&alice, 0, contract, 0, ycsb::write_call(1, b"a1"))),
+            Arc::new(Transaction::signed(&alice, 1, contract, 0, ycsb::write_call(2, b"a2"))),
+            Arc::new(Transaction::signed(&alice, 2, contract, 0, ycsb::write_call(3, b"a3"))),
+            // Bob funds Carol; Carol spends it in the same block. Carol's
+            // speculation sees her base balance (0) and must re-execute.
+            Arc::new(Transaction::signed(&bob, 0, carol_addr, 300, vec![])),
+            Arc::new(Transaction::signed(&carol, 0, Address::from_index(9), 250, vec![])),
+            // Contract read-after-write on key 1: speculates against the
+            // pre-state, conflicts with Alice's committed write.
+            Arc::new(Transaction::signed(&bob, 1, contract, 0, ycsb::read_call(1))),
+            // Nonce gap: rejected identically in both schedules.
+            Arc::new(Transaction::signed(&bob, 7, contract, 0, ycsb::write_call(4, b"x"))),
+            // Out of gas (tiny limit applies to the whole block here, so
+            // use a write too large to ever succeed instead).
+            Arc::new(Transaction::signed(&alice, 3, contract, 0, ycsb::write_call(5, &[9; 100_000]))),
+        ];
+
+        let classic = run_block_classic(&mut a, &txs);
+        let out = b.execute_block(&txs, 1, &Vm::default(), 10_000_000, |g| g.max(1000));
+        assert_eq!(out.receipts, classic);
+        assert_eq!(a.root(), b.root(), "executor must land on the serial root");
+        // Carol's spend cleared (via re-execution), the read conflicted.
+        assert!(out.receipts[4].1, "funded-in-block spend must succeed");
+        assert!(out.conflicts >= 2, "expected Carol + read-after-write conflicts, got {}", out.conflicts);
+        assert!(out.serial_us > 0);
+        assert!(out.modeled_us <= out.serial_us);
+
+        // Same block through a second executor state: byte-identical
+        // regardless of scheduling (conflict detection is schedule-free).
+        let mut c = state();
+        seed(&mut c);
+        let out2 = c.execute_block(&txs, 1, &Vm::default(), 10_000_000, |g| g.max(1000));
+        assert_eq!(out2.receipts, out.receipts);
+        assert_eq!(out2.conflicts, out.conflicts);
+        assert_eq!(c.root(), b.root());
+    }
+
+    /// A conflict-free block models faster than serial; a fully conflicted
+    /// one degrades gracefully to exactly serial (never below 1.0×).
+    #[test]
+    fn executor_speedup_model_bounds() {
+        let mut s = state();
+        let contract = deploy_ycsb(&mut s);
+        s.commit_block().unwrap();
+        let disjoint: Vec<Arc<Transaction>> = (0..8)
+            .map(|i| {
+                Arc::new(Transaction::signed(
+                    &KeyPair::from_seed(100 + i),
+                    0,
+                    contract,
+                    0,
+                    ycsb::write_call(i, b"v"),
+                ))
+            })
+            .collect();
+        let out = s.execute_block(&disjoint, 1, &Vm::default(), 10_000_000, |g| g.max(1000));
+        assert_eq!(out.conflicts, 0);
+        assert!(out.receipts.iter().all(|(_, ok)| *ok));
+        assert!(
+            out.modeled_us * 2 <= out.serial_us,
+            "8 disjoint txs over 4 modeled lanes must speed up ≥2×: {} vs {}",
+            out.modeled_us,
+            out.serial_us
+        );
+
+        // Every tx reads the same key another tx wrote → all but the first
+        // writer re-execute; the model caps at serial.
+        let mut s2 = state();
+        let contract2 = deploy_ycsb(&mut s2);
+        s2.commit_block().unwrap();
+        let hot: Vec<Arc<Transaction>> = (0..6)
+            .map(|i| {
+                let call = if i == 0 { ycsb::write_call(7, b"hot") } else { ycsb::read_call(7) };
+                Arc::new(Transaction::signed(&KeyPair::from_seed(200 + i), 0, contract2, 0, call))
+            })
+            .collect();
+        let out = s2.execute_block(&hot, 1, &Vm::default(), 10_000_000, |g| g.max(1000));
+        assert!(out.conflicts >= 5, "hot-key readers must all re-execute, got {}", out.conflicts);
+        assert!(out.modeled_us <= out.serial_us);
+        assert!(out.modeled_us > 0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! `bb_sim::shard` and DESIGN.md §5).
 
 use crate::config::FabricConfig;
-use crate::state::{FabricState, STORE_PREFIX};
+use crate::state::{FabricState, InvokeResult, SpecInvoke, STORE_PREFIX};
 use bb_consensus::pbft::{Action, PbftConfig, PbftMsg, PbftNode};
 use bb_crypto::Hash256;
 use bb_merkle::merkle_root;
@@ -28,6 +28,7 @@ use bb_types::{Address, Block, BlockHeader, BlockSummary, Encoder, NodeId, Trans
 use blockbench::connector::{
     BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
 };
+use std::sync::{Arc, Mutex};
 use blockbench::contract::ContractBundle;
 use std::collections::{HashSet, VecDeque};
 
@@ -131,6 +132,10 @@ struct FabNode {
     wal_replayed: u64,
     /// Torn WAL tails truncated across restarts.
     wal_truncated: u64,
+    /// Optimistic-executor counters (see `PlatformStats`).
+    exec_conflicts: u64,
+    exec_serial_us: u64,
+    exec_modeled_us: u64,
 }
 
 /// Read-only context shared by every lane.
@@ -343,6 +348,62 @@ fn send_msg(to: NodeId, msg: PbftMsg, fx: &mut Effects<FabEvent>) {
     fx.send(to.0, bytes, move |_at| FabEvent::Consensus { to, from, msg });
 }
 
+/// Execute a deduplicated batch through the optimistic parallel executor:
+/// speculate every chaincode invocation against the pre-block state (the
+/// coarse state lock also keeps the shared chaincode memory meter
+/// deterministic), then commit in canonical order — clean winners apply
+/// their buffered writes, conflicted losers re-invoke serially at their
+/// slot. The simulation bills the serial execution time, so throughput
+/// figures are unchanged; parallelism lands in the modeled counters.
+fn execute_batch_txs(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    height: u64,
+    txs: &[Arc<Transaction>],
+) -> (Vec<(TxId, bool)>, SimDuration) {
+    let threads = bb_exec::resolved_threads();
+    let specs: Vec<SpecInvoke> = {
+        let state = Mutex::new(&mut node.state);
+        bb_exec::speculate(txs.len(), threads, |i| {
+            state.lock().expect("state lock").speculate_invoke(&txs[i], height)
+        })
+    };
+    let cost = |r: &InvokeResult| ctx.config.invoke_time(r.units, r.state_ops).as_micros();
+    let mut committed = bb_exec::KeySet::new();
+    let mut receipts = Vec::with_capacity(txs.len());
+    let mut conflicts = 0u64;
+    let mut winner_us = 0u64;
+    let mut loser_us = Vec::new();
+    let mut spec_us = Vec::with_capacity(txs.len());
+    for (tx, spec) in txs.iter().zip(specs) {
+        spec_us.push(cost(&spec.result));
+        if !committed.conflicts(&spec.reads) {
+            // Failed invocations carry no writes; applying is a no-op.
+            let applied =
+                !spec.result.success || node.state.apply_writes(&spec.writes).is_ok();
+            if applied {
+                committed.record(spec.writes.iter().map(|(k, _)| k.clone()));
+                winner_us += cost(&spec.result);
+                receipts.push((tx.id(), spec.result.success));
+                continue;
+            }
+            // Mid-apply storage failure: the serial re-invocation below
+            // owns the outcome (matching the classic flush-error path).
+        }
+        conflicts += 1;
+        let re = node.state.speculate_invoke(tx, height);
+        let ok = re.result.success && node.state.apply_writes(&re.writes).is_ok();
+        committed.record(re.writes.iter().map(|(k, _)| k.clone()));
+        loser_us.push(cost(&re.result));
+        receipts.push((tx.id(), ok));
+    }
+    let model = bb_exec::model_block(&spec_us, winner_us, &loser_us);
+    node.exec_conflicts += conflicts;
+    node.exec_serial_us += model.serial_us;
+    node.exec_modeled_us += model.modeled_us;
+    (receipts, SimDuration::from_micros(model.serial_us))
+}
+
 /// Execute a committed batch and append the block.
 fn commit_batch(
     ctx: &FabCtx,
@@ -353,22 +414,17 @@ fn commit_batch(
     batch: Vec<Vec<u8>>,
 ) {
     let height = node.blocks.len() as u64 + 1;
-    let mut txs = Vec::with_capacity(batch.len());
-    let mut receipts = Vec::with_capacity(batch.len());
-    let mut exec_time = SimDuration::ZERO;
+    let mut txs: Vec<Arc<Transaction>> = Vec::with_capacity(batch.len());
     for raw in &batch {
         let Ok(tx) = Transaction::decode(raw) else {
             continue;
         };
-        let id = tx.id();
-        if !node.executed.insert(id) {
+        if !node.executed.insert(tx.id()) {
             continue; // re-proposed duplicate
         }
-        let res = node.state.invoke(&tx, height, true);
-        exec_time += ctx.config.invoke_time(res.units, res.state_ops);
-        receipts.push((id, res.success));
-        txs.push(tx);
+        txs.push(Arc::new(tx));
     }
+    let (receipts, exec_time) = execute_batch_txs(ctx, node, height, &txs);
     node.cpu.charge(now, exec_time);
     // Execution occupies the same event loop as message processing:
     // the next drain waits for it.
@@ -459,6 +515,9 @@ impl FabricChain {
                 resync_bytes: 0,
                 wal_replayed: 0,
                 wal_truncated: 0,
+                exec_conflicts: 0,
+                exec_serial_us: 0,
+                exec_modeled_us: 0,
             })
             .collect();
         let network = Network::new(config.nodes, config.link.clone(), rng.fork());
@@ -710,6 +769,7 @@ impl BlockchainConnector for FabricChain {
         let (mut flushed, mut superseded, mut batches) = (0u64, 0u64, 0u64);
         let (mut wal_replayed, mut wal_truncated) = (0u64, 0u64);
         let (mut recovery_ms, mut resync_blocks, mut resync_bytes) = (0u64, 0u64, 0u64);
+        let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let store_stats = node.state.store_stats();
@@ -720,6 +780,9 @@ impl BlockchainConnector for FabricChain {
                 recovery_ms = recovery_ms.max(node.recovery_ms);
                 resync_blocks += node.resync_blocks;
                 resync_bytes += node.resync_bytes;
+                exec_conflicts += node.exec_conflicts;
+                exec_serial_us += node.exec_serial_us;
+                exec_modeled_us += node.exec_modeled_us;
                 let (f, s) = node.state.flush_stats();
                 flushed += f;
                 superseded += s;
@@ -767,11 +830,15 @@ impl BlockchainConnector for FabricChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            exec_conflicts,
+            exec_serial_us,
+            exec_modeled_us,
         }
     }
 
     fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
         for txs in blocks {
+            let txs: Vec<Arc<Transaction>> = txs.into_iter().map(Arc::new).collect();
             let now = self.engine.now();
             for i in 0..self.config.nodes {
                 self.engine.with_node_mut(i, |node| {

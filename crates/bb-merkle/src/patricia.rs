@@ -379,6 +379,70 @@ impl<S: KvStore> PatriciaTrie<S> {
         self.nibble_buf = buf;
     }
 
+    /// Fetch `key` at the current root with *no observable side effects* on
+    /// the trie: the decoded-node cache is consulted but never updated and
+    /// the hit/miss counters stay untouched. Speculative executors read the
+    /// pre-state through this so a block's counters stay byte-identical
+    /// whether transactions were speculated serially or in parallel.
+    pub fn get_frozen(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        if self.root.is_zero() {
+            return Ok(None);
+        }
+        let nibbles = self.take_nibbles(key);
+        let out = self.get_frozen_walk(&nibbles);
+        self.restore_nibbles(nibbles);
+        out
+    }
+
+    fn get_frozen_walk(&mut self, nibbles: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let mut path: &[u8] = nibbles;
+        let mut at = self.root;
+        loop {
+            match self.load_frozen(&at)? {
+                Node::Leaf { path: p, value } => {
+                    return Ok(if p == path { Some(value) } else { None });
+                }
+                Node::Ext { path: p, child } => {
+                    if path.starts_with(&p) {
+                        path = &path[p.len()..];
+                        at = child;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+                Node::Branch { children, value } => {
+                    if path.is_empty() {
+                        return Ok(value);
+                    }
+                    let next = children[path[0] as usize];
+                    if next.is_zero() {
+                        return Ok(None);
+                    }
+                    path = &path[1..];
+                    at = next;
+                }
+            }
+        }
+    }
+
+    /// [`Self::load`] minus every side effect: cache read-only, counters
+    /// untouched, nothing inserted.
+    fn load_frozen(&mut self, hash: &Hash256) -> Result<Node, KvError> {
+        if let Some(node) = self.cache.get(hash) {
+            return Ok(node.clone());
+        }
+        let node = if let Some(bytes) = self.overlay.get(hash) {
+            Node::decode(bytes)?
+        } else {
+            let bytes = self
+                .store
+                .get(&hash.0)?
+                .ok_or_else(|| KvError::Corrupt(format!("missing trie node {hash:?}")))?;
+            Node::decode(&bytes)?
+        };
+        Ok(node)
+    }
+
     /// Fetch the value stored under `key` at a historical `root`.
     pub fn get_at(&mut self, root: Hash256, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
         if root.is_zero() {

@@ -10,7 +10,7 @@ use crate::config::ParityConfig;
 use bb_consensus::pow::{BlockTree, InsertOutcome};
 use bb_consensus::PoaSchedule;
 use bb_crypto::Hash256;
-use bb_ethereum::state::{AccountState, TxInvalid};
+use bb_ethereum::state::{AccountState, BlockExecOutcome, TxInvalid};
 use bb_merkle::merkle_root;
 use bb_net::Network;
 use bb_sim::{CpuMeter, Effects, ShardedEngine, ShardedWorld, SimDuration, SimRng, SimTime};
@@ -78,6 +78,10 @@ struct PoaNode {
     receipts: HashMap<Hash256, Vec<(TxId, bool)>>,
     pool: VecDeque<Arc<Transaction>>,
     pool_ids: HashSet<TxId>,
+    /// Head height at admission, per pooled transaction — the age-out
+    /// clock for future-nonced entries that would otherwise pin the
+    /// bounded pool (see `ParityConfig::pool_evict_blocks`).
+    pool_admitted: HashMap<TxId, u64>,
     seen: HashSet<TxId>,
     /// Main-chain blocks whose transactions were pruned from the pool (side
     /// blocks never are — their transactions must stay minable if the fork
@@ -98,6 +102,10 @@ struct PoaNode {
     resync_blocks: u64,
     /// Bytes of those blocks.
     resync_bytes: u64,
+    /// Optimistic-executor counters (see `PlatformStats`).
+    exec_conflicts: u64,
+    exec_serial_us: u64,
+    exec_modeled_us: u64,
     /// Observer state — populated only on node 0.
     confirmed: Vec<BlockSummary>,
     confirmed_height: u64,
@@ -264,10 +272,11 @@ fn build_block(
                     cpu_time += ctx.config.produce_sign_cost
                         + ctx.config.costs.exec_time(res.gas_used.max(1000));
                     node.pool_ids.remove(&tx.id());
+                    node.pool_admitted.remove(&tx.id());
                     receipts.push((tx.id(), res.success));
                     let nonce = tx.nonce;
                     let from = tx.from;
-                    included.push((*tx).clone());
+                    included.push(Arc::clone(&tx));
                     if included.len() >= max_txs || gas_total >= ctx.config.block_gas_limit {
                         break 'fill;
                     }
@@ -283,13 +292,24 @@ fn build_block(
                 }
                 Err(_) => {
                     node.pool_ids.remove(&tx.id());
+                    node.pool_admitted.remove(&tx.id());
                 }
             }
         }
     }
+    // Put still-blocked transactions back — unless their nonce gap has
+    // now persisted past the eviction horizon, in which case the sender's
+    // predecessor is presumed lost (or never existed: a nonce-gap flood)
+    // and the entry ages out instead of pinning the pool forever.
     for (_, q) in future {
         for (_, tx) in q {
-            node.pool.push_front(tx);
+            let admitted = *node.pool_admitted.entry(tx.id()).or_insert(height);
+            if height.saturating_sub(admitted) > ctx.config.pool_evict_blocks {
+                node.pool_ids.remove(&tx.id());
+                node.pool_admitted.remove(&tx.id());
+            } else {
+                node.pool.push_front(tx);
+            }
         }
     }
     node.cpu.charge(now, cpu_time);
@@ -316,6 +336,27 @@ fn build_block(
     block
 }
 
+/// Execute a sealed block's transactions through the optimistic parallel
+/// executor (state must already sit at the parent root). Charging is left
+/// to the caller: full validation bills the serial execution time,
+/// descendant catch-up keeps its flat per-transaction charge.
+fn execute_block_txs(ctx: &PoaCtx, node: &mut PoaNode, block: &Block) -> BlockExecOutcome {
+    let outcome = node.state.execute_block(
+        &block.txs,
+        block.header.height,
+        &ctx.vm,
+        ctx.config.tx_gas_limit,
+        |gas| ctx.config.costs.exec_time(gas.max(1000)).as_micros(),
+    );
+    for tx in &block.txs {
+        node.seen.insert(tx.id());
+    }
+    node.exec_conflicts += outcome.conflicts;
+    node.exec_serial_us += outcome.serial_us;
+    node.exec_modeled_us += outcome.modeled_us;
+    outcome
+}
+
 fn adopt_block(
     ctx: &PoaCtx,
     node: &mut PoaNode,
@@ -333,27 +374,11 @@ fn adopt_block(
     if let Some(&parent_root) = node.roots.get(&parent) {
         if !node.roots.contains_key(&id) {
             node.state.set_root(parent_root);
-            let mut receipts = Vec::with_capacity(block.txs.len());
-            let mut exec_time = SimDuration::ZERO;
-            for tx in &block.txs {
-                match node.state.apply_transaction(
-                    tx,
-                    block.header.height,
-                    &ctx.vm,
-                    ctx.config.tx_gas_limit,
-                ) {
-                    Ok(res) => {
-                        exec_time += ctx.config.costs.exec_time(res.gas_used.max(1000));
-                        receipts.push((tx.id(), res.success));
-                    }
-                    Err(_) => receipts.push((tx.id(), false)),
-                }
-                node.seen.insert(tx.id());
-            }
-            node.cpu.charge(now, exec_time);
+            let outcome = execute_block_txs(ctx, node, &block);
+            node.cpu.charge(now, SimDuration::from_micros(outcome.serial_us));
             let _ = node.state.commit_block();
             node.roots.insert(id, node.state.root());
-            node.receipts.insert(id, receipts);
+            node.receipts.insert(id, outcome.receipts);
         }
         node.bodies.insert(id, Arc::clone(&block));
         let old_head = node.tree.head();
@@ -393,21 +418,13 @@ fn execute_connected_descendants(ctx: &PoaCtx, node: &mut PoaNode, now: SimTime,
             .collect();
         for child in children {
             node.state.set_root(parent_root);
-            let mut receipts = Vec::with_capacity(child.txs.len());
-            for tx in &child.txs {
-                let ok = node
-                    .state
-                    .apply_transaction(tx, child.header.height, &ctx.vm, ctx.config.tx_gas_limit)
-                    .map(|r| r.success)
-                    .unwrap_or(false);
-                receipts.push((tx.id(), ok));
-                node.seen.insert(tx.id());
-            }
+            let outcome = execute_block_txs(ctx, node, &child);
+            // Catch-up keeps its historical flat per-transaction charge.
             node.cpu.charge(now, SimDuration::from_micros(100 * child.txs.len() as u64));
             let cid = child.id();
             let _ = node.state.commit_block();
             node.roots.insert(cid, node.state.root());
-            node.receipts.insert(cid, receipts);
+            node.receipts.insert(cid, outcome.receipts);
             frontier.push(cid);
         }
     }
@@ -424,6 +441,7 @@ fn prune_main_chain(node: &mut PoaNode) {
         };
         for tx in &body.txs {
             node.pool_ids.remove(&tx.id());
+            node.pool_admitted.remove(&tx.id());
         }
         cursor = body.header.parent;
     }
@@ -436,9 +454,13 @@ fn readopt_abandoned(node: &mut PoaNode, old_head: Hash256) {
             break;
         };
         let parent = body.header.parent;
-        let txs: Vec<Arc<Transaction>> = body.txs.iter().map(|t| Arc::new(t.clone())).collect();
+        // Bodies hold `Arc<Transaction>`: re-adopting bumps refcounts
+        // instead of deep-cloning every transaction body.
+        let txs = body.txs.clone();
+        let height = node.tree.head_height();
         for tx in txs {
             if node.pool_ids.insert(tx.id()) {
+                node.pool_admitted.insert(tx.id(), height);
                 node.pool.push_back(tx);
             }
         }
@@ -466,6 +488,7 @@ fn on_admit(
         return;
     }
     node.pool_ids.insert(tx.id());
+    node.pool_admitted.insert(tx.id(), node.tree.head_height());
     node.pool.push_back(Arc::clone(&tx));
     if !relayed {
         // Gossip to the other authorities so whoever owns the next step
@@ -624,6 +647,7 @@ impl ParityChain {
                     receipts: HashMap::new(),
                     pool: VecDeque::new(),
                     pool_ids: HashSet::new(),
+                    pool_admitted: HashMap::new(),
                     seen: HashSet::new(),
                     pruned: HashSet::from([genesis]),
                     cpu: CpuMeter::new(config.cores),
@@ -634,6 +658,9 @@ impl ParityChain {
                     recovery_ms: 0,
                     resync_blocks: 0,
                     resync_bytes: 0,
+                    exec_conflicts: 0,
+                    exec_serial_us: 0,
+                    exec_modeled_us: 0,
                     confirmed: Vec::new(),
                     confirmed_height: 0,
                 };
@@ -698,6 +725,7 @@ impl ParityChain {
                 receipts: HashMap::new(),
                 pool: VecDeque::new(),
                 pool_ids: HashSet::new(),
+                pool_admitted: HashMap::new(),
                 seen: HashSet::new(),
                 pruned: HashSet::from([genesis]),
                 cpu: std::mem::replace(&mut n.cpu, CpuMeter::new(1)),
@@ -708,6 +736,9 @@ impl ParityChain {
                 recovery_ms: n.recovery_ms,
                 resync_blocks: n.resync_blocks,
                 resync_bytes: n.resync_bytes,
+                exec_conflicts: n.exec_conflicts,
+                exec_serial_us: n.exec_serial_us,
+                exec_modeled_us: n.exec_modeled_us,
                 // Observer history survives as driver-side bookkeeping.
                 confirmed: std::mem::take(&mut n.confirmed),
                 confirmed_height: n.confirmed_height,
@@ -885,6 +916,7 @@ impl BlockchainConnector for ParityChain {
                 self.engine.with_node_mut(node.0, |n| {
                     n.pool.clear();
                     n.pool_ids.clear();
+                    n.pool_admitted.clear();
                     n.state.drop_volatile();
                 });
             }
@@ -912,6 +944,7 @@ impl BlockchainConnector for ParityChain {
         let (mut flushed, mut dropped, mut batches) = (0u64, 0u64, 0u64);
         let mut recovery_ms = 0u64;
         let (mut resync_blocks, mut resync_bytes) = (0u64, 0u64);
+        let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let (h, m) = node.state.trie_cache_stats();
@@ -924,6 +957,9 @@ impl BlockchainConnector for ParityChain {
                 recovery_ms = recovery_ms.max(node.recovery_ms);
                 resync_blocks += node.resync_blocks;
                 resync_bytes += node.resync_bytes;
+                exec_conflicts += node.exec_conflicts;
+                exec_serial_us += node.exec_serial_us;
+                exec_modeled_us += node.exec_modeled_us;
                 let series = node.cpu.utilisation_series();
                 if series.len() > cpu.len() {
                     cpu.resize(series.len(), 0.0);
@@ -962,6 +998,9 @@ impl BlockchainConnector for ParityChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            exec_conflicts,
+            exec_serial_us,
+            exec_modeled_us,
             ..Default::default()
         }
     }
@@ -969,6 +1008,7 @@ impl BlockchainConnector for ParityChain {
     fn preload_blocks(&mut self, blocks: Vec<Vec<Transaction>>) {
         assert!(!self.started, "preload before the run starts");
         for txs in blocks {
+            let txs: Vec<Arc<Transaction>> = txs.into_iter().map(Arc::new).collect();
             let now = self.engine.now();
             for i in 0..self.config.nodes {
                 self.engine.with_ctx_node_mut(i, |ctx, node| {

@@ -37,6 +37,12 @@ pub struct ParityConfig {
     /// latency low and flat while the producer seals at its constant ~45
     /// tx/s (Section 4.2.3 / Figure 5).
     pub tx_pool_cap: usize,
+    /// Age-out horizon for future-nonced pool entries, in blocks. A
+    /// transaction whose nonce gap persists this many blocks past its
+    /// admission is evicted from the pool — without it, a byzantine
+    /// client's nonce-gap flood pins every bounded pool at `tx_pool_cap`
+    /// permanently and all later submissions error "queue full" forever.
+    pub pool_evict_blocks: u64,
     /// Node RAM for the in-memory state cap.
     pub node_mem_bytes: u64,
     /// Client→server RPC latency.
@@ -61,6 +67,7 @@ impl ParityConfig {
             produce_sign_cost: SimDuration::from_millis(22),
             admission_queue_cap: 160,
             tx_pool_cap: 64,
+            pool_evict_blocks: 8,
             node_mem_bytes: 32 << 30,
             rpc_delay: SimDuration::from_micros(800),
             cores: 8,

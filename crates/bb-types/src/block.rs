@@ -11,6 +11,7 @@ use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::ids::NodeId;
 use crate::tx::Transaction;
 use bb_crypto::Hash256;
+use std::sync::Arc;
 
 /// Fixed header fields hashed into the block identity.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -76,12 +77,17 @@ impl BlockHeader {
 }
 
 /// A full block: header plus ordered transaction list.
+///
+/// Transactions are reference-counted: a transaction is decoded (or sealed)
+/// once and the same allocation is shared by the pool, gossip, validation
+/// and execution paths — cloning a `Block` bumps refcounts instead of
+/// deep-copying every body.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Block {
     /// Hashed header.
     pub header: BlockHeader,
     /// Transactions in execution order.
-    pub txs: Vec<Transaction>,
+    pub txs: Vec<Arc<Transaction>>,
 }
 
 impl Block {
@@ -105,7 +111,7 @@ impl Block {
         let count = d.u32()? as usize;
         let mut txs = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
-            txs.push(Transaction::decode(d.bytes()?)?);
+            txs.push(Arc::new(Transaction::decode(d.bytes()?)?));
         }
         d.expect_end()?;
         Ok(Block { header, txs })
@@ -118,7 +124,7 @@ impl Block {
 
     /// Wire size: header plus every transaction (network cost model input).
     pub fn byte_size(&self) -> u64 {
-        self.header.byte_size() + self.txs.iter().map(Transaction::byte_size).sum::<u64>()
+        self.header.byte_size() + self.txs.iter().map(|t| t.byte_size()).sum::<u64>()
     }
 
     /// Number of transactions.
@@ -185,8 +191,8 @@ mod tests {
     #[test]
     fn block_size_sums_txs() {
         let kp = KeyPair::from_seed(1);
-        let tx = Transaction::signed(&kp, 0, Address::from_index(1), 1, vec![0; 64]);
-        let txs = vec![tx.clone(), tx.clone(), tx];
+        let tx = Arc::new(Transaction::signed(&kp, 0, Address::from_index(1), 1, vec![0; 64]));
+        let txs = vec![Arc::clone(&tx), Arc::clone(&tx), tx];
         let block = Block { header: header(1), txs };
         assert_eq!(
             block.byte_size(),
@@ -198,8 +204,10 @@ mod tests {
     #[test]
     fn block_encoding_round_trips() {
         let kp = KeyPair::from_seed(9);
-        let txs: Vec<Transaction> = (0..3)
-            .map(|n| Transaction::signed(&kp, n, Address::from_index(2), 5, vec![n as u8; 16]))
+        let txs: Vec<Arc<Transaction>> = (0..3)
+            .map(|n| {
+                Arc::new(Transaction::signed(&kp, n, Address::from_index(2), 5, vec![n as u8; 16]))
+            })
             .collect();
         let block = Block { header: header(7), txs };
         let decoded = Block::decode(&block.encode()).unwrap();

@@ -57,6 +57,16 @@ pub struct PlatformStats {
     pub resync_blocks: u64,
     /// Bytes of blocks re-fetched during post-restart catch-up.
     pub resync_bytes: u64,
+    /// Transactions whose optimistic speculation read state a
+    /// same-block predecessor wrote, forcing a serial re-execution
+    /// (intra-block parallel executor).
+    pub exec_conflicts: u64,
+    /// Serial execution charge of every executed block, µs, summed over
+    /// nodes — the denominator-side of the modeled speedup.
+    pub exec_serial_us: u64,
+    /// Modeled parallel makespan of the same blocks, µs (capped at serial
+    /// per block: the executor can always fall back to the serial order).
+    pub exec_modeled_us: u64,
 }
 
 impl PlatformStats {
@@ -72,6 +82,16 @@ impl PlatformStats {
     pub fn write_savings_ratio(&self) -> Option<f64> {
         let total = self.state_nodes_flushed + self.state_nodes_dropped;
         (total > 0).then(|| self.state_nodes_dropped as f64 / total as f64)
+    }
+
+    /// Modeled intra-block execution speedup (`serial / modeled`, ≥ 1.0 by
+    /// construction), or 1.0 before any block executed.
+    pub fn exec_parallel_speedup(&self) -> f64 {
+        if self.exec_modeled_us == 0 {
+            1.0
+        } else {
+            self.exec_serial_us as f64 / self.exec_modeled_us as f64
+        }
     }
 }
 

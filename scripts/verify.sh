@@ -52,6 +52,15 @@ cargo test -q --offline -p bb-storage fault
 cargo test -q --offline -p bb-ethereum -p bb-parity -p bb-fabric restart
 cargo test -q --offline -p bb-bench --test cross_platform restart_recovers
 
+echo "==> executor matrix: serial/parallel determinism + conflict ablation smoke"
+# The optimistic block executor must be invisible to the simulation:
+# byte-identical RunStats under BB_SERIAL_EXEC=1 and any thread count, and
+# the Zipfian conflict ablation must keep its speedup floors (>=1.5x at
+# theta<=0.5, graceful >=1.0x at 0.99). Named here so an executor
+# regression is reported as one rather than buried in the full suite.
+cargo test -q --offline -p bb-bench --test parallel_determinism executor
+cargo test -q --offline -p bb-bench --lib executor_speedup_degrades_gracefully
+
 echo "==> feature matrix: property tests compile (offline)"
 cargo check -q --offline --workspace --all-targets --features proptest
 

@@ -22,6 +22,7 @@ use bb_fabric::{FabricChain, FabricConfig};
 use bb_parity::{ParityChain, ParityConfig};
 use bb_sim::{SimDuration, SimTime};
 use bb_types::{ClientId, NodeId};
+use bb_workloads::ycsb::{YcsbConfig, YcsbWorkload};
 use blockbench::{run_workload, BlockchainConnector, DriverConfig, Fault};
 use std::sync::Mutex;
 
@@ -53,6 +54,25 @@ fn engine_sharded() {
 fn engine_env_reset() {
     std::env::remove_var("BB_SERIAL");
     std::env::remove_var("BB_SHARD_THREADS");
+}
+
+/// Force the intra-block transaction executor serial (one speculation
+/// lane), leaving the event engine alone.
+fn exec_serial() {
+    std::env::set_var("BB_SERIAL_EXEC", "1");
+    std::env::remove_var("BB_EXEC_THREADS");
+}
+
+/// Force the intra-block executor onto 4 speculation threads, even on
+/// single-core CI.
+fn exec_parallel() {
+    std::env::remove_var("BB_SERIAL_EXEC");
+    std::env::set_var("BB_EXEC_THREADS", "4");
+}
+
+fn exec_env_reset() {
+    std::env::remove_var("BB_SERIAL_EXEC");
+    std::env::remove_var("BB_EXEC_THREADS");
 }
 
 fn build_seeded(platform: Platform, nodes: u32, seed: u64) -> Box<dyn BlockchainConnector> {
@@ -151,6 +171,79 @@ fn run_stats_byte_identical_across_platforms_and_seeds() {
         }
     }
     engine_env_reset();
+}
+
+/// The optimistic block executor speculates a sealed block's transactions
+/// against the frozen pre-state snapshot, so its read/write sets — and
+/// therefore conflict counts, receipts and roots — are decided by block
+/// content alone, never by thread scheduling. Full `RunStats` must be
+/// byte-identical between one speculation lane and four.
+#[test]
+fn executor_run_stats_byte_identical_serial_vs_parallel() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        for seed in [1u64, 7, 42] {
+            exec_serial();
+            let serial = driver_stats(platform, seed);
+            exec_parallel();
+            let parallel = driver_stats(platform, seed);
+            assert_eq!(
+                serial,
+                parallel,
+                "{} seed {seed}: parallel-executor RunStats diverged from serial",
+                platform.name()
+            );
+        }
+    }
+    exec_env_reset();
+}
+
+/// Same contract under maximum contention: a hot-key YCSB mix
+/// (`zipf_theta = 0.99` over few records) forces speculation conflicts
+/// and the deterministic serial re-execution of the losers, and the
+/// re-executed results must still be schedule-independent.
+fn high_conflict_stats(platform: Platform, seed: u64) -> String {
+    let mut chain = build_seeded(platform, 4, seed);
+    let mut workload = YcsbWorkload::new(YcsbConfig {
+        record_count: 16,
+        preload_records: 16,
+        zipf_theta: 0.99,
+        clients: 4,
+        seed,
+        ..YcsbConfig::default()
+    });
+    let config = DriverConfig {
+        clients: 4,
+        rate_per_client: 50.0,
+        duration: SimDuration::from_secs(3),
+        poll_interval: SimDuration::from_millis(500),
+        drain: SimDuration::from_secs(2),
+    };
+    let stats = run_workload(chain.as_mut(), &mut workload, &config);
+    assert!(
+        stats.platform.exec_conflicts > 0,
+        "{}: hot-key run produced no speculation conflicts — loser path untested",
+        platform.name()
+    );
+    format!("{stats:?}")
+}
+
+#[test]
+fn executor_conflict_reexecution_byte_identical_serial_vs_parallel() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        exec_serial();
+        let serial = high_conflict_stats(platform, 42);
+        exec_parallel();
+        let parallel = high_conflict_stats(platform, 42);
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: conflict re-execution diverged between serial and parallel executors",
+            platform.name()
+        );
+    }
+    exec_env_reset();
 }
 
 /// Figure-9-style fault drive: crash a third of the cluster mid-run after
