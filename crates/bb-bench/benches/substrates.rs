@@ -169,6 +169,74 @@ fn bench_recovery(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_compaction_sync(c: &mut Criterion) {
+    use bb_storage::Vfs;
+    use std::sync::{Arc, Mutex};
+
+    let mut g = c.benchmark_group("compaction_sync");
+    // A backlog of ~32 overlapping L0 flushes, built with the L0 trigger
+    // parked out of reach. Iterations clone the image, reopen it with a
+    // low trigger and drain it through bounded incremental compact steps.
+    let lazy = LsmConfig {
+        memtable_flush_bytes: 8 << 10,
+        max_tables: usize::MAX,
+        ..LsmConfig::default()
+    };
+    let vfs = Arc::new(Mutex::new(Vfs::new()));
+    let mut store = LsmStore::open(Arc::clone(&vfs), "db", lazy).unwrap();
+    let mut k = 0u64;
+    for _ in 0..32 {
+        let mut batch = WriteBatch::new();
+        for _ in 0..64 {
+            batch.put(&k.to_be_bytes(), &[0u8; 100]);
+            k += 1;
+        }
+        store.apply_batch(batch).unwrap();
+    }
+    drop(store);
+    let backlog_image = vfs.lock().unwrap().clone();
+    let eager =
+        || LsmConfig { memtable_flush_bytes: 8 << 10, max_tables: 4, ..LsmConfig::default() };
+    g.bench_function("compact_incremental_drain", |b| {
+        b.iter(|| {
+            let vfs = Arc::new(Mutex::new(backlog_image.clone()));
+            let mut store = LsmStore::open(vfs, "db", eager()).unwrap();
+            while store.compact_step() {}
+            black_box(store.stats().bytes_compacted)
+        })
+    });
+
+    // One full pinned-snapshot state transfer in 64 KiB chunks — the unit
+    // of work a restarted node pulls per request during chunked state sync.
+    let mut store = LsmStore::new_private(LsmConfig {
+        memtable_flush_bytes: 64 << 10,
+        ..LsmConfig::default()
+    });
+    for i in 0..4096u64 {
+        store.put(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+    }
+    store.flush();
+    g.bench_function("snapshot_chunk_stream", |b| {
+        b.iter(|| {
+            let snap = store.snapshot_open();
+            let mut after: Option<Vec<u8>> = None;
+            let mut entries = 0usize;
+            loop {
+                let (chunk, done) =
+                    store.snapshot_chunk(snap, after.as_deref(), 64 << 10).unwrap();
+                entries += chunk.len();
+                if done {
+                    break;
+                }
+                after = chunk.last().map(|(key, _)| key.clone());
+            }
+            store.snapshot_close(snap);
+            black_box(entries)
+        })
+    });
+    g.finish();
+}
+
 fn bench_svm(c: &mut Criterion) {
     let mut g = c.benchmark_group("svm");
     let loop_code = assemble(
@@ -306,6 +374,7 @@ criterion_group!(
     bench_bucket_tree,
     bench_lsm,
     bench_recovery,
+    bench_compaction_sync,
     bench_svm,
     bench_tx_signing,
     bench_pbft_round,

@@ -12,7 +12,7 @@
 use bb_bench::exp_ablation::{
     ablation_channel, ablation_conflict, ablation_difficulty, ablation_signing,
 };
-use bb_bench::exp_fault::{fig10, fig9, fig9_restart};
+use bb_bench::exp_fault::{fig10, fig9, fig9_restart, fig9_snapshot};
 use bb_bench::exp_macro::{fig13c, fig14, fig15, fig16, fig17, fig18, fig5, fig6, Macro};
 use bb_bench::exp_micro::{fig11, fig12, fig13ab};
 use bb_bench::exp_scale::{fig7, fig8};
@@ -65,6 +65,14 @@ fn main() {
         emit(
             &fig9_restart(window, window / 5, window / 3, scale.base_rate / 2.0),
             "fig9_restart.csv",
+        );
+        // Long outage, low rate: the block gap (outage time) clears the
+        // snapshot threshold everywhere while the state snapshot stays
+        // small relative to block-by-block replay of the gap.
+        let window = window.max(160);
+        emit(
+            &fig9_snapshot(window, window / 8, window - 50, scale.base_rate / 50.0),
+            "fig9_snapshot.csv",
         );
     }
     if want("fig10") {

@@ -201,8 +201,85 @@ fn kernel_report(path: &Path) {
         ));
     });
     recovery_kernels(path);
+    compaction_sync_kernels(path);
     exec_kernels(path);
     pump_kernel(path);
+}
+
+/// Leveled-compaction and snapshot-sync kernels.
+///
+/// `lsm/compact_incremental` drains a prepared L0 backlog through the
+/// incremental compactor: each iteration clones an image holding ~32
+/// overlapping L0 flushes (built with the trigger disabled), reopens it
+/// with a low L0 trigger and runs bounded single-victim `compact_step`s
+/// until the level invariants hold again. `sync/snapshot_chunk` streams
+/// one full pinned-snapshot state transfer in 64 KiB chunks — the unit of
+/// work a restarted node pulls per request during chunked state sync.
+fn compaction_sync_kernels(path: &Path) {
+    use bb_storage::Vfs;
+    use std::sync::{Arc, Mutex};
+
+    // Backlog image: tiny flushes with the L0 trigger parked out of reach,
+    // so the store accumulates overlapping L0 tables and nothing else.
+    let lazy = LsmConfig {
+        memtable_flush_bytes: 8 << 10,
+        max_tables: usize::MAX,
+        ..LsmConfig::default()
+    };
+    let vfs = Arc::new(Mutex::new(Vfs::new()));
+    let mut store =
+        LsmStore::open(Arc::clone(&vfs), "db", lazy).expect("fresh image opens");
+    let mut k = 0u64;
+    for _ in 0..32 {
+        let mut batch = WriteBatch::new();
+        for _ in 0..64 {
+            batch.put(&k.to_be_bytes(), &[0u8; 100]);
+            k += 1;
+        }
+        store.apply_batch(batch).expect("image write");
+    }
+    drop(store);
+    let backlog_image = vfs.lock().expect("sole holder").clone();
+    let eager = || LsmConfig { memtable_flush_bytes: 8 << 10, max_tables: 4, ..LsmConfig::default() };
+    time_kernel(path, "lsm/compact_incremental", || {
+        let vfs = Arc::new(Mutex::new(backlog_image.clone()));
+        let mut store = LsmStore::open(vfs, "db", eager()).expect("backlog image opens");
+        let mut steps = 0u32;
+        while store.compact_step() {
+            steps += 1;
+        }
+        assert!(steps > 0, "backlog must trigger compaction");
+        criterion::black_box((steps, store.stats().bytes_compacted));
+    });
+
+    // Snapshot transfer: one full chunked state stream per iteration,
+    // against a store whose contents never change between iterations.
+    let mut store = LsmStore::new_private(LsmConfig {
+        memtable_flush_bytes: 64 << 10,
+        ..LsmConfig::default()
+    });
+    for i in 0..4096u64 {
+        store.put(&i.to_be_bytes(), &[0u8; 100]).expect("private store write");
+    }
+    store.flush();
+    time_kernel(path, "sync/snapshot_chunk", || {
+        let snap = store.snapshot_open();
+        let mut after: Option<Vec<u8>> = None;
+        let mut entries = 0usize;
+        loop {
+            let (chunk, done) = store
+                .snapshot_chunk(snap, after.as_deref(), 64 << 10)
+                .expect("pinned snapshot serves");
+            entries += chunk.len();
+            if done {
+                break;
+            }
+            after = chunk.last().map(|(k, _)| k.clone());
+        }
+        store.snapshot_close(snap);
+        assert_eq!(entries, 4096, "full state must stream");
+        criterion::black_box(entries);
+    });
 }
 
 /// Optimistic block-executor kernels: one sealed 32-transaction block per

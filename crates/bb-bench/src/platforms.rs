@@ -40,6 +40,33 @@ impl Platform {
         }
     }
 
+    /// Build a chain with `nodes` servers and an explicit post-restart
+    /// snapshot-sync threshold: gaps larger than `blocks` are closed by
+    /// chunked snapshot transfer, `u64::MAX` forces pure block replay.
+    pub fn build_with_snapshot_threshold(
+        self,
+        nodes: u32,
+        blocks: u64,
+    ) -> Box<dyn BlockchainConnector> {
+        match self {
+            Platform::Ethereum => {
+                let mut c = EthConfig::with_nodes(nodes);
+                c.snapshot_sync_blocks = blocks;
+                Box::new(EthereumChain::new(c))
+            }
+            Platform::Parity => {
+                let mut c = ParityConfig::with_nodes(nodes);
+                c.snapshot_sync_blocks = blocks;
+                Box::new(ParityChain::new(c))
+            }
+            Platform::Hyperledger => {
+                let mut c = FabricConfig::with_nodes(nodes);
+                c.snapshot_sync_blocks = blocks;
+                Box::new(FabricChain::new(c))
+            }
+        }
+    }
+
     /// Build a one-server (4 for PBFT) deployment for the micro benches,
     /// with memory budgets scaled by `mem_scale` (sizes scale with the
     /// workloads; see EXPERIMENTS.md).

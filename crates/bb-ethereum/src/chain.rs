@@ -80,6 +80,29 @@ pub enum EthEvent {
         /// Recovering node.
         from: NodeId,
     },
+    /// A resyncing node asks a peer for the next snapshot state chunk:
+    /// live `(key, value)` pairs with key > `after`, served from the peer's
+    /// durable store (trie nodes are content-addressed and block records
+    /// ride in the same keyspace, so raw chunks rebuild chain + state).
+    SnapshotRequest {
+        /// Peer being asked.
+        to: NodeId,
+        /// Recovering node.
+        from: NodeId,
+        /// Resume cursor: last key already transferred.
+        after: Option<Vec<u8>>,
+    },
+    /// One bounded snapshot chunk; `done` means the key space is exhausted.
+    SnapshotChunk {
+        /// Recovering node.
+        to: NodeId,
+        /// Serving peer (next chunk is requested from it).
+        from: NodeId,
+        /// Live pairs in key order.
+        entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+        /// Keyspace exhausted?
+        done: bool,
+    },
 }
 
 struct EthNode {
@@ -116,6 +139,13 @@ struct EthNode {
     restarted_at: Option<SimTime>,
     /// Peer head height learned from the first post-restart block arrival.
     sync_target: Option<u64>,
+    /// Set while a chunked snapshot transfer is closing the gap; block
+    /// adoption and mining are suppressed until the transfer lands.
+    snapshot_syncing: bool,
+    /// Snapshot chunks received across this node's resyncs.
+    snapshot_chunks: u64,
+    /// Payload bytes of those chunks.
+    snapshot_bytes: u64,
     /// Longest completed crash→caught-up recovery on this node, virtual ms.
     recovery_ms: u64,
     /// Blocks received from peers while catching up after a restart.
@@ -183,7 +213,9 @@ impl ShardedWorld for EthWorld {
             EthEvent::TxArrive { to, .. }
             | EthEvent::BlockArrive { to, .. }
             | EthEvent::BlockRequest { to, .. }
-            | EthEvent::HeadRequest { to, .. } => to.0,
+            | EthEvent::HeadRequest { to, .. }
+            | EthEvent::SnapshotRequest { to, .. }
+            | EthEvent::SnapshotChunk { to, .. } => to.0,
         }
     }
 
@@ -204,6 +236,12 @@ impl ShardedWorld for EthWorld {
                 on_block_request(node, id, wanted, from, fx)
             }
             EthEvent::HeadRequest { from, .. } => on_head_request(node, id, from, fx),
+            EthEvent::SnapshotRequest { from, after, .. } => {
+                on_snapshot_request(ctx, node, id, from, after, fx)
+            }
+            EthEvent::SnapshotChunk { from, entries, done, .. } => {
+                on_snapshot_chunk(ctx, node, id, now, from, entries, done, fx)
+            }
         }
     }
 }
@@ -608,13 +646,33 @@ fn on_block(
         return;
     }
     if node.restarted_at.is_some() {
-        node.resync_blocks += 1;
-        node.resync_bytes += block.byte_size();
+        if node.snapshot_syncing {
+            // The in-memory chain is about to be rebuilt from the snapshot;
+            // adopting blocks against the stale pre-crash state would only
+            // be thrown away.
+            return;
+        }
         if node.sync_target.is_none() {
             // First arrival after a restart is the head-request reply: its
             // height is the gap this node must close.
             node.sync_target = Some(block.header.height.max(node.tree.head_height()));
+            let gap = block.header.height.saturating_sub(node.tree.head_height());
+            if gap > ctx.config.snapshot_sync_blocks {
+                // Gap too deep to replay block by block: fetch the peer's
+                // state snapshot in bounded chunks instead. Mining stops
+                // until the transfer lands.
+                node.snapshot_syncing = true;
+                node.mine_generation += 1;
+                fx.send(from.0, 64, move |_at| EthEvent::SnapshotRequest {
+                    to: from,
+                    from: me,
+                    after: None,
+                });
+                return;
+            }
         }
+        node.resync_blocks += 1;
+        node.resync_bytes += block.byte_size();
     }
     let had_head = node.tree.head();
     adopt_block(ctx, node, now, me, block, Some(from), fx);
@@ -666,6 +724,148 @@ fn on_head_request(node: &mut EthNode, me: NodeId, from: NodeId, fx: &mut Effect
         let bytes = body.byte_size();
         fx.send(from.0, bytes, move |_at| EthEvent::BlockArrive { to: from, block: body, from: me });
     }
+}
+
+/// Serve one bounded snapshot chunk from this node's durable store. Each
+/// request pins a fresh snapshot (flushing the memtable), reads one chunk
+/// past the cursor via the sparse indexes, and unpins — the store is free
+/// to compact between chunks, and content-addressed trie nodes make the
+/// resulting cross-chunk mix safe on the receiver.
+fn on_snapshot_request(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    me: NodeId,
+    from: NodeId,
+    after: Option<Vec<u8>>,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    let store = node.state.store_mut();
+    let snap = store.snapshot_open();
+    let (entries, done) = store
+        .snapshot_chunk(snap, after.as_deref(), ctx.config.snapshot_chunk_bytes)
+        .expect("own snapshot readable");
+    store.snapshot_close(snap);
+    let bytes: u64 = 16 + entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    let entries = Arc::new(entries);
+    fx.send(from.0, bytes, move |_at| EthEvent::SnapshotChunk {
+        to: from,
+        from: me,
+        entries,
+        done,
+    });
+}
+
+/// Apply one received snapshot chunk. Chunks are raw store pairs (trie
+/// nodes, account values, `!b/` block records), applied blind in one batch;
+/// when the last chunk lands the node rebuilds its in-memory chain from the
+/// store and closes the trailing gap through the normal replay path.
+#[allow(clippy::too_many_arguments)]
+fn on_snapshot_chunk(
+    ctx: &EthCtx,
+    node: &mut EthNode,
+    me: NodeId,
+    now: SimTime,
+    from: NodeId,
+    entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+    done: bool,
+    fx: &mut Effects<EthEvent>,
+) {
+    if node.crashed || !node.snapshot_syncing {
+        return;
+    }
+    node.snapshot_chunks += 1;
+    node.snapshot_bytes += entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    let mut batch = bb_storage::WriteBatch::new();
+    for (k, v) in entries.iter() {
+        batch.put(k, v);
+    }
+    let cursor = entries.last().map(|(k, _)| k.clone());
+    node.state.store_mut().apply_batch(batch).expect("state store healthy");
+    if !done {
+        fx.send(from.0, 64, move |_at| EthEvent::SnapshotRequest {
+            to: from,
+            from: me,
+            after: cursor,
+        });
+        return;
+    }
+    // Transfer complete: make it durable, rebuild the chain from the store,
+    // and fetch whatever was mined mid-transfer through the replay path.
+    node.state.store_mut().flush();
+    rebuild_node_from_store(node);
+    node.snapshot_syncing = false;
+    fx.send(from.0, 64, move |_at| EthEvent::HeadRequest { to: from, from: me });
+    reschedule_mine(ctx, node, me, now, fx);
+}
+
+/// Rebuild a node's in-memory chain (tree, bodies, roots, head state) from
+/// its durable store alone — the shared tail of crash restart and snapshot
+/// sync. The pool and per-block receipts are volatile and reset.
+fn rebuild_node_from_store(n: &mut EthNode) {
+    // Everything in-memory is stale; only the Vfs behind the store is
+    // authoritative.
+    let vfs = n.state.store().vfs();
+    let store =
+        LsmStore::open(vfs, STORE_PREFIX, eth_store_config()).expect("durable store reopens");
+    let replay = store.stats();
+    n.wal_replayed += replay.wal_records_replayed;
+    n.wal_truncated += replay.wal_tail_truncated;
+    let mut state = AccountState::new(store);
+
+    // Recover every durably recorded block, oldest first. The set is
+    // ancestor-closed: a block is only recorded once executed, and
+    // execution requires its parent's committed state.
+    let mut recovered: Vec<(Hash256, Block)> = state
+        .store_mut()
+        .scan_prefix(b"!b/")
+        .expect("durable store reads")
+        .iter()
+        .filter_map(|(_, v)| decode_block_meta(v))
+        .collect();
+    recovered.sort_by_key(|(_, b)| (b.header.height, b.id()));
+    let genesis = recovered
+        .iter()
+        .find(|(_, b)| b.header.height == 0)
+        .expect("genesis record is durable")
+        .1
+        .id();
+
+    let mut tree = BlockTree::new(genesis);
+    let mut bodies = HashMap::new();
+    let mut roots = HashMap::new();
+    let mut receipts = HashMap::new();
+    let mut seen = HashSet::new();
+    for (root, block) in recovered {
+        let bid = block.id();
+        if block.header.height > 0 {
+            tree.insert(bid, block.header.parent, block.header.difficulty.max(1));
+        }
+        for tx in &block.txs {
+            seen.insert(tx.id());
+        }
+        roots.insert(bid, root);
+        // Receipts are volatile; recovered blocks keep empty ones.
+        // (The observer's confirmed log is kept separately.)
+        receipts.insert(bid, Vec::new());
+        bodies.insert(bid, Arc::new(block));
+    }
+    let head = tree.head();
+    state.set_root(roots[&head]);
+
+    n.state = state;
+    n.tree = tree;
+    n.bodies = bodies;
+    n.roots = roots;
+    n.receipts = receipts;
+    n.seen = seen;
+    n.pool = VecDeque::new();
+    n.pool_ids = HashSet::new();
+    n.pool_admitted = HashMap::new();
+    n.pruned = HashSet::new();
+    prune_main_chain(n);
 }
 
 /// Advance the observer's (node 0) confirmation log. Only lane-0 events can
@@ -756,6 +956,9 @@ impl EthereumChain {
                     crashed: false,
                     restarted_at: None,
                     sync_target: None,
+                    snapshot_syncing: false,
+                    snapshot_chunks: 0,
+                    snapshot_bytes: 0,
                     recovery_ms: 0,
                     resync_blocks: 0,
                     resync_bytes: 0,
@@ -787,67 +990,7 @@ impl EthereumChain {
             .map(NodeId)
             .find(|p| *p != id && !self.network.is_crashed(*p));
         self.engine.with_node_mut(id.0, |n| {
-            // Everything in-memory is gone; only the Vfs behind the old
-            // store survives the crash.
-            let vfs = n.state.store().vfs();
-            let store =
-                LsmStore::open(vfs, STORE_PREFIX, eth_store_config()).expect("durable store reopens");
-            let replay = store.stats();
-            n.wal_replayed += replay.wal_records_replayed;
-            n.wal_truncated += replay.wal_tail_truncated;
-            let mut state = AccountState::new(store);
-
-            // Recover every durably recorded block, oldest first. The set is
-            // ancestor-closed: a block is only recorded once executed, and
-            // execution requires its parent's committed state.
-            let mut recovered: Vec<(Hash256, Block)> = state
-                .store_mut()
-                .scan_prefix(b"!b/")
-                .expect("durable store reads")
-                .iter()
-                .filter_map(|(_, v)| decode_block_meta(v))
-                .collect();
-            recovered.sort_by_key(|(_, b)| (b.header.height, b.id()));
-            let genesis = recovered
-                .iter()
-                .find(|(_, b)| b.header.height == 0)
-                .expect("genesis record is durable")
-                .1
-                .id();
-
-            let mut tree = BlockTree::new(genesis);
-            let mut bodies = HashMap::new();
-            let mut roots = HashMap::new();
-            let mut receipts = HashMap::new();
-            let mut seen = HashSet::new();
-            for (root, block) in recovered {
-                let bid = block.id();
-                if block.header.height > 0 {
-                    tree.insert(bid, block.header.parent, block.header.difficulty.max(1));
-                }
-                for tx in &block.txs {
-                    seen.insert(tx.id());
-                }
-                roots.insert(bid, root);
-                // Receipts are volatile; recovered blocks keep empty ones.
-                // (The observer's confirmed log is kept separately below.)
-                receipts.insert(bid, Vec::new());
-                bodies.insert(bid, Arc::new(block));
-            }
-            let head = tree.head();
-            state.set_root(roots[&head]);
-
-            n.state = state;
-            n.tree = tree;
-            n.bodies = bodies;
-            n.roots = roots;
-            n.receipts = receipts;
-            n.seen = seen;
-            n.pool = VecDeque::new();
-            n.pool_ids = HashSet::new();
-            n.pool_admitted = HashMap::new();
-            n.pruned = HashSet::new();
-            prune_main_chain(n);
+            rebuild_node_from_store(n);
             n.crashed = false;
             n.mine_generation += 1;
             // Catch-up bookkeeping: recovery completes when the head reaches
@@ -855,6 +998,7 @@ impl EthereumChain {
             // node is trivially caught up.
             n.restarted_at = peer.map(|_| now);
             n.sync_target = None;
+            n.snapshot_syncing = false;
         });
         self.network.recover(id);
         if let Some(peer) = peer {
@@ -1016,6 +1160,7 @@ impl BlockchainConnector for EthereumChain {
                     n.pool.clear();
                     n.pool_ids.clear();
                     n.pool_admitted.clear();
+                    n.snapshot_syncing = false;
                     n.state.drop_volatile();
                 });
             }
@@ -1054,6 +1199,9 @@ impl BlockchainConnector for EthereumChain {
         let mut recovery_ms = 0u64;
         let (mut resync_blocks, mut resync_bytes) = (0u64, 0u64);
         let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
+        let (mut stall_ms, mut debt, mut compacted) = (0u64, 0u64, 0u64);
+        let (mut store_written, mut store_logical) = (0u64, 0u64);
+        let (mut snap_chunks, mut snap_bytes) = (0u64, 0u64);
         // Average per-second CPU and network series over nodes.
         let mut cpu: Vec<f64> = Vec::new();
         let mut net: Vec<f64> = Vec::new();
@@ -1062,6 +1210,13 @@ impl BlockchainConnector for EthereumChain {
                 let store_stats = node.state.store().stats();
                 disk += store_stats.disk_bytes;
                 batches += store_stats.batch_writes;
+                stall_ms += store_stats.write_stall_ms;
+                debt += store_stats.compaction_debt_bytes;
+                compacted += store_stats.bytes_compacted;
+                store_written += store_stats.bytes_written;
+                store_logical += store_stats.logical_bytes;
+                snap_chunks += node.snapshot_chunks;
+                snap_bytes += node.snapshot_bytes;
                 let (h, m) = node.state.trie_cache_stats();
                 cache_hits += h;
                 cache_misses += m;
@@ -1114,6 +1269,13 @@ impl BlockchainConnector for EthereumChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            write_stall_ms: stall_ms,
+            compaction_debt_bytes: debt,
+            bytes_compacted: compacted,
+            storage_bytes_written: store_written,
+            storage_logical_bytes: store_logical,
+            snapshot_chunks: snap_chunks,
+            snapshot_bytes: snap_bytes,
             exec_conflicts,
             exec_serial_us,
             exec_modeled_us,
@@ -1414,6 +1576,43 @@ mod tests {
         // And the chain as a whole kept committing after the rejoin.
         let committed: usize = chain.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
         assert_eq!(committed, 30);
+    }
+
+    #[test]
+    fn deep_gap_restart_uses_snapshot_sync_instead_of_replay() {
+        let mut config = EthConfig::with_nodes(4);
+        config.pow.base_interval = SimDuration::from_millis(500);
+        config.snapshot_sync_blocks = 4; // force the snapshot path
+        let mut chain = EthereumChain::new(config);
+        let contract = chain.deploy(&ycsb::bundle());
+        for nonce in 0..30 {
+            let tx = client_tx(1, nonce, contract, ycsb::write_call(nonce, b"v"));
+            chain.submit(NodeId((nonce % 4) as u32), tx);
+        }
+        chain.advance_to(SimTime::from_secs(10));
+        chain.inject(Fault::Crash(NodeId(3)));
+        // A long outage: the gap is far beyond the 4-block threshold.
+        chain.advance_to(SimTime::from_secs(40));
+        chain.inject(Fault::Restart(NodeId(3)));
+        chain.advance_to(SimTime::from_secs(70));
+        let stats = chain.stats();
+        assert!(stats.snapshot_chunks > 0, "deep gap closed without snapshot chunks");
+        assert!(stats.snapshot_bytes > 0);
+        assert!(stats.recovery_ms > 0, "recovery never completed");
+        // The deep gap travelled as state chunks; only the blocks mined
+        // mid-transfer were replayed.
+        let gap_blocks = chain.engine.with_node(0, |n| n.tree.head_height());
+        assert!(
+            stats.resync_blocks < gap_blocks / 2,
+            "snapshot sync still replayed most of the gap: {} of {gap_blocks}",
+            stats.resync_blocks
+        );
+        let h3 = chain.engine.with_node(3, |n| n.tree.head_height());
+        let h0 = chain.engine.with_node(0, |n| n.tree.head_height());
+        assert!(h0.abs_diff(h3) <= 3, "restarted node lags: h0={h0} h3={h3}");
+        // Storage cost-model observability threads through to PlatformStats.
+        assert!(stats.storage_logical_bytes > 0);
+        assert!(stats.write_amplification().expect("stores saw writes") > 1.0);
     }
 
     /// Same seed, serial vs forced-parallel: byte-identical results. Mining

@@ -92,6 +92,12 @@ pub struct EthConfig {
     pub rpc_delay: SimDuration,
     /// Cores reserved for the node process (the paper reserved 8).
     pub cores: u32,
+    /// Post-restart catch-up policy: gaps strictly larger than this many
+    /// blocks are closed by chunked snapshot state sync instead of block
+    /// replay. `u64::MAX` disables snapshots entirely.
+    pub snapshot_sync_blocks: u64,
+    /// Payload bytes per snapshot state-sync chunk.
+    pub snapshot_chunk_bytes: usize,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -114,6 +120,8 @@ impl EthConfig {
             tx_gossip_prob: 1.0,
             rpc_delay: SimDuration::from_micros(800),
             cores: 8,
+            snapshot_sync_blocks: 24,
+            snapshot_chunk_bytes: 256 << 10,
             seed: 42,
         }
     }

@@ -63,6 +63,32 @@ pub enum FabEvent {
         /// The peer.
         node: NodeId,
     },
+    /// A restarted peer too far behind to replay batch-by-batch asks a
+    /// live peer for one chunk of its state snapshot.
+    SnapshotRequest {
+        /// Serving peer.
+        to: NodeId,
+        /// Recovering peer.
+        from: NodeId,
+        /// Pinned snapshot session on the server; `None` opens one.
+        session: Option<u64>,
+        /// Resume after this key (exclusive); `None` starts the stream.
+        after: Option<Vec<u8>>,
+    },
+    /// One bounded chunk of a pinned peer snapshot: raw store entries
+    /// (state values and the `!b/` block records ride together).
+    SnapshotChunk {
+        /// Recovering peer.
+        to: NodeId,
+        /// Serving peer.
+        from: NodeId,
+        /// The server's pinned session, echoed back for the next request.
+        session: u64,
+        /// Raw `(key, value)` store entries.
+        entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+        /// True when the snapshot's key space is exhausted.
+        done: bool,
+    },
 }
 
 enum InboxItem {
@@ -128,6 +154,14 @@ struct FabNode {
     resync_blocks: u64,
     /// Bytes of block data re-fetched after restarts.
     resync_bytes: u64,
+    /// Set while a snapshot transfer replaces this peer's state; committed
+    /// batches are dropped until the transferred floor is adopted (the
+    /// trailing `SyncRequest` replays them).
+    snapshot_syncing: bool,
+    /// Snapshot chunks received.
+    snapshot_chunks: u64,
+    /// Payload bytes of those chunks.
+    snapshot_bytes: u64,
     /// WAL records replayed across restarts.
     wal_replayed: u64,
     /// Torn WAL tails truncated across restarts.
@@ -162,7 +196,10 @@ impl ShardedWorld for FabWorld {
 
     fn route(_ctx: &FabCtx, event: &FabEvent) -> u32 {
         match event {
-            FabEvent::Ingress { to, .. } | FabEvent::Consensus { to, .. } => to.0,
+            FabEvent::Ingress { to, .. }
+            | FabEvent::Consensus { to, .. }
+            | FabEvent::SnapshotRequest { to, .. }
+            | FabEvent::SnapshotChunk { to, .. } => to.0,
             FabEvent::Drain { node, .. } | FabEvent::Wake { node } => node.0,
         }
     }
@@ -183,6 +220,12 @@ impl ShardedWorld for FabWorld {
             }
             FabEvent::Drain { generation, .. } => on_drain(ctx, node, id, now, generation, fx),
             FabEvent::Wake { .. } => on_wake(ctx, node, id, now, fx),
+            FabEvent::SnapshotRequest { from, session, after, .. } => {
+                on_snapshot_request(ctx, node, id, from, session, after, fx)
+            }
+            FabEvent::SnapshotChunk { from, session, entries, done, .. } => {
+                on_snapshot_chunk(ctx, node, id, now, from, session, entries, done, fx)
+            }
         }
     }
 }
@@ -413,6 +456,12 @@ fn commit_batch(
     seq: u64,
     batch: Vec<Vec<u8>>,
 ) {
+    if node.snapshot_syncing {
+        // The node's state is mid-transfer: executing against it would
+        // diverge. The batch is not lost — the post-transfer `SyncRequest`
+        // replays everything committed past the snapshot's floor.
+        return;
+    }
     let height = node.blocks.len() as u64 + 1;
     let mut txs: Vec<Arc<Transaction>> = Vec::with_capacity(batch.len());
     for raw in &batch {
@@ -477,6 +526,139 @@ fn commit_batch(
     node.blocks.push(block);
 }
 
+/// Rebuild the volatile chain bookkeeping (blocks, receipts, executed ids,
+/// PBFT sequence floor) from a state's durable `!b/` records — shared by
+/// the restart path and the snapshot-sync finish.
+fn rebuild_chain_from_state(
+    state: &mut FabricState,
+) -> (u64, HashSet<TxId>, Vec<Block>, Vec<Vec<(TxId, bool)>>) {
+    let mut records: Vec<(u64, Block)> = state
+        .scan_meta(BLOCK_META_PREFIX)
+        .expect("durable store recoverable")
+        .iter()
+        .filter_map(|(_, v)| decode_block_meta(v))
+        .collect();
+    records.sort_by_key(|(_, b)| b.header.height);
+    let mut floor = 0u64;
+    let mut executed = HashSet::new();
+    let mut blocks = Vec::with_capacity(records.len());
+    let mut receipts = Vec::with_capacity(records.len());
+    for (f, block) in records {
+        floor = floor.max(f);
+        for tx in &block.txs {
+            executed.insert(tx.id());
+        }
+        // Receipts were volatile; recovered blocks carry none.
+        receipts.push(Vec::new());
+        blocks.push(block);
+    }
+    (floor, executed, blocks, receipts)
+}
+
+/// Serve one chunk of a pinned store snapshot to a recovering peer. The
+/// first request opens the session; the pin freezes the table set (one
+/// consistent block boundary) while compaction keeps running with file
+/// deletion deferred until the session closes. If the requester dies
+/// mid-transfer the session stays pinned until this peer next restarts —
+/// bounded garbage, matched by real snapshot servers' lease timeouts.
+fn on_snapshot_request(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    me: NodeId,
+    from: NodeId,
+    session: Option<u64>,
+    after: Option<Vec<u8>>,
+    fx: &mut Effects<FabEvent>,
+) {
+    if node.crashed {
+        return;
+    }
+    let snap = session.unwrap_or_else(|| node.state.snapshot_open());
+    let Ok((entries, done)) =
+        node.state.snapshot_chunk(snap, after.as_deref(), ctx.config.snapshot_chunk_bytes)
+    else {
+        // Unknown session (this peer restarted mid-serve): the transfer
+        // stalls exactly like a crashed server would.
+        return;
+    };
+    if done {
+        node.state.snapshot_close(snap);
+    }
+    let bytes = 16 + entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    let entries = Arc::new(entries);
+    fx.send(from.0, bytes, move |_at| FabEvent::SnapshotChunk {
+        to: from,
+        from: me,
+        session: snap,
+        entries,
+        done,
+    });
+}
+
+/// Apply a received snapshot chunk; on the final chunk, rebuild digests
+/// and chain from the transferred store, resume PBFT at the transferred
+/// floor, and replay anything committed since through a `SyncRequest`.
+#[allow(clippy::too_many_arguments)]
+fn on_snapshot_chunk(
+    ctx: &FabCtx,
+    node: &mut FabNode,
+    me: NodeId,
+    now: SimTime,
+    from: NodeId,
+    session: u64,
+    entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+    done: bool,
+    fx: &mut Effects<FabEvent>,
+) {
+    if node.crashed || !node.snapshot_syncing {
+        return;
+    }
+    node.snapshot_chunks += 1;
+    node.snapshot_bytes +=
+        16 + entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    node.state.apply_snapshot_entries(&entries).expect("fresh store healthy");
+    if !done {
+        let after = entries.last().map(|(k, _)| k.clone());
+        fx.send(from.0, 64, move |_at| FabEvent::SnapshotRequest {
+            to: from,
+            from: me,
+            session: Some(session),
+            after,
+        });
+        return;
+    }
+    let buckets = ctx.config.state_buckets;
+    let mem_cap = ctx.config.node_mem_bytes.saturating_sub(ctx.config.mem_base);
+    let state = std::mem::replace(&mut node.state, FabricState::new(1, 0));
+    let mut state =
+        state.rebuild_keeping_chaincodes(buckets, mem_cap).expect("transferred store healthy");
+    let (floor, executed, blocks, receipts) = rebuild_chain_from_state(&mut state);
+    let pbft_config = PbftConfig {
+        n: ctx.config.nodes,
+        batch_size: ctx.config.batch_size,
+        batch_timeout: ctx.config.batch_timeout,
+        view_timeout: ctx.config.view_timeout,
+        ..PbftConfig::default()
+    };
+    node.pbft = PbftNode::resume_at(me, pbft_config, floor);
+    node.state = state;
+    node.blocks = blocks;
+    node.receipts = receipts;
+    node.executed = executed;
+    node.snapshot_syncing = false;
+    if let (Some(t0), Some(target)) = (node.restarted_at, node.sync_target) {
+        if floor >= target {
+            node.recovery_ms = node.recovery_ms.max((now.since(t0).as_micros() / 1000).max(1));
+            node.restarted_at = None;
+            node.sync_target = None;
+        }
+    }
+    // Batches committed while the transfer ran replay through the normal
+    // resync path.
+    send_msg(from, PbftMsg::SyncRequest { from_seq: floor }, fx);
+    schedule_wake(node, me, now, fx);
+}
+
 impl FabricChain {
     /// Build a PBFT network per `config`.
     pub fn new(config: FabricConfig) -> FabricChain {
@@ -513,6 +695,9 @@ impl FabricChain {
                 recovery_ms: 0,
                 resync_blocks: 0,
                 resync_bytes: 0,
+                snapshot_syncing: false,
+                snapshot_chunks: 0,
+                snapshot_bytes: 0,
                 wal_replayed: 0,
                 wal_truncated: 0,
                 exec_conflicts: 0,
@@ -549,8 +734,9 @@ impl FabricChain {
         };
         let buckets = self.config.state_buckets;
         let mem_cap = self.config.node_mem_bytes.saturating_sub(self.config.mem_base);
+        let snapshot_sync_blocks = self.config.snapshot_sync_blocks;
         let contracts = &self.contracts;
-        let floor = self.engine.with_node_mut(id.0, |n| {
+        let (floor, snapshot) = self.engine.with_node_mut(id.0, |n| {
             // Reopen the store from the only thing the crash preserved:
             // the Vfs-backed files.
             let mut state = FabricState::reopen(n.state.vfs(), buckets, mem_cap)
@@ -565,31 +751,29 @@ impl FabricChain {
             // Rebuild the chain from the durable block records. Each
             // record rode the same atomic batch as its state flush, so
             // this list is exactly the blocks whose effects survive.
-            let mut records: Vec<(u64, Block)> = state
-                .scan_meta(BLOCK_META_PREFIX)
-                .expect("durable store recoverable")
-                .iter()
-                .filter_map(|(_, v)| decode_block_meta(v))
-                .collect();
-            records.sort_by_key(|(_, b)| b.header.height);
-            let mut floor = 0u64;
-            let mut executed = HashSet::new();
-            let mut blocks = Vec::with_capacity(records.len());
-            let mut receipts = Vec::with_capacity(records.len());
-            for (f, block) in records {
-                floor = floor.max(f);
-                for tx in &block.txs {
-                    executed.insert(tx.id());
+            let (floor, executed, blocks, receipts) = rebuild_chain_from_state(&mut state);
+            // The gap is known synchronously from the live peer's committed
+            // floor: too deep to replay batch-by-batch → discard the durable
+            // prefix and pull the peer's whole snapshot in bounded chunks.
+            let snapshot =
+                peer_floor.is_some_and(|t| t.saturating_sub(floor) > snapshot_sync_blocks);
+            if snapshot {
+                let mut fresh = FabricState::new(buckets, mem_cap);
+                for (addr, factory) in contracts {
+                    fresh.install(*addr, *factory);
                 }
-                // Receipts were volatile; recovered blocks carry none.
-                receipts.push(Vec::new());
-                blocks.push(block);
+                n.state = fresh;
+                n.blocks = Vec::new();
+                n.receipts = Vec::new();
+                n.executed = HashSet::new();
+            } else {
+                n.state = state;
+                n.blocks = blocks;
+                n.receipts = receipts;
+                n.executed = executed;
             }
+            n.snapshot_syncing = snapshot;
             n.pbft = PbftNode::resume_at(id, pbft_config, floor);
-            n.state = state;
-            n.blocks = blocks;
-            n.receipts = receipts;
-            n.executed = executed;
             n.inbox.clear();
             n.draining = false;
             n.drain_generation += 1;
@@ -598,19 +782,27 @@ impl FabricChain {
             n.crashed = false;
             n.sync_target = peer_floor.filter(|&t| t > floor);
             n.restarted_at = n.sync_target.map(|_| now);
-            floor
+            (floor, snapshot)
         });
         self.network.recover(id);
         if let Some(peer) = peer {
-            // Fetch the committed batches past the durable floor.
-            self.engine.schedule(
-                now,
-                FabEvent::Consensus {
-                    to: peer,
-                    from: id,
-                    msg: PbftMsg::SyncRequest { from_seq: floor },
-                },
-            );
+            if snapshot {
+                // Open a pinned snapshot session on the peer and stream it.
+                self.engine.schedule(
+                    now,
+                    FabEvent::SnapshotRequest { to: peer, from: id, session: None, after: None },
+                );
+            } else {
+                // Fetch the committed batches past the durable floor.
+                self.engine.schedule(
+                    now,
+                    FabEvent::Consensus {
+                        to: peer,
+                        from: id,
+                        msg: PbftMsg::SyncRequest { from_seq: floor },
+                    },
+                );
+            }
         }
         // Restart the PBFT timers.
         self.engine.schedule(now, FabEvent::Wake { node: id });
@@ -769,12 +961,22 @@ impl BlockchainConnector for FabricChain {
         let (mut flushed, mut superseded, mut batches) = (0u64, 0u64, 0u64);
         let (mut wal_replayed, mut wal_truncated) = (0u64, 0u64);
         let (mut recovery_ms, mut resync_blocks, mut resync_bytes) = (0u64, 0u64, 0u64);
+        let (mut stall_ms, mut debt, mut compacted) = (0u64, 0u64, 0u64);
+        let (mut store_written, mut store_logical) = (0u64, 0u64);
+        let (mut snap_chunks, mut snap_bytes) = (0u64, 0u64);
         let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
                 let store_stats = node.state.store_stats();
                 disk += store_stats.disk_bytes;
                 batches += store_stats.batch_writes;
+                stall_ms += store_stats.write_stall_ms;
+                debt += store_stats.compaction_debt_bytes;
+                compacted += store_stats.bytes_compacted;
+                store_written += store_stats.bytes_written;
+                store_logical += store_stats.logical_bytes;
+                snap_chunks += node.snapshot_chunks;
+                snap_bytes += node.snapshot_bytes;
                 wal_replayed += node.wal_replayed;
                 wal_truncated += node.wal_truncated;
                 recovery_ms = recovery_ms.max(node.recovery_ms);
@@ -830,6 +1032,13 @@ impl BlockchainConnector for FabricChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            write_stall_ms: stall_ms,
+            compaction_debt_bytes: debt,
+            bytes_compacted: compacted,
+            storage_bytes_written: store_written,
+            storage_logical_bytes: store_logical,
+            snapshot_chunks: snap_chunks,
+            snapshot_bytes: snap_bytes,
             exec_conflicts,
             exec_serial_us,
             exec_modeled_us,
@@ -1068,6 +1277,69 @@ mod tests {
         assert!(s.recovery_ms > 0);
         let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
         assert_eq!(committed, 60);
+    }
+
+    #[test]
+    fn deep_gap_restart_uses_snapshot_sync_instead_of_replay() {
+        let mut config = FabricConfig::with_nodes(4);
+        config.snapshot_sync_blocks = 3; // force the snapshot path on a modest gap
+        let mut c = FabricChain::new(config);
+        let addr = c.deploy(&ycsb::bundle());
+        for wave in 0..5u64 {
+            c.advance_to(SimTime::from_millis(wave * 400));
+            for k in 0..3u64 {
+                let nonce = wave * 3 + k;
+                c.submit(
+                    NodeId((nonce % 4) as u32),
+                    client_tx(9, nonce, addr, ycsb::write_call(nonce, b"v")),
+                );
+            }
+        }
+        c.advance_to(SimTime::from_secs(4));
+        c.inject(Fault::Crash(NodeId(3)));
+        // The cluster commits well past the threshold while node 3 is down.
+        for wave in 0..12u64 {
+            c.advance_to(SimTime::from_secs(4) + SimDuration::from_millis(wave * 400));
+            for k in 0..3u64 {
+                let nonce = 15 + wave * 3 + k;
+                c.submit(
+                    NodeId((nonce % 3) as u32),
+                    client_tx(9, nonce, addr, ycsb::write_call(nonce, b"w")),
+                );
+            }
+        }
+        c.advance_to(SimTime::from_secs(12));
+        let gap = c.engine.with_node(0, |n| n.pbft.last_committed())
+            - c.engine.with_node(3, |n| n.pbft.last_committed());
+        assert!(gap > 3, "cluster only moved {gap} batches during the outage");
+        c.inject(Fault::Restart(NodeId(3)));
+        // The durable prefix was discarded in favour of a full snapshot pull.
+        assert!(c.engine.with_node(3, |n| n.snapshot_syncing));
+        c.advance_to(SimTime::from_secs(25));
+        // Caught back up: chain and state byte-identical to the cluster.
+        let reference: Vec<Hash256> =
+            c.engine.with_node(0, |n| n.blocks.iter().map(|b| b.id()).collect());
+        let recovered: Vec<Hash256> =
+            c.engine.with_node(3, |n| n.blocks.iter().map(|b| b.id()).collect());
+        assert_eq!(recovered, reference);
+        assert_eq!(
+            c.engine.with_node(3, |n| n.state.root()),
+            c.engine.with_node(0, |n| n.state.root())
+        );
+        let s = c.stats();
+        assert!(s.snapshot_chunks > 0, "snapshot path never engaged");
+        assert!(s.snapshot_bytes > 0);
+        assert!(s.recovery_ms > 0, "recovery never completed");
+        // Only batches committed *during* the transfer replayed; the deep
+        // gap itself travelled as raw store chunks.
+        assert!(
+            (s.resync_blocks as usize) < reference.len() / 2,
+            "replayed {} of {} blocks",
+            s.resync_blocks,
+            reference.len()
+        );
+        let committed: usize = c.confirmed_blocks_since(0).iter().map(|b| b.txs.len()).sum();
+        assert_eq!(committed, 51);
     }
 
     #[test]

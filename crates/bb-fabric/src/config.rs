@@ -43,6 +43,13 @@ pub struct FabricConfig {
     pub state_buckets: usize,
     /// Cores per node.
     pub cores: u32,
+    /// Post-restart catch-up policy: sequence gaps strictly larger than
+    /// this are closed by chunked snapshot state sync (a pinned LSM
+    /// snapshot streamed from a live peer) instead of batch-by-batch
+    /// re-execution. `u64::MAX` disables it.
+    pub snapshot_sync_blocks: u64,
+    /// Payload bytes per snapshot sync chunk.
+    pub snapshot_chunk_bytes: usize,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -67,6 +74,8 @@ impl FabricConfig {
             rpc_delay: SimDuration::from_micros(800),
             state_buckets: 1024,
             cores: 8,
+            snapshot_sync_blocks: 24,
+            snapshot_chunk_bytes: 256 << 10,
             seed: 42,
         }
     }

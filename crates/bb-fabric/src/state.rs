@@ -19,9 +19,9 @@ pub const STORE_PREFIX: &str = "lsm";
 
 fn store_config() -> LsmConfig {
     LsmConfig {
-        // Chain workloads write heavily and never delete: flush less
-        // often and let more tables accumulate before the (full)
-        // compaction rewrites the store.
+        // Chain workloads write heavily and rarely delete: flush less
+        // often and let a deeper L0 stack accumulate before the leveled
+        // compactor starts folding runs down.
         memtable_flush_bytes: 4 << 20,
         max_tables: 48,
         ..LsmConfig::default()
@@ -100,6 +100,67 @@ impl FabricState {
         prefix: &[u8],
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, bb_storage::KvError> {
         self.tree.store_mut().scan_prefix(prefix)
+    }
+
+    /// Pin a consistent snapshot of the backing store for chunked state
+    /// sync. The pin freezes the table set at a block boundary (commits
+    /// are atomic batches), so every chunk of the session reads the same
+    /// state; compaction keeps running and defers file deletion until
+    /// [`Self::snapshot_close`].
+    pub fn snapshot_open(&mut self) -> u64 {
+        self.tree.store_mut().snapshot_open()
+    }
+
+    /// One bounded chunk of pinned snapshot `snap`: live `(key, value)`
+    /// pairs strictly after `after`, up to `max_bytes` of payload.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_chunk(
+        &mut self,
+        snap: u64,
+        after: Option<&[u8]>,
+        max_bytes: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, bool), bb_storage::KvError> {
+        self.tree.store_mut().snapshot_chunk(snap, after, max_bytes)
+    }
+
+    /// Release a pinned snapshot (reclaims any deferred file deletions).
+    pub fn snapshot_close(&mut self, snap: u64) {
+        self.tree.store_mut().snapshot_close(snap)
+    }
+
+    /// Apply raw transferred `(key, value)` entries straight to the
+    /// backing store (the snapshot-sync receive path). Bucket digests are
+    /// not maintained — the receiver rebuilds them once via
+    /// [`Self::rebuild_keeping_chaincodes`] when the transfer completes.
+    pub fn apply_snapshot_entries(
+        &mut self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(), bb_storage::KvError> {
+        let mut batch = bb_storage::WriteBatch::new();
+        for (k, v) in entries {
+            batch.put(k, v);
+        }
+        self.tree.store_mut().apply_batch(batch)
+    }
+
+    /// Reopen this state's own store and recompute the bucket digests from
+    /// it, carrying the installed chaincodes over — the final step of a
+    /// snapshot sync, after [`Self::apply_snapshot_entries`] has streamed
+    /// the full key space in.
+    pub fn rebuild_keeping_chaincodes(
+        self,
+        buckets: usize,
+        mem_cap: u64,
+    ) -> Result<FabricState, bb_storage::KvError> {
+        let vfs = self.vfs();
+        let FabricState { tree, chaincodes, mem: _ } = self;
+        drop(tree); // release the old store before reopening its files
+        let store = LsmStore::open(vfs, STORE_PREFIX, store_config())?;
+        Ok(FabricState {
+            tree: BucketTree::rebuild(store, buckets)?,
+            chaincodes,
+            mem: MemMeter::new(mem_cap),
+        })
     }
 
     /// Install (deploy) a chaincode at `addr`.

@@ -68,6 +68,50 @@ pub enum PoaEvent {
         /// Recovering node.
         from: NodeId,
     },
+    /// A deeply-lagged restarted authority asks a peer for a chunk of its
+    /// state store (trie nodes, content-addressed) instead of replaying the
+    /// whole chain transaction-by-transaction.
+    SnapshotRequest {
+        /// Serving peer.
+        to: NodeId,
+        /// Recovering node.
+        from: NodeId,
+        /// Resume after this key (exclusive); `None` starts the stream.
+        after: Option<Vec<u8>>,
+    },
+    /// One bounded chunk of a peer's state store.
+    SnapshotChunk {
+        /// Recovering node.
+        to: NodeId,
+        /// Serving peer.
+        from: NodeId,
+        /// Raw `(key, value)` store entries.
+        entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+        /// True when the peer's key space is exhausted.
+        done: bool,
+    },
+    /// After the state transfer: ask for main-chain bodies from `height` up.
+    ChainRequest {
+        /// Serving peer.
+        to: NodeId,
+        /// Recovering node.
+        from: NodeId,
+        /// First wanted height.
+        height: u64,
+    },
+    /// A bounded run of main-chain `(block, state root)` pairs. The roots
+    /// are trusted — the recovering node's freshly transferred store already
+    /// holds every trie node they reach, so adoption skips re-execution.
+    ChainChunk {
+        /// Recovering node.
+        to: NodeId,
+        /// Serving peer.
+        from: NodeId,
+        /// Consecutive main-chain blocks with their committed roots.
+        blocks: Arc<Vec<(Arc<Block>, Hash256)>>,
+        /// True when the peer's head was reached.
+        done: bool,
+    },
 }
 
 struct PoaNode {
@@ -102,6 +146,13 @@ struct PoaNode {
     resync_blocks: u64,
     /// Bytes of those blocks.
     resync_bytes: u64,
+    /// Set while a snapshot transfer is in flight; block gossip is ignored
+    /// until the transferred chain is adopted wholesale.
+    snapshot_syncing: bool,
+    /// Snapshot chunks received (state + chain phases).
+    snapshot_chunks: u64,
+    /// Payload bytes of those chunks.
+    snapshot_bytes: u64,
     /// Optimistic-executor counters (see `PlatformStats`).
     exec_conflicts: u64,
     exec_serial_us: u64,
@@ -164,7 +215,11 @@ impl ShardedWorld for PoaWorld {
             PoaEvent::TxAdmit { to, .. }
             | PoaEvent::BlockArrive { to, .. }
             | PoaEvent::BlockRequest { to, .. }
-            | PoaEvent::HeadRequest { to, .. } => to.0,
+            | PoaEvent::HeadRequest { to, .. }
+            | PoaEvent::SnapshotRequest { to, .. }
+            | PoaEvent::SnapshotChunk { to, .. }
+            | PoaEvent::ChainRequest { to, .. }
+            | PoaEvent::ChainChunk { to, .. } => to.0,
         }
     }
 
@@ -185,6 +240,18 @@ impl ShardedWorld for PoaWorld {
                 on_block_request(ctx, node, id, now, wanted, from, fx)
             }
             PoaEvent::HeadRequest { from, .. } => on_head_request(ctx, node, id, from, fx),
+            PoaEvent::SnapshotRequest { from, after, .. } => {
+                on_snapshot_request(ctx, node, id, from, after, fx)
+            }
+            PoaEvent::SnapshotChunk { from, entries, done, .. } => {
+                on_snapshot_chunk(ctx, node, id, from, entries, done, fx)
+            }
+            PoaEvent::ChainRequest { from, height, .. } => {
+                on_chain_request(ctx, node, id, from, height, fx)
+            }
+            PoaEvent::ChainChunk { from, blocks, done, .. } => {
+                on_chain_chunk(ctx, node, id, now, from, blocks, done, fx)
+            }
         }
     }
 }
@@ -517,13 +584,32 @@ fn on_block(
         return;
     }
     if node.restarted_at.is_some() {
-        node.resync_blocks += 1;
-        node.resync_bytes += block.byte_size();
+        if node.snapshot_syncing {
+            // A wholesale transfer is in flight; the chain arrives via
+            // `ChainChunk` and anything mined meanwhile is re-fetched by
+            // the post-transfer head walk.
+            return;
+        }
         if node.sync_target.is_none() {
             // First arrival after a restart is the head-request reply: its
             // height is the gap this node must close.
             node.sync_target = Some(block.header.height.max(node.tree.head_height()));
+            let gap = block.header.height.saturating_sub(node.tree.head_height());
+            if gap > ctx.config.snapshot_sync_blocks {
+                // Too far behind to replay block-by-block: pull the peer's
+                // state store in bounded chunks, then the chain with
+                // trusted roots.
+                node.snapshot_syncing = true;
+                fx.send(from.0, 64, move |_at| PoaEvent::SnapshotRequest {
+                    to: from,
+                    from: me,
+                    after: None,
+                });
+                return;
+            }
         }
+        node.resync_blocks += 1;
+        node.resync_bytes += block.byte_size();
     }
     adopt_block(ctx, node, now, me, block, Some(from), fx);
     if let (Some(t0), Some(target)) = (node.restarted_at, node.sync_target) {
@@ -577,6 +663,154 @@ fn on_head_request(
         let body = Arc::clone(body);
         let bytes = body.byte_size();
         fx.send(from.0, bytes, move |_at| PoaEvent::BlockArrive { to: from, block: body, from: me });
+    }
+}
+
+/// Serve one bounded chunk of this node's state store to a recovering peer.
+/// Parity's store is in-memory and content-addressed (trie nodes are never
+/// rewritten), so a plain cursor scan over the live store is consistent:
+/// entries added behind the cursor mid-transfer are newer trie nodes the
+/// trailing chain chunks' roots never reach.
+fn on_snapshot_request(
+    ctx: &PoaCtx,
+    node: &mut PoaNode,
+    me: NodeId,
+    from: NodeId,
+    after: Option<Vec<u8>>,
+    fx: &mut Effects<PoaEvent>,
+) {
+    if ctx.crashed[me.index()] {
+        return;
+    }
+    let (entries, done) = node
+        .state
+        .store_mut()
+        .scan_range_chunk(after.as_deref(), ctx.config.snapshot_chunk_bytes)
+        .expect("in-memory store scans are infallible");
+    let bytes = 16 + entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    let entries = Arc::new(entries);
+    fx.send(from.0, bytes, move |_at| PoaEvent::SnapshotChunk {
+        to: from,
+        from: me,
+        entries,
+        done,
+    });
+}
+
+/// Apply a received state chunk and request the next one; once the key
+/// space is exhausted, switch to the chain phase.
+fn on_snapshot_chunk(
+    ctx: &PoaCtx,
+    node: &mut PoaNode,
+    me: NodeId,
+    from: NodeId,
+    entries: Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+    done: bool,
+    fx: &mut Effects<PoaEvent>,
+) {
+    if ctx.crashed[me.index()] || !node.snapshot_syncing {
+        return;
+    }
+    node.snapshot_chunks += 1;
+    node.snapshot_bytes +=
+        16 + entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+    let mut batch = bb_storage::WriteBatch::new();
+    for (k, v) in entries.iter() {
+        batch.put(k, v);
+    }
+    // A full store is the same OOM surface as execution: the transfer keeps
+    // going and the missing nodes resurface through reads, not a panic.
+    let _ = node.state.store_mut().apply_batch(batch);
+    if !done {
+        let after = entries.last().map(|(k, _)| k.clone());
+        fx.send(from.0, 64, move |_at| PoaEvent::SnapshotRequest { to: from, from: me, after });
+    } else {
+        fx.send(from.0, 64, move |_at| PoaEvent::ChainRequest { to: from, from: me, height: 1 });
+    }
+}
+
+/// Serve a bounded run of main-chain `(block, root)` pairs from `height` up.
+fn on_chain_request(
+    ctx: &PoaCtx,
+    node: &mut PoaNode,
+    me: NodeId,
+    from: NodeId,
+    height: u64,
+    fx: &mut Effects<PoaEvent>,
+) {
+    if ctx.crashed[me.index()] {
+        return;
+    }
+    let head_height = node.tree.head_height();
+    let mut blocks = Vec::new();
+    let mut bytes = 16u64;
+    let mut h = height;
+    while h <= head_height {
+        let Some(id) = node.tree.main_chain_at(h) else { break };
+        let (Some(body), Some(&root)) = (node.bodies.get(&id), node.roots.get(&id)) else { break };
+        bytes += body.byte_size() + 32;
+        blocks.push((Arc::clone(body), root));
+        h += 1;
+        if bytes as usize >= ctx.config.snapshot_chunk_bytes {
+            break;
+        }
+    }
+    let done = h > head_height;
+    let blocks = Arc::new(blocks);
+    fx.send(from.0, bytes, move |_at| PoaEvent::ChainChunk { to: from, from: me, blocks, done });
+}
+
+/// Adopt a transferred chain run wholesale: the roots are trusted and every
+/// trie node they reach already sits in the freshly transferred store, so
+/// no transaction is re-executed. Receipts are not reconstructed (the
+/// observer never snapshot-syncs in the experiments; queries that need
+/// them fall back to the serving peers).
+fn on_chain_chunk(
+    ctx: &PoaCtx,
+    node: &mut PoaNode,
+    me: NodeId,
+    now: SimTime,
+    from: NodeId,
+    blocks: Arc<Vec<(Arc<Block>, Hash256)>>,
+    done: bool,
+    fx: &mut Effects<PoaEvent>,
+) {
+    if ctx.crashed[me.index()] || !node.snapshot_syncing {
+        return;
+    }
+    node.snapshot_chunks += 1;
+    node.snapshot_bytes +=
+        16 + blocks.iter().map(|(b, _)| b.byte_size() + 32).sum::<u64>();
+    for (block, root) in blocks.iter() {
+        let id = block.id();
+        node.tree.insert(id, block.header.parent, block.header.difficulty);
+        node.bodies.insert(id, Arc::clone(block));
+        node.roots.insert(id, *root);
+        node.receipts.insert(id, Vec::new());
+        for tx in &block.txs {
+            node.seen.insert(tx.id());
+        }
+    }
+    if !done {
+        let next = node.tree.head_height() + 1;
+        fx.send(from.0, 64, move |_at| PoaEvent::ChainRequest { to: from, from: me, height: next });
+        return;
+    }
+    let head = node.tree.head();
+    node.state.set_root(node.roots[&head]);
+    node.snapshot_syncing = false;
+    prune_main_chain(node);
+    if let (Some(t0), Some(target)) = (node.restarted_at, node.sync_target) {
+        if node.tree.head_height() >= target {
+            node.recovery_ms = node.recovery_ms.max((now.since(t0).as_micros() / 1000).max(1));
+            node.restarted_at = None;
+            node.sync_target = None;
+        }
+    }
+    // Close the gap mined during the transfer through the normal head walk.
+    fx.send(from.0, 64, move |_at| PoaEvent::HeadRequest { to: from, from: me });
+    if me.index() == 0 {
+        refresh_confirmed(ctx, node, now);
     }
 }
 
@@ -658,6 +892,9 @@ impl ParityChain {
                     recovery_ms: 0,
                     resync_blocks: 0,
                     resync_bytes: 0,
+                    snapshot_syncing: false,
+                    snapshot_chunks: 0,
+                    snapshot_bytes: 0,
                     exec_conflicts: 0,
                     exec_serial_us: 0,
                     exec_modeled_us: 0,
@@ -736,6 +973,9 @@ impl ParityChain {
                 recovery_ms: n.recovery_ms,
                 resync_blocks: n.resync_blocks,
                 resync_bytes: n.resync_bytes,
+                snapshot_syncing: false,
+                snapshot_chunks: n.snapshot_chunks,
+                snapshot_bytes: n.snapshot_bytes,
                 exec_conflicts: n.exec_conflicts,
                 exec_serial_us: n.exec_serial_us,
                 exec_modeled_us: n.exec_modeled_us,
@@ -944,6 +1184,8 @@ impl BlockchainConnector for ParityChain {
         let (mut flushed, mut dropped, mut batches) = (0u64, 0u64, 0u64);
         let mut recovery_ms = 0u64;
         let (mut resync_blocks, mut resync_bytes) = (0u64, 0u64);
+        let (mut snap_chunks, mut snap_bytes) = (0u64, 0u64);
+        let (mut store_written, mut store_logical) = (0u64, 0u64);
         let (mut exec_conflicts, mut exec_serial_us, mut exec_modeled_us) = (0u64, 0u64, 0u64);
         for i in 0..self.config.nodes {
             self.engine.with_node(i, |node| {
@@ -957,6 +1199,10 @@ impl BlockchainConnector for ParityChain {
                 recovery_ms = recovery_ms.max(node.recovery_ms);
                 resync_blocks += node.resync_blocks;
                 resync_bytes += node.resync_bytes;
+                snap_chunks += node.snapshot_chunks;
+                snap_bytes += node.snapshot_bytes;
+                store_written += node.state.store().stats().bytes_written;
+                store_logical += node.state.store().stats().logical_bytes;
                 exec_conflicts += node.exec_conflicts;
                 exec_serial_us += node.exec_serial_us;
                 exec_modeled_us += node.exec_modeled_us;
@@ -998,6 +1244,10 @@ impl BlockchainConnector for ParityChain {
             recovery_ms,
             resync_blocks,
             resync_bytes,
+            snapshot_chunks: snap_chunks,
+            snapshot_bytes: snap_bytes,
+            storage_bytes_written: store_written,
+            storage_logical_bytes: store_logical,
             exec_conflicts,
             exec_serial_us,
             exec_modeled_us,
@@ -1288,6 +1538,51 @@ mod tests {
         assert!(stats.recovery_ms > 0, "recovery never completed");
         // A full resync: at least the whole pre-crash chain was re-fetched.
         assert!(stats.resync_blocks as u64 >= cluster_head, "resynced only {} blocks", stats.resync_blocks);
+    }
+
+    #[test]
+    fn deep_gap_restart_uses_snapshot_sync_instead_of_replay() {
+        let mut config = ParityConfig::with_nodes(4);
+        config.snapshot_sync_blocks = 4; // force the snapshot path on a modest gap
+        let mut c = ParityChain::new(config);
+        let contract = c.deploy(&ycsb::bundle());
+        for nonce in 0..16 {
+            c.submit(NodeId((nonce % 4) as u32), client_tx(1, nonce, contract, ycsb::write_call(nonce, b"v")));
+        }
+        c.advance_to(SimTime::from_secs(8));
+        c.inject(Fault::Crash(NodeId(3)));
+        // Let the gap grow well past the snapshot threshold.
+        c.advance_to(SimTime::from_secs(30));
+        let cluster_head = c.engine.with_node(0, |n| n.tree.head_height());
+        c.inject(Fault::Restart(NodeId(3)));
+        c.advance_to(SimTime::from_secs(45));
+        let stats = c.stats();
+        assert!(stats.snapshot_chunks > 0, "snapshot path never engaged");
+        assert!(stats.snapshot_bytes > 0);
+        assert!(stats.recovery_ms > 0, "recovery never completed");
+        // The chain gap was closed by chunk transfer, not block replay: only
+        // the handful of blocks mined during the transfer were re-fetched.
+        assert!(
+            stats.resync_blocks < cluster_head / 2,
+            "replayed {} of a {}-block gap",
+            stats.resync_blocks,
+            cluster_head
+        );
+        let h3 = c.engine.with_node(3, |n| n.tree.head_height());
+        let h0 = c.engine.with_node(0, |n| n.tree.head_height());
+        assert!(h0.abs_diff(h3) <= 2, "restarted node lags: h0={h0} h3={h3}");
+        // The transferred store really carries the state: the restarted node
+        // resolves an account at a common root without ever re-executing.
+        let common = h3.min(cluster_head);
+        let id = c.engine.with_node(0, |n| n.tree.main_chain_at(common)).unwrap();
+        let root = c.engine.with_node(0, |n| n.roots[&id]);
+        assert_eq!(c.engine.with_node(3, |n| n.roots[&id]), root);
+        let client = Address::from_public_key(&KeyPair::from_seed(1).public());
+        let a0 = c.engine.with_node_mut(0, |n| n.state.account_at(root, &client).unwrap());
+        let a3 = c.engine.with_node_mut(3, |n| n.state.account_at(root, &client).unwrap());
+        assert_eq!(a0.nonce, a3.nonce);
+        assert_eq!(a0.balance, a3.balance);
+        assert!(a0.nonce > 0, "client transactions never landed");
     }
 
     /// Same seed, serial vs forced-parallel: byte-identical results.

@@ -49,6 +49,12 @@ pub struct ParityConfig {
     pub rpc_delay: SimDuration,
     /// Cores reserved for the node process.
     pub cores: u32,
+    /// Post-restart catch-up policy: gaps strictly larger than this many
+    /// blocks are closed by chunked snapshot sync (state store + trusted
+    /// chain) instead of per-block re-execution. `u64::MAX` disables it.
+    pub snapshot_sync_blocks: u64,
+    /// Payload bytes per snapshot sync chunk.
+    pub snapshot_chunk_bytes: usize,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -71,6 +77,8 @@ impl ParityConfig {
             node_mem_bytes: 32 << 30,
             rpc_delay: SimDuration::from_micros(800),
             cores: 8,
+            snapshot_sync_blocks: 24,
+            snapshot_chunk_bytes: 256 << 10,
             seed: 42,
         }
     }

@@ -106,6 +106,33 @@ pub trait KvStore {
     /// order. Used by analytics scans and the bucket tree rebuild.
     fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError>;
 
+    /// A bounded run of live pairs with key strictly greater than `after`,
+    /// in key order, stopping once `max_bytes` of key+value payload have
+    /// accumulated. Returns `(entries, done)`; `done` means the key space
+    /// is exhausted. Snapshot state sync serves its chunks through this.
+    /// The default scans everything and slices — engines with real cursors
+    /// (the LSM store's pinned snapshots) do better.
+    #[allow(clippy::type_complexity)]
+    fn scan_range_chunk(
+        &mut self,
+        after: Option<&[u8]>,
+        max_bytes: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, bool), KvError> {
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for (k, v) in self.scan_prefix(b"")? {
+            if after.is_some_and(|a| k.as_slice() <= a) {
+                continue;
+            }
+            bytes += k.len() + v.len();
+            out.push((k, v));
+            if bytes >= max_bytes {
+                return Ok((out, false));
+            }
+        }
+        Ok((out, true))
+    }
+
     /// Engine statistics snapshot.
     fn stats(&self) -> StorageStats;
 }

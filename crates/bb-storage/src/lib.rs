@@ -9,8 +9,8 @@
 //!   and read, giving the disk-usage numbers of Figure 12 without real I/O;
 //! - [`MemStore`]: a plain ordered in-memory store (Parity's model);
 //! - [`LsmStore`]: a real log-structured merge tree — write-ahead log,
-//!   memtable, sorted immutable SSTables with bloom filters and a sparse
-//!   index, size-tiered compaction — the LevelDB/RocksDB stand-in;
+//!   memtable, leveled sorted immutable SSTables with bloom filters and a
+//!   sparse index, incremental compaction — the LevelDB/RocksDB stand-in;
 //! - [`StorageStats`]: counters every engine exposes to the benchmark.
 //!
 //! Engines implement the common [`KvStore`] trait so the Merkle layers and
@@ -25,6 +25,8 @@ pub mod vfs;
 
 pub use fault::{FaultCounters, FaultVfs};
 pub use kv::{KvError, KvStore, WriteBatch};
+pub use lsm::merge::KWayMerge;
+pub use lsm::sstable::{SsTable, TableBuilder};
 pub use lsm::store::{LsmConfig, LsmStore};
 pub use lsm::wal::{Wal, WalRecord, WalReplay};
 pub use memstore::MemStore;

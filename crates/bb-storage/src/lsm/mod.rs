@@ -4,13 +4,16 @@
 //!
 //! Writes land in a write-ahead [`wal`] and an in-memory [`memtable`]; when
 //! the memtable exceeds its budget it flushes to an immutable sorted
-//! [`sstable`] with a bloom filter and sparse index; reads consult the
-//! memtable then SSTables newest-first; when enough tables accumulate the
-//! [`store`] merges them (size-tiered full compaction), dropping shadowed
-//! versions and tombstones.
+//! [`sstable`] with a bloom filter and sparse index. Tables live in levels
+//! (L0 overlapping flush output, L1+ disjoint key ranges); the [`store`]
+//! runs incremental leveled compaction — one victim table plus its
+//! next-level overlap per trigger, streamed through a [`merge`] k-way
+//! iterator — dropping shadowed versions, and tombstones once they reach
+//! the bottom level.
 
 pub mod bloom;
 pub mod memtable;
+pub mod merge;
 pub mod sstable;
 pub mod store;
 pub mod wal;

@@ -20,8 +20,10 @@ use crate::vfs::Vfs;
 const MAGIC: u32 = 0x5354_424c; // "STBL"
 
 /// Handle to one on-"disk" table, with its bloom filter and sparse index
-/// resident in memory.
-#[derive(Debug)]
+/// resident in memory. Clone is cheap relative to the file (bloom bits +
+/// sparse index only) and lets snapshot sessions pin a table set while the
+/// store keeps compacting.
+#[derive(Debug, Clone)]
 pub struct SsTable {
     file: String,
     bloom: Bloom,
@@ -29,6 +31,104 @@ pub struct SsTable {
     index: Vec<(Vec<u8>, u64)>,
     entry_count: u64,
     data_end: u64,
+    /// Key range `[first_key, last_key]`; both empty when the table is.
+    /// Leveled compaction uses these to find next-level overlaps without
+    /// touching the file.
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+}
+
+/// Streaming SSTable writer: entries are appended in key order and the
+/// body grows incrementally, so compaction can merge arbitrarily many
+/// input tables while holding one output buffer (plus bloom + sparse
+/// index) rather than a whole-store map.
+///
+/// `expected` only sizes the bloom filter — an over-estimate (e.g. the sum
+/// of input entry counts before shadowed versions are shed) just yields a
+/// slightly roomier filter.
+pub struct TableBuilder {
+    body: Vec<u8>,
+    bloom: Bloom,
+    index: Vec<(Vec<u8>, u64)>,
+    index_interval: usize,
+    entry_count: u64,
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    pub fn new(expected: usize, bits_per_key: u32, index_interval: usize) -> TableBuilder {
+        TableBuilder {
+            body: Vec::new(),
+            bloom: Bloom::new(expected, bits_per_key),
+            index: Vec::new(),
+            index_interval: index_interval.max(1),
+            entry_count: 0,
+            first_key: Vec::new(),
+            last_key: Vec::new(),
+        }
+    }
+
+    /// Append one entry; keys must arrive in strictly ascending order.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        debug_assert!(
+            self.entry_count == 0 || self.last_key.as_slice() < key,
+            "SSTable entries must be strictly sorted"
+        );
+        if self.entry_count as usize % self.index_interval == 0 {
+            self.index.push((key.to_vec(), self.body.len() as u64));
+        }
+        self.bloom.insert(key);
+        self.body.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        self.body.extend_from_slice(key);
+        match value {
+            Some(v) => {
+                self.body.push(0);
+                self.body.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                self.body.extend_from_slice(v);
+            }
+            None => {
+                self.body.push(1);
+                self.body.extend_from_slice(&0u32.to_be_bytes());
+            }
+        }
+        if self.entry_count == 0 {
+            self.first_key = key.to_vec();
+        }
+        self.last_key = key.to_vec();
+        self.entry_count += 1;
+    }
+
+    /// Bytes of entry data accumulated so far — compaction's output-split
+    /// threshold.
+    pub fn data_bytes(&self) -> u64 {
+        self.body.len() as u64
+    }
+
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Append bloom, index and footer, write the file in one atomic `write`
+    /// and return the handle.
+    pub fn finish(self, vfs: &mut Vfs, file: &str) -> SsTable {
+        let TableBuilder { mut body, bloom, index, entry_count, first_key, last_key, .. } = self;
+        let data_end = body.len() as u64;
+        let bloom_off = body.len() as u64;
+        body.extend_from_slice(&bloom.encode());
+        let index_off = body.len() as u64;
+        for (key, off) in &index {
+            body.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            body.extend_from_slice(key);
+            body.extend_from_slice(&off.to_be_bytes());
+        }
+        body.extend_from_slice(&bloom_off.to_be_bytes());
+        body.extend_from_slice(&index_off.to_be_bytes());
+        body.extend_from_slice(&entry_count.to_be_bytes());
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        vfs.write(file, &body);
+        SsTable { file: file.to_string(), bloom, index, entry_count, data_end, first_key, last_key }
+    }
 }
 
 impl SsTable {
@@ -42,47 +142,11 @@ impl SsTable {
         bits_per_key: u32,
         index_interval: usize,
     ) -> SsTable {
-        debug_assert!(
-            entries.windows(2).all(|w| w[0].0 < w[1].0),
-            "SSTable entries must be strictly sorted"
-        );
-        let mut body = Vec::new();
-        let mut bloom = Bloom::new(entries.len(), bits_per_key);
-        let mut index = Vec::new();
-        for (i, (key, value)) in entries.iter().enumerate() {
-            if i % index_interval.max(1) == 0 {
-                index.push((key.clone(), body.len() as u64));
-            }
-            bloom.insert(key);
-            body.extend_from_slice(&(key.len() as u32).to_be_bytes());
-            body.extend_from_slice(key);
-            match value {
-                Some(v) => {
-                    body.push(0);
-                    body.extend_from_slice(&(v.len() as u32).to_be_bytes());
-                    body.extend_from_slice(v);
-                }
-                None => {
-                    body.push(1);
-                    body.extend_from_slice(&0u32.to_be_bytes());
-                }
-            }
+        let mut b = TableBuilder::new(entries.len(), bits_per_key, index_interval);
+        for (key, value) in entries {
+            b.add(key, value.as_deref());
         }
-        let data_end = body.len() as u64;
-        let bloom_off = body.len() as u64;
-        body.extend_from_slice(&bloom.encode());
-        let index_off = body.len() as u64;
-        for (key, off) in &index {
-            body.extend_from_slice(&(key.len() as u32).to_be_bytes());
-            body.extend_from_slice(key);
-            body.extend_from_slice(&off.to_be_bytes());
-        }
-        body.extend_from_slice(&bloom_off.to_be_bytes());
-        body.extend_from_slice(&index_off.to_be_bytes());
-        body.extend_from_slice(&(entries.len() as u64).to_be_bytes());
-        body.extend_from_slice(&MAGIC.to_be_bytes());
-        vfs.write(file, &body);
-        SsTable { file: file.to_string(), bloom, index, entry_count: entries.len() as u64, data_end }
+        b.finish(vfs, file)
     }
 
     /// Re-open a table written earlier (store restart path).
@@ -121,7 +185,25 @@ impl SsTable {
             pos += 8;
             index.push((key, off));
         }
-        Ok(SsTable { file: file.to_string(), bloom, index, entry_count, data_end: bloom_off as u64 })
+        let first_key = index.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        let mut last_key = first_key.clone();
+        if let Some((_, off)) = index.last() {
+            // The footer stores no key range; recover the last key by
+            // scanning the final index interval.
+            let tail = &data[*off as usize..bloom_off];
+            for (k, _) in EntryIter::new(tail) {
+                last_key = k.to_vec();
+            }
+        }
+        Ok(SsTable {
+            file: file.to_string(),
+            bloom,
+            index,
+            entry_count,
+            data_end: bloom_off as u64,
+            first_key,
+            last_key,
+        })
     }
 
     /// Point lookup. `Ok(Some(None))` means a tombstone: the key is deleted
@@ -162,6 +244,28 @@ impl SsTable {
         Ok(EntryIter::new(&data).map(|(k, v)| (k.to_vec(), v.map(|v| v.to_vec()))).collect())
     }
 
+    /// Raw entry-region bytes, for the streaming k-way merge.
+    pub fn entry_region(&self, vfs: &mut Vfs) -> Result<Vec<u8>, KvError> {
+        vfs.read_at(&self.file, 0, self.data_end as usize)
+            .map_err(|e| KvError::Corrupt(e.to_string()))
+    }
+
+    /// Entry-region suffix starting at the sparse-index interval that may
+    /// contain `from` — snapshot chunking resumes a table scan without
+    /// re-reading bytes already shipped. `from = None` reads everything.
+    pub fn entry_region_from(&self, vfs: &mut Vfs, from: Option<&[u8]>) -> Result<Vec<u8>, KvError> {
+        let start = match from {
+            None => 0,
+            Some(key) => match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => self.index[i].1,
+                Err(0) => 0,
+                Err(i) => self.index[i - 1].1,
+            },
+        };
+        vfs.read_at(&self.file, start as usize, (self.data_end - start) as usize)
+            .map_err(|e| KvError::Corrupt(e.to_string()))
+    }
+
     /// Entry count written at build time.
     pub fn len(&self) -> u64 {
         self.entry_count
@@ -180,6 +284,30 @@ impl SsTable {
     /// File size on the VFS.
     pub fn file_size(&self, vfs: &Vfs) -> u64 {
         vfs.file_size(&self.file).unwrap_or(0)
+    }
+
+    /// Bytes of entry data (excludes bloom/index/footer) — the unit the
+    /// leveled-compaction size targets and debt are measured in.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_end
+    }
+
+    /// Smallest key in the table; `None` when empty.
+    pub fn first_key(&self) -> Option<&[u8]> {
+        (self.entry_count > 0).then_some(self.first_key.as_slice())
+    }
+
+    /// Largest key in the table; `None` when empty.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        (self.entry_count > 0).then_some(self.last_key.as_slice())
+    }
+
+    /// Does `[first_key, last_key]` intersect `[lo, hi]`?
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        match (self.first_key(), self.last_key()) {
+            (Some(f), Some(l)) => f <= hi && lo <= l,
+            _ => false,
+        }
     }
 }
 
@@ -304,6 +432,60 @@ mod tests {
         let t = SsTable::build(&mut vfs, "sst/1", &es, 10, 16);
         assert_eq!(t.get(&mut vfs, b"dead").unwrap(), Some(None));
         assert_eq!(t.get(&mut vfs, b"live").unwrap(), Some(Some(b"v".to_vec())));
+    }
+
+    #[test]
+    fn key_range_survives_reopen() {
+        let mut vfs = Vfs::new();
+        let es = entries(100);
+        let built = SsTable::build(&mut vfs, "sst/1", &es, 10, 16);
+        assert_eq!(built.first_key(), Some(b"key000000".as_slice()));
+        assert_eq!(built.last_key(), Some(b"key000099".as_slice()));
+        let reopened = SsTable::open(&mut vfs, "sst/1").unwrap();
+        assert_eq!(reopened.first_key(), built.first_key());
+        assert_eq!(reopened.last_key(), built.last_key());
+        assert_eq!(reopened.data_bytes(), built.data_bytes());
+        assert!(built.overlaps(b"key000050", b"zzz"));
+        assert!(!built.overlaps(b"key000100", b"zzz"));
+        let empty = SsTable::build(&mut vfs, "sst/e", &[], 10, 16);
+        assert_eq!(empty.first_key(), None);
+        assert!(!empty.overlaps(b"", b"\xff"));
+    }
+
+    #[test]
+    fn entry_region_from_resumes_mid_table() {
+        let mut vfs = Vfs::new();
+        let es = entries(100);
+        let t = SsTable::build(&mut vfs, "sst/1", &es, 10, 8);
+        // Full region parses back to every entry.
+        let full = t.entry_region_from(&mut vfs, None).unwrap();
+        assert_eq!(full, t.entry_region(&mut vfs).unwrap());
+        let all: Vec<_> = EntryIter::new(&full).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(all.len(), 100);
+        // Resuming after key 57 must include key 57's interval (caller
+        // re-filters), and must include every later key.
+        let tail = t.entry_region_from(&mut vfs, Some(b"key000057")).unwrap();
+        let keys: Vec<_> = EntryIter::new(&tail).map(|(k, _)| k.to_vec()).collect();
+        assert!(keys.contains(&b"key000057".to_vec()));
+        assert!(keys.contains(&b"key000099".to_vec()));
+        assert!(keys.len() < 100, "suffix read should skip shipped intervals");
+        // Before the first key: everything.
+        let head = t.entry_region_from(&mut vfs, Some(b"aaa")).unwrap();
+        assert_eq!(head, full);
+    }
+
+    #[test]
+    fn builder_streams_identical_bytes_to_build() {
+        let mut v1 = Vfs::new();
+        let mut v2 = Vfs::new();
+        let es = entries(64);
+        SsTable::build(&mut v1, "sst/a", &es, 10, 16);
+        let mut b = TableBuilder::new(es.len(), 10, 16);
+        for (k, v) in &es {
+            b.add(k, v.as_deref());
+        }
+        b.finish(&mut v2, "sst/a");
+        assert_eq!(v1.read("sst/a").unwrap(), v2.read("sst/a").unwrap());
     }
 
     #[test]

@@ -28,6 +28,20 @@ pub struct StorageStats {
     /// Torn/corrupt WAL tails truncated away at open (0 or 1 per open;
     /// summed across nodes by the platforms).
     pub wal_tail_truncated: u64,
+    /// Logical payload bytes accepted (keys + values of puts, keys of
+    /// deletes) — the write-amplification denominator.
+    pub logical_bytes: u64,
+    /// Cumulative bytes of entry data fed through compaction merges.
+    /// Bounded per trigger under leveled compaction: the victim plus its
+    /// next-level overlap, never the whole store.
+    pub bytes_compacted: u64,
+    /// Bytes currently above the per-level size targets (L0 excess tables
+    /// plus over-target L1+ levels) — the backlog the compactor still owes.
+    pub compaction_debt_bytes: u64,
+    /// Modeled write-stall time: milliseconds foreground writes would have
+    /// waited on compaction at ~64 MiB/s. Deterministic (derived from
+    /// bytes, never wall-clock) so sharded runs stay byte-identical.
+    pub write_stall_ms: u64,
 }
 
 impl StorageStats {
@@ -39,6 +53,11 @@ impl StorageStats {
         } else {
             Some(self.bytes_written as f64 / logical_bytes as f64)
         }
+    }
+
+    /// Write amplification against the store's own logical-byte counter.
+    pub fn write_amp(&self) -> Option<f64> {
+        self.write_amplification(self.logical_bytes)
     }
 }
 

@@ -57,6 +57,25 @@ pub struct PlatformStats {
     pub resync_blocks: u64,
     /// Bytes of blocks re-fetched during post-restart catch-up.
     pub resync_bytes: u64,
+    /// Modeled milliseconds foreground writes would have stalled on LSM
+    /// compaction across all nodes (deterministic, derived from merged
+    /// bytes at ~64 MiB/s — zero on stores without compaction).
+    pub write_stall_ms: u64,
+    /// Bytes currently sitting above the stores' per-level compaction size
+    /// targets — the background-maintenance backlog.
+    pub compaction_debt_bytes: u64,
+    /// Cumulative bytes fed through compaction merges across all nodes.
+    pub bytes_compacted: u64,
+    /// Cumulative bytes physically written by the stores (WAL + tables) —
+    /// the write-amplification numerator.
+    pub storage_bytes_written: u64,
+    /// Logical payload bytes the stores accepted — the denominator.
+    pub storage_logical_bytes: u64,
+    /// Snapshot state-sync chunks transferred during post-restart catch-up
+    /// (zero when every gap stayed under the replay threshold).
+    pub snapshot_chunks: u64,
+    /// Bytes of snapshot state transferred during post-restart catch-up.
+    pub snapshot_bytes: u64,
     /// Transactions whose optimistic speculation read state a
     /// same-block predecessor wrote, forcing a serial re-execution
     /// (intra-block parallel executor).
@@ -82,6 +101,13 @@ impl PlatformStats {
     pub fn write_savings_ratio(&self) -> Option<f64> {
         let total = self.state_nodes_flushed + self.state_nodes_dropped;
         (total > 0).then(|| self.state_nodes_dropped as f64 / total as f64)
+    }
+
+    /// Write amplification across the platform's stores: physical bytes
+    /// written per logical byte accepted, or `None` before any write.
+    pub fn write_amplification(&self) -> Option<f64> {
+        (self.storage_logical_bytes > 0)
+            .then(|| self.storage_bytes_written as f64 / self.storage_logical_bytes as f64)
     }
 
     /// Modeled intra-block execution speedup (`serial / modeled`, ≥ 1.0 by

@@ -52,6 +52,17 @@ cargo test -q --offline -p bb-storage fault
 cargo test -q --offline -p bb-ethereum -p bb-parity -p bb-fabric restart
 cargo test -q --offline -p bb-bench --test cross_platform restart_recovers
 
+echo "==> storage matrix: leveled compaction + chunked snapshot sync smoke"
+# The leveled compactor must keep its invariants (disjoint L1+, bounded
+# per-trigger work, newest-wins) and stay equivalent to a full-compaction
+# reference; the deep-gap restart path must close the block gap with a
+# chunked snapshot transfer on every platform. Named so regressions in the
+# storage write path or the sync protocol are reported as such.
+cargo test -q --offline -p bb-storage compact
+cargo test -q --offline -p bb-storage snapshot
+cargo test -q --offline -p bb-ethereum -p bb-parity -p bb-fabric deep_gap
+cargo test -q --offline -p bb-bench --lib fig9_snapshot
+
 echo "==> executor matrix: serial/parallel determinism + conflict ablation smoke"
 # The optimistic block executor must be invisible to the simulation:
 # byte-identical RunStats under BB_SERIAL_EXEC=1 and any thread count, and
