@@ -366,6 +366,47 @@ fn bench_block_executor(c: &mut Criterion) {
     g.finish();
 }
 
+/// The open-loop load engine: per-event arrival sampling (the O(1) phase
+/// walk) and the lazy million-account population signer (LRU key cache +
+/// sparse nonce map).
+fn bench_open_loop_load(c: &mut Criterion) {
+    use bb_sim::{SimDuration, SimTime};
+    use bb_workloads::Population;
+    use blockbench::load::{ArrivalGen, ArrivalProcess};
+
+    let mut g = c.benchmark_group("load");
+    g.bench_function("arrival_gen_bursty", |b| {
+        let mut gen = ArrivalGen::new(
+            ArrivalProcess::Bursty {
+                base: 100.0,
+                burst: 5000.0,
+                on: SimDuration::from_millis(200),
+                off: SimDuration::from_millis(800),
+            },
+            1_000_000,
+            0.0,
+            SimTime::ZERO,
+            0xA11,
+        );
+        b.iter(|| black_box(gen.next_event()))
+    });
+    g.bench_function("population_sign", |b| {
+        let mut gen = ArrivalGen::new(
+            ArrivalProcess::Poisson { rate: 1000.0 },
+            1_000_000,
+            0.0,
+            SimTime::ZERO,
+            0xB2,
+        );
+        let mut pop = Population::default();
+        b.iter(|| {
+            let (_, account) = gen.next_event();
+            black_box(pop.sign(account, Address::from_index(7777), 0, vec![]).id())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -379,5 +420,6 @@ criterion_group!(
     bench_tx_signing,
     bench_pbft_round,
     bench_block_executor,
+    bench_open_loop_load,
 );
 criterion_main!(benches);

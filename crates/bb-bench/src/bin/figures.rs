@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [all|fig5|fig6|fig7|fig8|fig9|fig9r|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19] [--paper]
+//! figures [all|fig5|fig6|fig7|fig8|fig9|fig9r|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig_saturation] [--paper]
 //! ```
 //!
 //! Each figure prints as an aligned table and is also written to
@@ -15,6 +15,7 @@ use bb_bench::exp_ablation::{
 use bb_bench::exp_fault::{fig10, fig9, fig9_restart, fig9_snapshot};
 use bb_bench::exp_macro::{fig13c, fig14, fig15, fig16, fig17, fig18, fig5, fig6, Macro};
 use bb_bench::exp_micro::{fig11, fig12, fig13ab};
+use bb_bench::exp_saturation::fig_saturation;
 use bb_bench::exp_scale::{fig7, fig8};
 use bb_bench::{Scale, Table};
 use std::path::PathBuf;
@@ -111,6 +112,9 @@ fn main() {
     }
     if want("fig19") {
         emit(&fig7(&scale, Macro::Smallbank), "fig19_scalability_smallbank.csv");
+    }
+    if want("fig_saturation") {
+        emit(&fig_saturation(&scale), "fig_saturation.csv");
     }
     if want("ablations") {
         emit(&ablation_channel(scale.duration), "ablation_channel.csv");

@@ -203,7 +203,48 @@ fn kernel_report(path: &Path) {
     recovery_kernels(path);
     compaction_sync_kernels(path);
     exec_kernels(path);
+    load_kernels(path);
     pump_kernel(path);
+}
+
+/// Open-loop load-engine kernels: one arrival event through the bursty
+/// phase-walk inversion (the O(1)-per-event claim, measured), and one lazy
+/// population signature — LRU key-cache lookup/derive plus a sparse nonce
+/// bump — over a million-account id space.
+fn load_kernels(path: &Path) {
+    use bb_sim::SimTime;
+    use bb_workloads::Population;
+    use blockbench::load::{ArrivalGen, ArrivalProcess};
+
+    let mut gen = ArrivalGen::new(
+        ArrivalProcess::Bursty {
+            base: 100.0,
+            burst: 5000.0,
+            on: SimDuration::from_millis(200),
+            off: SimDuration::from_millis(800),
+        },
+        1_000_000,
+        0.0,
+        SimTime::ZERO,
+        0xA11,
+    );
+    time_kernel(path, "load/arrival_gen", || {
+        criterion::black_box(gen.next_event());
+    });
+
+    let mut pop = Population::default();
+    let mut arrivals = ArrivalGen::new(
+        ArrivalProcess::Poisson { rate: 1000.0 },
+        1_000_000,
+        0.0,
+        SimTime::ZERO,
+        0xB2,
+    );
+    let to = bb_types::Address::from_index(7777);
+    time_kernel(path, "load/population_sign", || {
+        let (_, account) = arrivals.next_event();
+        criterion::black_box(pop.sign(account, to, 0, vec![]).id());
+    });
 }
 
 /// Leveled-compaction and snapshot-sync kernels.

@@ -11,6 +11,7 @@ pub mod exp_ablation;
 pub mod exp_fault;
 pub mod exp_macro;
 pub mod exp_micro;
+pub mod exp_saturation;
 pub mod exp_scale;
 pub mod parallel;
 pub mod platforms;

@@ -36,6 +36,27 @@ impl fmt::Display for ClientId {
     }
 }
 
+/// Identifies one account in an open-loop load population. Unlike
+/// [`ClientId`] (a handful of closed-loop clients, dense, `u32`), account
+/// populations reach millions of distinct identities, so the id is a `u64`
+/// and everything keyed by it (keypairs, nonces) is derived or stored
+/// sparsely on first touch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct AccountId(pub u64);
+
+impl AccountId {
+    /// The raw population index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +67,7 @@ mod tests {
         assert_eq!(ClientId(2).to_string(), "client2");
         assert_eq!(NodeId(7).index(), 7);
         assert_eq!(ClientId(7).index(), 7);
+        assert_eq!(AccountId(1 << 40).to_string(), format!("acct{}", 1u64 << 40));
+        assert_eq!(AccountId(9).index(), 9);
     }
 }

@@ -17,5 +17,5 @@ pub mod tx;
 pub use address::Address;
 pub use block::{Block, BlockHeader, BlockSummary};
 pub use codec::{DecodeError, Decoder, Encoder};
-pub use ids::{ClientId, NodeId};
+pub use ids::{AccountId, ClientId, NodeId};
 pub use tx::{Transaction, TxId};

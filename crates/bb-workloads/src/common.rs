@@ -1,14 +1,27 @@
 //! Client bookkeeping shared by all workload connectors: per-client
 //! keypairs (funded at genesis by every platform), nonce counters with
-//! rollback on RPC rejection, and the setup-time preloader.
+//! rollback on RPC rejection, the lazy open-loop account [`Population`],
+//! and the setup-time preloader.
 
 use bb_crypto::KeyPair;
-use bb_types::{Address, ClientId, Transaction};
+use bb_types::{AccountId, Address, ClientId, Transaction};
 use blockbench::connector::BlockchainConnector;
+use std::collections::{BTreeMap, HashMap};
 
 /// Seed base for preload (non-client) keypairs; platforms fund seeds
 /// 0..1024 at genesis, clients use 0..#clients, preloaders use 900+.
 pub const PRELOAD_SEED: u64 = 900;
+
+/// Seed base for open-loop population accounts: `account id + base`. Far
+/// above the genesis-funded band (0..1024) and the preload lanes (900+), so
+/// a million-account population can never collide with a funded client or a
+/// preloader's nonce sequence. Population accounts are unfunded, which is
+/// fine: every workload call carries value 0, and platforms only check
+/// balances on value transfers.
+pub const POPULATION_SEED_BASE: u64 = 1 << 40;
+
+/// Default derived-key LRU capacity ([`Population::new`]).
+pub const POPULATION_KEY_CACHE: usize = 4096;
 
 /// Per-client signing state.
 pub struct ClientBank {
@@ -40,6 +53,119 @@ impl ClientBank {
     /// The client's account address.
     pub fn address(&self, client: ClientId) -> Address {
         Address::from_public_key(&self.keypairs[client.index()].public())
+    }
+}
+
+/// A deterministic LRU of seed-derived keypairs: the signing hot path for
+/// million-account populations. Derivation is two SHA-256 compressions, so
+/// the cache exists to keep the *hot* accounts free even of that; eviction
+/// order depends only on the access sequence (monotone logical clock, no
+/// wall time), preserving run-to-run byte identity.
+struct KeyLru {
+    capacity: usize,
+    clock: u64,
+    /// account → (keypair, last-use stamp).
+    map: HashMap<u64, (KeyPair, u64)>,
+    /// last-use stamp → account (stamps are unique: one per access).
+    order: BTreeMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl KeyLru {
+    fn new(capacity: usize) -> KeyLru {
+        assert!(capacity > 0, "key cache needs room for at least one key");
+        KeyLru {
+            capacity,
+            clock: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, account: u64) -> KeyPair {
+        self.clock += 1;
+        if let Some((kp, stamp)) = self.map.get_mut(&account) {
+            self.hits += 1;
+            self.order.remove(stamp);
+            *stamp = self.clock;
+            self.order.insert(self.clock, account);
+            return *kp;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            let (&oldest, &victim) = self.order.iter().next().expect("cache full but order empty");
+            self.order.remove(&oldest);
+            self.map.remove(&victim);
+        }
+        let kp = KeyPair::from_seed(POPULATION_SEED_BASE + account);
+        self.map.insert(account, (kp, self.clock));
+        self.order.insert(self.clock, account);
+        kp
+    }
+}
+
+/// Signing state for an open-loop account population: keypairs derived on
+/// demand from the account id (through a bounded LRU) and nonces in a sparse
+/// touched-accounts-only map. Memory is O(active set) — a million-account
+/// population that sends ten thousand transactions holds ten thousand nonce
+/// slots and at most [`POPULATION_KEY_CACHE`] keys, never a million of
+/// either.
+pub struct Population {
+    keys: KeyLru,
+    nonces: HashMap<u64, u64>,
+}
+
+impl Default for Population {
+    fn default() -> Self {
+        Population::new(POPULATION_KEY_CACHE)
+    }
+}
+
+impl Population {
+    /// Population signer with a `key_cache` -entry derived-key LRU.
+    pub fn new(key_cache: usize) -> Population {
+        Population { keys: KeyLru::new(key_cache), nonces: HashMap::new() }
+    }
+
+    /// Sign the next transaction for `account`.
+    pub fn sign(
+        &mut self,
+        account: AccountId,
+        to: Address,
+        value: u64,
+        payload: Vec<u8>,
+    ) -> Transaction {
+        let nonce = self.nonces.entry(account.0).or_insert(0);
+        let used = *nonce;
+        *nonce += 1;
+        let kp = self.keys.get(account.0);
+        Transaction::signed(&kp, used, to, value, payload)
+    }
+
+    /// Roll back the latest nonce after an RPC rejection.
+    pub fn rollback(&mut self, account: AccountId) {
+        if let Some(nonce) = self.nonces.get_mut(&account.0) {
+            *nonce = nonce.saturating_sub(1);
+        }
+    }
+
+    /// The account's address (derives the key if not cached).
+    pub fn address(&mut self, account: AccountId) -> Address {
+        Address::from_public_key(&self.keys.get(account.0).public())
+    }
+
+    /// Number of distinct accounts touched so far — the RSS proxy the
+    /// memory-proportionality tests assert on.
+    pub fn touched(&self) -> usize {
+        self.nonces.len()
+    }
+
+    /// Derived-key cache residency and `(hits, misses)` counters.
+    pub fn key_cache_stats(&self) -> (usize, u64, u64) {
+        (self.keys.map.len(), self.keys.hits, self.keys.misses)
     }
 }
 
@@ -123,5 +249,78 @@ mod tests {
         let a = Preloader::new(0).sign(Address::from_index(1), 0, vec![]);
         let b = Preloader::new(1).sign(Address::from_index(1), 0, vec![]);
         assert_ne!(a.from, b.from);
+    }
+
+    #[test]
+    fn population_nonces_advance_and_roll_back_sparsely() {
+        let mut pop = Population::new(8);
+        let to = Address::from_index(1);
+        let acct = AccountId(123_456_789);
+        let t0 = pop.sign(acct, to, 0, vec![]);
+        let t1 = pop.sign(acct, to, 0, vec![]);
+        assert_eq!((t0.nonce, t1.nonce), (0, 1));
+        assert_eq!(t0.from, t1.from);
+        pop.rollback(acct);
+        assert_eq!(pop.sign(acct, to, 0, vec![]).nonce, 1, "rolled-back nonce is reused");
+        // Rolling back an untouched account allocates nothing.
+        pop.rollback(AccountId(42));
+        assert_eq!(pop.touched(), 1);
+    }
+
+    #[test]
+    fn population_accounts_are_disjoint_from_clients_and_preloaders() {
+        let mut pop = Population::default();
+        // Population account 0 must not alias client seed 0 or any preload
+        // lane — its seed lives above POPULATION_SEED_BASE.
+        let client0 = Address::from_public_key(&KeyPair::from_seed(0).public());
+        let preload0 = Address::from_public_key(&KeyPair::from_seed(PRELOAD_SEED).public());
+        let a = pop.address(AccountId(0));
+        assert_ne!(a, client0);
+        assert_ne!(a, preload0);
+        assert_eq!(
+            a,
+            Address::from_public_key(&KeyPair::from_seed(POPULATION_SEED_BASE).public())
+        );
+    }
+
+    #[test]
+    fn population_key_cache_is_bounded_and_deterministic() {
+        let run = || {
+            let mut pop = Population::new(16);
+            let to = Address::from_index(1);
+            // 64 distinct accounts cycled twice through a 16-entry cache.
+            let mut ids = Vec::new();
+            for _round in 0..2 {
+                for a in 0..64u64 {
+                    let tx = pop.sign(AccountId(a * 1000), to, 0, vec![]);
+                    ids.push(tx.id());
+                }
+            }
+            let (resident, hits, misses) = pop.key_cache_stats();
+            assert!(resident <= 16, "cache grew to {resident}");
+            assert!(misses >= 64, "every cold account must miss once");
+            (ids, hits, misses, pop.touched())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "LRU behaviour must be run-to-run deterministic");
+        assert_eq!(a.3, 64);
+    }
+
+    #[test]
+    fn population_memory_tracks_active_set_not_population() {
+        // A "million-account" population that only ever touches 100 accounts
+        // holds 100 nonce slots. The population size appears nowhere in the
+        // struct — that's the point.
+        let mut pop = Population::default();
+        let to = Address::from_index(1);
+        for i in 0..1000u64 {
+            pop.sign(AccountId((i % 100) * 9973), to, 0, vec![]);
+        }
+        assert_eq!(pop.touched(), 100);
+        let (resident, hits, misses) = pop.key_cache_stats();
+        assert_eq!(resident, 100);
+        assert_eq!(misses, 100);
+        assert_eq!(hits, 900);
     }
 }

@@ -3,22 +3,32 @@
 //! the cost of \[the\] consensus protocol versus the rest of the software
 //! stack" (Figure 13c).
 
-use crate::common::ClientBank;
+use crate::common::{ClientBank, Population};
 use bb_contracts::donothing;
-use bb_types::{Address, ClientId, Transaction};
+use bb_types::{AccountId, Address, ClientId, Transaction};
 use blockbench::connector::BlockchainConnector;
 use blockbench::driver::WorkloadConnector;
 
 /// The DoNothing workload connector.
 pub struct DoNothingWorkload {
     bank: ClientBank,
+    population: Population,
     contract: Option<Address>,
 }
 
 impl DoNothingWorkload {
     /// Provision for up to `clients` clients.
     pub fn new(clients: u32) -> DoNothingWorkload {
-        DoNothingWorkload { bank: ClientBank::new(clients), contract: None }
+        DoNothingWorkload {
+            bank: ClientBank::new(clients),
+            population: Population::default(),
+            contract: None,
+        }
+    }
+
+    /// Open-loop population state (active set size, key-cache counters).
+    pub fn population(&self) -> &Population {
+        &self.population
     }
 }
 
@@ -44,6 +54,15 @@ impl WorkloadConnector for DoNothingWorkload {
 
     fn on_rejected(&mut self, client: ClientId) {
         self.bank.rollback(client);
+    }
+
+    fn next_transaction_keyed(&mut self, account: AccountId) -> Transaction {
+        let contract = self.contract.expect("setup ran");
+        self.population.sign(account, contract, 0, donothing::call())
+    }
+
+    fn on_rejected_keyed(&mut self, account: AccountId) {
+        self.population.rollback(account);
     }
 }
 

@@ -28,6 +28,7 @@ pub mod smallbank;
 pub mod ycsb;
 
 pub use analytics::AnalyticsRunner;
+pub use common::{Population, POPULATION_SEED_BASE};
 pub use cpuheavy::CpuHeavyRunner;
 pub use donothing::DoNothingWorkload;
 pub use ioheavy::IoHeavyRunner;

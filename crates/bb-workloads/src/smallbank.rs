@@ -2,10 +2,10 @@
 //! procedures over bank accounts — "more complex... than YCSB, in which
 //! multiple keys are updated in a single transaction" (Appendix B).
 
-use crate::common::{ClientBank, Preloader};
+use crate::common::{ClientBank, Population, Preloader};
 use bb_contracts::smallbank;
 use bb_sim::SimRng;
-use bb_types::{Address, ClientId, Transaction};
+use bb_types::{AccountId, Address, ClientId, Transaction};
 use blockbench::connector::BlockchainConnector;
 use blockbench::driver::WorkloadConnector;
 
@@ -40,6 +40,7 @@ impl Default for SmallbankConfig {
 pub struct SmallbankWorkload {
     config: SmallbankConfig,
     bank: ClientBank,
+    population: Population,
     rng: SimRng,
     contract: Option<Address>,
 }
@@ -48,11 +49,38 @@ impl SmallbankWorkload {
     /// Build from config.
     pub fn new(config: SmallbankConfig) -> SmallbankWorkload {
         let rng = SimRng::seed_from_u64(config.seed);
-        SmallbankWorkload { bank: ClientBank::new(config.clients), rng, contract: None, config }
+        SmallbankWorkload {
+            bank: ClientBank::new(config.clients),
+            population: Population::default(),
+            rng,
+            contract: None,
+            config,
+        }
     }
 
     fn account(&mut self) -> u64 {
         self.rng.below(self.config.accounts)
+    }
+
+    /// One procedure-mix call payload (shared by both signing paths).
+    fn payload(&mut self) -> Vec<u8> {
+        let a = self.account();
+        let b = self.account();
+        let amount = 1 + self.rng.below(50) as i64;
+        // The classic Smallbank mix, SendPayment-heavy.
+        match self.rng.below(100) {
+            0..=29 => smallbank::send_payment_call(a, b, amount),
+            30..=49 => smallbank::deposit_checking_call(a, amount),
+            50..=64 => smallbank::transact_savings_call(a, amount),
+            65..=79 => smallbank::write_check_call(a, amount),
+            80..=89 => smallbank::amalgamate_call(a, b),
+            _ => smallbank::query_call(a),
+        }
+    }
+
+    /// Open-loop population state (active set size, key-cache counters).
+    pub fn population(&self) -> &Population {
+        &self.population
     }
 }
 
@@ -74,23 +102,22 @@ impl WorkloadConnector for SmallbankWorkload {
 
     fn next_transaction(&mut self, client: ClientId) -> Transaction {
         let contract = self.contract.expect("setup ran");
-        let a = self.account();
-        let b = self.account();
-        let amount = 1 + self.rng.below(50) as i64;
-        // The classic Smallbank mix, SendPayment-heavy.
-        let payload = match self.rng.below(100) {
-            0..=29 => smallbank::send_payment_call(a, b, amount),
-            30..=49 => smallbank::deposit_checking_call(a, amount),
-            50..=64 => smallbank::transact_savings_call(a, amount),
-            65..=79 => smallbank::write_check_call(a, amount),
-            80..=89 => smallbank::amalgamate_call(a, b),
-            _ => smallbank::query_call(a),
-        };
+        let payload = self.payload();
         self.bank.sign(client, contract, 0, payload)
     }
 
     fn on_rejected(&mut self, client: ClientId) {
         self.bank.rollback(client);
+    }
+
+    fn next_transaction_keyed(&mut self, account: AccountId) -> Transaction {
+        let contract = self.contract.expect("setup ran");
+        let payload = self.payload();
+        self.population.sign(account, contract, 0, payload)
+    }
+
+    fn on_rejected_keyed(&mut self, account: AccountId) {
+        self.population.rollback(account);
     }
 }
 

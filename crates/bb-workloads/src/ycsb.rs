@@ -2,11 +2,11 @@
 //! with a number of records, and supports requests with different ratios of
 //! read and write operations."
 
-use crate::common::{ClientBank, Preloader};
+use crate::common::{ClientBank, Population, Preloader};
 use bb_contracts::ycsb;
 use bb_sim::rng::Zipfian;
 use bb_sim::SimRng;
-use bb_types::{Address, ClientId, Transaction};
+use bb_types::{AccountId, Address, ClientId, Transaction};
 use blockbench::connector::BlockchainConnector;
 use blockbench::driver::WorkloadConnector;
 
@@ -47,6 +47,7 @@ impl Default for YcsbConfig {
 pub struct YcsbWorkload {
     config: YcsbConfig,
     bank: ClientBank,
+    population: Population,
     rng: SimRng,
     zipf: Zipfian,
     contract: Option<Address>,
@@ -57,13 +58,36 @@ impl YcsbWorkload {
     pub fn new(config: YcsbConfig) -> YcsbWorkload {
         let rng = SimRng::seed_from_u64(config.seed);
         let zipf = Zipfian::new(config.record_count, config.zipf_theta);
-        YcsbWorkload { bank: ClientBank::new(config.clients), rng, zipf, contract: None, config }
+        YcsbWorkload {
+            bank: ClientBank::new(config.clients),
+            population: Population::default(),
+            rng,
+            zipf,
+            contract: None,
+            config,
+        }
     }
 
     fn value(&mut self) -> Vec<u8> {
         let mut v = vec![0u8; self.config.value_size];
         self.rng.fill_bytes(&mut v);
         v
+    }
+
+    /// One read-or-write call payload (shared by both signing paths).
+    fn payload(&mut self) -> Vec<u8> {
+        let key = self.zipf.sample(&mut self.rng);
+        if self.rng.unit() < self.config.read_ratio {
+            ycsb::read_call(key)
+        } else {
+            let v = self.value();
+            ycsb::write_call(key, &v)
+        }
+    }
+
+    /// Open-loop population state (active set size, key-cache counters).
+    pub fn population(&self) -> &Population {
+        &self.population
     }
 }
 
@@ -89,18 +113,22 @@ impl WorkloadConnector for YcsbWorkload {
 
     fn next_transaction(&mut self, client: ClientId) -> Transaction {
         let contract = self.contract.expect("setup ran");
-        let key = self.zipf.sample(&mut self.rng);
-        let payload = if self.rng.unit() < self.config.read_ratio {
-            ycsb::read_call(key)
-        } else {
-            let v = self.value();
-            ycsb::write_call(key, &v)
-        };
+        let payload = self.payload();
         self.bank.sign(client, contract, 0, payload)
     }
 
     fn on_rejected(&mut self, client: ClientId) {
         self.bank.rollback(client);
+    }
+
+    fn next_transaction_keyed(&mut self, account: AccountId) -> Transaction {
+        let contract = self.contract.expect("setup ran");
+        let payload = self.payload();
+        self.population.sign(account, contract, 0, payload)
+    }
+
+    fn on_rejected_keyed(&mut self, account: AccountId) {
+        self.population.rollback(account);
     }
 }
 

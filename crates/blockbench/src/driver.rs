@@ -7,17 +7,32 @@
 //! then extracts transaction lists from the confirmed blocks' content and
 //! removes matching ones in the local queue."
 //!
-//! Clients are open-loop: client `i` submits to server `i mod n` at a fixed
-//! request rate (the paper's 8–1024 tx/s sweeps). The outstanding queue's
-//! length over time is itself a reported metric (Figures 6 and 18).
+//! Two front ends feed one polling core:
+//!
+//! - **Closed loop** ([`run_workload`], the paper's setup): client `i`
+//!   submits to server `i mod n` at a fixed request rate (the 8–1024 tx/s
+//!   sweeps). Send events live in a `BinaryHeap` keyed by `(time, client)`,
+//!   so scheduling is O(log clients) per send rather than a linear min-scan.
+//! - **Open loop** ([`run_open_loop`]): a single arrival-process generator
+//!   ([`crate::load`]) emits `(send_time, account)` events in O(1) per event
+//!   over a population of up to millions of lazily-materialised accounts.
+//!   RPC-rejected sends are retried with backoff but keep their original
+//!   *intended* send time, so `latencies_intended` reports
+//!   coordinated-omission-free latency (wrk2-style): the clock starts when
+//!   the arrival process said the request should exist, not when the system
+//!   finally deigned to accept it.
+//!
+//! The outstanding queue's length over time is itself a reported metric
+//! (Figures 6 and 18).
 
 use crate::connector::BlockchainConnector;
 use crate::fault::{FaultCursor, FaultPlan};
-use crate::stats::RunStats;
-use bb_sim::series::Summary;
+use crate::load::{ArrivalGen, OpenLoopConfig};
+use crate::stats::{LogHistogram, RunStats};
 use bb_sim::{SimDuration, SimTime, TimeSeries};
-use bb_types::{ClientId, NodeId, Transaction, TxId};
-use std::collections::HashMap;
+use bb_types::{AccountId, ClientId, NodeId, TxId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// The `IWorkloadConnector` interface: "it has a getNextTransaction method
 /// which returns a new blockchain transaction" (Section 3.2). Workloads own
@@ -30,13 +45,26 @@ pub trait WorkloadConnector {
     /// the measured window.
     fn setup(&mut self, chain: &mut dyn BlockchainConnector);
 
-    /// Produce the next transaction for `client`.
-    fn next_transaction(&mut self, client: ClientId) -> Transaction;
+    /// Produce the next transaction for `client` (closed-loop path).
+    fn next_transaction(&mut self, client: ClientId) -> bb_types::Transaction;
 
     /// The platform refused `client`'s latest submission at the RPC; the
     /// workload should roll back any per-client nonce it advanced for it.
     fn on_rejected(&mut self, client: ClientId) {
         let _ = client;
+    }
+
+    /// Produce the next transaction signed by `account` (open-loop path).
+    /// Workloads with a lazy population signer override this; the default
+    /// folds the account onto the closed-loop client space, which is only
+    /// adequate for toy workloads with tiny populations.
+    fn next_transaction_keyed(&mut self, account: AccountId) -> bb_types::Transaction {
+        self.next_transaction(ClientId(account.0 as u32))
+    }
+
+    /// Open-loop counterpart of [`WorkloadConnector::on_rejected`].
+    fn on_rejected_keyed(&mut self, account: AccountId) {
+        self.on_rejected(ClientId(account.0 as u32));
     }
 }
 
@@ -44,7 +72,7 @@ pub trait WorkloadConnector {
 /// clients, threads, etc.").
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
-    /// Concurrent open-loop clients.
+    /// Concurrent closed-loop clients.
     pub clients: u32,
     /// Request rate per client, tx/s.
     pub rate_per_client: f64,
@@ -102,24 +130,178 @@ fn run_inner(
     assert!(config.rate_per_client > 0.0, "need a positive request rate");
     workload.setup(chain);
 
-    let n = chain.node_count();
     let t0 = chain.now();
-    let t_end = t0 + config.duration;
-    let t_drain_end = t_end + config.drain;
     let interval = SimDuration::from_secs_f64(1.0 / config.rate_per_client);
 
-    // Stagger client phases so submissions do not arrive in lockstep.
-    let mut next_send: Vec<SimTime> = (0..config.clients)
-        .map(|i| t0 + SimDuration::from_micros(interval.as_micros() * i as u64 / config.clients as u64))
-        .collect();
-    let mut next_poll = t0 + config.poll_interval;
+    // Stagger client phases so submissions do not arrive in lockstep. The
+    // heap pops the smallest `(time, client)` pair, which reproduces the old
+    // linear scan's order exactly: earliest time first, lowest client id on
+    // ties.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32)>> =
+        BinaryHeap::with_capacity(config.clients as usize);
+    for i in 0..config.clients {
+        let phase =
+            SimDuration::from_micros(interval.as_micros() * i as u64 / config.clients as u64);
+        heap.push(Reverse((t0 + phase, i)));
+    }
 
-    let mut outstanding: HashMap<TxId, SimTime> = HashMap::new();
+    drive(
+        chain,
+        workload,
+        SendQueue::Closed { heap, interval },
+        config.duration,
+        config.poll_interval,
+        config.drain,
+        plan,
+    )
+}
+
+/// Run `workload` against `chain` under an open-loop arrival process.
+///
+/// Unlike [`run_workload`], offered load here is a property of the world,
+/// not of a client pool: arrivals keep coming at the scheduled rate no
+/// matter how the platform is doing, which is what exposes saturation knees
+/// and collapse. Rejected submissions are retried after
+/// `config.retry_backoff` with their intended send time preserved.
+pub fn run_open_loop(
+    chain: &mut dyn BlockchainConnector,
+    workload: &mut dyn WorkloadConnector,
+    config: &OpenLoopConfig,
+) -> RunStats {
+    assert!(config.population > 0, "need a non-empty account population");
+    config.process.validate();
+    workload.setup(chain);
+
+    let t0 = chain.now();
+    let gen = ArrivalGen::new(
+        config.process.clone(),
+        config.population,
+        config.zipf_theta,
+        t0,
+        config.seed,
+    );
+    drive(
+        chain,
+        workload,
+        SendQueue::Open {
+            gen,
+            pending: None,
+            retries: BinaryHeap::new(),
+            backoff: config.retry_backoff,
+        },
+        config.duration,
+        config.poll_interval,
+        config.drain,
+        None,
+    )
+}
+
+/// The pending-send schedule: where the next `(time, identity)` event comes
+/// from. Both variants surface events through `next_time`/`pop` in O(log n)
+/// or O(1), never by scanning a per-identity vector.
+enum SendQueue {
+    /// Fixed client pool on per-client timers.
+    Closed {
+        heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+        interval: SimDuration,
+    },
+    /// Arrival-process generator plus a retry queue for rejected sends.
+    Open {
+        gen: ArrivalGen,
+        /// One-event lookahead buffer over the infinite generator.
+        pending: Option<(SimTime, AccountId)>,
+        /// `(due, account, intended)` — rejected sends awaiting re-submission.
+        retries: BinaryHeap<Reverse<(SimTime, AccountId, SimTime)>>,
+        backoff: SimDuration,
+    },
+}
+
+/// One dequeued send event.
+struct SendItem {
+    /// `Some` on the closed-loop path (routes through `next_transaction`).
+    client: Option<ClientId>,
+    account: AccountId,
+    /// When the arrival process wanted this transaction sent. Equals the
+    /// actual send time except for open-loop retries.
+    intended: SimTime,
+}
+
+impl SendQueue {
+    /// Time of the next send event (`SimTime::MAX` if none, which cannot
+    /// happen for the infinite open-loop generator).
+    fn next_time(&mut self) -> SimTime {
+        match self {
+            SendQueue::Closed { heap, .. } => {
+                heap.peek().map(|&Reverse((t, _))| t).unwrap_or(SimTime::MAX)
+            }
+            SendQueue::Open { gen, pending, retries, .. } => {
+                let p = pending.get_or_insert_with(|| gen.next_event()).0;
+                match retries.peek() {
+                    Some(&Reverse((r, _, _))) => p.min(r),
+                    None => p,
+                }
+            }
+        }
+    }
+
+    /// Dequeue the earliest event (callers only pop after `next_time`).
+    fn pop(&mut self) -> SendItem {
+        match self {
+            SendQueue::Closed { heap, interval } => {
+                let Reverse((t, ci)) = heap.pop().expect("pop on empty send queue");
+                heap.push(Reverse((t + *interval, ci)));
+                SendItem { client: Some(ClientId(ci)), account: AccountId(ci as u64), intended: t }
+            }
+            SendQueue::Open { gen, pending, retries, .. } => {
+                let (pt, _) = *pending.get_or_insert_with(|| gen.next_event());
+                // Ties go to the retry: it is the older piece of work.
+                if retries.peek().is_some_and(|&Reverse((r, _, _))| r <= pt) {
+                    let Reverse((_, account, intended)) = retries.pop().unwrap();
+                    SendItem { client: None, account, intended }
+                } else {
+                    let (t, account) = pending.take().unwrap();
+                    SendItem { client: None, account, intended: t }
+                }
+            }
+        }
+    }
+
+    /// The RPC refused this send. Closed-loop clients drop the transaction
+    /// (legacy semantics); the open-loop queue schedules a retry that keeps
+    /// the original intended time.
+    fn requeue_rejected(&mut self, item: &SendItem, now: SimTime) {
+        if let SendQueue::Open { retries, backoff, .. } = self {
+            retries.push(Reverse((now + *backoff, item.account, item.intended)));
+        }
+    }
+}
+
+/// The shared polling core: interleave send events with `getLatestBlock`
+/// polls on the virtual clock, match confirmations back to submissions, and
+/// collect statistics.
+fn drive(
+    chain: &mut dyn BlockchainConnector,
+    workload: &mut dyn WorkloadConnector,
+    mut queue: SendQueue,
+    duration: SimDuration,
+    poll_interval: SimDuration,
+    drain: SimDuration,
+    plan: Option<&FaultPlan>,
+) -> RunStats {
+    let n = chain.node_count();
+    let t0 = chain.now();
+    let t_end = t0 + duration;
+    let t_drain_end = t_end + drain;
+    let mut next_poll = t0 + poll_interval;
+
+    // txid → (intended send, actual send).
+    let mut outstanding: HashMap<TxId, (SimTime, SimTime)> = HashMap::new();
     let mut submitted = 0u64;
     let mut rejected = 0u64;
     let mut committed = 0u64;
     let mut aborted = 0u64;
-    let mut latencies: Vec<f64> = Vec::new();
+    let mut latencies = LogHistogram::new();
+    let mut latencies_intended = LogHistogram::new();
     // Confirmation instants of in-window successes. Collected unsorted and
     // turned into a TimeSeries after the run: platforms may surface forks or
     // reorder harvests, so confirmation times across poll batches are not
@@ -130,15 +312,11 @@ fn run_inner(
     let mut faults = plan.map(|p| FaultCursor::new(p, t0));
 
     loop {
-        // The next thing to happen: a client send (only before t_end) or a poll.
-        let send_candidate = next_send
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(_, t)| t < t_end)
-            .min_by_key(|&(_, t)| t);
+        // The next thing to happen: a send (only before t_end) or a poll.
+        let next_send = queue.next_time();
+        let send_candidate = if next_send < t_end { Some(next_send) } else { None };
         let now = match send_candidate {
-            Some((_, t)) if t <= next_poll => t,
+            Some(t) if t <= next_poll => t,
             _ => next_poll,
         };
         if now > t_drain_end {
@@ -149,24 +327,28 @@ fn run_inner(
         }
         chain.advance_to(now);
 
-        if let Some((ci, t)) = send_candidate {
-            if t == now && t <= next_poll {
-                let client = ClientId(ci as u32);
-                let tx = workload.next_transaction(client);
-                let id = tx.id();
-                outstanding.insert(id, now);
-                if chain.submit(NodeId(ci as u32 % n), tx) {
-                    submitted += 1;
-                } else {
-                    // Server-side throttling: the request never entered the
-                    // system (Parity's RPC rate limit).
-                    outstanding.remove(&id);
-                    workload.on_rejected(client);
-                    rejected += 1;
+        if send_candidate == Some(now) {
+            let item = queue.pop();
+            let tx = match item.client {
+                Some(client) => workload.next_transaction(client),
+                None => workload.next_transaction_keyed(item.account),
+            };
+            let id = tx.id();
+            outstanding.insert(id, (item.intended, now));
+            if chain.submit(NodeId((item.account.0 % n as u64) as u32), tx) {
+                submitted += 1;
+            } else {
+                // Server-side throttling: the request never entered the
+                // system (Parity's RPC rate limit).
+                outstanding.remove(&id);
+                match item.client {
+                    Some(client) => workload.on_rejected(client),
+                    None => workload.on_rejected_keyed(item.account),
                 }
-                next_send[ci] = t + interval;
-                continue;
+                rejected += 1;
+                queue.requeue_rejected(&item, now);
             }
+            continue;
         }
 
         // Poll: harvest confirmed blocks.
@@ -175,10 +357,11 @@ fn run_inner(
             seen_height = seen_height.max(block.height);
             let confirmed_at = SimTime(block.confirmed_at_us);
             for (txid, success) in &block.txs {
-                let Some(sent_at) = outstanding.remove(txid) else {
+                let Some((intended, sent_at)) = outstanding.remove(txid) else {
                     continue; // preload traffic or another client's txs
                 };
                 let latency = confirmed_at.since(sent_at).as_secs_f64();
+                let latency_intended = confirmed_at.since(intended).as_secs_f64();
                 if confirmed_at <= t_end {
                     if *success {
                         committed += 1;
@@ -191,6 +374,7 @@ fn run_inner(
                         aborted += 1;
                     }
                     latencies.push(latency);
+                    latencies_intended.push(latency_intended);
                 } else {
                     // Drain-phase confirmation: `committed`/`aborted` are
                     // measured-window counters (they feed throughput and
@@ -199,11 +383,12 @@ fn run_inner(
                     // success or abort — still yields a latency sample, since
                     // submit→confirm latency is well-defined either way.
                     latencies.push(latency);
+                    latencies_intended.push(latency_intended);
                 }
             }
         }
         queue_timeline.push(now, outstanding.len() as f64);
-        next_poll = now + config.poll_interval;
+        next_poll = now + poll_interval;
         if now >= t_drain_end || (now >= t_end && outstanding.is_empty()) {
             break;
         }
@@ -216,12 +401,13 @@ fn run_inner(
     }
 
     RunStats {
-        duration: config.duration,
+        duration,
         submitted,
         rejected,
         committed,
         aborted,
-        latencies: Summary::from_values(latencies),
+        latencies,
+        latencies_intended,
         commit_events,
         queue_timeline,
         platform: chain.stats(),
@@ -233,8 +419,9 @@ mod tests {
     use super::*;
     use crate::connector::{Fault, PlatformStats, Query, QueryError, QueryResult};
     use crate::contract::ContractBundle;
+    use crate::load::ArrivalProcess;
     use bb_crypto::{Hash256, KeyPair};
-    use bb_types::{Address, BlockSummary};
+    use bb_types::{Address, BlockSummary, Transaction};
 
     /// A toy chain that commits every submitted tx in a block after a fixed
     /// (optionally jittered) confirmation delay, aborting every `abort_every`-th
@@ -245,6 +432,9 @@ mod tests {
         confirm_delay: SimDuration,
         /// Mark every k-th submission as an abort (`success = false`).
         abort_every: Option<u64>,
+        /// Refuse submissions while more than this many txs are in flight
+        /// (models a bounded admission queue / RPC rate limit).
+        admit_cap: Option<usize>,
         /// Optional seeded jitter added to each tx's confirmation delay.
         jitter: Option<bb_sim::SimRng>,
         /// (ready_at, txid, success) queue.
@@ -260,6 +450,7 @@ mod tests {
                 n,
                 confirm_delay: SimDuration::from_millis(800),
                 abort_every: None,
+                admit_cap: None,
                 jitter: None,
                 pipe: Vec::new(),
                 blocks: Vec::new(),
@@ -271,6 +462,12 @@ mod tests {
         fn aborting(mut self, k: u64) -> Self {
             assert!(k >= 1);
             self.abort_every = Some(k);
+            self
+        }
+
+        /// Refuse submissions once `cap` txs are in flight.
+        fn bounded(mut self, cap: usize) -> Self {
+            self.admit_cap = Some(cap);
             self
         }
 
@@ -292,6 +489,11 @@ mod tests {
             Address::from_index(0)
         }
         fn submit(&mut self, _server: NodeId, tx: Transaction) -> bool {
+            if let Some(cap) = self.admit_cap {
+                if self.pipe.len() >= cap {
+                    return false;
+                }
+            }
             self.submitted += 1;
             let success = match self.abort_every {
                 Some(k) => self.submitted % k != 0,
@@ -378,6 +580,19 @@ mod tests {
         }
     }
 
+    fn open_config(secs: u64, rate: f64, seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            population: 100_000,
+            process: ArrivalProcess::Poisson { rate },
+            zipf_theta: 0.0,
+            duration: SimDuration::from_secs(secs),
+            poll_interval: SimDuration::from_millis(250),
+            drain: SimDuration::from_secs(5),
+            retry_backoff: SimDuration::from_millis(100),
+            seed,
+        }
+    }
+
     #[test]
     fn driver_matches_submissions_to_commits() {
         let mut chain = MockChain::new(4);
@@ -393,6 +608,11 @@ mod tests {
         assert_eq!(stats.latencies.count(), 400);
         let mean = stats.mean_latency().unwrap();
         assert!((0.8..1.1).contains(&mean), "mean latency {mean}");
+        // Closed loop: intended == actual, the two views coincide.
+        assert_eq!(
+            format!("{:?}", stats.latencies),
+            format!("{:?}", stats.latencies_intended)
+        );
     }
 
     #[test]
@@ -488,6 +708,60 @@ mod tests {
         // And a different seed must actually change something, or the
         // determinism assertion above is vacuous.
         let c = run(0xB10D);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn open_loop_offers_poisson_volume() {
+        let mut chain = MockChain::new(4);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_open_loop(&mut chain, &mut wl, &open_config(10, 100.0, 1));
+        // 100 tx/s × 10 s = 1000 expected arrivals, ±4σ ≈ ±127.
+        assert!(
+            (870..=1130).contains(&stats.submitted),
+            "submitted {}",
+            stats.submitted
+        );
+        assert_eq!(stats.rejected, 0);
+        // Nothing was ever rejected, so no retry ever split the clocks.
+        assert_eq!(
+            format!("{:?}", stats.latencies),
+            format!("{:?}", stats.latencies_intended)
+        );
+        assert_eq!(stats.latencies.count() as u64, stats.submitted);
+    }
+
+    #[test]
+    fn open_loop_retries_make_intended_latency_dominate() {
+        // A tight admission cap against 200 tx/s offered: most sends bounce
+        // and retry. The naive clock restarts on every retry; the intended
+        // clock does not — so the CO-free p99 must be the larger one.
+        let mut chain = MockChain::new(2).bounded(20);
+        let mut wl = TrivialWorkload { nonce: 0 };
+        let stats = run_open_loop(&mut chain, &mut wl, &open_config(10, 200.0, 2));
+        assert!(stats.rejected > 100, "rejected only {}", stats.rejected);
+        assert!(stats.submitted > 0);
+        let naive = stats.latency_quantile(0.99).unwrap();
+        let co = stats.co_latency_quantile(0.99).unwrap();
+        assert!(
+            co >= naive,
+            "CO-free p99 {co} must be ≥ naive p99 {naive} under saturation"
+        );
+        // With heavy retry queues the difference is not marginal.
+        assert!(co > 1.5 * naive, "expected a clear CO gap: co {co}, naive {naive}");
+    }
+
+    #[test]
+    fn open_loop_same_seed_gives_byte_identical_stats() {
+        let run = |seed: u64| {
+            let mut chain = MockChain::new(3).bounded(50).jittered(7);
+            let mut wl = TrivialWorkload { nonce: 0 };
+            run_open_loop(&mut chain, &mut wl, &open_config(8, 150.0, seed))
+        };
+        let a = run(0xA1);
+        let b = run(0xA1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = run(0xA2);
         assert_ne!(format!("{a:?}"), format!("{c:?}"));
     }
 

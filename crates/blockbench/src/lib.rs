@@ -15,10 +15,14 @@
 //!   ships an SVM bytecode build (Ethereum/Parity) and a native chaincode
 //!   build (Fabric), mirroring the paper's Solidity + Go twin
 //!   implementations;
-//! - [`driver`]: the asynchronous driver — open-loop clients, an
-//!   outstanding-transaction queue, and a polling loop that matches
-//!   confirmed blocks back to submissions;
-//! - [`stats`]: throughput, latency percentiles/CDF, queue-length and
+//! - [`driver`]: the asynchronous driver — closed-loop client pools and
+//!   open-loop arrival streams, an outstanding-transaction queue, and a
+//!   polling loop that matches confirmed blocks back to submissions;
+//! - [`load`]: the open-loop arrival engine — Poisson / bursty / ramp
+//!   arrival processes over compact million-account populations, sampled
+//!   exactly in O(1) per event;
+//! - [`stats`]: throughput, latency percentiles/CDF (log-bucketed streaming
+//!   histograms, naive and coordinated-omission-free), queue-length and
 //!   commit timelines (Section 3.3's metrics);
 //! - [`security`]: the fork-ratio security metric of Figure 10.
 
@@ -26,6 +30,7 @@ pub mod connector;
 pub mod contract;
 pub mod driver;
 pub mod fault;
+pub mod load;
 pub mod security;
 pub mod stats;
 
@@ -33,7 +38,10 @@ pub use connector::{
     BlockchainConnector, DirectExec, Fault, PlatformStats, Query, QueryError, QueryResult,
 };
 pub use contract::{Chaincode, ChaincodeContext, ContractBundle, SvmContract};
-pub use driver::{run_workload, run_workload_with_faults, DriverConfig, WorkloadConnector};
+pub use driver::{
+    run_open_loop, run_workload, run_workload_with_faults, DriverConfig, WorkloadConnector,
+};
 pub use fault::{FaultCursor, FaultEvent, FaultPlan};
+pub use load::{ArrivalGen, ArrivalProcess, OpenLoopConfig};
 pub use security::fork_ratio;
-pub use stats::RunStats;
+pub use stats::{LogHistogram, RunStats};

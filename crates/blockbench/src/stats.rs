@@ -1,8 +1,154 @@
 //! Benchmark run statistics (Section 3.3's evaluation metrics).
 
 use crate::connector::PlatformStats;
-use bb_sim::series::Summary;
 use bb_sim::{SimDuration, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Geometric bucket growth factor: each bucket's upper bound is 1% above its
+/// lower bound, so the worst-case relative error of reporting a bucket's
+/// geometric midpoint is `sqrt(1.01) - 1 ≈ 0.5%` — inside the ≤ 1% contract
+/// the quantile API promises.
+const GROWTH: f64 = 1.01;
+
+/// Bucket index reserved for non-positive observations (a transaction that
+/// confirms in the same microsecond it was sent has latency exactly 0).
+const ZERO_BUCKET: i32 = i32::MIN;
+
+/// A streaming log-bucketed histogram of scalar observations (latencies, in
+/// seconds). Memory is O(distinct buckets) — a run spanning 1 µs to 1000 s
+/// latencies touches at most ~2100 buckets — instead of `Summary`'s
+/// O(samples) sorted `Vec<f64>`, so million-sample open-loop runs don't hold
+/// every f64. Exact count/sum/min/max are tracked on the side; quantiles are
+/// nearest-rank over buckets with ≤ 1% relative error.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    /// Sparse bucket counts, keyed by `floor(ln(v) / ln(GROWTH))`. A
+    /// `BTreeMap` keeps iteration (and `Debug` output) deterministic.
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw observations (convenience for tests and adapters).
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.push(v);
+        }
+        h
+    }
+
+    fn bucket_of(v: f64) -> i32 {
+        if v <= 0.0 {
+            return ZERO_BUCKET;
+        }
+        (v.ln() / GROWTH.ln()).floor() as i32
+    }
+
+    fn representative(bucket: i32) -> f64 {
+        if bucket == ZERO_BUCKET {
+            0.0
+        } else {
+            // Geometric midpoint of [g^b, g^(b+1)).
+            ((bucket as f64 + 0.5) * GROWTH.ln()).exp()
+        }
+    }
+
+    /// Record one observation. NaN observations are a caller bug.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN observation");
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Exact arithmetic mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest observation (exact).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation (exact).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Quantile in `[0, 1]` by nearest rank over buckets; `None` if empty.
+    /// The extreme ranks report the exactly-tracked `min`/`max`; interior
+    /// ranks return the holding bucket's geometric midpoint clamped to
+    /// `[min, max]`, so relative error is ≤ `sqrt(GROWTH) - 1`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 - 1.0) * q).floor() as u64;
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank == self.count - 1 {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                return Some(Self::representative(bucket).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Empirical CDF sampled at `n` evenly spaced probability points as
+    /// `(value, probability)` pairs — the paper's Figure 17.
+    pub fn cdf(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.count == 0 || n == 0 {
+            return Vec::new();
+        }
+        (1..=n)
+            .map(|i| {
+                let p = i as f64 / n as f64;
+                (self.quantile(p).unwrap(), p)
+            })
+            .collect()
+    }
+}
 
 /// Everything one driver run produces.
 #[derive(Debug, Clone)]
@@ -12,7 +158,8 @@ pub struct RunStats {
     /// Transactions submitted by clients.
     pub submitted: u64,
     /// Submissions refused by server-side throttling (never entered the
-    /// system; not counted in `submitted`).
+    /// system; not counted in `submitted`). The open-loop driver retries
+    /// these with backoff — every refused attempt still counts here.
     pub rejected: u64,
     /// Transactions committed (successfully executed) within the window.
     pub committed: u64,
@@ -21,10 +168,19 @@ pub struct RunStats {
     /// counter: confirmations during the drain phase are excluded from both
     /// (they still contribute latency samples — see `latencies`).
     pub aborted: u64,
-    /// Per-transaction submit→confirm latencies, in seconds. Every harvested
-    /// confirmation contributes a sample — successes and aborts, in-window
-    /// and drain-phase alike.
-    pub latencies: Summary,
+    /// Per-transaction submit→confirm latencies, in seconds, measured from
+    /// the *actual* (last attempted) send. Every harvested confirmation
+    /// contributes a sample — successes and aborts, in-window and
+    /// drain-phase alike.
+    pub latencies: LogHistogram,
+    /// Per-transaction latencies measured from the *intended* send instant —
+    /// the arrival-process event time, regardless of how long RPC-level
+    /// rejections delayed the actual send. This is the coordinated-omission-
+    /// free view (wrk2-style): under saturation the intended clock keeps
+    /// ticking while the naive clock restarts on every retry, so these
+    /// quantiles are ≥ the naive ones by construction. In the closed-loop
+    /// driver intended == actual and the two histograms coincide.
+    pub latencies_intended: LogHistogram,
     /// One sample per committed transaction at its confirmation instant
     /// (value 1.0): bucket for a throughput curve. Aborts never appear here,
     /// and samples are stamped with the block's confirmation time, not the
@@ -56,6 +212,12 @@ impl RunStats {
         self.latencies.quantile(q)
     }
 
+    /// Coordinated-omission-free latency quantile in seconds (measured from
+    /// intended send times).
+    pub fn co_latency_quantile(&self, q: f64) -> Option<f64> {
+        self.latencies_intended.quantile(q)
+    }
+
     /// Committed-per-second curve (Figure 9's time series).
     pub fn throughput_timeline(&self) -> Vec<f64> {
         self.commit_events.bucket_sum(1)
@@ -79,7 +241,8 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bb_sim::SimTime;
+    use bb_sim::series::Summary;
+    use bb_sim::{SimRng, SimTime};
 
     fn stats_with(committed: u64, secs: u64) -> RunStats {
         let mut commit_events = TimeSeries::new();
@@ -92,7 +255,8 @@ mod tests {
             rejected: 0,
             committed,
             aborted: 2,
-            latencies: Summary::from_values((0..committed).map(|i| i as f64 * 0.01).collect()),
+            latencies: LogHistogram::from_values((0..committed).map(|i| i as f64 * 0.01)),
+            latencies_intended: LogHistogram::from_values((0..committed).map(|i| i as f64 * 0.01)),
             commit_events,
             queue_timeline: TimeSeries::new(),
             platform: PlatformStats::default(),
@@ -121,5 +285,84 @@ mod tests {
         let line = s.summary_line();
         assert!(line.contains("10 committed"));
         assert!(line.contains("15 submitted"));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn histogram_exact_aggregates_and_zero_bucket() {
+        let h = LogHistogram::from_values([0.0, 0.5, 2.0]);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean().unwrap() - (2.5 / 3.0)).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(2.0));
+        // The zero observation lands in the reserved bucket and is reported
+        // exactly at the low quantiles.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+    }
+
+    /// The satellite contract: quantile error ≤ 1% against the exact
+    /// `Summary` on small runs, across a latency-shaped (log-normal-ish,
+    /// multi-decade) sample set.
+    #[test]
+    fn histogram_quantiles_within_one_percent_of_exact_summary() {
+        let mut rng = SimRng::seed_from_u64(0x41B0);
+        // Latencies spanning ~1 ms .. ~100 s: exp(N(ln 0.8, ~1.5)) approximated
+        // with a sum-of-uniforms normal.
+        let values: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let z: f64 = (0..12).map(|_| rng.unit()).sum::<f64>() - 6.0;
+                0.8 * (1.5 * z).exp()
+            })
+            .collect();
+        let exact = Summary::from_values(values.clone());
+        let hist = LogHistogram::from_values(values);
+        assert_eq!(hist.count(), exact.count());
+        assert!((hist.mean().unwrap() - exact.mean().unwrap()).abs() < 1e-9 * exact.count() as f64);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let e = exact.quantile(q).unwrap();
+            let a = hist.quantile(q).unwrap();
+            assert!(
+                (a - e).abs() <= 0.01 * e.abs().max(1e-12),
+                "q={q}: histogram {a} vs exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone() {
+        let h = LogHistogram::from_values([5.0, 1.0, 3.0, 2.0, 4.0]);
+        let cdf = h.cdf(5);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        // Endpoints are exact.
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_memory_is_bucket_bounded() {
+        // A million samples over three decades of latency stay within the
+        // analytic bucket bound (ln(10^3)/ln(1.01) ≈ 695 buckets).
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut h = LogHistogram::new();
+        for _ in 0..1_000_000 {
+            h.push(0.001 * (1000.0f64).powf(rng.unit()));
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert!(h.buckets.len() <= 700, "buckets {}", h.buckets.len());
     }
 }

@@ -63,6 +63,17 @@ cargo test -q --offline -p bb-storage snapshot
 cargo test -q --offline -p bb-ethereum -p bb-parity -p bb-fabric deep_gap
 cargo test -q --offline -p bb-bench --lib fig9_snapshot
 
+echo "==> load matrix: open-loop engine + saturation-ramp smoke"
+# The open-loop arrival engine (arrival processes, lazy million-account
+# population, CO-free latency, retry queue) and the saturation ramp are the
+# offered-load surface of the harness: run them by name so a load-engine
+# regression is reported as one. The saturation cell asserts the knee and
+# the CO-free tail dominance on all three platforms.
+cargo test -q --offline -p blockbench load
+cargo test -q --offline -p bb-bench --test open_loop
+cargo test -q --offline -p bb-bench --test parallel_determinism open_loop
+cargo test -q --offline -p bb-bench --lib saturation_curves
+
 echo "==> executor matrix: serial/parallel determinism + conflict ablation smoke"
 # The optimistic block executor must be invisible to the simulation:
 # byte-identical RunStats under BB_SERIAL_EXEC=1 and any thread count, and

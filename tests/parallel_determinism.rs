@@ -23,7 +23,10 @@ use bb_parity::{ParityChain, ParityConfig};
 use bb_sim::{SimDuration, SimTime};
 use bb_types::{ClientId, NodeId};
 use bb_workloads::ycsb::{YcsbConfig, YcsbWorkload};
-use blockbench::{run_workload, BlockchainConnector, DriverConfig, Fault};
+use blockbench::{
+    run_open_loop, run_workload, ArrivalProcess, BlockchainConnector, DriverConfig, Fault,
+    OpenLoopConfig,
+};
 use std::sync::Mutex;
 
 /// Env vars are process-global; every test in this binary mutates them, so
@@ -166,6 +169,54 @@ fn run_stats_byte_identical_across_platforms_and_seeds() {
                 serial,
                 sharded,
                 "{} seed {seed}: sharded RunStats diverged from serial",
+                platform.name()
+            );
+        }
+    }
+    engine_env_reset();
+}
+
+/// The open-loop driver adds two scheduling sources the closed-loop path
+/// does not have — the arrival-process generator and the retry queue — and
+/// both must be invisible to the sharded engine: full `RunStats` from a
+/// bursty open-loop run must match byte for byte between one lane thread
+/// and four.
+fn open_loop_stats(platform: Platform, seed: u64) -> String {
+    let mut chain = build_seeded(platform, 4, seed);
+    let mut workload = Macro::Ycsb.build(1);
+    let config = OpenLoopConfig {
+        population: 50_000,
+        process: ArrivalProcess::Bursty {
+            base: 20.0,
+            burst: 400.0,
+            on: SimDuration::from_millis(500),
+            off: SimDuration::from_millis(1500),
+        },
+        zipf_theta: 0.0,
+        duration: SimDuration::from_secs(3),
+        poll_interval: SimDuration::from_millis(500),
+        drain: SimDuration::from_secs(2),
+        retry_backoff: SimDuration::from_millis(100),
+        seed,
+    };
+    let stats = run_open_loop(chain.as_mut(), workload.as_mut(), &config);
+    assert!(stats.submitted > 0, "{}: open-loop run sent nothing", platform.name());
+    format!("{stats:?}")
+}
+
+#[test]
+fn open_loop_run_stats_byte_identical_serial_vs_sharded() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for platform in ALL_PLATFORMS {
+        for seed in [1u64, 42] {
+            engine_serial();
+            let serial = open_loop_stats(platform, seed);
+            engine_sharded();
+            let sharded = open_loop_stats(platform, seed);
+            assert_eq!(
+                serial,
+                sharded,
+                "{} seed {seed}: open-loop RunStats diverged from serial",
                 platform.name()
             );
         }
